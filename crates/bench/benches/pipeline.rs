@@ -1,0 +1,107 @@
+//! Criterion microbenchmarks for the compiler pipeline itself: front-end
+//! throughput, optimizer, call-graph construction, inline expansion, and
+//! VM execution speed. These measure the *implementation*, complementing
+//! the table binaries that measure the *result*.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use impact_bench::prepared_module;
+use impact_cfront::{compile, lex, parse_into, ParseContext, Source};
+use impact_callgraph::CallGraph;
+use impact_inline::{inline_module, InlineConfig};
+use impact_vm::{run, VmConfig};
+use impact_workloads::benchmark;
+
+fn sources_of(name: &str) -> Vec<Source> {
+    benchmark(name).expect("known benchmark").sources()
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let sources = sources_of("grep");
+    let mut g = c.benchmark_group("frontend");
+    g.bench_function("lex_grep", |b| {
+        b.iter(|| {
+            for (i, s) in sources.iter().enumerate() {
+                std::hint::black_box(lex(i as u32, &s.text).expect("lexes"));
+            }
+        })
+    });
+    g.bench_function("parse_grep", |b| {
+        let tokens: Vec<_> = sources
+            .iter()
+            .enumerate()
+            .map(|(i, s)| lex(i as u32, &s.text).expect("lexes"))
+            .collect();
+        b.iter(|| {
+            let mut ctx = ParseContext::new();
+            for t in &tokens {
+                parse_into(&mut ctx, t).expect("parses");
+            }
+            std::hint::black_box(ctx);
+        })
+    });
+    g.bench_function("compile_grep", |b| {
+        b.iter(|| std::hint::black_box(compile(&sources).expect("compiles")))
+    });
+    g.finish();
+}
+
+fn bench_midend(c: &mut Criterion) {
+    let b_grep = benchmark("grep").unwrap();
+    let module = prepared_module(&b_grep).unwrap();
+    let input = b_grep.run_input(0);
+    let cfg = VmConfig::default();
+    let baseline = run(&module, input.inputs.clone(), input.args.clone(), &cfg).unwrap();
+    let profile = baseline.profile.averaged();
+
+    let mut g = c.benchmark_group("midend");
+    g.bench_function("optimize_grep", |b| {
+        b.iter_batched(
+            || b_grep.compile().unwrap(),
+            |mut m| {
+                impact_opt::optimize_module(&mut m);
+                std::hint::black_box(m);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("callgraph_grep", |b| {
+        b.iter(|| std::hint::black_box(CallGraph::build(&module, &profile)))
+    });
+    g.bench_function("inline_grep", |b| {
+        b.iter_batched(
+            || module.clone(),
+            |mut m| {
+                std::hint::black_box(inline_module(&mut m, &profile, &InlineConfig::default()));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_vm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vm");
+    g.sample_size(10);
+    for name in ["compress", "wc"] {
+        let b = benchmark(name).unwrap();
+        let module = prepared_module(&b).unwrap();
+        let input = b.run_input(0);
+        g.bench_function(format!("run_{name}"), |bench| {
+            bench.iter(|| {
+                std::hint::black_box(
+                    run(
+                        &module,
+                        input.inputs.clone(),
+                        input.args.clone(),
+                        &VmConfig::default(),
+                    )
+                    .expect("runs"),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_frontend, bench_midend, bench_vm);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! Ablation studies over the design choices DESIGN.md calls out:
+//!
+//! * `ablate threshold` — sweep the arc-weight threshold (§3.4's
+//!   compilation-time cutoff doubles as the *unsafe* low-weight rule);
+//! * `ablate budget` — sweep the code-growth budget (§2.3.1);
+//! * `ablate linearization` — the paper's node-weight order vs random and
+//!   adversarial orders (§3.3).
+//!
+//! Each prints achieved call elimination and code growth per setting,
+//! averaged over the suite (use `--bench <name>` for one benchmark).
+
+use impact_bench::{mean_sd, prepared_module, profile_benchmark, row, HarnessConfig};
+use impact_inline::{inline_module, InlineConfig, Linearization};
+use impact_workloads::{all_benchmarks, Benchmark};
+
+struct Outcome {
+    call_dec: f64,
+    code_inc: f64,
+    expanded: usize,
+}
+
+fn measure(b: &Benchmark, cfg: &HarnessConfig) -> Outcome {
+    let module = prepared_module(b).expect("compiles");
+    let merged = profile_benchmark(b, &module, cfg).expect("profiles");
+    let averaged = merged.averaged();
+    let mut inlined = module.clone();
+    let report = inline_module(&mut inlined, &averaged, &cfg.inline);
+    let merged_after = profile_benchmark(b, &inlined, cfg).expect("re-profiles");
+    let call_dec = if merged.calls == 0 {
+        0.0
+    } else {
+        100.0 * merged.calls.saturating_sub(merged_after.calls) as f64 / merged.calls as f64
+    };
+    Outcome {
+        call_dec,
+        code_inc: report.code_increase_percent(),
+        expanded: report.expanded.len(),
+    }
+}
+
+fn sweep(benchmarks: &[Benchmark], label: &str, settings: Vec<(String, InlineConfig)>, quick: bool) {
+    let widths = [26, 10, 10, 10];
+    println!("Ablation: {label}");
+    println!(
+        "{}",
+        row(
+            &[
+                "setting".into(),
+                "call dec".into(),
+                "code inc".into(),
+                "arcs".into(),
+            ],
+            &widths,
+        )
+    );
+    for (name, inline) in settings {
+        let cfg = HarnessConfig {
+            max_runs: if quick { 2 } else { 4 },
+            inline,
+            ..HarnessConfig::default()
+        };
+        let outcomes: Vec<Outcome> = benchmarks.iter().map(|b| measure(b, &cfg)).collect();
+        let decs: Vec<f64> = outcomes.iter().map(|o| o.call_dec).collect();
+        let incs: Vec<f64> = outcomes.iter().map(|o| o.code_inc).collect();
+        let arcs: usize = outcomes.iter().map(|o| o.expanded).sum();
+        println!(
+            "{}",
+            row(
+                &[
+                    name,
+                    format!("{:.1}%", mean_sd(&decs).0),
+                    format!("{:.1}%", mean_sd(&incs).0),
+                    arcs.to_string(),
+                ],
+                &widths,
+            )
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    let benchmarks: Vec<Benchmark> = match args.iter().position(|a| a == "--bench") {
+        Some(i) => {
+            let name = args.get(i + 1).expect("--bench needs a name");
+            vec![impact_workloads::benchmark(name).expect("known benchmark")]
+        }
+        None => all_benchmarks(),
+    };
+
+    if which == "threshold" || which == "all" {
+        let settings = [1u64, 10, 100, 1000, 10000]
+            .into_iter()
+            .map(|t| {
+                (
+                    format!("weight_threshold={t}"),
+                    InlineConfig {
+                        weight_threshold: t,
+                        ..InlineConfig::default()
+                    },
+                )
+            })
+            .collect();
+        sweep(&benchmarks, "arc-weight threshold (paper: 10)", settings, quick);
+    }
+    if which == "budget" || which == "all" {
+        let settings = [1.05f64, 1.2, 1.5, 2.0, 3.0]
+            .into_iter()
+            .map(|l| {
+                (
+                    format!("code_growth_limit={l}"),
+                    InlineConfig {
+                        code_growth_limit: l,
+                        ..InlineConfig::default()
+                    },
+                )
+            })
+            .collect();
+        sweep(&benchmarks, "code-growth budget (§2.3.1)", settings, quick);
+    }
+    if which == "linearization" || which == "all" {
+        let settings = vec![
+            (
+                "node-weight (paper)".to_string(),
+                InlineConfig {
+                    linearization: Linearization::NodeWeight,
+                    ..InlineConfig::default()
+                },
+            ),
+            (
+                "source order".to_string(),
+                InlineConfig {
+                    linearization: Linearization::SourceOrder,
+                    ..InlineConfig::default()
+                },
+            ),
+            (
+                "random(7)".to_string(),
+                InlineConfig {
+                    linearization: Linearization::Random(7),
+                    ..InlineConfig::default()
+                },
+            ),
+            (
+                "reverse node-weight".to_string(),
+                InlineConfig {
+                    linearization: Linearization::ReverseNodeWeight,
+                    ..InlineConfig::default()
+                },
+            ),
+        ];
+        sweep(&benchmarks, "linearization heuristic (§3.3)", settings, quick);
+    }
+}

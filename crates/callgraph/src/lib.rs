@@ -1,0 +1,624 @@
+//! # impact-callgraph — the weighted call graph
+//!
+//! The program representation the paper's inline expander reasons over
+//! (§2.2): a graph `G = (N, E, main)` where each node is a function
+//! weighted by its expected execution count and each arc is a *static call
+//! site* weighted by its expected invocation count.
+//!
+//! Missing information is modelled with two special nodes, exactly as in
+//! §3.2:
+//!
+//! * **`$$$` (external)** — every call to an external function becomes an
+//!   arc to `$$$`, and `$$$` has a zero-weight arc back to *every* user
+//!   function: an external function must be assumed to call anything.
+//! * **`###` (pointer)** — every call through a pointer becomes an arc to
+//!   `###`, and `###` has arcs to every function whose address is taken
+//!   (to *every* function once the module calls any external, since then
+//!   the address-taken set can no longer be computed precisely).
+//!
+//! These conservative arcs make cycle detection and reachability sound:
+//! recursion through a callback is detected, and a called-once function
+//! cannot be deleted if an external might re-enter it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+
+use impact_il::{CallSiteId, Callee, FuncId, Module};
+use impact_vm::Profile;
+
+/// Identifies a node of the call graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Identifies an arc of the call graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArcId(pub u32);
+
+/// What a node stands for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A user function.
+    Func(FuncId),
+    /// The `$$$` summary node for all external functions.
+    External,
+    /// The `###` summary node for all calls through pointers.
+    Pointer,
+}
+
+/// One node with its weight (expected execution count — the profile's
+/// function entry count).
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// What this node is.
+    pub kind: NodeKind,
+    /// Expected execution count.
+    pub weight: u64,
+    /// Outgoing arcs.
+    pub out_arcs: Vec<ArcId>,
+    /// Incoming arcs.
+    pub in_arcs: Vec<ArcId>,
+}
+
+/// One arc. Real call sites carry their [`CallSiteId`]; the synthetic
+/// worst-case arcs out of `$$$`/`###` carry `None`.
+#[derive(Clone, Debug)]
+pub struct Arc {
+    /// This arc's id.
+    pub id: ArcId,
+    /// The static call site, for arcs that come from a real call
+    /// instruction.
+    pub site: Option<CallSiteId>,
+    /// Caller node.
+    pub caller: NodeId,
+    /// Callee node.
+    pub callee: NodeId,
+    /// Expected invocation count (the profile's call-site count; synthetic
+    /// arcs weigh 0).
+    pub weight: u64,
+}
+
+/// The weighted call graph of one module + profile.
+#[derive(Clone, Debug)]
+pub struct CallGraph {
+    nodes: Vec<Node>,
+    arcs: Vec<Arc>,
+    external: Option<NodeId>,
+    pointer: Option<NodeId>,
+    main: Option<NodeId>,
+}
+
+impl CallGraph {
+    /// Builds the graph from a module and its (averaged) profile,
+    /// following §3.2's construction procedure: one node per function,
+    /// arcs for static calls, then worst-case handling of external
+    /// functions and calls through pointers.
+    pub fn build(module: &Module, profile: &Profile) -> CallGraph {
+        let mut g = CallGraph {
+            nodes: Vec::with_capacity(module.functions.len() + 2),
+            arcs: Vec::new(),
+            external: None,
+            pointer: None,
+            main: module.main_id().map(|f| NodeId(f.0)),
+        };
+        for (i, _) in module.functions.iter().enumerate() {
+            let f = FuncId::from_index(i);
+            g.nodes.push(Node {
+                kind: NodeKind::Func(f),
+                weight: profile.func_weight(f),
+                out_arcs: Vec::new(),
+                in_arcs: Vec::new(),
+            });
+        }
+        let has_external_calls = module.has_external_calls();
+        let has_pointer_calls = module
+            .all_call_sites()
+            .iter()
+            .any(|(_, _, c)| matches!(c, Callee::Reg(_)));
+        if has_external_calls {
+            g.external = Some(g.add_node(NodeKind::External));
+        }
+        if has_pointer_calls {
+            g.pointer = Some(g.add_node(NodeKind::Pointer));
+        }
+        // Real arcs: one per static call site.
+        for (caller, site, callee) in module.all_call_sites() {
+            let caller_node = NodeId(caller.0);
+            let weight = profile.site_weight(site);
+            let callee_node = match callee {
+                Callee::Func(f) => NodeId(f.0),
+                Callee::Ext(_) => g.external.expect("external node exists"),
+                Callee::Reg(_) => g.pointer.expect("pointer node exists"),
+            };
+            g.add_arc(Some(site), caller_node, callee_node, weight);
+        }
+        // Worst-case arcs out of $$$: external code may call any function.
+        if let Some(ext) = g.external {
+            for i in 0..module.functions.len() {
+                g.add_arc(None, ext, NodeId(i as u32), 0);
+            }
+        }
+        // Worst-case arcs out of ###: any address-taken function — or any
+        // function at all when externals poison the address-taken set.
+        if let Some(ptr) = g.pointer {
+            if has_external_calls {
+                for i in 0..module.functions.len() {
+                    g.add_arc(None, ptr, NodeId(i as u32), 0);
+                }
+            } else {
+                let mut taken: Vec<FuncId> = module.address_taken_funcs().into_iter().collect();
+                taken.sort();
+                for f in taken {
+                    g.add_arc(None, ptr, NodeId(f.0), 0);
+                }
+            }
+        }
+        g
+    }
+
+    fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind,
+            weight: 0,
+            out_arcs: Vec::new(),
+            in_arcs: Vec::new(),
+        });
+        id
+    }
+
+    fn add_arc(&mut self, site: Option<CallSiteId>, caller: NodeId, callee: NodeId, weight: u64) {
+        let id = ArcId(self.arcs.len() as u32);
+        self.arcs.push(Arc {
+            id,
+            site,
+            caller,
+            callee,
+            weight,
+        });
+        self.nodes[caller.0 as usize].out_arcs.push(id);
+        self.nodes[callee.0 as usize].in_arcs.push(id);
+    }
+
+    /// The node for a user function.
+    pub fn node_of(&self, f: FuncId) -> NodeId {
+        NodeId(f.0)
+    }
+
+    /// The `$$$` node, if the module calls external functions.
+    pub fn external_node(&self) -> Option<NodeId> {
+        self.external
+    }
+
+    /// The `###` node, if the module calls through pointers.
+    pub fn pointer_node(&self) -> Option<NodeId> {
+        self.pointer
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All arcs (real call sites first, then synthetic worst-case arcs).
+    pub fn arcs(&self) -> &[Arc] {
+        &self.arcs
+    }
+
+    /// A node by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn node(&self, n: NodeId) -> &Node {
+        &self.nodes[n.0 as usize]
+    }
+
+    /// An arc by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn arc(&self, a: ArcId) -> &Arc {
+        &self.arcs[a.0 as usize]
+    }
+
+    /// The arc corresponding to a real call site, if any.
+    pub fn arc_for_site(&self, site: CallSiteId) -> Option<&Arc> {
+        self.arcs.iter().find(|a| a.site == Some(site))
+    }
+
+    /// Strongly connected components of the full graph (iterative Tarjan).
+    pub fn sccs(&self) -> Vec<Vec<NodeId>> {
+        let n = self.nodes.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for a in &self.arcs {
+            adj[a.caller.0 as usize].push(a.callee.0 as usize);
+        }
+        let comp = scc_of_adj(&adj);
+        let ncomp = comp.iter().copied().max().map(|c| c + 1).unwrap_or(0);
+        let mut out = vec![Vec::new(); ncomp];
+        for (i, &c) in comp.iter().enumerate() {
+            out[c].push(NodeId(i as u32));
+        }
+        out
+    }
+
+    /// Functions that sit on a cycle of the **conservative** graph
+    /// (including cycles through `$$$`/`###`) or call themselves directly.
+    ///
+    /// This is the "callee is recursive" predicate of the cost function
+    /// (§2.3.3): expanding such a callee can stack frames without bound,
+    /// so the stack-usage hazard check applies.
+    pub fn cyclic_funcs(&self) -> HashSet<FuncId> {
+        self.cyclic_funcs_inner(true)
+    }
+
+    /// Functions on a cycle considering only real user-to-user arcs
+    /// (ignoring the worst-case `$$$`/`###` arcs). Useful to separate true
+    /// source-level recursion from conservative possibly-recursion.
+    pub fn user_cyclic_funcs(&self) -> HashSet<FuncId> {
+        self.cyclic_funcs_inner(false)
+    }
+
+    fn cyclic_funcs_inner(&self, conservative: bool) -> HashSet<FuncId> {
+        let special: HashSet<NodeId> = [self.external, self.pointer]
+            .into_iter()
+            .flatten()
+            .collect();
+        let n = self.nodes.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut self_loop = vec![false; n];
+        for a in &self.arcs {
+            if !conservative && (special.contains(&a.caller) || special.contains(&a.callee)) {
+                continue;
+            }
+            adj[a.caller.0 as usize].push(a.callee.0 as usize);
+            if a.caller == a.callee {
+                self_loop[a.caller.0 as usize] = true;
+            }
+        }
+        let comp = scc_of_adj(&adj);
+        let mut size = HashMap::new();
+        for &c in &comp {
+            *size.entry(c).or_insert(0usize) += 1;
+        }
+        let mut out = HashSet::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let NodeKind::Func(f) = node.kind {
+                if size[&comp[i]] > 1 || self_loop[i] {
+                    out.insert(f);
+                }
+            }
+        }
+        out
+    }
+
+    /// Nodes reachable from `main` (following all arcs, including the
+    /// worst-case ones). Returns the empty set if the module has no main.
+    pub fn reachable_from_main(&self) -> HashSet<NodeId> {
+        let mut seen = HashSet::new();
+        let Some(main) = self.main else {
+            return seen;
+        };
+        let mut work = vec![main];
+        seen.insert(main);
+        while let Some(v) = work.pop() {
+            for &a in &self.nodes[v.0 as usize].out_arcs {
+                let w = self.arcs[a.0 as usize].callee;
+                if seen.insert(w) {
+                    work.push(w);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Functions that can safely be removed: unreachable from `main` under
+    /// the conservative arcs (§2.6). With external calls present this is
+    /// usually empty — exactly the paper's observation that "the original
+    /// copy of an inlined call-once function can no longer be deleted".
+    pub fn unreachable_funcs(&self) -> Vec<FuncId> {
+        let reachable = self.reachable_from_main();
+        self.nodes
+            .iter()
+            .filter_map(|n| match n.kind {
+                NodeKind::Func(f) if !reachable.contains(&self.node_of(f)) => Some(f),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Renders the graph in Graphviz DOT format (function names, node and
+    /// arc weights; synthetic arcs dashed).
+    pub fn to_dot(&self, module: &Module) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("digraph callgraph {\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let label = match n.kind {
+                NodeKind::Func(f) => format!("{} ({})", module.function(f).name, n.weight),
+                NodeKind::External => "$$$".to_string(),
+                NodeKind::Pointer => "###".to_string(),
+            };
+            let _ = writeln!(s, "  n{i} [label=\"{label}\"];");
+        }
+        for a in &self.arcs {
+            let style = if a.site.is_some() {
+                format!("label=\"{}\"", a.weight)
+            } else {
+                "style=dashed".to_string()
+            };
+            let _ = writeln!(s, "  n{} -> n{} [{style}];", a.caller.0, a.callee.0);
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// SCC computation over a plain adjacency list (iterative Tarjan),
+/// returning the component index of each node.
+fn scc_of_adj(adj: &[Vec<usize>]) -> Vec<usize> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut comp = vec![usize::MAX; n];
+    let mut next_index = 0;
+    let mut next_comp = 0;
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut work = vec![(start, 0usize)];
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        while let Some(&mut (v, ref mut pos)) = work.last_mut() {
+            if *pos < adj[v].len() {
+                let w = adj[v][*pos];
+                *pos += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                work.pop();
+                if let Some(&(p, _)) = work.last() {
+                    low[p] = low[p].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("stack nonempty");
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impact_cfront::{compile, Source};
+    use impact_vm::{run, VmConfig};
+
+    fn graph_for(src: &str) -> (impact_il::Module, CallGraph, Profile) {
+        let module = compile(&[Source::new("t.c", src)]).expect("compiles");
+        let out = run(&module, vec![], vec![], &VmConfig::default()).expect("runs");
+        let graph = CallGraph::build(&module, &out.profile);
+        (module, graph, out.profile)
+    }
+
+    #[test]
+    fn builds_nodes_and_weighted_arcs() {
+        let (module, g, _) = graph_for(
+            "int leaf(int x) { return x + 1; }\n\
+             int main() { int i; int s; s = 0; for (i = 0; i < 5; i++) s += leaf(i); return s; }",
+        );
+        assert_eq!(g.nodes().len(), 2); // no externals, no pointers
+        let leaf = module.func_by_name("leaf").unwrap();
+        assert_eq!(g.node(g.node_of(leaf)).weight, 5);
+        let arcs: Vec<_> = g.arcs().iter().filter(|a| a.site.is_some()).collect();
+        assert_eq!(arcs.len(), 1);
+        assert_eq!(arcs[0].weight, 5);
+        assert_eq!(arcs[0].callee, g.node_of(leaf));
+    }
+
+    #[test]
+    fn several_arcs_between_same_pair_stay_distinct() {
+        let (_, g, _) = graph_for(
+            "int f(int x) { return x; }\n\
+             int main() { return f(1) + f(2); }",
+        );
+        let real: Vec<_> = g.arcs().iter().filter(|a| a.site.is_some()).collect();
+        assert_eq!(real.len(), 2);
+        assert_ne!(real[0].site, real[1].site);
+    }
+
+    #[test]
+    fn external_node_gets_back_arcs_to_all() {
+        let (_, g, _) = graph_for(
+            "extern int __fgetc(int fd);\n\
+             int helper() { return 1; }\n\
+             int main() { __fgetc(0); return helper(); }",
+        );
+        let ext = g.external_node().expect("has $$$");
+        // $$$ → main and $$$ → helper.
+        assert_eq!(g.node(ext).out_arcs.len(), 2);
+        // main → $$$ real arc.
+        assert!(g.arcs().iter().any(|a| a.callee == ext && a.site.is_some()));
+    }
+
+    #[test]
+    fn pointer_node_targets_address_taken_only_without_externals() {
+        let (module, g, _) = graph_for(
+            "int pick_me(int x) { return x; }\n\
+             int not_me(int x) { return x + 1; }\n\
+             int main() { int (*f)(int); f = pick_me; return f(3) + not_me(1); }",
+        );
+        let ptr = g.pointer_node().expect("has ###");
+        let pick = module.func_by_name("pick_me").unwrap();
+        let targets: Vec<NodeId> = g
+            .node(ptr)
+            .out_arcs
+            .iter()
+            .map(|&a| g.arc(a).callee)
+            .collect();
+        assert_eq!(targets, vec![g.node_of(pick)]);
+    }
+
+    #[test]
+    fn pointer_node_targets_everything_with_externals() {
+        let (_, g, _) = graph_for(
+            "extern int __fgetc(int fd);\n\
+             int pick_me(int x) { return x; }\n\
+             int main() { int (*f)(int); f = pick_me; __fgetc(0); return f(3); }",
+        );
+        let ptr = g.pointer_node().expect("has ###");
+        // ### → both user functions (pick_me and main).
+        assert_eq!(g.node(ptr).out_arcs.len(), 2);
+    }
+
+    #[test]
+    fn detects_direct_recursion() {
+        let (module, g, _) = graph_for(
+            "int fact(int n) { return n < 2 ? 1 : n * fact(n - 1); }\n\
+             int main() { return fact(5); }",
+        );
+        let fact = module.func_by_name("fact").unwrap();
+        let main = module.func_by_name("main").unwrap();
+        let cyc = g.cyclic_funcs();
+        assert!(cyc.contains(&fact));
+        assert!(!cyc.contains(&main));
+    }
+
+    #[test]
+    fn detects_mutual_recursion() {
+        let (module, g, _) = graph_for(
+            "int odd(int n);\n\
+             int even(int n) { return n == 0 ? 1 : odd(n - 1); }\n\
+             int odd(int n) { return n == 0 ? 0 : even(n - 1); }\n\
+             int main() { return even(4); }",
+        );
+        let cyc = g.cyclic_funcs();
+        assert!(cyc.contains(&module.func_by_name("even").unwrap()));
+        assert!(cyc.contains(&module.func_by_name("odd").unwrap()));
+        assert!(!cyc.contains(&module.func_by_name("main").unwrap()));
+    }
+
+    #[test]
+    fn external_calls_make_callers_conservatively_cyclic() {
+        let (module, g, _) = graph_for(
+            "extern int __fgetc(int fd);\n\
+             int reads() { return __fgetc(0); }\n\
+             int pure(int x) { return x * 2; }\n\
+             int main() { return reads() + pure(1); }",
+        );
+        let reads = module.func_by_name("reads").unwrap();
+        let pure = module.func_by_name("pure").unwrap();
+        let cyc = g.cyclic_funcs();
+        // reads → $$$ → reads is a conservative cycle.
+        assert!(cyc.contains(&reads));
+        // pure has no outgoing arcs, so no cycle can pass through it.
+        assert!(!cyc.contains(&pure));
+        // Under user-only arcs, nothing is recursive.
+        assert!(g.user_cyclic_funcs().is_empty());
+    }
+
+    #[test]
+    fn unreachable_functions_without_externals_are_found() {
+        let (module, g, _) = graph_for(
+            "int used(int x) { return x; }\n\
+             int dead(int x) { return x + 1; }\n\
+             int main() { return used(2); }",
+        );
+        let dead = module.func_by_name("dead").unwrap();
+        assert_eq!(g.unreachable_funcs(), vec![dead]);
+    }
+
+    #[test]
+    fn externals_suppress_dead_function_removal() {
+        let (_, g, _) = graph_for(
+            "extern int __fgetc(int fd);\n\
+             int used(int x) { return x; }\n\
+             int dead(int x) { return x + 1; }\n\
+             int main() { __fgetc(0); return used(2); }",
+        );
+        // $$$ reaches everything, so nothing is removable — the paper's
+        // incomplete-call-graph conservatism.
+        assert!(g.unreachable_funcs().is_empty());
+    }
+
+    #[test]
+    fn arc_for_site_finds_real_arcs() {
+        let (module, g, _) = graph_for(
+            "int f(int x) { return x; }\n\
+             int main() { return f(1); }",
+        );
+        let (_, site, _) = module.all_call_sites()[0];
+        let arc = g.arc_for_site(site).expect("found");
+        assert_eq!(arc.weight, 1);
+    }
+
+    #[test]
+    fn dot_output_mentions_nodes_and_special_nodes() {
+        let (module, g, _) = graph_for(
+            "extern int __fgetc(int fd);\n\
+             int main() { int (*f)(int); f = (int(*)(int))0; if (0) return f(0); return __fgetc(0); }",
+        );
+        let dot = g.to_dot(&module);
+        assert!(dot.contains("main"));
+        assert!(dot.contains("$$$"));
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn sccs_partition_all_nodes() {
+        let (_, g, _) = graph_for(
+            "int b(int n);\n\
+             int a(int n) { return n == 0 ? 0 : b(n - 1); }\n\
+             int b(int n) { return a(n); }\n\
+             int main() { return a(3); }",
+        );
+        let sccs = g.sccs();
+        let total: usize = sccs.iter().map(|c| c.len()).sum();
+        assert_eq!(total, g.nodes().len());
+        // a and b share a component.
+        assert!(sccs.iter().any(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn weights_use_averaged_profile() {
+        let module = compile(&[Source::new(
+            "t.c",
+            "int f(int x) { return x; }\n\
+             int main() { return f(1) + f(2); }",
+        )])
+        .unwrap();
+        let mut merged = Profile::for_module(&module);
+        for _ in 0..3 {
+            let out = run(&module, vec![], vec![], &VmConfig::default()).unwrap();
+            merged.merge(&out.profile);
+        }
+        let g = CallGraph::build(&module, &merged.averaged());
+        let f = module.func_by_name("f").unwrap();
+        assert_eq!(g.node(g.node_of(f)).weight, 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests: SCC and reachability invariants on random call
+//! structures (acyclic and cyclic alike).
+
+use impact_callgraph::{CallGraph, NodeKind};
+use impact_cfront::{compile, Source};
+use impact_vm::Profile;
+use proptest::prelude::*;
+
+/// Builds a random module whose call structure follows `edges` (i -> j
+/// means function i calls function j). Self-edges allowed.
+fn module_with_edges(n: usize, edges: &[(usize, usize)]) -> impact_il::Module {
+    let mut src = String::new();
+    // Forward declarations so any call order parses.
+    for i in 0..n {
+        src.push_str(&format!("int f{i}(int x);\n"));
+    }
+    for i in 0..n {
+        src.push_str(&format!(
+            "int f{i}(int x) {{\n    int acc;\n    acc = x;\n"
+        ));
+        for &(from, to) in edges {
+            if from == i {
+                // Guarded so runs terminate; the static arc is what
+                // matters here.
+                src.push_str(&format!("    if (x > 1000) acc += f{to}(x - 1);\n"));
+            }
+        }
+        src.push_str("    return acc + 1;\n}\n");
+    }
+    src.push_str("int main() { return f0(1); }\n");
+    compile(&[Source::new("g.c", &src)]).expect("generated module compiles")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sccs_partition_nodes(
+        n in 2usize..7,
+        raw_edges in proptest::collection::vec((0usize..6, 0usize..6), 0..12),
+    ) {
+        let edges: Vec<(usize, usize)> =
+            raw_edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+        let module = module_with_edges(n, &edges);
+        let graph = CallGraph::build(&module, &Profile::for_module(&module));
+        let sccs = graph.sccs();
+        // Every node appears in exactly one component.
+        let mut seen = std::collections::HashSet::new();
+        for comp in &sccs {
+            for node in comp {
+                prop_assert!(seen.insert(*node), "node in two components");
+            }
+        }
+        prop_assert_eq!(seen.len(), graph.nodes().len());
+    }
+
+    #[test]
+    fn cyclic_funcs_consistent_with_sccs(
+        n in 2usize..7,
+        raw_edges in proptest::collection::vec((0usize..6, 0usize..6), 0..12),
+    ) {
+        let edges: Vec<(usize, usize)> =
+            raw_edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+        let module = module_with_edges(n, &edges);
+        let graph = CallGraph::build(&module, &Profile::for_module(&module));
+        let cyclic = graph.cyclic_funcs();
+        // A function with a self-edge must be cyclic.
+        for &(a, b) in &edges {
+            if a == b {
+                let f = module.func_by_name(&format!("f{a}")).unwrap();
+                prop_assert!(cyclic.contains(&f), "self-loop f{a} not cyclic");
+            }
+        }
+        // A function in a >1-node SCC must be cyclic (these programs call
+        // no externals, so no conservative cycles interfere).
+        for comp in graph.sccs() {
+            if comp.len() > 1 {
+                for node in comp {
+                    if let NodeKind::Func(f) = graph.node(node).kind {
+                        prop_assert!(cyclic.contains(&f));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reachability_is_closed_under_arcs(
+        n in 2usize..7,
+        raw_edges in proptest::collection::vec((0usize..6, 0usize..6), 0..12),
+    ) {
+        let edges: Vec<(usize, usize)> =
+            raw_edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+        let module = module_with_edges(n, &edges);
+        let graph = CallGraph::build(&module, &Profile::for_module(&module));
+        let reachable = graph.reachable_from_main();
+        for arc in graph.arcs() {
+            if reachable.contains(&arc.caller) {
+                prop_assert!(
+                    reachable.contains(&arc.callee),
+                    "reachable caller, unreachable callee"
+                );
+            }
+        }
+        // Unreachable funcs are exactly the complement among functions.
+        for f in graph.unreachable_funcs() {
+            prop_assert!(!reachable.contains(&graph.node_of(f)));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Compilation diagnostics.
+
+use std::fmt;
+
+use crate::token::Span;
+
+/// A fatal compilation error with a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompileError {
+    /// Location of the problem.
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Builds an error at `span`.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        CompileError {
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the error with `file:line:col` resolved against the sources
+    /// that were compiled.
+    pub fn render(&self, sources: &[crate::Source]) -> String {
+        let Some(src) = sources.get(self.span.file as usize) else {
+            return format!("<unknown>: {}", self.message);
+        };
+        let upto = &src.text.as_bytes()[..(self.span.start as usize).min(src.text.len())];
+        let line = upto.iter().filter(|&&b| b == b'\n').count() + 1;
+        let col = upto
+            .iter()
+            .rev()
+            .take_while(|&&b| b != b'\n')
+            .count()
+            + 1;
+        format!("{}:{}:{}: {}", src.name, line, col, self.message)
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "file {} offset {}: {}",
+            self.span.file, self.span.start, self.message
+        )
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Shorthand result type for front-end passes.
+pub type Result<T> = std::result::Result<T, CompileError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Source;
+
+    #[test]
+    fn render_resolves_line_and_column() {
+        let sources = vec![Source {
+            name: "t.c".into(),
+            text: "int x;\nint y@;\n".into(),
+        }];
+        // The `@` sits at byte offset 12 (line 2, column 6).
+        let e = CompileError::new(Span::new(0, 12, 13), "stray character");
+        assert_eq!(e.render(&sources), "t.c:2:6: stray character");
+    }
+
+    #[test]
+    fn render_handles_missing_file() {
+        let e = CompileError::new(Span::new(9, 0, 0), "boom");
+        assert_eq!(e.render(&[]), "<unknown>: boom");
+    }
+}

@@ -1,0 +1,70 @@
+//! Robustness properties: the front end must never panic — arbitrary
+//! input produces either a module or a diagnostics error.
+
+use impact_cfront::{compile, Source};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        ..ProptestConfig::default()
+    })]
+
+    /// Arbitrary byte soup (printable-ish) never panics the pipeline.
+    #[test]
+    fn arbitrary_text_never_panics(text in "[ -~\\n\\t]{0,200}") {
+        let _ = compile(&[Source::new("fuzz.c", &text)]);
+    }
+
+    /// Token soup assembled from C fragments never panics — this reaches
+    /// much deeper into the parser than raw bytes do.
+    #[test]
+    fn c_fragment_soup_never_panics(parts in proptest::collection::vec(
+        prop_oneof![
+            Just("int".to_string()), Just("char".to_string()), Just("*".to_string()),
+            Just("(".to_string()), Just(")".to_string()), Just("{".to_string()),
+            Just("}".to_string()), Just("[".to_string()), Just("]".to_string()),
+            Just(";".to_string()), Just(",".to_string()), Just("=".to_string()),
+            Just("if".to_string()), Just("else".to_string()), Just("while".to_string()),
+            Just("return".to_string()), Just("struct".to_string()), Just("enum".to_string()),
+            Just("x".to_string()), Just("y".to_string()), Just("main".to_string()),
+            Just("42".to_string()), Just("\"s\"".to_string()), Just("'c'".to_string()),
+            Just("+".to_string()), Just("->".to_string()), Just("&&".to_string()),
+            Just("sizeof".to_string()), Just("extern".to_string()), Just("switch".to_string()),
+            Just("case".to_string()), Just("for".to_string()), Just("++".to_string()),
+        ],
+        0..60,
+    )) {
+        let text = parts.join(" ");
+        let _ = compile(&[Source::new("soup.c", &text)]);
+    }
+
+    /// Error spans always point inside the source (diagnostics are
+    /// renderable without panicking).
+    #[test]
+    fn error_spans_render(text in "[ -~\\n]{0,120}") {
+        let sources = vec![Source::new("spans.c", &text)];
+        if let Err(e) = compile(&sources) {
+            let rendered = e.render(&sources);
+            prop_assert!(rendered.contains("spans.c") || rendered.contains("unknown"));
+        }
+    }
+
+    /// Valid single-function programs with random names and literals
+    /// always compile, whatever the identifier spelling.
+    #[test]
+    fn wellformed_templates_compile(
+        name in "[a-z][a-z0-9_]{0,12}",
+        v in any::<i32>(),
+        n in 1u8..40,
+    ) {
+        // Avoid keyword collisions by prefixing.
+        let f = format!("fn_{name}");
+        let src = format!(
+            "int {f}(int x) {{ return x + {v}; }}\n\
+             int main() {{ int i; int s; s = 0; for (i = 0; i < {n}; i++) s += {f}(i); return s & 0x7f; }}"
+        );
+        let module = compile(&[Source::new("gen.c", &src)]).expect("template compiles");
+        impact_il::verify_module(&module).expect("verifies");
+    }
+}

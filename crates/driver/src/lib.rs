@@ -1,0 +1,534 @@
+//! # impact-driver — the `impactc` command-line pipeline
+//!
+//! Library backing for the `impactc` binary: argument parsing and the
+//! compile → profile → inline → report pipeline over real files, so that
+//! the whole flow is unit-testable without spawning processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use impact_cfront::{compile, Source};
+use impact_callgraph::CallGraph;
+use impact_il::{module_to_string, verify_module, Module};
+use impact_inline::{inline_module, InlineConfig, Linearization};
+use impact_vm::{profile_runs, NamedFile, VmConfig};
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Options {
+    /// Subcommand: `compile`, `run`, `inline`, `callgraph`, or `bench`.
+    pub command: String,
+    /// Positional arguments (source paths, or a benchmark name for
+    /// `bench`).
+    pub positional: Vec<String>,
+    /// `--input name=path` pairs: files made visible to the program.
+    pub inputs: Vec<(String, String)>,
+    /// `--arg v` values passed as program arguments.
+    pub args: Vec<String>,
+    /// `--threshold N` (arc-weight threshold).
+    pub threshold: Option<u64>,
+    /// `--budget F` (code-growth limit).
+    pub budget: Option<f64>,
+    /// `--stack-bound N` (bytes).
+    pub stack_bound: Option<u64>,
+    /// `--linearize node-weight|reverse|random:<seed>|source`.
+    pub linearization: Option<String>,
+    /// `--promote-indirect` (profile-guided indirect-call promotion,
+    /// extension).
+    pub promote_indirect: bool,
+    /// `--profile-out path`: write the collected profile as text.
+    pub profile_out: Option<String>,
+    /// `--profile-in path`: reuse a previously written profile instead of
+    /// re-running the program.
+    pub profile_in: Option<String>,
+    /// `--quiet` (suppress IL dumps).
+    pub quiet: bool,
+}
+
+impl Options {
+    /// Parses `argv[1..]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on malformed input.
+    pub fn parse(argv: &[String]) -> Result<Options, String> {
+        let mut it = argv.iter().peekable();
+        let command = it.next().cloned().ok_or_else(usage)?;
+        let mut opts = Options {
+            command,
+            positional: Vec::new(),
+            inputs: Vec::new(),
+            args: Vec::new(),
+            threshold: None,
+            budget: None,
+            stack_bound: None,
+            linearization: None,
+            promote_indirect: false,
+            profile_out: None,
+            profile_in: None,
+            quiet: false,
+        };
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--input" => {
+                    let v = it.next().ok_or("--input needs name=path".to_string())?;
+                    let (name, path) = v
+                        .split_once('=')
+                        .ok_or("--input needs name=path".to_string())?;
+                    opts.inputs.push((name.to_string(), path.to_string()));
+                }
+                "--arg" => {
+                    let v = it.next().ok_or("--arg needs a value".to_string())?;
+                    opts.args.push(v.clone());
+                }
+                "--threshold" => {
+                    let v = it.next().ok_or("--threshold needs a number".to_string())?;
+                    opts.threshold = Some(v.parse().map_err(|_| "bad --threshold")?);
+                }
+                "--budget" => {
+                    let v = it.next().ok_or("--budget needs a number".to_string())?;
+                    opts.budget = Some(v.parse().map_err(|_| "bad --budget")?);
+                }
+                "--stack-bound" => {
+                    let v = it.next().ok_or("--stack-bound needs a number".to_string())?;
+                    opts.stack_bound = Some(v.parse().map_err(|_| "bad --stack-bound")?);
+                }
+                "--linearize" => {
+                    let v = it.next().ok_or("--linearize needs a strategy".to_string())?;
+                    opts.linearization = Some(v.clone());
+                }
+                "--promote-indirect" => opts.promote_indirect = true,
+                "--profile-out" => {
+                    let v = it.next().ok_or("--profile-out needs a path".to_string())?;
+                    opts.profile_out = Some(v.clone());
+                }
+                "--profile-in" => {
+                    let v = it.next().ok_or("--profile-in needs a path".to_string())?;
+                    opts.profile_in = Some(v.clone());
+                }
+                "--quiet" => opts.quiet = true,
+                other if other.starts_with("--") => {
+                    return Err(format!("unknown option `{other}`\n{}", usage()));
+                }
+                other => opts.positional.push(other.to_string()),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Builds the inline configuration from the flags.
+    pub fn inline_config(&self) -> Result<InlineConfig, String> {
+        let mut cfg = InlineConfig::default();
+        if let Some(t) = self.threshold {
+            cfg.weight_threshold = t;
+        }
+        if let Some(b) = self.budget {
+            cfg.code_growth_limit = b;
+        }
+        if let Some(s) = self.stack_bound {
+            cfg.stack_bound = s;
+        }
+        cfg.promote_indirect = self.promote_indirect;
+        if let Some(l) = &self.linearization {
+            cfg.linearization = match l.as_str() {
+                "node-weight" => Linearization::NodeWeight,
+                "reverse" => Linearization::ReverseNodeWeight,
+                "source" => Linearization::SourceOrder,
+                other => match other.strip_prefix("random:") {
+                    Some(seed) => Linearization::Random(
+                        seed.parse().map_err(|_| "bad random seed".to_string())?,
+                    ),
+                    None => return Err(format!("unknown linearization `{other}`")),
+                },
+            };
+        }
+        Ok(cfg)
+    }
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "usage: impactc <command> [options]\n\
+     \n\
+     commands:\n\
+     \x20 compile <files.c...>            compile and print the IL\n\
+     \x20 run <files.c...>                compile and execute main()\n\
+     \x20 inline <files.c...>             profile, inline-expand, report, re-run\n\
+     \x20 callgraph <files.c...>          print the weighted call graph (DOT)\n\
+     \x20 bench <name>                    run one bundled benchmark end to end\n\
+     \n\
+     options:\n\
+     \x20 --input name=path               make a file visible to the program (repeatable)\n\
+     \x20 --arg value                     program argument (repeatable)\n\
+     \x20 --threshold N                   arc-weight threshold (default 10)\n\
+     \x20 --budget F                      code-growth limit (default 2.0)\n\
+     \x20 --stack-bound N                 recursion stack bound in bytes (default 4096)\n\
+     \x20 --linearize S                   node-weight | reverse | source | random:<seed>\n\
+     \x20 --promote-indirect              promote profile-dominated indirect calls (extension)\n\
+     \x20 --profile-out PATH              save the collected profile as text\n\
+     \x20 --profile-in PATH               reuse a saved profile instead of re-profiling\n\
+     \x20 --quiet                         suppress IL dumps\n"
+        .to_string()
+}
+
+fn read_sources(paths: &[String]) -> Result<Vec<Source>, String> {
+    if paths.is_empty() {
+        return Err(format!("no source files given\n{}", usage()));
+    }
+    paths
+        .iter()
+        .map(|p| {
+            std::fs::read_to_string(p)
+                .map(|text| Source::new(p.clone(), text))
+                .map_err(|e| format!("cannot read `{p}`: {e}"))
+        })
+        .collect()
+}
+
+fn compile_sources(paths: &[String]) -> Result<Module, String> {
+    let sources = read_sources(paths)?;
+    let module = compile(&sources).map_err(|e| e.render(&sources))?;
+    verify_module(&module).map_err(|es| {
+        es.iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    })?;
+    Ok(module)
+}
+
+fn load_inputs(pairs: &[(String, String)]) -> Result<Vec<NamedFile>, String> {
+    pairs
+        .iter()
+        .map(|(name, path)| {
+            std::fs::read(path)
+                .map(|bytes| NamedFile::new(name.clone(), bytes))
+                .map_err(|e| format!("cannot read input `{path}`: {e}"))
+        })
+        .collect()
+}
+
+/// Executes a parsed command; returns the process exit code and the text
+/// to print.
+///
+/// # Errors
+///
+/// Returns a human-readable error message.
+pub fn execute(opts: &Options) -> Result<(i32, String), String> {
+    let mut out = String::new();
+    match opts.command.as_str() {
+        "compile" => {
+            let module = compile_sources(&opts.positional)?;
+            let _ = writeln!(
+                out,
+                "; {} functions, {} IL instructions",
+                module.functions.len(),
+                module.total_size()
+            );
+            if !opts.quiet {
+                out.push_str(&module_to_string(&module));
+            }
+            Ok((0, out))
+        }
+        "run" => {
+            let module = compile_sources(&opts.positional)?;
+            let inputs = load_inputs(&opts.inputs)?;
+            let result = impact_vm::run(&module, inputs, opts.args.clone(), &VmConfig::default())
+                .map_err(|e| e.to_string())?;
+            if let Some(path) = &opts.profile_out {
+                std::fs::write(path, result.profile.to_text())
+                    .map_err(|e| format!("cannot write profile `{path}`: {e}"))?;
+            }
+            out.push_str(&String::from_utf8_lossy(&result.stdout));
+            let _ = writeln!(
+                out,
+                "; exit {} after {} ILs ({} calls)",
+                result.exit_code, result.profile.il_executed, result.profile.calls
+            );
+            Ok((result.exit_code as i32, out))
+        }
+        "inline" => {
+            let mut module = compile_sources(&opts.positional)?;
+            let inputs = load_inputs(&opts.inputs)?;
+            let runs = vec![(inputs, opts.args.clone())];
+            let profile = match &opts.profile_in {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read profile `{path}`: {e}"))?;
+                    impact_vm::Profile::from_text(&text)
+                        .map_err(|e| format!("bad profile `{path}`: {e}"))?
+                }
+                None => {
+                    let (p, _) = profile_runs(&module, &runs, &VmConfig::default())
+                        .map_err(|e| e.to_string())?;
+                    p
+                }
+            };
+            if let Some(path) = &opts.profile_out {
+                std::fs::write(path, profile.to_text())
+                    .map_err(|e| format!("cannot write profile `{path}`: {e}"))?;
+            }
+            let cfg = opts.inline_config()?;
+            let report = inline_module(&mut module, &profile.averaged(), &cfg);
+            verify_module(&module).map_err(|e| format!("{e:?}"))?;
+            let totals = report.classification.static_totals();
+            let _ = writeln!(
+                out,
+                "; sites: {} total / {} external / {} pointer / {} unsafe / {} safe",
+                totals.total(),
+                totals.external,
+                totals.pointer,
+                totals.r#unsafe,
+                totals.safe
+            );
+            let _ = writeln!(
+                out,
+                "; expanded {} arcs; code size {} -> {} ({:+.1}%)",
+                report.expanded.len(),
+                report.size_before,
+                report.size_after,
+                report.code_increase_percent()
+            );
+            if !report.removed_functions.is_empty() {
+                let _ = writeln!(out, "; removed: {}", report.removed_functions.join(", "));
+            }
+            if !report.promoted.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "; promoted {} indirect site(s) to guarded direct calls",
+                    report.promoted.len()
+                );
+            }
+            let runs2 = runs.clone();
+            let (after, _) = profile_runs(&module, &runs2, &VmConfig::default())
+                .map_err(|e| e.to_string())?;
+            let _ = writeln!(
+                out,
+                "; dynamic calls {} -> {} ({:.1}% eliminated)",
+                profile.calls,
+                after.calls,
+                if profile.calls == 0 {
+                    0.0
+                } else {
+                    100.0 * profile.calls.saturating_sub(after.calls) as f64
+                        / profile.calls as f64
+                }
+            );
+            if !opts.quiet {
+                out.push_str(&module_to_string(&module));
+            }
+            Ok((0, out))
+        }
+        "callgraph" => {
+            let module = compile_sources(&opts.positional)?;
+            let inputs = load_inputs(&opts.inputs)?;
+            let runs = vec![(inputs, opts.args.clone())];
+            let (profile, _) = profile_runs(&module, &runs, &VmConfig::default())
+                .map_err(|e| e.to_string())?;
+            let graph = CallGraph::build(&module, &profile.averaged());
+            out.push_str(&graph.to_dot(&module));
+            Ok((0, out))
+        }
+        "bench" => {
+            let name = opts
+                .positional
+                .first()
+                .ok_or_else(|| format!("bench needs a benchmark name\n{}", usage()))?;
+            let b = impact_workloads::benchmark(name)
+                .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+            let mut module = b.compile().map_err(|e| e.render(&b.sources()))?;
+            let runs = b.profile_run_set(4);
+            let (profile, _) = profile_runs(&module, &runs, &VmConfig::default())
+                .map_err(|e| e.to_string())?;
+            let cfg = opts.inline_config()?;
+            let report = inline_module(&mut module, &profile.averaged(), &cfg);
+            let (after, _) = profile_runs(&module, &runs, &VmConfig::default())
+                .map_err(|e| e.to_string())?;
+            let _ = writeln!(
+                out,
+                "{name}: {} C lines, {} ILs/run, calls {} -> {} ({:.1}% eliminated), code {:+.1}%",
+                b.c_lines(),
+                profile.averaged().il_executed,
+                profile.calls,
+                after.calls,
+                if profile.calls == 0 {
+                    0.0
+                } else {
+                    100.0 * profile.calls.saturating_sub(after.calls) as f64
+                        / profile.calls as f64
+                },
+                report.code_increase_percent()
+            );
+            Ok((0, out))
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_option_set() {
+        let o = Options::parse(&strs(&[
+            "inline",
+            "a.c",
+            "b.c",
+            "--input",
+            "stdin=/tmp/x",
+            "--arg",
+            "-v",
+            "--threshold",
+            "5",
+            "--budget",
+            "1.5",
+            "--stack-bound",
+            "8192",
+            "--linearize",
+            "random:9",
+            "--quiet",
+        ]))
+        .unwrap();
+        assert_eq!(o.command, "inline");
+        assert_eq!(o.positional, strs(&["a.c", "b.c"]));
+        assert_eq!(o.inputs, vec![("stdin".to_string(), "/tmp/x".to_string())]);
+        assert_eq!(o.args, strs(&["-v"]));
+        assert_eq!(o.threshold, Some(5));
+        assert_eq!(o.budget, Some(1.5));
+        assert_eq!(o.stack_bound, Some(8192));
+        assert!(o.quiet);
+        let cfg = o.inline_config().unwrap();
+        assert_eq!(cfg.weight_threshold, 5);
+        assert_eq!(cfg.linearization, Linearization::Random(9));
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_commands() {
+        assert!(Options::parse(&strs(&["compile", "--bogus"])).is_err());
+        let o = Options::parse(&strs(&["teleport"])).unwrap();
+        assert!(execute(&o).is_err());
+    }
+
+    #[test]
+    fn compile_and_run_a_real_file() {
+        let dir = std::env::temp_dir().join("impactc-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("t.c");
+        std::fs::write(&src, "int main() { return 41 + 1; }").unwrap();
+
+        let o = Options::parse(&strs(&["compile", src.to_str().unwrap()])).unwrap();
+        let (code, out) = execute(&o).unwrap();
+        assert_eq!(code, 0);
+        assert!(out.contains("func"));
+
+        let o = Options::parse(&strs(&["run", src.to_str().unwrap()])).unwrap();
+        let (code, out) = execute(&o).unwrap();
+        assert_eq!(code, 42);
+        assert!(out.contains("exit 42"));
+    }
+
+    #[test]
+    fn inline_pipeline_over_files() {
+        let dir = std::env::temp_dir().join("impactc-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("hot.c");
+        std::fs::write(
+            &src,
+            "int sq(int x) { return x * x; }\n\
+             int main() { int i; int s; s = 0; for (i = 0; i < 50; i++) s += sq(i); return s & 0xff; }",
+        )
+        .unwrap();
+        let o = Options::parse(&strs(&[
+            "inline",
+            src.to_str().unwrap(),
+            "--quiet",
+        ]))
+        .unwrap();
+        let (code, out) = execute(&o).unwrap();
+        assert_eq!(code, 0);
+        assert!(out.contains("expanded 1 arcs"), "{out}");
+        assert!(out.contains("100.0% eliminated"), "{out}");
+    }
+
+    #[test]
+    fn callgraph_emits_dot() {
+        let dir = std::env::temp_dir().join("impactc-test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("g.c");
+        std::fs::write(&src, "int f(int x) { return x; } int main() { return f(1); }").unwrap();
+        let o = Options::parse(&strs(&["callgraph", src.to_str().unwrap()])).unwrap();
+        let (_, out) = execute(&o).unwrap();
+        assert!(out.starts_with("digraph"));
+        assert!(out.contains("main"));
+    }
+
+    #[test]
+    fn bench_command_runs_a_suite_member() {
+        let o = Options::parse(&strs(&["bench", "wc"])).unwrap();
+        let (code, out) = execute(&o).unwrap();
+        assert_eq!(code, 0);
+        assert!(out.contains("wc:"), "{out}");
+        assert!(out.contains("eliminated"), "{out}");
+    }
+}
+
+#[cfg(test)]
+mod profile_flag_tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn profile_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("impactc-prof");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("p.c");
+        std::fs::write(
+            &src,
+            "int sq(int x) { return x * x; }\n\
+             int main() { int i; int s; s = 0; for (i = 0; i < 30; i++) s += sq(i); return s & 0x7f; }",
+        )
+        .unwrap();
+        let prof = dir.join("p.profile");
+
+        // run --profile-out
+        let o = Options::parse(&strs(&[
+            "run",
+            src.to_str().unwrap(),
+            "--profile-out",
+            prof.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let (_, _) = execute(&o).unwrap();
+        let text = std::fs::read_to_string(&prof).unwrap();
+        assert!(text.starts_with("impact-profile v1"));
+
+        // inline --profile-in (no re-profiling run needed)
+        let o = Options::parse(&strs(&[
+            "inline",
+            src.to_str().unwrap(),
+            "--profile-in",
+            prof.to_str().unwrap(),
+            "--quiet",
+        ]))
+        .unwrap();
+        let (code, out) = execute(&o).unwrap();
+        assert_eq!(code, 0);
+        assert!(out.contains("expanded 1 arcs"), "{out}");
+    }
+
+    #[test]
+    fn promote_indirect_flag_reaches_config() {
+        let o = Options::parse(&strs(&["inline", "x.c", "--promote-indirect"])).unwrap();
+        assert!(o.inline_config().unwrap().promote_indirect);
+    }
+}

@@ -1,0 +1,23 @@
+//! `impactc` — command-line driver for the IMPACT inline-expansion
+//! pipeline. See `impactc` with no arguments for usage.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match impact_driver::Options::parse(&argv) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    match impact_driver::execute(&opts) {
+        Ok((code, out)) => {
+            print!("{out}");
+            std::process::exit(code);
+        }
+        Err(msg) => {
+            eprintln!("impactc: {msg}");
+            std::process::exit(2);
+        }
+    }
+}

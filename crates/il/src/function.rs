@@ -1,0 +1,273 @@
+//! Functions, basic blocks, and frame layout.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{BlockId, CallSiteId, Reg, SlotId};
+use crate::inst::{Callee, Inst, Terminator};
+
+/// A stack slot in a function frame.
+///
+/// Slots hold locals that must live in memory: arrays, structs, and any
+/// scalar whose address is taken. Scalars that never have their address
+/// taken live purely in virtual registers.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Slot {
+    /// Source-level name, for diagnostics and the IL printer. Inline
+    /// expansion qualifies names with the callee's path (paper §5:
+    /// "identifiers are qualified with proper path names").
+    pub name: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// Alignment in bytes (power of two).
+    pub align: u64,
+}
+
+/// A basic block: a straight-line instruction sequence plus a terminator.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// The instructions, executed in order.
+    pub insts: Vec<Inst>,
+    /// The terminator deciding what executes next.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// Creates a block with no instructions and the given terminator.
+    pub fn new(term: Terminator) -> Self {
+        Block {
+            insts: Vec::new(),
+            term,
+        }
+    }
+}
+
+/// Per-call overhead charged to the control stack, in bytes.
+///
+/// Models the return address plus saved frame pointer a real calling
+/// convention would push; used by the stack-usage estimate that guards
+/// against the paper's control-stack-explosion hazard (§2.3.2).
+pub const CALL_OVERHEAD_BYTES: u64 = 16;
+
+/// A function body in IL form.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Function {
+    /// Function name (unique within the module).
+    pub name: String,
+    /// Number of formal parameters; the formals occupy registers
+    /// `r0..r{num_params}` on entry.
+    pub num_params: u32,
+    /// Total number of virtual registers used (`>= num_params`).
+    pub num_regs: u32,
+    /// Basic blocks; `blocks[0]` is the entry block.
+    pub blocks: Vec<Block>,
+    /// Frame slots for memory-resident locals.
+    pub slots: Vec<Slot>,
+}
+
+impl Function {
+    /// Creates an empty function with a single `Return(None)` entry block.
+    pub fn new(name: impl Into<String>, num_params: u32) -> Self {
+        Function {
+            name: name.into(),
+            num_params,
+            num_regs: num_params,
+            blocks: vec![Block::new(Terminator::Return(None))],
+            slots: Vec::new(),
+        }
+    }
+
+    /// The entry block id (always block 0).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Code size in IL instructions (instructions plus terminators).
+    ///
+    /// This is the unit the paper uses both for the code-expansion budget
+    /// and for the "function code sizes estimated in terms of intermediate
+    /// code size" bookkeeping (§5).
+    pub fn size(&self) -> u64 {
+        self.blocks
+            .iter()
+            .map(|b| b.insts.len() as u64 + 1)
+            .sum()
+    }
+
+    /// Frame size in bytes: all slots laid out in order with their
+    /// alignment, plus the fixed per-call overhead.
+    ///
+    /// This is the "control stack usage" the cost function compares against
+    /// its bound before expanding a call into a recursive region (§2.3.2).
+    pub fn frame_size(&self) -> u64 {
+        let mut off = 0u64;
+        for s in &self.slots {
+            let align = s.align.max(1);
+            off = off.next_multiple_of(align);
+            off += s.size;
+        }
+        off.next_multiple_of(8) + CALL_OVERHEAD_BYTES
+    }
+
+    /// Byte offsets of each slot within the frame, in slot order.
+    pub fn slot_offsets(&self) -> Vec<u64> {
+        let mut offsets = Vec::with_capacity(self.slots.len());
+        let mut off = 0u64;
+        for s in &self.slots {
+            let align = s.align.max(1);
+            off = off.next_multiple_of(align);
+            offsets.push(off);
+            off += s.size;
+        }
+        offsets
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn new_reg(&mut self) -> Reg {
+        let r = Reg(self.num_regs);
+        self.num_regs += 1;
+        r
+    }
+
+    /// Appends a slot and returns its id.
+    pub fn add_slot(&mut self, slot: Slot) -> SlotId {
+        let id = SlotId::from_index(self.slots.len());
+        self.slots.push(slot);
+        id
+    }
+
+    /// Appends a new block with the given terminator and returns its id.
+    pub fn add_block(&mut self, term: Terminator) -> BlockId {
+        let id = BlockId::from_index(self.blocks.len());
+        self.blocks.push(Block::new(term));
+        id
+    }
+
+    /// Shared access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Iterates over all call instructions as
+    /// `(block, index_in_block, site, callee)`.
+    pub fn call_sites(&self) -> impl Iterator<Item = (BlockId, usize, CallSiteId, Callee)> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, b)| {
+            b.insts.iter().enumerate().filter_map(move |(ii, inst)| {
+                if let Inst::Call { site, callee, .. } = inst {
+                    Some((BlockId::from_index(bi), ii, *site, *callee))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// Number of static call instructions in the body.
+    pub fn num_call_sites(&self) -> usize {
+        self.call_sites().count()
+    }
+
+    /// Invokes `f` on every instruction (immutably), in block order.
+    pub fn for_each_inst(&self, mut f: impl FnMut(&Inst)) {
+        for b in &self.blocks {
+            for i in &b.insts {
+                f(i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::FuncId;
+    use crate::inst::{BinOp, Callee};
+
+    fn sample_function() -> Function {
+        let mut f = Function::new("sample", 2);
+        let r = f.new_reg();
+        let entry = f.entry();
+        f.block_mut(entry).insts.push(Inst::Bin {
+            op: BinOp::Add,
+            dst: r,
+            lhs: Reg(0),
+            rhs: Reg(1),
+        });
+        f.block_mut(entry).term = Terminator::Return(Some(r));
+        f
+    }
+
+    #[test]
+    fn new_function_has_entry_block() {
+        let f = Function::new("f", 0);
+        assert_eq!(f.entry(), BlockId(0));
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.size(), 1); // just the terminator
+    }
+
+    #[test]
+    fn size_counts_insts_and_terminators() {
+        let f = sample_function();
+        assert_eq!(f.size(), 2);
+    }
+
+    #[test]
+    fn new_reg_increments() {
+        let mut f = Function::new("f", 1);
+        assert_eq!(f.num_regs, 1);
+        let r = f.new_reg();
+        assert_eq!(r, Reg(1));
+        assert_eq!(f.num_regs, 2);
+    }
+
+    #[test]
+    fn frame_layout_respects_alignment() {
+        let mut f = Function::new("f", 0);
+        f.add_slot(Slot {
+            name: "c".into(),
+            size: 1,
+            align: 1,
+        });
+        f.add_slot(Slot {
+            name: "l".into(),
+            size: 8,
+            align: 8,
+        });
+        assert_eq!(f.slot_offsets(), vec![0, 8]);
+        assert_eq!(f.frame_size(), 16 + CALL_OVERHEAD_BYTES);
+    }
+
+    #[test]
+    fn empty_frame_still_has_call_overhead() {
+        let f = Function::new("f", 0);
+        assert_eq!(f.frame_size(), CALL_OVERHEAD_BYTES);
+    }
+
+    #[test]
+    fn call_sites_reports_calls() {
+        let mut f = Function::new("f", 0);
+        let entry = f.entry();
+        f.block_mut(entry).insts.push(Inst::Call {
+            site: CallSiteId(7),
+            callee: Callee::Func(FuncId(1)),
+            args: vec![],
+            dst: None,
+        });
+        let sites: Vec<_> = f.call_sites().collect();
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].2, CallSiteId(7));
+        assert_eq!(f.num_call_sites(), 1);
+    }
+}

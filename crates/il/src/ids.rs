@@ -1,0 +1,144 @@
+//! Index newtypes used throughout the IL.
+//!
+//! Every entity in a [`crate::Module`] is referred to by a small integer
+//! index wrapped in a dedicated newtype, so that a block index can never be
+//! confused with a register or a call site (C-NEWTYPE).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index as a `usize`, for indexing into the
+            /// owning table.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a table index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in a `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index overflows u32"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id! {
+    /// Identifies a function within a [`crate::Module`].
+    FuncId, "@f"
+}
+
+define_id! {
+    /// Identifies a basic block within a [`crate::Function`].
+    ///
+    /// Block 0 is always the entry block.
+    BlockId, "b"
+}
+
+define_id! {
+    /// Identifies a virtual register within a [`crate::Function`].
+    ///
+    /// Registers `r0..r{num_params}` hold the formal parameters on entry.
+    Reg, "r"
+}
+
+define_id! {
+    /// Identifies a stack slot in a function's frame (a local variable whose
+    /// address is taken, an array, or a struct).
+    SlotId, "s"
+}
+
+define_id! {
+    /// Identifies a global variable within a [`crate::Module`].
+    GlobalId, "@g"
+}
+
+define_id! {
+    /// Identifies an external function declaration — a function whose body
+    /// is *not* available to the compiler (the paper's "external functions":
+    /// system calls and closed library routines).
+    ExternId, "@x"
+}
+
+define_id! {
+    /// Uniquely identifies a static call site across the whole module.
+    ///
+    /// The paper requires each call-graph arc to carry a unique identifier
+    /// because several arcs may connect the same caller/callee pair (§2.2).
+    /// Call sites are never reused: when inline expansion duplicates a call
+    /// instruction, the copy receives a fresh `CallSiteId`.
+    CallSiteId, "cs"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let f = FuncId::from_index(7);
+        assert_eq!(f.index(), 7);
+        assert_eq!(usize::from(f), 7);
+        assert_eq!(f, FuncId(7));
+    }
+
+    #[test]
+    fn id_display_uses_prefix() {
+        assert_eq!(FuncId(3).to_string(), "@f3");
+        assert_eq!(BlockId(0).to_string(), "b0");
+        assert_eq!(Reg(12).to_string(), "r12");
+        assert_eq!(SlotId(1).to_string(), "s1");
+        assert_eq!(GlobalId(2).to_string(), "@g2");
+        assert_eq!(ExternId(4).to_string(), "@x4");
+        assert_eq!(CallSiteId(9).to_string(), "cs9");
+    }
+
+    #[test]
+    fn id_debug_matches_display() {
+        assert_eq!(format!("{:?}", Reg(5)), "r5");
+    }
+
+    #[test]
+    fn id_ordering_follows_index() {
+        assert!(BlockId(1) < BlockId(2));
+        assert!(Reg(0) < Reg(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn id_from_huge_index_panics() {
+        let _ = FuncId::from_index(usize::MAX);
+    }
+}

@@ -1,0 +1,321 @@
+//! Textual IL dump, for debugging and golden tests.
+//!
+//! The format is line-oriented and stable:
+//!
+//! ```text
+//! func @f0 main(0 params, 3 regs) {
+//!   slots: s0 buf[64]
+//!   b0:
+//!     r0 = const 7
+//!     r1 = call cs0 @f1(r0)
+//!     ret r1
+//! }
+//! ```
+
+use std::fmt::{self, Write as _};
+
+use crate::function::Function;
+use crate::inst::{BinOp, Callee, CmpOp, Inst, Terminator, UnOp, Width};
+use crate::module::Module;
+
+fn un_op_str(op: UnOp) -> &'static str {
+    match op {
+        UnOp::Neg => "neg",
+        UnOp::BitNot => "bitnot",
+        UnOp::LogNot => "lognot",
+    }
+}
+
+fn bin_op_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "div",
+        BinOp::Rem => "rem",
+        BinOp::UDiv => "udiv",
+        BinOp::URem => "urem",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Shl => "shl",
+        BinOp::Shr => "shr",
+        BinOp::UShr => "ushr",
+    }
+}
+
+fn cmp_op_str(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "eq",
+        CmpOp::Ne => "ne",
+        CmpOp::SLt => "slt",
+        CmpOp::SLe => "sle",
+        CmpOp::SGt => "sgt",
+        CmpOp::SGe => "sge",
+        CmpOp::ULt => "ult",
+        CmpOp::ULe => "ule",
+        CmpOp::UGt => "ugt",
+        CmpOp::UGe => "uge",
+    }
+}
+
+fn width_str(w: Width) -> &'static str {
+    match w {
+        Width::W1 => "w1",
+        Width::W2 => "w2",
+        Width::W4 => "w4",
+        Width::W8 => "w8",
+    }
+}
+
+/// Writes one instruction in the stable textual form.
+pub fn write_inst(out: &mut impl fmt::Write, module: &Module, inst: &Inst) -> fmt::Result {
+    match inst {
+        Inst::Const { dst, value } => write!(out, "{dst} = const {value}"),
+        Inst::Mov { dst, src } => write!(out, "{dst} = {src}"),
+        Inst::Un { op, dst, src } => write!(out, "{dst} = {} {src}", un_op_str(*op)),
+        Inst::Bin { op, dst, lhs, rhs } => {
+            write!(out, "{dst} = {} {lhs}, {rhs}", bin_op_str(*op))
+        }
+        Inst::Cmp { op, dst, lhs, rhs } => {
+            write!(out, "{dst} = {} {lhs}, {rhs}", cmp_op_str(*op))
+        }
+        Inst::AddrOfGlobal { dst, global } => {
+            let name = module
+                .globals
+                .get(global.index())
+                .map(|g| g.name.as_str())
+                .unwrap_or("?");
+            write!(out, "{dst} = addr {global} ; {name}")
+        }
+        Inst::AddrOfSlot { dst, slot } => write!(out, "{dst} = addr {slot}"),
+        Inst::AddrOfFunc { dst, func } => {
+            let name = module
+                .functions
+                .get(func.index())
+                .map(|f| f.name.as_str())
+                .unwrap_or("?");
+            write!(out, "{dst} = addr {func} ; {name}")
+        }
+        Inst::Ext {
+            dst,
+            src,
+            width,
+            signed,
+        } => write!(
+            out,
+            "{dst} = ext.{}{} {src}",
+            width_str(*width),
+            if *signed { "s" } else { "u" }
+        ),
+        Inst::Load {
+            dst,
+            addr,
+            width,
+            signed,
+        } => write!(
+            out,
+            "{dst} = load.{}{} [{addr}]",
+            width_str(*width),
+            if *signed { "s" } else { "u" }
+        ),
+        Inst::Store { addr, src, width } => {
+            write!(out, "store.{} [{addr}], {src}", width_str(*width))
+        }
+        Inst::Call {
+            site,
+            callee,
+            args,
+            dst,
+        } => {
+            if let Some(d) = dst {
+                write!(out, "{d} = ")?;
+            }
+            write!(out, "call {site} ")?;
+            match callee {
+                Callee::Func(f) => {
+                    let name = module
+                        .functions
+                        .get(f.index())
+                        .map(|f| f.name.as_str())
+                        .unwrap_or("?");
+                    write!(out, "{f}:{name}")?;
+                }
+                Callee::Ext(x) => {
+                    let name = module
+                        .externs
+                        .get(x.index())
+                        .map(|e| e.name.as_str())
+                        .unwrap_or("?");
+                    write!(out, "{x}:{name}")?;
+                }
+                Callee::Reg(r) => write!(out, "*{r}")?,
+            }
+            write!(out, "(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(out, ", ")?;
+                }
+                write!(out, "{a}")?;
+            }
+            write!(out, ")")
+        }
+    }
+}
+
+/// Writes a terminator in the stable textual form.
+pub fn write_terminator(out: &mut impl fmt::Write, term: &Terminator) -> fmt::Result {
+    match term {
+        Terminator::Jump(b) => write!(out, "jump {b}"),
+        Terminator::Branch {
+            cond,
+            then_to,
+            else_to,
+        } => write!(out, "branch {cond}, {then_to}, {else_to}"),
+        Terminator::Return(Some(r)) => write!(out, "ret {r}"),
+        Terminator::Return(None) => write!(out, "ret"),
+        Terminator::Halt => write!(out, "halt"),
+    }
+}
+
+/// Renders one function.
+pub fn function_to_string(module: &Module, func: &Function) -> String {
+    let mut s = String::new();
+    let id = module
+        .func_by_name(&func.name)
+        .map(|f| f.to_string())
+        .unwrap_or_else(|| "@f?".into());
+    let _ = writeln!(
+        s,
+        "func {id} {}({} params, {} regs) {{",
+        func.name, func.num_params, func.num_regs
+    );
+    if !func.slots.is_empty() {
+        let _ = write!(s, "  slots:");
+        for (i, slot) in func.slots.iter().enumerate() {
+            let _ = write!(s, " s{i} {}[{}]", slot.name, slot.size);
+        }
+        let _ = writeln!(s);
+    }
+    for (bi, b) in func.blocks.iter().enumerate() {
+        let _ = writeln!(s, "  b{bi}:");
+        for inst in &b.insts {
+            let _ = write!(s, "    ");
+            let _ = write_inst(&mut s, module, inst);
+            let _ = writeln!(s);
+        }
+        let _ = write!(s, "    ");
+        let _ = write_terminator(&mut s, &b.term);
+        let _ = writeln!(s);
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Renders the whole module: externs, globals, then every function.
+pub fn module_to_string(module: &Module) -> String {
+    let mut s = String::new();
+    for (i, x) in module.externs.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "extern @x{i} {}({} params){}",
+            x.name,
+            x.num_params,
+            if x.has_ret { " -> val" } else { "" }
+        );
+    }
+    for (i, g) in module.globals.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "global @g{i} {}[{}] align {}{}",
+            g.name,
+            g.size,
+            g.align,
+            if g.init.is_empty() { "" } else { " init" }
+        );
+    }
+    for f in &module.functions {
+        s.push_str(&function_to_string(module, f));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::Function;
+    use crate::ids::{FuncId, Reg};
+
+    #[test]
+    fn prints_simple_function() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", 0);
+        let r = f.new_reg();
+        let site = m.fresh_call_site();
+        let entry = f.entry();
+        f.block_mut(entry).insts.push(Inst::Const { dst: r, value: 7 });
+        f.block_mut(entry).insts.push(Inst::Call {
+            site,
+            callee: Callee::Func(FuncId(1)),
+            args: vec![r],
+            dst: Some(r),
+        });
+        f.block_mut(entry).term = Terminator::Return(Some(r));
+        m.add_function(f);
+        let mut id = Function::new("id", 1);
+        let e = id.entry();
+        id.block_mut(e).term = Terminator::Return(Some(Reg(0)));
+        m.add_function(id);
+
+        let text = module_to_string(&m);
+        assert!(text.contains("func @f0 main(0 params, 1 regs)"));
+        assert!(text.contains("r0 = const 7"));
+        assert!(text.contains("r0 = call cs0 @f1:id(r0)"));
+        assert!(text.contains("ret r0"));
+    }
+
+    #[test]
+    fn prints_memory_ops_with_width_and_sign() {
+        let m = Module::new();
+        let mut s = String::new();
+        write_inst(
+            &mut s,
+            &m,
+            &Inst::Load {
+                dst: Reg(1),
+                addr: Reg(0),
+                width: Width::W1,
+                signed: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(s, "r1 = load.w1s [r0]");
+        s.clear();
+        write_inst(
+            &mut s,
+            &m,
+            &Inst::Store {
+                addr: Reg(0),
+                src: Reg(1),
+                width: Width::W8,
+            },
+        )
+        .unwrap();
+        assert_eq!(s, "store.w8 [r0], r1");
+    }
+
+    #[test]
+    fn prints_terminators() {
+        let mut s = String::new();
+        write_terminator(
+            &mut s,
+            &Terminator::Branch {
+                cond: Reg(3),
+                then_to: crate::ids::BlockId(1),
+                else_to: crate::ids::BlockId(2),
+            },
+        )
+        .unwrap();
+        assert_eq!(s, "branch r3, b1, b2");
+    }
+}

@@ -1,0 +1,449 @@
+//! IL well-formedness checking.
+//!
+//! The verifier is run after lowering and after every transformation pass
+//! in tests, so that a bug in the inliner or optimizer surfaces as a
+//! structured [`VerifyError`] rather than a VM crash later.
+
+use std::fmt;
+
+use crate::ids::{BlockId, FuncId, Reg};
+use crate::inst::{Callee, Inst, Terminator};
+use crate::module::Module;
+
+/// A well-formedness violation found by [`verify_module`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function in which the violation was found, if attributable.
+    pub func: Option<FuncId>,
+    /// Block in which the violation was found, if attributable.
+    pub block: Option<BlockId>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.func, self.block) {
+            (Some(fu), Some(b)) => write!(f, "in {fu} at {b}: {}", self.message),
+            (Some(fu), None) => write!(f, "in {fu}: {}", self.message),
+            _ => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+struct Checker<'m> {
+    module: &'m Module,
+    errors: Vec<VerifyError>,
+}
+
+impl<'m> Checker<'m> {
+    fn err(&mut self, func: Option<FuncId>, block: Option<BlockId>, message: String) {
+        self.errors.push(VerifyError {
+            func,
+            block,
+            message,
+        });
+    }
+
+    fn check_module(&mut self) {
+        let mut seen_sites = std::collections::HashSet::new();
+        let site_limit = self.module.call_site_limit();
+        for (fi, _) in self.module.functions.iter().enumerate() {
+            self.check_function(FuncId::from_index(fi), &mut seen_sites, site_limit);
+        }
+        let mut names = std::collections::HashSet::new();
+        for f in &self.module.functions {
+            if !names.insert(f.name.as_str()) {
+                self.err(None, None, format!("duplicate function name `{}`", f.name));
+            }
+        }
+        for g in &self.module.globals {
+            if g.init.len() as u64 > g.size {
+                self.err(
+                    None,
+                    None,
+                    format!(
+                        "global `{}` initializer ({} bytes) exceeds size ({})",
+                        g.name,
+                        g.init.len(),
+                        g.size
+                    ),
+                );
+            }
+            for &(off, func) in &g.func_relocs {
+                if off + 8 > g.size {
+                    self.err(
+                        None,
+                        None,
+                        format!("global `{}` relocation at {off} out of range", g.name),
+                    );
+                }
+                if func.index() >= self.module.functions.len() {
+                    self.err(
+                        None,
+                        None,
+                        format!("global `{}` relocation targets invalid {func}", g.name),
+                    );
+                }
+            }
+        }
+    }
+
+    fn check_function(
+        &mut self,
+        id: FuncId,
+        seen_sites: &mut std::collections::HashSet<u32>,
+        site_limit: u32,
+    ) {
+        let f = self.module.function(id);
+        if f.num_params > f.num_regs {
+            self.err(
+                Some(id),
+                None,
+                format!(
+                    "num_params ({}) exceeds num_regs ({})",
+                    f.num_params, f.num_regs
+                ),
+            );
+        }
+        if f.blocks.is_empty() {
+            self.err(Some(id), None, "function has no blocks".into());
+            return;
+        }
+        let nblocks = f.blocks.len();
+        let check_reg = |r: Reg| r.0 < f.num_regs;
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let bid = BlockId::from_index(bi);
+            for inst in &b.insts {
+                if let Some(d) = inst.def() {
+                    if !check_reg(d) {
+                        self.err(Some(id), Some(bid), format!("def of invalid register {d}"));
+                    }
+                }
+                let mut bad_use = None;
+                inst.for_each_use(|r| {
+                    if !check_reg(r) && bad_use.is_none() {
+                        bad_use = Some(r);
+                    }
+                });
+                if let Some(r) = bad_use {
+                    self.err(Some(id), Some(bid), format!("use of invalid register {r}"));
+                }
+                match inst {
+                    Inst::AddrOfSlot { slot, .. } => {
+                        if slot.index() >= f.slots.len() {
+                            self.err(Some(id), Some(bid), format!("invalid slot {slot}"));
+                        }
+                    }
+                    Inst::AddrOfGlobal { global, .. } => {
+                        if global.index() >= self.module.globals.len() {
+                            self.err(Some(id), Some(bid), format!("invalid global {global}"));
+                        }
+                    }
+                    Inst::AddrOfFunc { func, .. } => {
+                        if func.index() >= self.module.functions.len() {
+                            self.err(Some(id), Some(bid), format!("invalid function {func}"));
+                        }
+                    }
+                    Inst::Call {
+                        site,
+                        callee,
+                        args,
+                        dst,
+                    } => {
+                        if site.0 >= site_limit {
+                            self.err(
+                                Some(id),
+                                Some(bid),
+                                format!("{site} was never allocated by the module"),
+                            );
+                        }
+                        if !seen_sites.insert(site.0) {
+                            self.err(
+                                Some(id),
+                                Some(bid),
+                                format!("{site} appears more than once"),
+                            );
+                        }
+                        match callee {
+                            Callee::Func(cf) => {
+                                if cf.index() >= self.module.functions.len() {
+                                    self.err(
+                                        Some(id),
+                                        Some(bid),
+                                        format!("call to invalid function {cf}"),
+                                    );
+                                } else {
+                                    let callee_fn = self.module.function(*cf);
+                                    if args.len() != callee_fn.num_params as usize {
+                                        self.err(
+                                            Some(id),
+                                            Some(bid),
+                                            format!(
+                                                "call to `{}` passes {} args, expects {}",
+                                                callee_fn.name,
+                                                args.len(),
+                                                callee_fn.num_params
+                                            ),
+                                        );
+                                    }
+                                }
+                            }
+                            Callee::Ext(x) => {
+                                if x.index() >= self.module.externs.len() {
+                                    self.err(
+                                        Some(id),
+                                        Some(bid),
+                                        format!("call to invalid extern {x}"),
+                                    );
+                                } else {
+                                    let decl = &self.module.externs[x.index()];
+                                    if args.len() != decl.num_params as usize {
+                                        self.err(
+                                            Some(id),
+                                            Some(bid),
+                                            format!(
+                                                "call to extern `{}` passes {} args, expects {}",
+                                                decl.name,
+                                                args.len(),
+                                                decl.num_params
+                                            ),
+                                        );
+                                    }
+                                    if dst.is_some() && !decl.has_ret {
+                                        self.err(
+                                            Some(id),
+                                            Some(bid),
+                                            format!(
+                                                "extern `{}` has no return value but call uses one",
+                                                decl.name
+                                            ),
+                                        );
+                                    }
+                                }
+                            }
+                            Callee::Reg(_) => {}
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let mut bad_target = None;
+            b.term.for_each_successor(|t| {
+                if t.index() >= nblocks && bad_target.is_none() {
+                    bad_target = Some(t);
+                }
+            });
+            if let Some(t) = bad_target {
+                self.err(Some(id), Some(bid), format!("terminator targets invalid {t}"));
+            }
+            if let Terminator::Branch { cond, .. } = &b.term {
+                if !check_reg(*cond) {
+                    self.err(
+                        Some(id),
+                        Some(bid),
+                        format!("branch on invalid register {cond}"),
+                    );
+                }
+            }
+            if let Terminator::Return(Some(r)) = &b.term {
+                if !check_reg(*r) {
+                    self.err(
+                        Some(id),
+                        Some(bid),
+                        format!("return of invalid register {r}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Checks module-wide IL invariants.
+///
+/// Verified properties: register/block/slot/global/function indices are in
+/// range, call-site ids are allocated and globally unique, direct-call
+/// arities match the callee, extern calls match their declaration, function
+/// names are unique, and global initializers fit their size.
+///
+/// # Errors
+///
+/// Returns every violation found (not just the first).
+pub fn verify_module(module: &Module) -> Result<(), Vec<VerifyError>> {
+    let mut c = Checker {
+        module,
+        errors: Vec::new(),
+    };
+    c.check_module();
+    if c.errors.is_empty() {
+        Ok(())
+    } else {
+        Err(c.errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::Function;
+    use crate::ids::{ExternId, SlotId};
+    use crate::module::{ExternDecl, Global, Module};
+
+    fn ok_module() -> Module {
+        let mut m = Module::new();
+        let mut main = Function::new("main", 0);
+        let helper_id = FuncId(1); // added below
+        let site = m.fresh_call_site();
+        let r = main.new_reg();
+        let entry = main.entry();
+        main.block_mut(entry).insts.push(Inst::Const { dst: r, value: 1 });
+        main.block_mut(entry).insts.push(Inst::Call {
+            site,
+            callee: Callee::Func(helper_id),
+            args: vec![r],
+            dst: Some(r),
+        });
+        main.block_mut(entry).term = Terminator::Return(Some(r));
+        m.add_function(main);
+        let mut helper = Function::new("helper", 1);
+        let he = helper.entry();
+        helper.block_mut(he).term = Terminator::Return(Some(Reg(0)));
+        m.add_function(helper);
+        m
+    }
+
+    #[test]
+    fn valid_module_verifies() {
+        assert_eq!(verify_module(&ok_module()), Ok(()));
+    }
+
+    #[test]
+    fn detects_bad_register() {
+        let mut m = ok_module();
+        let entry = m.function(FuncId(1)).entry();
+        m.function_mut(FuncId(1)).block_mut(entry).term = Terminator::Return(Some(Reg(99)));
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("invalid register")));
+    }
+
+    #[test]
+    fn detects_bad_block_target() {
+        let mut m = ok_module();
+        let entry = m.function(FuncId(1)).entry();
+        m.function_mut(FuncId(1)).block_mut(entry).term = Terminator::Jump(BlockId(42));
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("invalid b42")));
+    }
+
+    #[test]
+    fn detects_arity_mismatch() {
+        let mut m = ok_module();
+        // Rewrite the call to pass zero args.
+        let entry = m.function(FuncId(0)).entry();
+        if let Inst::Call { args, .. } = &mut m.function_mut(FuncId(0)).block_mut(entry).insts[1] {
+            args.clear();
+        }
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("expects 1")));
+    }
+
+    #[test]
+    fn detects_duplicate_call_site() {
+        let mut m = ok_module();
+        let entry = m.function(FuncId(0)).entry();
+        let call = m.function(FuncId(0)).block(entry).insts[1].clone();
+        m.function_mut(FuncId(0)).block_mut(entry).insts.push(call);
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("more than once")));
+    }
+
+    #[test]
+    fn detects_unallocated_call_site() {
+        let mut m = ok_module();
+        let entry = m.function(FuncId(1)).entry();
+        let r = Reg(0);
+        m.function_mut(FuncId(1)).block_mut(entry).insts.push(Inst::Call {
+            site: crate::ids::CallSiteId(999),
+            callee: Callee::Func(FuncId(0)),
+            args: vec![],
+            dst: Some(r),
+        });
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("never allocated")));
+    }
+
+    #[test]
+    fn detects_duplicate_function_names() {
+        let mut m = ok_module();
+        m.add_function(Function::new("helper", 0));
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("duplicate function name")));
+    }
+
+    #[test]
+    fn detects_bad_slot_and_global() {
+        let mut m = ok_module();
+        let f = m.function_mut(FuncId(1));
+        let r = f.new_reg();
+        let entry = f.entry();
+        f.block_mut(entry).insts.push(Inst::AddrOfSlot {
+            dst: r,
+            slot: SlotId(3),
+        });
+        f.block_mut(entry).insts.push(Inst::AddrOfGlobal {
+            dst: r,
+            global: crate::ids::GlobalId(5),
+        });
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("invalid slot")));
+        assert!(errs.iter().any(|e| e.message.contains("invalid global")));
+    }
+
+    #[test]
+    fn detects_extern_misuse() {
+        let mut m = ok_module();
+        m.add_extern(ExternDecl {
+            name: "__halt".into(),
+            num_params: 0,
+            has_ret: false,
+        });
+        let site = m.fresh_call_site();
+        let f = m.function_mut(FuncId(1));
+        let r = Reg(0);
+        let entry = f.entry();
+        f.block_mut(entry).insts.push(Inst::Call {
+            site,
+            callee: Callee::Ext(ExternId(0)),
+            args: vec![],
+            dst: Some(r),
+        });
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("no return value")));
+    }
+
+    #[test]
+    fn detects_oversized_global_init() {
+        let mut m = ok_module();
+        m.add_global(Global {
+            name: "g".into(),
+            size: 2,
+            align: 1,
+            init: vec![0; 4],
+            func_relocs: vec![],
+        });
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("exceeds size")));
+    }
+
+    #[test]
+    fn detects_reloc_out_of_range() {
+        let mut m = ok_module();
+        let mut g = Global::zeroed("tbl", 8, 8);
+        g.func_relocs.push((4, FuncId(0)));
+        m.add_global(g);
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("out of range")));
+    }
+}

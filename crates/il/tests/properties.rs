@@ -1,0 +1,95 @@
+//! Property tests over the IL: random well-formed modules must verify,
+//! print, and keep their structural accessors coherent.
+
+use impact_il::*;
+use proptest::prelude::*;
+
+/// Strategy for a random straight-line function with `params` formals:
+/// a sequence of pure ops over already-defined registers.
+fn function_strategy() -> impl Strategy<Value = Function> {
+    (1u32..4, proptest::collection::vec(any::<u8>(), 0..40)).prop_map(|(params, ops)| {
+        let mut fb = FunctionBuilder::new("f", params);
+        let mut defined: Vec<Reg> = (0..params).map(Reg).collect();
+        for op in ops {
+            let pick = |seed: u8, defined: &Vec<Reg>| defined[seed as usize % defined.len()];
+            let r = match op % 6 {
+                0 => fb.const_(op as i64 * 7 - 100),
+                1 => fb.bin(BinOp::Add, pick(op, &defined), pick(op / 2, &defined)),
+                2 => fb.bin(BinOp::Xor, pick(op, &defined), pick(op / 3, &defined)),
+                3 => fb.un(UnOp::Neg, pick(op, &defined)),
+                4 => fb.cmp(CmpOp::SLt, pick(op, &defined), pick(op / 2, &defined)),
+                _ => fb.push_ext(pick(op, &defined), Width::W2, op % 2 == 0),
+            };
+            defined.push(r);
+        }
+        let ret = *defined.last().expect("at least the params");
+        fb.terminate(Terminator::Return(Some(ret)));
+        fb.finish()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Builder-produced functions always verify and print.
+    #[test]
+    fn generated_functions_verify_and_print(f in function_strategy()) {
+        let mut m = Module::new();
+        m.add_function(f);
+        prop_assert!(verify_module(&m).is_ok());
+        let text = module_to_string(&m);
+        prop_assert!(text.contains("func @f0"));
+        // Size = instructions + one terminator per block.
+        let f = m.function(FuncId(0));
+        let insts: usize = f.blocks.iter().map(|b| b.insts.len()).sum();
+        prop_assert_eq!(f.size(), (insts + f.blocks.len()) as u64);
+    }
+
+    /// def/use bookkeeping: every register a generated instruction uses
+    /// or defines is within num_regs (what the verifier builds on).
+    #[test]
+    fn def_use_stay_in_range(f in function_strategy()) {
+        let n = f.num_regs;
+        f.for_each_inst(|inst| {
+            if let Some(d) = inst.def() {
+                assert!(d.0 < n);
+            }
+            inst.for_each_use(|u| assert!(u.0 < n));
+        });
+    }
+
+    /// Frame layout: slot offsets are aligned, non-overlapping, and the
+    /// frame covers them all.
+    #[test]
+    fn frame_layout_is_consistent(sizes in proptest::collection::vec((1u64..64, 0u8..4), 0..10)) {
+        let mut f = Function::new("t", 0);
+        for (i, (size, align_pow)) in sizes.iter().enumerate() {
+            f.add_slot(Slot {
+                name: format!("s{i}"),
+                size: *size,
+                align: 1 << align_pow,
+            });
+        }
+        let offsets = f.slot_offsets();
+        for (i, (&off, slot)) in offsets.iter().zip(&f.slots).enumerate() {
+            prop_assert_eq!(off % slot.align, 0, "slot {} misaligned", i);
+            if i + 1 < offsets.len() {
+                prop_assert!(off + slot.size <= offsets[i + 1], "slot {} overlaps next", i);
+            }
+        }
+        if let (Some(&last), Some(slot)) = (offsets.last(), f.slots.last()) {
+            prop_assert!(f.frame_size() >= last + slot.size);
+        }
+        prop_assert!(f.frame_size() >= CALL_OVERHEAD_BYTES);
+    }
+
+    /// Successor remapping through the identity changes nothing.
+    #[test]
+    fn identity_successor_remap_is_noop(f in function_strategy()) {
+        let mut g = f.clone();
+        for b in &mut g.blocks {
+            b.term.map_successors(|t| t);
+        }
+        prop_assert_eq!(f, g);
+    }
+}

@@ -1,0 +1,288 @@
+//! Call-site classification: *external*, *pointer*, *unsafe*, *safe*.
+//!
+//! This is the categorization of Tables 2 and 3 of the paper: every static
+//! call site falls into exactly one class, and only *safe* sites are
+//! candidates for inline expansion.
+
+use impact_callgraph::CallGraph;
+use impact_il::{CallSiteId, Callee, FuncId, Module};
+
+use crate::InlineConfig;
+
+/// The class of a static call site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SiteClass {
+    /// Calls a function whose body is unavailable (library/system call).
+    External,
+    /// Calls through a function pointer.
+    Pointer,
+    /// Hazardous or unprofitable (see [`UnsafeReason`]).
+    Unsafe,
+    /// A candidate for inline expansion.
+    Safe,
+}
+
+/// Why a site was classified unsafe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnsafeReason {
+    /// Estimated execution count below the threshold (paper: 10).
+    LowWeight,
+    /// The call is directly self-recursive; only the first iteration could
+    /// be absorbed, so the paper does not deal with it (§2.3).
+    SelfRecursive,
+    /// Expanding would introduce a large frame into a recursive path and
+    /// risk control-stack explosion (§2.3.2).
+    RecursiveStack,
+}
+
+/// One classified static call site.
+#[derive(Clone, Debug)]
+pub struct ClassifiedSite {
+    /// The site.
+    pub site: CallSiteId,
+    /// The calling function.
+    pub caller: FuncId,
+    /// The called function, for direct user calls.
+    pub callee: Option<FuncId>,
+    /// Expected execution count (arc weight).
+    pub weight: u64,
+    /// The class.
+    pub class: SiteClass,
+    /// Set when `class == Unsafe`.
+    pub unsafe_reason: Option<UnsafeReason>,
+}
+
+/// The classification of every static call site in a module.
+#[derive(Clone, Debug)]
+pub struct Classification {
+    /// All sites, in module iteration order.
+    pub sites: Vec<ClassifiedSite>,
+}
+
+/// Aggregate counts per class, both static (site counts — Table 2) and
+/// dynamic (summed weights — Table 3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassTotals {
+    /// External sites / dynamic external calls.
+    pub external: u64,
+    /// Pointer sites / dynamic pointer calls.
+    pub pointer: u64,
+    /// Unsafe sites / dynamic unsafe calls.
+    pub r#unsafe: u64,
+    /// Safe sites / dynamic safe calls.
+    pub safe: u64,
+}
+
+impl ClassTotals {
+    /// Sum over all four classes.
+    pub fn total(&self) -> u64 {
+        self.external + self.pointer + self.r#unsafe + self.safe
+    }
+
+    /// The share of a class as a percentage of the total (0 when empty).
+    pub fn percent(&self, class: SiteClass) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            return 0.0;
+        }
+        let v = match class {
+            SiteClass::External => self.external,
+            SiteClass::Pointer => self.pointer,
+            SiteClass::Unsafe => self.r#unsafe,
+            SiteClass::Safe => self.safe,
+        };
+        100.0 * v as f64 / t as f64
+    }
+}
+
+impl Classification {
+    /// Static per-class site counts (the paper's Table 2 row).
+    pub fn static_totals(&self) -> ClassTotals {
+        let mut t = ClassTotals::default();
+        for s in &self.sites {
+            let slot = match s.class {
+                SiteClass::External => &mut t.external,
+                SiteClass::Pointer => &mut t.pointer,
+                SiteClass::Unsafe => &mut t.r#unsafe,
+                SiteClass::Safe => &mut t.safe,
+            };
+            *slot += 1;
+        }
+        t
+    }
+
+    /// Dynamic per-class call counts — each site weighted by its expected
+    /// execution count (the paper's Table 3 row).
+    pub fn dynamic_totals(&self) -> ClassTotals {
+        let mut t = ClassTotals::default();
+        for s in &self.sites {
+            let slot = match s.class {
+                SiteClass::External => &mut t.external,
+                SiteClass::Pointer => &mut t.pointer,
+                SiteClass::Unsafe => &mut t.r#unsafe,
+                SiteClass::Safe => &mut t.safe,
+            };
+            *slot += s.weight;
+        }
+        t
+    }
+
+    /// The safe sites, most frequently executed first.
+    pub fn safe_sites_by_weight(&self) -> Vec<&ClassifiedSite> {
+        let mut v: Vec<&ClassifiedSite> = self
+            .sites
+            .iter()
+            .filter(|s| s.class == SiteClass::Safe)
+            .collect();
+        v.sort_by(|a, b| b.weight.cmp(&a.weight).then(a.site.cmp(&b.site)));
+        v
+    }
+}
+
+/// Classifies every static call site of `module` against the weighted
+/// call graph, applying the paper's hazard rules:
+///
+/// * external target → **external**;
+/// * call through pointer → **pointer**;
+/// * arc weight below [`InlineConfig::weight_threshold`] → **unsafe**
+///   (unprofitable; also bounds compilation time, §3.4);
+/// * direct self-recursion → **unsafe** (§2.3);
+/// * caller or callee on a (conservative) cycle *and* the callee's frame
+///   exceeds [`InlineConfig::stack_bound`] → **unsafe** (the
+///   control-stack-explosion hazard of §2.3.2 — the paper's `m`/`n`
+///   example puts a huge frame into a recursion);
+/// * everything else → **safe**.
+pub fn classify(module: &Module, graph: &CallGraph, config: &InlineConfig) -> Classification {
+    let cyclic = graph.cyclic_funcs();
+    let mut sites = Vec::new();
+    for (caller, site, callee) in module.all_call_sites() {
+        let weight = graph.arc_for_site(site).map(|a| a.weight).unwrap_or(0);
+        let (class, reason, callee_id) = match callee {
+            Callee::Ext(_) => (SiteClass::External, None, None),
+            Callee::Reg(_) => (SiteClass::Pointer, None, None),
+            Callee::Func(f) => {
+                let frame = module.function(f).frame_size();
+                if weight < config.weight_threshold {
+                    (SiteClass::Unsafe, Some(UnsafeReason::LowWeight), Some(f))
+                } else if f == caller {
+                    (
+                        SiteClass::Unsafe,
+                        Some(UnsafeReason::SelfRecursive),
+                        Some(f),
+                    )
+                } else if (cyclic.contains(&caller) || cyclic.contains(&f))
+                    && frame > config.stack_bound
+                {
+                    (
+                        SiteClass::Unsafe,
+                        Some(UnsafeReason::RecursiveStack),
+                        Some(f),
+                    )
+                } else {
+                    (SiteClass::Safe, None, Some(f))
+                }
+            }
+        };
+        sites.push(ClassifiedSite {
+            site,
+            caller,
+            callee: callee_id,
+            weight,
+            class,
+            unsafe_reason: reason,
+        });
+    }
+    Classification { sites }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impact_cfront::{compile, Source};
+    use impact_vm::{run, VmConfig};
+
+    fn classified(src: &str) -> (Module, Classification) {
+        let module = compile(&[Source::new("t.c", src)]).expect("compiles");
+        let out = run(&module, vec![], vec![], &VmConfig::default()).expect("runs");
+        let graph = impact_callgraph::CallGraph::build(&module, &out.profile);
+        let c = classify(&module, &graph, &InlineConfig::default());
+        (module, c)
+    }
+
+    #[test]
+    fn one_site_per_call_instruction() {
+        let (module, c) = classified(
+            "int f(int x) { return x; }\n\
+             int main() { return f(1) + f(2) + f(3); }",
+        );
+        assert_eq!(c.sites.len(), module.all_call_sites().len());
+        assert_eq!(c.sites.len(), 3);
+    }
+
+    #[test]
+    fn weights_come_from_the_profile() {
+        let (_, c) = classified(
+            "int f(int x) { return x; }\n\
+             int main() { int i; int s; s = 0; for (i = 0; i < 25; i++) s += f(i); return s & 0xff; }",
+        );
+        assert_eq!(c.sites[0].weight, 25);
+        assert_eq!(c.sites[0].class, SiteClass::Safe);
+    }
+
+    #[test]
+    fn low_weight_reason_is_recorded() {
+        let (_, c) = classified(
+            "int f(int x) { return x; }\n\
+             int main() { return f(1); }",
+        );
+        assert_eq!(c.sites[0].class, SiteClass::Unsafe);
+        assert_eq!(c.sites[0].unsafe_reason, Some(UnsafeReason::LowWeight));
+    }
+
+    #[test]
+    fn totals_are_consistent_with_sites() {
+        let (_, c) = classified(
+            "extern int __fgetc(int fd);\n\
+             int f(int x) { return x; }\n\
+             int main() { int i; int s; s = 0;\n\
+               for (i = 0; i < 30; i++) s += f(i);\n\
+               return s + __fgetc(0) + 1; }",
+        );
+        let st = c.static_totals();
+        assert_eq!(st.total(), c.sites.len() as u64);
+        assert_eq!(st.external, 1);
+        assert_eq!(st.safe, 1);
+        let dy = c.dynamic_totals();
+        assert_eq!(dy.total(), c.sites.iter().map(|s| s.weight).sum::<u64>());
+        // Percentages sum to 100 when nonempty.
+        let sum = dy.percent(SiteClass::External)
+            + dy.percent(SiteClass::Pointer)
+            + dy.percent(SiteClass::Unsafe)
+            + dy.percent(SiteClass::Safe);
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_totals_percent_is_zero() {
+        let t = ClassTotals::default();
+        assert_eq!(t.percent(SiteClass::Safe), 0.0);
+    }
+
+    #[test]
+    fn safe_sites_by_weight_sorts_descending() {
+        let (_, c) = classified(
+            "int a(int x) { return x; }\n\
+             int b(int x) { return x + 1; }\n\
+             int main() {\n\
+               int i; int s; s = 0;\n\
+               for (i = 0; i < 50; i++) s += a(i);\n\
+               for (i = 0; i < 20; i++) s += b(i);\n\
+               return s & 0xff;\n\
+             }",
+        );
+        let safe = c.safe_sites_by_weight();
+        assert_eq!(safe.len(), 2);
+        assert!(safe[0].weight >= safe[1].weight);
+        assert_eq!(safe[0].weight, 50);
+    }
+}

@@ -1,0 +1,154 @@
+//! Function-level dead code removal (§2.6).
+//!
+//! After expansion, the original copy of a called-once function may have
+//! become unreachable from `main` and can be deleted — *unless* the call
+//! graph is incomplete: an external function must be assumed to call any
+//! user function, so with external calls present nothing can go (the
+//! paper's conservatism, which its §4.4 numbers reflect).
+
+use std::collections::HashMap;
+
+use impact_callgraph::CallGraph;
+use impact_il::{Callee, FuncId, Inst, Module};
+use impact_vm::Profile;
+
+/// Removes every function that is provably unreachable from `main`,
+/// remapping all function references (calls, address-taken uses, global
+/// relocations). Returns the names of the removed functions.
+///
+/// Reachability follows the conservative graph (including the `$$$` and
+/// `###` worst-case arcs), so this is safe in the presence of externals —
+/// it just removes less.
+pub fn eliminate_unreachable(module: &mut Module) -> Vec<String> {
+    // Weights are irrelevant for reachability; an empty profile works.
+    let profile = Profile::for_module(module);
+    let graph = CallGraph::build(module, &profile);
+    // A function whose address is used in a computation may be activated
+    // by an asynchronous event or stored dispatch table (§2.6) — keep it
+    // even if no call path reaches it.
+    let address_taken = module.address_taken_funcs();
+    let mut doomed: Vec<FuncId> = graph
+        .unreachable_funcs()
+        .into_iter()
+        .filter(|f| !address_taken.contains(f))
+        .collect();
+    if doomed.is_empty() {
+        return Vec::new();
+    }
+    doomed.sort();
+
+    // Build the remap table old → new.
+    let mut remap: HashMap<FuncId, FuncId> = HashMap::new();
+    let mut kept = Vec::with_capacity(module.functions.len() - doomed.len());
+    let mut removed_names = Vec::with_capacity(doomed.len());
+    let mut doomed_iter = doomed.iter().peekable();
+    for (i, f) in std::mem::take(&mut module.functions).into_iter().enumerate() {
+        let old = FuncId::from_index(i);
+        if doomed_iter.peek() == Some(&&old) {
+            doomed_iter.next();
+            removed_names.push(f.name);
+        } else {
+            remap.insert(old, FuncId::from_index(kept.len()));
+            kept.push(f);
+        }
+    }
+    module.functions = kept;
+
+    // Rewrite all references.
+    for f in &mut module.functions {
+        for b in &mut f.blocks {
+            for inst in &mut b.insts {
+                match inst {
+                    Inst::AddrOfFunc { func, .. } => {
+                        *func = remap[func];
+                    }
+                    Inst::Call { callee, .. } => {
+                        if let Callee::Func(target) = callee {
+                            *target = remap[target];
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    for g in &mut module.globals {
+        for (_, func) in &mut g.func_relocs {
+            *func = remap[func];
+        }
+    }
+    removed_names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impact_cfront::{compile, Source};
+    use impact_vm::{run, VmConfig};
+
+    fn module_of(src: &str) -> Module {
+        compile(&[Source::new("t.c", src)]).expect("compiles")
+    }
+
+    #[test]
+    fn removes_dead_function_and_remaps_calls() {
+        let mut m = module_of(
+            "int dead(int x) { return x; }\n\
+             int alive(int x) { return x + 1; }\n\
+             int main() { return alive(1); }",
+        );
+        let baseline = run(&m, vec![], vec![], &VmConfig::default())
+            .unwrap()
+            .exit_code;
+        let removed = eliminate_unreachable(&mut m);
+        assert_eq!(removed, vec!["dead".to_string()]);
+        impact_il::verify_module(&m).expect("still verifies");
+        // `alive`'s FuncId changed; the call in main must still resolve.
+        let after = run(&m, vec![], vec![], &VmConfig::default())
+            .unwrap()
+            .exit_code;
+        assert_eq!(baseline, after);
+    }
+
+    #[test]
+    fn keeps_address_taken_functions() {
+        let mut m = module_of(
+            "int cb(int x) { return x; }\n\
+             int (*table[1])(int) = {cb};\n\
+             int main() { return 0; }",
+        );
+        // cb is unreachable by calls but its address is in a dispatch
+        // table (§2.6: functions whose addresses are used may be
+        // activated asynchronously).
+        let removed = eliminate_unreachable(&mut m);
+        assert!(removed.is_empty(), "removed {removed:?}");
+        assert!(m.func_by_name("cb").is_some());
+    }
+
+    #[test]
+    fn relocations_are_remapped_after_removal() {
+        let mut m = module_of(
+            "int dead(int x) { return x; }\n\
+             int cb(int x) { return x * 2; }\n\
+             int (*table[1])(int) = {cb};\n\
+             int main() { int (*f)(int); f = table[0]; return f(21); }",
+        );
+        let baseline = run(&m, vec![], vec![], &VmConfig::default())
+            .unwrap()
+            .exit_code;
+        assert_eq!(baseline, 42);
+        let removed = eliminate_unreachable(&mut m);
+        assert_eq!(removed, vec!["dead".to_string()]);
+        impact_il::verify_module(&m).unwrap();
+        let after = run(&m, vec![], vec![], &VmConfig::default())
+            .unwrap()
+            .exit_code;
+        assert_eq!(after, 42);
+    }
+
+    #[test]
+    fn nothing_removed_when_all_reachable() {
+        let mut m = module_of("int f(int x) { return x; } int main() { return f(1); }");
+        assert!(eliminate_unreachable(&mut m).is_empty());
+    }
+}

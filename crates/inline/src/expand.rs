@@ -1,0 +1,382 @@
+//! Physical inline expansion (§2.4, §3.5): code duplication, variable
+//! renaming, and symbol-table (slot) updates.
+//!
+//! Expansion proceeds caller-by-caller in the linear order, so every
+//! callee is fully expanded before it is absorbed anywhere. At a call
+//! site, the callee's body is cloned with renamed registers, slots, and
+//! fresh call-site ids; actual parameters are buffered into the renamed
+//! formal registers with `Mov`s (the paper's "new local temporary
+//! variables ... buffer the results of the actual parameters"); the call
+//! becomes an unconditional jump into the cloned entry, and every cloned
+//! `return` becomes a jump back to the split-off continuation (§4.4:
+//! "inlined call/return instructions were replaced with unconditional
+//! jump instructions into/out of the inlined function bodies").
+
+use std::collections::HashMap;
+
+use impact_il::{
+    Block, BlockId, CallSiteId, Callee, FuncId, Function, Inst, Module, Reg, Slot, SlotId,
+    Terminator,
+};
+
+use crate::plan::InlinePlan;
+
+/// Statistics from the simulated function-definition cache (§3.3).
+///
+/// The paper constrains expansion to a linear order partly so that
+/// function definitions can be cached in memory "to reduce the number of
+/// file reads", with write-back replacement. Bodies live in memory here,
+/// so the cache is *simulated*: every expansion reads the callee's
+/// definition and writes the caller's, through an LRU cache of
+/// `capacity` definitions. High hit rates confirm the locality the
+/// paper's ordering was designed to create.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DefCacheStats {
+    /// Cache capacity in function definitions.
+    pub capacity: usize,
+    /// Definition accesses served from the cache.
+    pub hits: u64,
+    /// Definition accesses that had to "read the file".
+    pub misses: u64,
+    /// Dirty definitions written back on eviction or at the end.
+    pub writebacks: u64,
+}
+
+impl DefCacheStats {
+    /// Hit ratio in [0, 1] (0 for an unused cache).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// LRU cache simulation over function definitions.
+struct DefCache {
+    capacity: usize,
+    /// Most recently used first; the flag marks dirty (modified) entries.
+    entries: Vec<(FuncId, bool)>,
+    stats: DefCacheStats,
+}
+
+impl DefCache {
+    fn new(capacity: usize) -> Self {
+        DefCache {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+            stats: DefCacheStats {
+                capacity: capacity.max(1),
+                hits: 0,
+                misses: 0,
+                writebacks: 0,
+            },
+        }
+    }
+
+    fn touch(&mut self, f: FuncId, write: bool) {
+        if let Some(pos) = self.entries.iter().position(|(g, _)| *g == f) {
+            self.stats.hits += 1;
+            let (_, dirty) = self.entries.remove(pos);
+            self.entries.insert(0, (f, dirty || write));
+            return;
+        }
+        self.stats.misses += 1;
+        if self.entries.len() == self.capacity {
+            let (_, dirty) = self.entries.pop().expect("nonempty at capacity");
+            if dirty {
+                self.stats.writebacks += 1;
+            }
+        }
+        self.entries.insert(0, (f, write));
+    }
+
+    fn finish(mut self) -> DefCacheStats {
+        self.stats.writebacks += self.entries.iter().filter(|(_, d)| *d).count() as u64;
+        self.stats
+    }
+}
+
+/// A record of one performed expansion, mapping the cloned call sites back
+/// to their originals (so a re-profile can be compared arc-by-arc).
+#[derive(Clone, Debug)]
+pub struct ExpansionRecord {
+    /// The expanded site (no longer present in the module).
+    pub site: CallSiteId,
+    /// The caller that absorbed the body.
+    pub caller: FuncId,
+    /// The callee that was duplicated.
+    pub callee: FuncId,
+    /// For every call site cloned into the caller: `(original, clone)`.
+    pub cloned_sites: Vec<(CallSiteId, CallSiteId)>,
+}
+
+/// Executes every planned expansion, in linear order.
+///
+/// Returns one [`ExpansionRecord`] per performed expansion.
+///
+/// # Panics
+///
+/// Panics if the plan refers to sites that do not exist in `module` —
+/// plans are only valid for the module they were computed from.
+pub fn expand_plan(module: &mut Module, plan: &InlinePlan) -> Vec<ExpansionRecord> {
+    expand_plan_with_cache(module, plan, usize::MAX).0
+}
+
+/// Like [`expand_plan`], additionally simulating a definition cache of
+/// `cache_capacity` function bodies (§3.3's write-back cache) and
+/// returning its statistics.
+pub fn expand_plan_with_cache(
+    module: &mut Module,
+    plan: &InlinePlan,
+    cache_capacity: usize,
+) -> (Vec<ExpansionRecord>, DefCacheStats) {
+    let mut by_caller: HashMap<FuncId, Vec<&crate::plan::PlannedExpansion>> = HashMap::new();
+    for e in &plan.expansions {
+        by_caller.entry(e.caller).or_default().push(e);
+    }
+    let mut cache = DefCache::new(cache_capacity.min(1 << 20));
+    let mut records = Vec::with_capacity(plan.expansions.len());
+    // Linear order: every callee is complete before any caller absorbs it.
+    for &func in &plan.order {
+        let Some(expansions) = by_caller.get(&func) else {
+            continue;
+        };
+        // Heaviest arc first within the caller, matching selection order.
+        let mut sorted = expansions.clone();
+        sorted.sort_by(|a, b| b.weight.cmp(&a.weight).then(a.site.cmp(&b.site)));
+        for e in sorted {
+            cache.touch(e.callee, false);
+            cache.touch(e.caller, true);
+            let record = expand_site(module, e.caller, e.site, e.callee);
+            records.push(record);
+        }
+    }
+    (records, cache.finish())
+}
+
+/// Expands a single direct call site: clones `callee`'s body into
+/// `caller`.
+pub fn expand_site(
+    module: &mut Module,
+    caller: FuncId,
+    site: CallSiteId,
+    callee: FuncId,
+) -> ExpansionRecord {
+    assert_ne!(caller, callee, "self-recursive sites are never planned");
+    let callee_fn: Function = module.function(callee).clone();
+
+    // Pre-allocate fresh call-site ids for the clones.
+    let mut cloned_sites = Vec::new();
+    let mut fresh_ids = HashMap::new();
+    for (_, _, orig_site, _) in callee_fn.call_sites() {
+        let fresh = module.fresh_call_site();
+        fresh_ids.insert(orig_site, fresh);
+        cloned_sites.push((orig_site, fresh));
+    }
+
+    let caller_fn = module.function_mut(caller);
+
+    // Locate the call instruction.
+    let (call_block, call_idx) = caller_fn
+        .call_sites()
+        .find(|(_, _, s, _)| *s == site)
+        .map(|(b, i, _, _)| (b, i))
+        .expect("planned site exists in caller");
+    let call_inst = caller_fn.block(call_block).insts[call_idx].clone();
+    let Inst::Call {
+        callee: call_target,
+        args,
+        dst,
+        ..
+    } = call_inst
+    else {
+        unreachable!("call_sites returned a non-call");
+    };
+    debug_assert_eq!(call_target, Callee::Func(callee));
+
+    let reg_off = caller_fn.num_regs;
+    let slot_off = caller_fn.slots.len() as u32;
+    // Block layout: [existing blocks][continuation][cloned callee blocks].
+    let cont_block = BlockId::from_index(caller_fn.blocks.len());
+    let clone_base = caller_fn.blocks.len() + 1;
+
+    // Split the calling block.
+    let (head, tail_insts, orig_term) = {
+        let b = caller_fn.block_mut(call_block);
+        let tail: Vec<Inst> = b.insts.split_off(call_idx + 1);
+        b.insts.pop(); // the call itself
+        let term = std::mem::replace(&mut b.term, Terminator::Jump(cont_block));
+        (call_block, tail, term)
+    };
+
+    // Buffer actual parameters into the renamed formals.
+    for (i, arg) in args.iter().enumerate() {
+        let formal = Reg(reg_off + i as u32);
+        caller_fn
+            .block_mut(head)
+            .insts
+            .push(Inst::Mov {
+                dst: formal,
+                src: *arg,
+            });
+    }
+    caller_fn.block_mut(head).term =
+        Terminator::Jump(BlockId::from_index(clone_base));
+
+    // Continuation block receives the tail of the split block.
+    caller_fn.blocks.push(Block {
+        insts: tail_insts,
+        term: orig_term,
+    });
+    debug_assert_eq!(caller_fn.blocks.len() - 1, cont_block.index());
+
+    // Import the callee's slots with path-qualified names (§5).
+    for slot in &callee_fn.slots {
+        caller_fn.slots.push(Slot {
+            name: format!("{}.{}", callee_fn.name, slot.name),
+            size: slot.size,
+            align: slot.align,
+        });
+    }
+    caller_fn.num_regs += callee_fn.num_regs;
+
+    // Clone the callee's blocks with renaming.
+    for cb in &callee_fn.blocks {
+        let mut insts: Vec<Inst> = Vec::with_capacity(cb.insts.len() + 1);
+        for inst in &cb.insts {
+            insts.push(rename_inst(inst, reg_off, slot_off, &fresh_ids));
+        }
+        let term = match &cb.term {
+            Terminator::Jump(b) => {
+                Terminator::Jump(BlockId::from_index(clone_base + b.index()))
+            }
+            Terminator::Branch {
+                cond,
+                then_to,
+                else_to,
+            } => Terminator::Branch {
+                cond: Reg(cond.0 + reg_off),
+                then_to: BlockId::from_index(clone_base + then_to.index()),
+                else_to: BlockId::from_index(clone_base + else_to.index()),
+            },
+            Terminator::Return(v) => {
+                // A cloned return funnels its value into the call's
+                // destination and jumps to the continuation.
+                match (v, dst) {
+                    (Some(r), Some(d)) => insts.push(Inst::Mov {
+                        dst: d,
+                        src: Reg(r.0 + reg_off),
+                    }),
+                    (None, Some(d)) => {
+                        // The callee falls off its end but the caller reads
+                        // a value: the VM defines this as 0.
+                        insts.push(Inst::Const { dst: d, value: 0 });
+                    }
+                    _ => {}
+                }
+                Terminator::Jump(cont_block)
+            }
+            Terminator::Halt => Terminator::Halt,
+        };
+        caller_fn.blocks.push(Block { insts, term });
+    }
+
+    ExpansionRecord {
+        site,
+        caller,
+        callee,
+        cloned_sites,
+    }
+}
+
+fn rename_inst(
+    inst: &Inst,
+    reg_off: u32,
+    slot_off: u32,
+    fresh_ids: &HashMap<CallSiteId, CallSiteId>,
+) -> Inst {
+    let r = |reg: Reg| Reg(reg.0 + reg_off);
+    match inst {
+        Inst::Const { dst, value } => Inst::Const {
+            dst: r(*dst),
+            value: *value,
+        },
+        Inst::Mov { dst, src } => Inst::Mov {
+            dst: r(*dst),
+            src: r(*src),
+        },
+        Inst::Un { op, dst, src } => Inst::Un {
+            op: *op,
+            dst: r(*dst),
+            src: r(*src),
+        },
+        Inst::Bin { op, dst, lhs, rhs } => Inst::Bin {
+            op: *op,
+            dst: r(*dst),
+            lhs: r(*lhs),
+            rhs: r(*rhs),
+        },
+        Inst::Cmp { op, dst, lhs, rhs } => Inst::Cmp {
+            op: *op,
+            dst: r(*dst),
+            lhs: r(*lhs),
+            rhs: r(*rhs),
+        },
+        Inst::AddrOfGlobal { dst, global } => Inst::AddrOfGlobal {
+            dst: r(*dst),
+            global: *global,
+        },
+        Inst::AddrOfSlot { dst, slot } => Inst::AddrOfSlot {
+            dst: r(*dst),
+            slot: SlotId(slot.0 + slot_off),
+        },
+        Inst::AddrOfFunc { dst, func } => Inst::AddrOfFunc {
+            dst: r(*dst),
+            func: *func,
+        },
+        Inst::Ext {
+            dst,
+            src,
+            width,
+            signed,
+        } => Inst::Ext {
+            dst: r(*dst),
+            src: r(*src),
+            width: *width,
+            signed: *signed,
+        },
+        Inst::Load {
+            dst,
+            addr,
+            width,
+            signed,
+        } => Inst::Load {
+            dst: r(*dst),
+            addr: r(*addr),
+            width: *width,
+            signed: *signed,
+        },
+        Inst::Store { addr, src, width } => Inst::Store {
+            addr: r(*addr),
+            src: r(*src),
+            width: *width,
+        },
+        Inst::Call {
+            site,
+            callee,
+            args,
+            dst,
+        } => Inst::Call {
+            site: fresh_ids[site],
+            callee: match callee {
+                Callee::Reg(reg) => Callee::Reg(r(*reg)),
+                other => *other,
+            },
+            args: args.iter().map(|a| r(*a)).collect(),
+            dst: dst.map(r),
+        },
+    }
+}

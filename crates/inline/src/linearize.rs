@@ -1,0 +1,140 @@
+//! Linearization of the call graph (§3.3).
+//!
+//! Inline expansion is constrained to follow a linear order over the
+//! functions: X may be inlined into Y only if X precedes Y. This bounds
+//! the number of physical expansions (every expansion of X happens before
+//! Y is processed, so Y absorbs a *fully expanded* X in one step) and
+//! enables the function-definition cache with write-back replacement the
+//! paper uses to cut file traffic.
+//!
+//! The paper's heuristic places functions randomly, then sorts by
+//! execution count, most frequent first — frequently executed functions
+//! are usually the callees of less frequently executed ones. Alternative
+//! orders are provided for the ablation benchmarks.
+
+use impact_il::{FuncId, Module};
+use impact_vm::Profile;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The order-selection heuristic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Linearization {
+    /// The paper's heuristic: sort by node weight, heaviest first
+    /// (deterministic tie-break by function id).
+    NodeWeight,
+    /// Reverse of the paper's order — an adversarial ablation.
+    ReverseNodeWeight,
+    /// A seeded random shuffle — the ablation baseline.
+    Random(u64),
+    /// Module definition order (no reordering).
+    SourceOrder,
+}
+
+/// Computes the linear sequence of all functions under `strategy`.
+///
+/// The returned vector maps position → function; use [`positions_of`] for
+/// the inverse.
+pub fn linearize(module: &Module, profile: &Profile, strategy: Linearization) -> Vec<FuncId> {
+    let mut order: Vec<FuncId> = (0..module.functions.len())
+        .map(FuncId::from_index)
+        .collect();
+    match strategy {
+        Linearization::NodeWeight => {
+            order.sort_by(|a, b| {
+                profile
+                    .func_weight(*b)
+                    .cmp(&profile.func_weight(*a))
+                    .then(a.cmp(b))
+            });
+        }
+        Linearization::ReverseNodeWeight => {
+            order.sort_by(|a, b| {
+                profile
+                    .func_weight(*a)
+                    .cmp(&profile.func_weight(*b))
+                    .then(a.cmp(b))
+            });
+        }
+        Linearization::Random(seed) => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            order.shuffle(&mut rng);
+        }
+        Linearization::SourceOrder => {}
+    }
+    order
+}
+
+/// Inverts a linear order into a position table indexed by [`FuncId`].
+pub fn positions_of(order: &[FuncId], num_funcs: usize) -> Vec<usize> {
+    let mut pos = vec![usize::MAX; num_funcs];
+    for (i, f) in order.iter().enumerate() {
+        pos[f.index()] = i;
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impact_il::Function;
+
+    fn module_and_profile(weights: &[u64]) -> (Module, Profile) {
+        let mut m = Module::new();
+        for (i, _) in weights.iter().enumerate() {
+            m.add_function(Function::new(format!("f{i}"), 0));
+        }
+        let mut p = Profile::for_module(&m);
+        p.func_entries.copy_from_slice(weights);
+        (m, p)
+    }
+
+    #[test]
+    fn node_weight_order_is_heaviest_first() {
+        let (m, p) = module_and_profile(&[5, 100, 20, 100]);
+        let order = linearize(&m, &p, Linearization::NodeWeight);
+        assert_eq!(
+            order,
+            vec![FuncId(1), FuncId(3), FuncId(2), FuncId(0)],
+            "ties break by id"
+        );
+    }
+
+    #[test]
+    fn reverse_order_is_lightest_first() {
+        let (m, p) = module_and_profile(&[5, 100, 20]);
+        let order = linearize(&m, &p, Linearization::ReverseNodeWeight);
+        assert_eq!(order, vec![FuncId(0), FuncId(2), FuncId(1)]);
+    }
+
+    #[test]
+    fn random_order_is_seeded_and_complete() {
+        let (m, p) = module_and_profile(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let a = linearize(&m, &p, Linearization::Random(42));
+        let b = linearize(&m, &p, Linearization::Random(42));
+        let c = linearize(&m, &p, Linearization::Random(43));
+        assert_eq!(a, b, "same seed, same order");
+        assert_ne!(a, c, "different seed, different order");
+        let mut sorted = a.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..8).map(FuncId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn positions_invert_the_order() {
+        let (m, p) = module_and_profile(&[5, 100, 20]);
+        let order = linearize(&m, &p, Linearization::NodeWeight);
+        let pos = positions_of(&order, 3);
+        for (i, f) in order.iter().enumerate() {
+            assert_eq!(pos[f.index()], i);
+        }
+    }
+
+    #[test]
+    fn source_order_is_identity() {
+        let (m, p) = module_and_profile(&[9, 1, 5]);
+        let order = linearize(&m, &p, Linearization::SourceOrder);
+        assert_eq!(order, vec![FuncId(0), FuncId(1), FuncId(2)]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Expansion-site selection (§3.4) and the cost function (§2.3.3).
+//!
+//! Arcs that violate the linear order or touch the special nodes are
+//! marked `not_expandable`; the rest are considered from the most to the
+//! least frequently executed, accepting each arc whose cost is finite —
+//! i.e. it passes the stack-explosion check and fits the remaining code-
+//! size budget. Function sizes are re-evaluated after every acceptance,
+//! exactly as §3.4 requires ("the code size of each function body must be
+//! re-evaluated as new function calls are considered for expansion").
+
+use impact_il::{CallSiteId, FuncId, Module};
+
+use crate::classify::{Classification, SiteClass};
+use crate::linearize::positions_of;
+use crate::InlineConfig;
+
+/// Why a site was not selected for expansion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Not classified safe (external / pointer / unsafe).
+    NotSafe(SiteClass),
+    /// The callee does not precede the caller in the linear order.
+    ViolatesLinearOrder,
+    /// Accepting this arc would exceed the code-size budget.
+    OverBudget,
+}
+
+/// One accepted arc.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlannedExpansion {
+    /// The call site to expand.
+    pub site: CallSiteId,
+    /// Caller (the function absorbing the body).
+    pub caller: FuncId,
+    /// Callee (the function being duplicated).
+    pub callee: FuncId,
+    /// Arc weight, for reporting.
+    pub weight: u64,
+}
+
+/// The outcome of expansion-site selection.
+#[derive(Clone, Debug)]
+pub struct InlinePlan {
+    /// The linear sequence the physical expansion must follow.
+    pub order: Vec<FuncId>,
+    /// Accepted arcs, in the order they were accepted (descending
+    /// weight).
+    pub expansions: Vec<PlannedExpansion>,
+    /// Rejected sites with reasons (every site not in `expansions`).
+    pub rejected: Vec<(CallSiteId, RejectReason)>,
+    /// Projected total size after expansion, in IL instructions.
+    pub projected_size: u64,
+    /// The size budget that applied.
+    pub budget: u64,
+}
+
+/// Selects the arcs to expand.
+///
+/// `order` comes from [`crate::linearize`]; `classification` from
+/// [`crate::classify`]. The budget is
+/// `original_size * config.code_growth_limit`.
+pub fn plan(
+    module: &Module,
+    classification: &Classification,
+    order: &[FuncId],
+    config: &InlineConfig,
+) -> InlinePlan {
+    let pos = positions_of(order, module.functions.len());
+    let original_size = module.total_size();
+    let budget = (original_size as f64 * config.code_growth_limit).floor() as u64;
+
+    // Current size estimate per function, updated as arcs are accepted.
+    let mut sizes: Vec<u64> = module.functions.iter().map(|f| f.size()).collect();
+    let mut total: u64 = original_size;
+
+    let mut expansions = Vec::new();
+    let mut rejected = Vec::new();
+
+    // Non-safe arcs are rejected outright.
+    for s in &classification.sites {
+        if s.class != SiteClass::Safe {
+            rejected.push((s.site, RejectReason::NotSafe(s.class)));
+        }
+    }
+
+    // Safe arcs, most frequently executed first.
+    for s in classification.safe_sites_by_weight() {
+        let callee = s.callee.expect("safe sites have direct callees");
+        // The linear-order constraint: callee strictly before caller.
+        if pos[callee.index()] >= pos[s.caller.index()] {
+            rejected.push((s.site, RejectReason::ViolatesLinearOrder));
+            continue;
+        }
+        // Code-expansion hazard: the caller absorbs a copy of the callee
+        // (at its *current*, possibly already-grown size).
+        let growth = sizes[callee.index()];
+        if total + growth > budget {
+            rejected.push((s.site, RejectReason::OverBudget));
+            continue;
+        }
+        sizes[s.caller.index()] += growth;
+        total += growth;
+        expansions.push(PlannedExpansion {
+            site: s.site,
+            caller: s.caller,
+            callee,
+            weight: s.weight,
+        });
+    }
+
+    InlinePlan {
+        order: order.to_vec(),
+        expansions,
+        rejected,
+        projected_size: total,
+        budget,
+    }
+}
+
+impl InlinePlan {
+    /// Total dynamic calls the accepted arcs account for (the predicted
+    /// upper bound of eliminated calls).
+    pub fn planned_dynamic_calls(&self) -> u64 {
+        self.expansions.iter().map(|e| e.weight).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify;
+    use crate::linearize::{linearize, Linearization};
+    use impact_cfront::{compile, Source};
+    use impact_vm::{run, VmConfig};
+
+    fn plan_for(src: &str, config: &InlineConfig) -> (Module, InlinePlan) {
+        let module = compile(&[Source::new("t.c", src)]).expect("compiles");
+        let out = run(&module, vec![], vec![], &VmConfig::default()).expect("runs");
+        let profile = out.profile.averaged();
+        let graph = impact_callgraph::CallGraph::build(&module, &profile);
+        let classification = classify(&module, &graph, config);
+        let order = linearize(&module, &profile, Linearization::NodeWeight);
+        let p = plan(&module, &classification, &order, config);
+        (module, p)
+    }
+
+    const TWO_HOT: &str = "int a(int x) { return x + 1; }\n\
+         int b(int x) { return x * 2; }\n\
+         int main() {\n\
+           int i; int s; s = 0;\n\
+           for (i = 0; i < 60; i++) s += a(i);\n\
+           for (i = 0; i < 40; i++) s += b(i);\n\
+           return s & 0xff;\n\
+         }";
+
+    #[test]
+    fn accepts_heaviest_arcs_first() {
+        let (module, p) = plan_for(TWO_HOT, &InlineConfig::default());
+        assert_eq!(p.expansions.len(), 2);
+        assert!(p.expansions[0].weight >= p.expansions[1].weight);
+        assert_eq!(module.function(p.expansions[0].callee).name, "a");
+    }
+
+    #[test]
+    fn every_site_is_either_expanded_or_rejected() {
+        let (module, p) = plan_for(TWO_HOT, &InlineConfig::default());
+        let total = module.all_call_sites().len();
+        assert_eq!(p.expansions.len() + p.rejected.len(), total);
+    }
+
+    #[test]
+    fn projection_stays_within_budget() {
+        for limit in [1.1f64, 1.5, 2.0] {
+            let config = InlineConfig {
+                code_growth_limit: limit,
+                ..InlineConfig::default()
+            };
+            let (_, p) = plan_for(TWO_HOT, &config);
+            assert!(
+                p.projected_size <= p.budget,
+                "limit {limit}: projected {} > budget {}",
+                p.projected_size,
+                p.budget
+            );
+        }
+    }
+
+    #[test]
+    fn tight_budget_rejects_over_budget() {
+        let config = InlineConfig {
+            code_growth_limit: 1.0,
+            ..InlineConfig::default()
+        };
+        let (_, p) = plan_for(TWO_HOT, &config);
+        assert!(p.expansions.is_empty());
+        assert!(p
+            .rejected
+            .iter()
+            .any(|(_, r)| *r == RejectReason::OverBudget));
+    }
+
+    #[test]
+    fn planned_dynamic_calls_sums_weights() {
+        let (_, p) = plan_for(TWO_HOT, &InlineConfig::default());
+        assert_eq!(p.planned_dynamic_calls(), 100);
+    }
+}

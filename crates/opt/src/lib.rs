@@ -1,0 +1,346 @@
+//! # impact-opt — classical IL optimizations
+//!
+//! The paper applies *constant folding and jump optimization* before the
+//! inline expansion procedure (§4.4) and names copy propagation and dead
+//! code elimination as the cleanups that remove parameter-buffering
+//! overhead after expansion (§2.4). This crate implements those four
+//! passes.
+//!
+//! All passes are intraprocedural and semantics-preserving; each returns
+//! the number of changes it made so drivers can iterate to a fixpoint with
+//! [`optimize_function`] / [`optimize_module`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use impact_il::{BinOp, BlockId, CmpOp, Function, Inst, Module, Reg, Terminator, UnOp, Width};
+
+mod cse;
+mod fold;
+mod jump;
+mod layout;
+mod peephole;
+
+pub use cse::local_cse;
+pub use layout::reorder_blocks;
+pub use fold::{constant_fold, copy_propagation};
+pub use jump::jump_optimization;
+pub use peephole::strength_reduce;
+
+/// Removes instructions whose results are never used and that have no side
+/// effects. Iterates to a fixpoint within the function.
+///
+/// Returns the number of instructions removed.
+pub fn dead_code_elimination(func: &mut Function) -> usize {
+    let mut removed_total = 0;
+    loop {
+        let mut used = vec![false; func.num_regs as usize];
+        for b in &func.blocks {
+            for inst in &b.insts {
+                inst.for_each_use(|r| used[r.index()] = true);
+            }
+            match &b.term {
+                Terminator::Branch { cond, .. } => used[cond.index()] = true,
+                Terminator::Return(Some(r)) => used[r.index()] = true,
+                _ => {}
+            }
+        }
+        let mut removed = 0;
+        for b in &mut func.blocks {
+            b.insts.retain(|inst| {
+                if inst.has_side_effect() {
+                    return true;
+                }
+                match inst.def() {
+                    Some(d) if !used[d.index()] => {
+                        removed += 1;
+                        false
+                    }
+                    _ => true,
+                }
+            });
+        }
+        removed_total += removed;
+        if removed == 0 {
+            return removed_total;
+        }
+    }
+}
+
+/// Runs constant folding, local CSE, copy propagation, dead code
+/// elimination, and jump optimization on one function until nothing
+/// changes (bounded at 8 rounds as a safety valve).
+///
+/// Returns the total number of changes.
+pub fn optimize_function(func: &mut Function) -> usize {
+    let mut total = 0;
+    for _ in 0..8 {
+        let mut changed = 0;
+        changed += constant_fold(func);
+        changed += strength_reduce(func);
+        changed += local_cse(func);
+        changed += copy_propagation(func);
+        changed += dead_code_elimination(func);
+        changed += jump_optimization(func);
+        total += changed;
+        if changed == 0 {
+            break;
+        }
+    }
+    total
+}
+
+/// Optimizes every function of a module. Returns the total change count.
+pub fn optimize_module(module: &mut Module) -> usize {
+    let mut total = 0;
+    for f in &mut module.functions {
+        total += optimize_function(f);
+    }
+    total
+}
+
+/// Shared helper: evaluate a binary op over two constants, mirroring VM
+/// semantics exactly. Returns `None` for division by zero (folding must
+/// not hide a trap).
+pub(crate) fn eval_bin_const(op: BinOp, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::UDiv => {
+            if b == 0 {
+                return None;
+            }
+            ((a as u64) / (b as u64)) as i64
+        }
+        BinOp::URem => {
+            if b == 0 {
+                return None;
+            }
+            ((a as u64) % (b as u64)) as i64
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+        BinOp::Shr => a.wrapping_shr(b as u32 & 63),
+        BinOp::UShr => ((a as u64).wrapping_shr(b as u32 & 63)) as i64,
+    })
+}
+
+pub(crate) fn eval_cmp_const(op: CmpOp, a: i64, b: i64) -> i64 {
+    let r = match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::SLt => a < b,
+        CmpOp::SLe => a <= b,
+        CmpOp::SGt => a > b,
+        CmpOp::SGe => a >= b,
+        CmpOp::ULt => (a as u64) < (b as u64),
+        CmpOp::ULe => (a as u64) <= (b as u64),
+        CmpOp::UGt => (a as u64) > (b as u64),
+        CmpOp::UGe => (a as u64) >= (b as u64),
+    };
+    r as i64
+}
+
+pub(crate) fn eval_un_const(op: UnOp, v: i64) -> i64 {
+    match op {
+        UnOp::Neg => v.wrapping_neg(),
+        UnOp::BitNot => !v,
+        UnOp::LogNot => (v == 0) as i64,
+    }
+}
+
+pub(crate) fn eval_ext_const(v: i64, width: Width, signed: bool) -> i64 {
+    match (width, signed) {
+        (Width::W1, true) => v as i8 as i64,
+        (Width::W1, false) => v as u8 as i64,
+        (Width::W2, true) => v as i16 as i64,
+        (Width::W2, false) => v as u16 as i64,
+        (Width::W4, true) => v as i32 as i64,
+        (Width::W4, false) => v as u32 as i64,
+        (Width::W8, _) => v,
+    }
+}
+
+/// Replaces every use of registers per `map` in one instruction.
+pub(crate) fn rewrite_uses(inst: &mut Inst, map: &HashMap<Reg, Reg>) {
+    let get = |r: &mut Reg| {
+        if let Some(&n) = map.get(r) {
+            *r = n;
+        }
+    };
+    match inst {
+        Inst::Const { .. }
+        | Inst::AddrOfGlobal { .. }
+        | Inst::AddrOfSlot { .. }
+        | Inst::AddrOfFunc { .. } => {}
+        Inst::Mov { src, .. } | Inst::Un { src, .. } | Inst::Ext { src, .. } => get(src),
+        Inst::Bin { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => {
+            get(lhs);
+            get(rhs);
+        }
+        Inst::Load { addr, .. } => get(addr),
+        Inst::Store { addr, src, .. } => {
+            get(addr);
+            get(src);
+        }
+        Inst::Call { callee, args, .. } => {
+            if let impact_il::Callee::Reg(r) = callee {
+                get(r);
+            }
+            for a in args {
+                get(a);
+            }
+        }
+    }
+}
+
+/// Builds predecessor lists for a function's CFG.
+pub(crate) fn predecessors(func: &Function) -> Vec<Vec<BlockId>> {
+    let mut preds = vec![Vec::new(); func.blocks.len()];
+    for (bi, b) in func.blocks.iter().enumerate() {
+        b.term.for_each_successor(|s| {
+            preds[s.index()].push(BlockId::from_index(bi));
+        });
+    }
+    preds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impact_cfront::{compile, Source};
+    use impact_vm::{run, VmConfig};
+
+    /// Compiles, optimizes, runs, and checks the observable result is
+    /// unchanged.
+    fn check_preserves(src: &str) -> (i64, usize) {
+        let module = compile(&[Source::new("t.c", src)]).expect("compiles");
+        let baseline = run(&module, vec![], vec![], &VmConfig::default())
+            .expect("runs")
+            .exit_code;
+        let mut optimized = module.clone();
+        let changes = optimize_module(&mut optimized);
+        impact_il::verify_module(&optimized).expect("still verifies");
+        let after = run(&optimized, vec![], vec![], &VmConfig::default())
+            .expect("still runs")
+            .exit_code;
+        assert_eq!(baseline, after, "optimization changed behaviour");
+        (after, changes)
+    }
+
+    #[test]
+    fn folding_shrinks_constant_expressions() {
+        let module = compile(&[Source::new(
+            "t.c",
+            "int main() { return (2 + 3) * 4 - 6; }",
+        )])
+        .unwrap();
+        let mut m = module.clone();
+        optimize_module(&mut m);
+        assert!(m.total_size() < module.total_size());
+        let out = run(&m, vec![], vec![], &VmConfig::default()).unwrap();
+        assert_eq!(out.exit_code, 14);
+    }
+
+    #[test]
+    fn optimization_preserves_various_programs() {
+        check_preserves("int main() { int i; int s; s = 0; for (i = 0; i < 9; i++) s += i * i; return s; }");
+        check_preserves(
+            "int fib(int n) { return n < 2 ? n : fib(n-1) + fib(n-2); }\n\
+             int main() { return fib(10); }",
+        );
+        check_preserves(
+            "int main() { int a[5]; int i; for (i = 0; i < 5; i++) a[i] = i; return a[3]; }",
+        );
+        check_preserves(
+            "unsigned h(unsigned x) { return (x ^ 61) ^ (x >> 16); }\n\
+             int main() { return h(12345) & 0xff; }",
+        );
+    }
+
+    #[test]
+    fn dce_removes_unused_computation() {
+        let module = compile(&[Source::new(
+            "t.c",
+            "int main() { int x; x = 5 * 5; return 1; }",
+        )])
+        .unwrap();
+        let mut m = module.clone();
+        optimize_module(&mut m);
+        assert!(m.total_size() < module.total_size());
+    }
+
+    #[test]
+    fn dce_keeps_side_effects() {
+        let module = compile(&[Source::new(
+            "t.c",
+            "int g;\n\
+             int bump() { g++; return g; }\n\
+             int main() { bump(); return g; }",
+        )])
+        .unwrap();
+        let mut m = module.clone();
+        optimize_module(&mut m);
+        let out = run(&m, vec![], vec![], &VmConfig::default()).unwrap();
+        assert_eq!(out.exit_code, 1);
+    }
+
+    #[test]
+    fn constant_branch_becomes_jump() {
+        let module = compile(&[Source::new(
+            "t.c",
+            "int main() { if (1) return 7; return 8; }",
+        )])
+        .unwrap();
+        let mut m = module.clone();
+        optimize_module(&mut m);
+        // After folding + jump optimization, no Branch remains in main.
+        let main = m.function(m.main_id().unwrap());
+        let has_branch = main
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Terminator::Branch { .. }));
+        assert!(!has_branch);
+        let out = run(&m, vec![], vec![], &VmConfig::default()).unwrap();
+        assert_eq!(out.exit_code, 7);
+    }
+
+    #[test]
+    fn division_by_zero_is_not_folded_away() {
+        let module = compile(&[Source::new(
+            "t.c",
+            "int main() { int z; z = 0; return 1 / z; }",
+        )])
+        .unwrap();
+        let mut m = module.clone();
+        optimize_module(&mut m);
+        // Still traps at runtime.
+        assert!(run(&m, vec![], vec![], &VmConfig::default()).is_err());
+    }
+
+    #[test]
+    fn optimize_reports_zero_changes_at_fixpoint() {
+        let module = compile(&[Source::new("t.c", "int main() { return 3; }")]).unwrap();
+        let mut m = module.clone();
+        optimize_module(&mut m);
+        let second = optimize_module(&mut m);
+        assert_eq!(second, 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Runtime errors (traps) raised by the VM.
+
+use std::fmt;
+
+/// A runtime trap. Carries enough context to debug the failing program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VmError {
+    /// A memory access fell outside the mapped region (includes null-page
+    /// accesses).
+    OutOfBounds {
+        /// The faulting address.
+        addr: u64,
+        /// Function executing at the time.
+        func: String,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero {
+        /// Function executing at the time.
+        func: String,
+    },
+    /// An indirect call through a value that is not a function address.
+    BadFunctionPointer {
+        /// The bad value.
+        value: u64,
+        /// Function executing at the time.
+        func: String,
+    },
+    /// An indirect call reached a function with a different arity.
+    IndirectArityMismatch {
+        /// The callee that was reached.
+        callee: String,
+        /// Arguments passed.
+        passed: usize,
+        /// Parameters expected.
+        expected: usize,
+    },
+    /// The control stack outgrew its region.
+    StackOverflow {
+        /// Function that could not be entered.
+        func: String,
+    },
+    /// The configured instruction budget was exhausted (runaway program).
+    StepLimitExceeded {
+        /// The budget that was exceeded.
+        limit: u64,
+    },
+    /// An `extern` declaration has no matching VM builtin.
+    UnknownExtern {
+        /// The undeclared name.
+        name: String,
+    },
+    /// A builtin was called with an invalid argument (bad fd, bad pointer).
+    BadBuiltinCall {
+        /// Builtin name.
+        name: String,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The module has no `main` function.
+    NoMain,
+    /// The heap allocator ran out of space.
+    OutOfMemory {
+        /// Requested allocation size.
+        requested: u64,
+    },
+    /// The program called `__abort`.
+    Abort,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::OutOfBounds { addr, func } => {
+                write!(f, "out-of-bounds memory access at {addr:#x} in `{func}`")
+            }
+            VmError::DivisionByZero { func } => write!(f, "division by zero in `{func}`"),
+            VmError::BadFunctionPointer { value, func } => {
+                write!(f, "call through bad function pointer {value:#x} in `{func}`")
+            }
+            VmError::IndirectArityMismatch {
+                callee,
+                passed,
+                expected,
+            } => write!(
+                f,
+                "indirect call to `{callee}` passed {passed} args, expected {expected}"
+            ),
+            VmError::StackOverflow { func } => write!(f, "stack overflow entering `{func}`"),
+            VmError::StepLimitExceeded { limit } => {
+                write!(f, "instruction budget of {limit} exhausted")
+            }
+            VmError::UnknownExtern { name } => {
+                write!(f, "extern `{name}` has no VM builtin")
+            }
+            VmError::BadBuiltinCall { name, reason } => {
+                write!(f, "bad call to builtin `{name}`: {reason}")
+            }
+            VmError::NoMain => write!(f, "module has no `main` function"),
+            VmError::OutOfMemory { requested } => {
+                write!(f, "heap exhausted allocating {requested} bytes")
+            }
+            VmError::Abort => write!(f, "program aborted"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = VmError::OutOfBounds {
+            addr: 0x10,
+            func: "main".into(),
+        };
+        assert!(e.to_string().contains("0x10"));
+        assert!(e.to_string().contains("main"));
+        assert!(VmError::NoMain.to_string().contains("main"));
+    }
+}

@@ -1,0 +1,479 @@
+//! The IL interpreter with profiling instrumentation.
+//!
+//! Execution counts every instruction and terminator as one intermediate
+//! instruction (the paper's `IL's`), every executed jump/branch as one
+//! control transfer, and every call instruction as one dynamic call, while
+//! recording node weights (function entries) and arc weights (call-site
+//! counts) for the weighted call graph.
+
+use impact_il::{BinOp, Callee, CmpOp, FuncId, Inst, Module, Reg, Terminator, UnOp, Width};
+
+use crate::error::VmError;
+use crate::icache::{IcacheConfig, IcacheSim, IcacheStats};
+use crate::memory::Memory;
+use crate::os::{BuiltinOutcome, NamedFile, Os};
+use crate::profile::{ProfTarget, Profile};
+
+/// Resource limits and sizes for one run.
+#[derive(Clone, Debug)]
+pub struct VmConfig {
+    /// Maximum executed IL instructions before the run is aborted.
+    pub max_steps: u64,
+    /// Heap segment size in bytes.
+    pub heap_size: u64,
+    /// Stack segment size in bytes.
+    pub stack_size: u64,
+    /// When set, replay the dynamic instruction stream through a
+    /// simulated instruction cache (see [`crate::IcacheSim`]); adds
+    /// roughly 2x interpretation overhead.
+    pub icache: Option<IcacheConfig>,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            max_steps: 2_000_000_000,
+            heap_size: 32 << 20,
+            stack_size: 4 << 20,
+            icache: None,
+        }
+    }
+}
+
+/// The result of a completed run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// `main`'s return value, or the argument of `__exit`.
+    pub exit_code: i64,
+    /// Bytes written to stdout.
+    pub stdout: Vec<u8>,
+    /// Bytes written to stderr.
+    pub stderr: Vec<u8>,
+    /// Files created with `__creat`, with their contents.
+    pub files: Vec<(String, Vec<u8>)>,
+    /// The execution profile of this run (`runs == 1`).
+    pub profile: Profile,
+    /// Instruction-cache statistics, when [`VmConfig::icache`] was set.
+    pub icache: Option<IcacheStats>,
+}
+
+struct Frame {
+    func: FuncId,
+    block: usize,
+    inst: usize,
+    regs: Vec<i64>,
+    sp: u64,
+    ret_dst: Option<Reg>,
+}
+
+struct FuncMeta {
+    frame_size: u64,
+    slot_offsets: Vec<u64>,
+    /// Synthetic code address of the function's first instruction
+    /// (functions laid out back to back, 4 bytes per IL instruction).
+    code_base: u64,
+    /// Instruction-slot offset of each block within the function.
+    block_offsets: Vec<u64>,
+}
+
+/// Runs `module` from `main` to completion under `config`, with the given
+/// input files and program arguments.
+///
+/// # Errors
+///
+/// Returns a [`VmError`] on any trap (wild memory access, division by
+/// zero, stack overflow, step-limit exhaustion, unknown extern, abort).
+pub fn run(
+    module: &Module,
+    inputs: Vec<NamedFile>,
+    args: Vec<String>,
+    config: &VmConfig,
+) -> Result<RunOutcome, VmError> {
+    let main = module.main_id().ok_or(VmError::NoMain)?;
+    if module.function(main).num_params != 0 {
+        return Err(VmError::BadBuiltinCall {
+            name: "main".into(),
+            reason: "main must take no parameters".into(),
+        });
+    }
+    let builtins = Os::resolve_externs(module)?;
+    let mut code_cursor = 0u64;
+    let metas: Vec<FuncMeta> = module
+        .functions
+        .iter()
+        .map(|f| {
+            let mut block_offsets = Vec::with_capacity(f.blocks.len());
+            let mut off = 0u64;
+            for b in &f.blocks {
+                block_offsets.push(off);
+                off += b.insts.len() as u64 + 1;
+            }
+            let meta = FuncMeta {
+                frame_size: f.frame_size().next_multiple_of(16),
+                slot_offsets: f.slot_offsets(),
+                code_base: code_cursor,
+                block_offsets,
+            };
+            code_cursor += off * 4;
+            meta
+        })
+        .collect();
+    let mut icache = config.icache.as_ref().map(IcacheSim::new);
+    let mut mem = Memory::new(module, config.heap_size, config.stack_size);
+    let mut os = Os::new(inputs, args);
+    let mut profile = Profile::for_module(module);
+    profile.runs = 1;
+
+    let mut frames: Vec<Frame> = Vec::with_capacity(64);
+    let initial_sp = mem.stack_top();
+    push_frame(
+        module,
+        &metas,
+        &mut mem,
+        &mut profile,
+        &mut frames,
+        main,
+        &[],
+        None,
+        initial_sp,
+    )?;
+
+    let exit_code = loop {
+        if profile.il_executed >= config.max_steps {
+            return Err(VmError::StepLimitExceeded {
+                limit: config.max_steps,
+            });
+        }
+        let fr = frames.last_mut().expect("at least one frame");
+        let func = module.function(fr.func);
+        let fname = func.name.as_str();
+        let block = &func.blocks[fr.block];
+
+        if let Some(sim) = icache.as_mut() {
+            let meta = &metas[fr.func.index()];
+            sim.access(meta.code_base + 4 * (meta.block_offsets[fr.block] + fr.inst as u64));
+        }
+        if fr.inst < block.insts.len() {
+            let inst = &block.insts[fr.inst];
+            fr.inst += 1;
+            profile.il_executed += 1;
+            match inst {
+                Inst::Const { dst, value } => fr.regs[dst.index()] = *value,
+                Inst::Mov { dst, src } => fr.regs[dst.index()] = fr.regs[src.index()],
+                Inst::Un { op, dst, src } => {
+                    let v = fr.regs[src.index()];
+                    fr.regs[dst.index()] = match op {
+                        UnOp::Neg => v.wrapping_neg(),
+                        UnOp::BitNot => !v,
+                        UnOp::LogNot => (v == 0) as i64,
+                    };
+                }
+                Inst::Bin { op, dst, lhs, rhs } => {
+                    let a = fr.regs[lhs.index()];
+                    let b = fr.regs[rhs.index()];
+                    fr.regs[dst.index()] = eval_bin(*op, a, b, fname)?;
+                }
+                Inst::Cmp { op, dst, lhs, rhs } => {
+                    let a = fr.regs[lhs.index()];
+                    let b = fr.regs[rhs.index()];
+                    fr.regs[dst.index()] = eval_cmp(*op, a, b) as i64;
+                }
+                Inst::AddrOfGlobal { dst, global } => {
+                    fr.regs[dst.index()] = mem.global_addr(*global) as i64;
+                }
+                Inst::AddrOfSlot { dst, slot } => {
+                    fr.regs[dst.index()] =
+                        (fr.sp + metas[fr.func.index()].slot_offsets[slot.index()]) as i64;
+                }
+                Inst::AddrOfFunc { dst, func } => {
+                    fr.regs[dst.index()] = Memory::encode_func_ptr(*func);
+                }
+                Inst::Ext {
+                    dst,
+                    src,
+                    width,
+                    signed,
+                } => {
+                    let v = fr.regs[src.index()];
+                    fr.regs[dst.index()] = ext_value(v, *width, *signed);
+                }
+                Inst::Load {
+                    dst,
+                    addr,
+                    width,
+                    signed,
+                } => {
+                    let a = fr.regs[addr.index()] as u64;
+                    fr.regs[dst.index()] = mem.load(a, *width, *signed, fname)?;
+                }
+                Inst::Store { addr, src, width } => {
+                    let a = fr.regs[addr.index()] as u64;
+                    let v = fr.regs[src.index()];
+                    mem.store(a, v, *width, fname)?;
+                }
+                Inst::Call {
+                    site,
+                    callee,
+                    args,
+                    dst,
+                } => {
+                    profile.calls += 1;
+                    profile.site_counts[site.0 as usize] += 1;
+                    let argv: Vec<i64> = args.iter().map(|r| fr.regs[r.index()]).collect();
+                    let dst = *dst;
+                    let site = *site;
+                    match callee {
+                        Callee::Func(f) => {
+                            let f = *f;
+                            let sp = fr.sp;
+                            push_frame(
+                                module, &metas, &mut mem, &mut profile, &mut frames, f, &argv,
+                                dst, sp,
+                            )?;
+                        }
+                        Callee::Ext(x) => {
+                            let b = builtins[x.index()];
+                            match os.call(b, &argv, &mut mem, fname)? {
+                                BuiltinOutcome::Value(v) => {
+                                    if let Some(d) = dst {
+                                        fr.regs[d.index()] = v.unwrap_or(0);
+                                    }
+                                }
+                                BuiltinOutcome::Exit(code) => break code,
+                            }
+                        }
+                        Callee::Reg(r) => {
+                            let raw = fr.regs[r.index()];
+                            let target = Memory::decode_func_ptr(
+                                raw,
+                                module.functions.len(),
+                                fname,
+                            )?;
+                            let callee_fn = module.function(target);
+                            if callee_fn.num_params as usize != argv.len() {
+                                return Err(VmError::IndirectArityMismatch {
+                                    callee: callee_fn.name.clone(),
+                                    passed: argv.len(),
+                                    expected: callee_fn.num_params as usize,
+                                });
+                            }
+                            profile
+                                .site_targets
+                                .entry(site)
+                                .or_default()
+                                .entry(ProfTarget::Func(target))
+                                .and_modify(|n| *n += 1)
+                                .or_insert(1);
+                            let sp = fr.sp;
+                            push_frame(
+                                module, &metas, &mut mem, &mut profile, &mut frames, target,
+                                &argv, dst, sp,
+                            )?;
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+
+        // Terminator.
+        profile.il_executed += 1;
+        match &block.term {
+            Terminator::Jump(b) => {
+                profile.control_transfers += 1;
+                fr.block = b.index();
+                fr.inst = 0;
+                profile.block_counts[fr.func.index()][fr.block] += 1;
+            }
+            Terminator::Branch {
+                cond,
+                then_to,
+                else_to,
+            } => {
+                profile.control_transfers += 1;
+                let taken = if fr.regs[cond.index()] != 0 {
+                    profile.branch_taken[fr.func.index()][fr.block] += 1;
+                    then_to
+                } else {
+                    else_to
+                };
+                fr.block = taken.index();
+                fr.inst = 0;
+                profile.block_counts[fr.func.index()][fr.block] += 1;
+            }
+            Terminator::Return(v) => {
+                profile.returns += 1;
+                let value = v.map(|r| fr.regs[r.index()]).unwrap_or(0);
+                let ret_dst = fr.ret_dst;
+                frames.pop();
+                match frames.last_mut() {
+                    Some(caller) => {
+                        if let Some(d) = ret_dst {
+                            caller.regs[d.index()] = value;
+                        }
+                    }
+                    None => break value,
+                }
+            }
+            Terminator::Halt => break 0,
+        }
+    };
+
+    let (stdout, stderr, files) = os.into_outputs();
+    Ok(RunOutcome {
+        exit_code,
+        stdout,
+        stderr,
+        files,
+        profile,
+        icache: icache.map(|sim| sim.stats()),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_frame(
+    module: &Module,
+    metas: &[FuncMeta],
+    mem: &mut Memory,
+    profile: &mut Profile,
+    frames: &mut Vec<Frame>,
+    func: FuncId,
+    args: &[i64],
+    ret_dst: Option<Reg>,
+    caller_sp: u64,
+) -> Result<(), VmError> {
+    let f = module.function(func);
+    debug_assert_eq!(f.num_params as usize, args.len());
+    let meta = &metas[func.index()];
+    let sp = caller_sp
+        .checked_sub(meta.frame_size)
+        .filter(|&sp| sp >= mem.stack_limit())
+        .ok_or_else(|| VmError::StackOverflow {
+            func: f.name.clone(),
+        })?;
+    profile.func_entries[func.index()] += 1;
+    profile.block_counts[func.index()][0] += 1;
+    let used = mem.stack_top() - sp;
+    if used > profile.max_stack_bytes {
+        profile.max_stack_bytes = used;
+    }
+    let mut regs = vec![0i64; f.num_regs as usize];
+    regs[..args.len()].copy_from_slice(args);
+    frames.push(Frame {
+        func,
+        block: 0,
+        inst: 0,
+        regs,
+        sp,
+        ret_dst,
+    });
+    Ok(())
+}
+
+fn eval_bin(op: BinOp, a: i64, b: i64, func: &str) -> Result<i64, VmError> {
+    Ok(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return Err(VmError::DivisionByZero {
+                    func: func.to_owned(),
+                });
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return Err(VmError::DivisionByZero {
+                    func: func.to_owned(),
+                });
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::UDiv => {
+            if b == 0 {
+                return Err(VmError::DivisionByZero {
+                    func: func.to_owned(),
+                });
+            }
+            ((a as u64) / (b as u64)) as i64
+        }
+        BinOp::URem => {
+            if b == 0 {
+                return Err(VmError::DivisionByZero {
+                    func: func.to_owned(),
+                });
+            }
+            ((a as u64) % (b as u64)) as i64
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+        BinOp::Shr => a.wrapping_shr(b as u32 & 63),
+        BinOp::UShr => ((a as u64).wrapping_shr(b as u32 & 63)) as i64,
+    })
+}
+
+fn eval_cmp(op: CmpOp, a: i64, b: i64) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::SLt => a < b,
+        CmpOp::SLe => a <= b,
+        CmpOp::SGt => a > b,
+        CmpOp::SGe => a >= b,
+        CmpOp::ULt => (a as u64) < (b as u64),
+        CmpOp::ULe => (a as u64) <= (b as u64),
+        CmpOp::UGt => (a as u64) > (b as u64),
+        CmpOp::UGe => (a as u64) >= (b as u64),
+    }
+}
+
+fn ext_value(v: i64, width: Width, signed: bool) -> i64 {
+    match (width, signed) {
+        (Width::W1, true) => v as i8 as i64,
+        (Width::W1, false) => v as u8 as i64,
+        (Width::W2, true) => v as i16 as i64,
+        (Width::W2, false) => v as u16 as i64,
+        (Width::W4, true) => v as i32 as i64,
+        (Width::W4, false) => v as u32 as i64,
+        (Width::W8, _) => v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ext_value_truncates_and_extends() {
+        assert_eq!(ext_value(0x1ff, Width::W1, false), 0xff);
+        assert_eq!(ext_value(0x1ff, Width::W1, true), -1);
+        assert_eq!(ext_value(-1, Width::W4, false), 0xffff_ffff);
+        assert_eq!(ext_value(i64::MIN, Width::W8, true), i64::MIN);
+    }
+
+    #[test]
+    fn bin_traps_on_division_by_zero() {
+        assert!(eval_bin(BinOp::Div, 1, 0, "f").is_err());
+        assert!(eval_bin(BinOp::URem, 1, 0, "f").is_err());
+        assert_eq!(eval_bin(BinOp::Div, 7, 2, "f").unwrap(), 3);
+        assert_eq!(eval_bin(BinOp::Div, i64::MIN, -1, "f").unwrap(), i64::MIN);
+    }
+
+    #[test]
+    fn unsigned_ops_treat_operands_as_u64() {
+        assert_eq!(eval_bin(BinOp::UDiv, -1, 2, "f").unwrap(), i64::MAX);
+        assert_eq!(eval_bin(BinOp::UShr, -1, 63, "f").unwrap(), 1);
+        assert!(eval_cmp(CmpOp::UGt, -1, 1));
+        assert!(!eval_cmp(CmpOp::SGt, -1, 1));
+    }
+
+    #[test]
+    fn shifts_mask_their_count() {
+        assert_eq!(eval_bin(BinOp::Shl, 1, 64, "f").unwrap(), 1);
+        assert_eq!(eval_bin(BinOp::Shl, 1, 65, "f").unwrap(), 2);
+    }
+}

@@ -1,0 +1,313 @@
+//! Flat byte-addressable memory with globals, heap, and stack segments.
+//!
+//! Layout (low → high): a trapping null page, the module's globals, the
+//! bump-allocated heap, and the downward-growing control stack at the top.
+//! Function "addresses" live in a disjoint high range so that function
+//! pointers are ordinary 64-bit values yet can never alias data.
+
+use impact_il::{FuncId, GlobalId, Module, Width};
+
+use crate::error::VmError;
+
+/// Base of the synthetic function-address range. `FUNC_BASE + id` is the
+/// runtime value of `&func`.
+pub const FUNC_BASE: u64 = 0x4000_0000_0000_0000;
+
+/// Size of the unmapped page at address zero.
+const NULL_PAGE: u64 = 4096;
+
+/// The VM's memory.
+#[derive(Clone, Debug)]
+pub struct Memory {
+    bytes: Vec<u8>,
+    globals_base: u64,
+    global_addrs: Vec<u64>,
+    heap_base: u64,
+    heap_ptr: u64,
+    heap_end: u64,
+    stack_top: u64,
+}
+
+impl Memory {
+    /// Lays out `module`'s globals and reserves `heap_size` and
+    /// `stack_size` bytes. Applies global initializers, including
+    /// function-pointer relocations.
+    pub fn new(module: &Module, heap_size: u64, stack_size: u64) -> Self {
+        let globals_base = NULL_PAGE;
+        let mut cursor = globals_base;
+        let mut global_addrs = Vec::with_capacity(module.globals.len());
+        for g in &module.globals {
+            let align = g.align.max(1);
+            cursor = cursor.next_multiple_of(align);
+            global_addrs.push(cursor);
+            cursor += g.size.max(1);
+        }
+        let heap_base = cursor.next_multiple_of(16);
+        let heap_end = heap_base + heap_size;
+        let stack_top = heap_end + stack_size;
+        let mut mem = Memory {
+            bytes: vec![0; stack_top as usize],
+            globals_base,
+            global_addrs,
+            heap_base,
+            heap_ptr: heap_base,
+            heap_end,
+            stack_top,
+        };
+        for (g, &addr) in module.globals.iter().zip(&mem.global_addrs.clone()) {
+            mem.bytes[addr as usize..addr as usize + g.init.len()].copy_from_slice(&g.init);
+            for &(off, func) in &g.func_relocs {
+                let v = FUNC_BASE + func.0 as u64;
+                mem.bytes[(addr + off) as usize..(addr + off + 8) as usize]
+                    .copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        mem
+    }
+
+    /// The runtime address of a global.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range for the module this memory was built
+    /// from.
+    pub fn global_addr(&self, g: GlobalId) -> u64 {
+        self.global_addrs[g.index()]
+    }
+
+    /// Lowest stack address (the stack may not grow below this).
+    pub fn stack_limit(&self) -> u64 {
+        self.heap_end
+    }
+
+    /// Highest stack address (initial stack pointer).
+    pub fn stack_top(&self) -> u64 {
+        self.stack_top
+    }
+
+    /// Base address of the globals segment (for diagnostics).
+    pub fn globals_base(&self) -> u64 {
+        self.globals_base
+    }
+
+    /// Base address of the heap segment (for diagnostics).
+    pub fn heap_base(&self) -> u64 {
+        self.heap_base
+    }
+
+    fn check(&self, addr: u64, len: u64, func: &str) -> Result<usize, VmError> {
+        if addr < NULL_PAGE || addr.saturating_add(len) > self.stack_top {
+            return Err(VmError::OutOfBounds {
+                addr,
+                func: func.to_owned(),
+            });
+        }
+        Ok(addr as usize)
+    }
+
+    /// Loads `width` bytes at `addr`, extending to 64 bits.
+    pub fn load(&self, addr: u64, width: Width, signed: bool, func: &str) -> Result<i64, VmError> {
+        let a = self.check(addr, width.bytes(), func)?;
+        let v = match width {
+            Width::W1 => {
+                let b = self.bytes[a];
+                if signed {
+                    b as i8 as i64
+                } else {
+                    b as i64
+                }
+            }
+            Width::W2 => {
+                let b = u16::from_le_bytes([self.bytes[a], self.bytes[a + 1]]);
+                if signed {
+                    b as i16 as i64
+                } else {
+                    b as i64
+                }
+            }
+            Width::W4 => {
+                let b = u32::from_le_bytes(self.bytes[a..a + 4].try_into().expect("4 bytes"));
+                if signed {
+                    b as i32 as i64
+                } else {
+                    b as i64
+                }
+            }
+            Width::W8 => i64::from_le_bytes(self.bytes[a..a + 8].try_into().expect("8 bytes")),
+        };
+        Ok(v)
+    }
+
+    /// Stores the low `width` bytes of `value` at `addr`.
+    pub fn store(&mut self, addr: u64, value: i64, width: Width, func: &str) -> Result<(), VmError> {
+        let a = self.check(addr, width.bytes(), func)?;
+        let le = value.to_le_bytes();
+        self.bytes[a..a + width.bytes() as usize].copy_from_slice(&le[..width.bytes() as usize]);
+        Ok(())
+    }
+
+    /// Reads a NUL-terminated string (capped at 1 MiB to bound damage from
+    /// wild pointers).
+    pub fn read_cstr(&self, addr: u64, func: &str) -> Result<Vec<u8>, VmError> {
+        let mut out = Vec::new();
+        let mut a = addr;
+        loop {
+            let b = self.load(a, Width::W1, false, func)? as u8;
+            if b == 0 {
+                return Ok(out);
+            }
+            out.push(b);
+            if out.len() > 1 << 20 {
+                return Err(VmError::OutOfBounds { addr: a, func: func.to_owned() });
+            }
+            a += 1;
+        }
+    }
+
+    /// Writes `bytes` plus a terminating NUL at `addr`.
+    pub fn write_cstr(&mut self, addr: u64, bytes: &[u8], func: &str) -> Result<(), VmError> {
+        let a = self.check(addr, bytes.len() as u64 + 1, func)?;
+        self.bytes[a..a + bytes.len()].copy_from_slice(bytes);
+        self.bytes[a + bytes.len()] = 0;
+        Ok(())
+    }
+
+    /// Bump-allocates `size` bytes (16-byte aligned). A `size` of zero
+    /// allocates 16 bytes so every allocation has a distinct address.
+    pub fn malloc(&mut self, size: u64) -> Result<u64, VmError> {
+        let size = size.max(1).next_multiple_of(16);
+        if self.heap_ptr + size > self.heap_end {
+            return Err(VmError::OutOfMemory { requested: size });
+        }
+        let addr = self.heap_ptr;
+        self.heap_ptr += size;
+        Ok(addr)
+    }
+
+    /// Frees an allocation. The bump allocator makes this a no-op, which is
+    /// sufficient for the benchmark programs (documented substitution for a
+    /// real allocator — allocation *cost* is what the profile needs, and
+    /// that is on the call, not the reuse).
+    pub fn free(&mut self, _addr: u64) {}
+
+    /// Decodes a function-pointer value into a [`FuncId`].
+    pub fn decode_func_ptr(value: i64, num_funcs: usize, func: &str) -> Result<FuncId, VmError> {
+        let v = value as u64;
+        if v < FUNC_BASE || (v - FUNC_BASE) as usize >= num_funcs {
+            return Err(VmError::BadFunctionPointer {
+                value: v,
+                func: func.to_owned(),
+            });
+        }
+        Ok(FuncId((v - FUNC_BASE) as u32))
+    }
+
+    /// Encodes a [`FuncId`] as a runtime function-pointer value.
+    pub fn encode_func_ptr(f: FuncId) -> i64 {
+        (FUNC_BASE + f.0 as u64) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impact_il::{Function, Global};
+
+    fn module_with_globals() -> Module {
+        let mut m = Module::new();
+        m.add_function(Function::new("main", 0));
+        m.add_global(Global::with_bytes("msg", b"hi\0".to_vec(), 1));
+        let mut tbl = Global::zeroed("tbl", 16, 8);
+        tbl.func_relocs.push((8, FuncId(0)));
+        m.add_global(tbl);
+        m
+    }
+
+    #[test]
+    fn globals_are_laid_out_and_initialized() {
+        let m = module_with_globals();
+        let mem = Memory::new(&m, 1024, 1024);
+        let msg = mem.global_addr(GlobalId(0));
+        assert!(msg >= 4096);
+        assert_eq!(mem.load(msg, Width::W1, false, "t").unwrap(), b'h' as i64);
+        let tbl = mem.global_addr(GlobalId(1));
+        assert_eq!(tbl % 8, 0);
+        assert_eq!(
+            mem.load(tbl + 8, Width::W8, true, "t").unwrap(),
+            Memory::encode_func_ptr(FuncId(0))
+        );
+    }
+
+    #[test]
+    fn null_page_traps() {
+        let m = module_with_globals();
+        let mem = Memory::new(&m, 1024, 1024);
+        assert!(matches!(
+            mem.load(0, Width::W1, false, "t"),
+            Err(VmError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            mem.load(4095, Width::W8, false, "t"),
+            Err(VmError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn load_store_round_trip_all_widths() {
+        let m = module_with_globals();
+        let mut mem = Memory::new(&m, 4096, 1024);
+        let a = mem.malloc(64).unwrap();
+        for (w, v) in [
+            (Width::W1, -5i64),
+            (Width::W2, -300),
+            (Width::W4, -70000),
+            (Width::W8, i64::MIN + 3),
+        ] {
+            mem.store(a, v, w, "t").unwrap();
+            assert_eq!(mem.load(a, w, true, "t").unwrap(), v);
+        }
+        // Zero-extension.
+        mem.store(a, -1, Width::W1, "t").unwrap();
+        assert_eq!(mem.load(a, Width::W1, false, "t").unwrap(), 255);
+    }
+
+    #[test]
+    fn malloc_bumps_and_exhausts() {
+        let m = module_with_globals();
+        let mut mem = Memory::new(&m, 64, 1024);
+        let a = mem.malloc(16).unwrap();
+        let b = mem.malloc(16).unwrap();
+        assert_ne!(a, b);
+        assert!(matches!(
+            mem.malloc(1 << 20),
+            Err(VmError::OutOfMemory { .. })
+        ));
+        mem.free(a); // no-op, must not panic
+    }
+
+    #[test]
+    fn cstr_round_trip() {
+        let m = module_with_globals();
+        let mut mem = Memory::new(&m, 4096, 1024);
+        let a = mem.malloc(32).unwrap();
+        mem.write_cstr(a, b"hello", "t").unwrap();
+        assert_eq!(mem.read_cstr(a, "t").unwrap(), b"hello".to_vec());
+    }
+
+    #[test]
+    fn func_ptr_encode_decode() {
+        let f = FuncId(3);
+        let v = Memory::encode_func_ptr(f);
+        assert_eq!(Memory::decode_func_ptr(v, 5, "t").unwrap(), f);
+        assert!(Memory::decode_func_ptr(v, 2, "t").is_err());
+        assert!(Memory::decode_func_ptr(12345, 5, "t").is_err());
+    }
+
+    #[test]
+    fn stack_region_is_above_heap() {
+        let m = module_with_globals();
+        let mem = Memory::new(&m, 1024, 2048);
+        assert_eq!(mem.stack_top() - mem.stack_limit(), 2048);
+        assert!(mem.stack_limit() > mem.globals_base());
+    }
+}

@@ -1,0 +1,506 @@
+//! Execution profiles — the paper's "Profiler to C Compiler interface".
+//!
+//! The profiler records, per run: executed intermediate-instruction counts,
+//! intra-function control transfers, function entry counts (node weights),
+//! and per-call-site invocation counts (arc weights). Profiles from many
+//! runs are merged and averaged, matching §3.1: "the profiler accumulates
+//! the average run-time statistics over many runs of a program".
+
+use std::collections::HashMap;
+
+use impact_il::{CallSiteId, ExternId, FuncId, Module};
+use serde::{Deserialize, Serialize};
+
+/// A call target as recorded by the profiler (the callee side of an arc).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ProfTarget {
+    /// A user function.
+    Func(FuncId),
+    /// An external function (VM builtin).
+    Ext(ExternId),
+}
+
+/// Aggregated execution statistics for one or more runs of a module.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Number of runs merged into this profile.
+    pub runs: u32,
+    /// Total executed IL instructions (instructions + terminators), the
+    /// paper's `IL's` unit.
+    pub il_executed: u64,
+    /// Executed intra-function control transfers (jumps and branches) —
+    /// the paper's `control` column (excludes calls/returns).
+    pub control_transfers: u64,
+    /// Executed call instructions (user + external + indirect).
+    pub calls: u64,
+    /// Executed returns from user functions.
+    pub returns: u64,
+    /// High-water mark of control stack usage in bytes.
+    pub max_stack_bytes: u64,
+    /// Function entry counts, indexed by [`FuncId`] — the node weights.
+    pub func_entries: Vec<u64>,
+    /// Call-site execution counts, indexed by raw [`CallSiteId`] — the arc
+    /// weights.
+    pub site_counts: Vec<u64>,
+    /// For call-through-pointer sites: the distribution of actual targets.
+    pub site_targets: HashMap<CallSiteId, HashMap<ProfTarget, u64>>,
+    /// Per-function, per-block execution counts (for branch statistics).
+    pub block_counts: Vec<Vec<u64>>,
+    /// Per-function, per-block count of `Branch` terminators that took
+    /// the *then* edge — §3.1: "the frequencies of each of the possible
+    /// directions of branch instructions". The not-taken count is the
+    /// number of times the terminator executed minus this.
+    pub branch_taken: Vec<Vec<u64>>,
+}
+
+impl Profile {
+    /// Creates an all-zero profile shaped for `module`.
+    pub fn for_module(module: &Module) -> Self {
+        Profile {
+            runs: 0,
+            il_executed: 0,
+            control_transfers: 0,
+            calls: 0,
+            returns: 0,
+            max_stack_bytes: 0,
+            func_entries: vec![0; module.functions.len()],
+            site_counts: vec![0; module.call_site_limit() as usize],
+            site_targets: HashMap::new(),
+            block_counts: module
+                .functions
+                .iter()
+                .map(|f| vec![0; f.blocks.len()])
+                .collect(),
+            branch_taken: module
+                .functions
+                .iter()
+                .map(|f| vec![0; f.blocks.len()])
+                .collect(),
+        }
+    }
+
+    /// Taken/not-taken counts for the branch terminating `block` of
+    /// `func`, or `None` when out of range. `not_taken` is derived from
+    /// how often the block's terminator executed.
+    pub fn branch_directions(&self, func: FuncId, block: u32) -> Option<(u64, u64)> {
+        let execs = *self.block_counts.get(func.index())?.get(block as usize)?;
+        let taken = *self.branch_taken.get(func.index())?.get(block as usize)?;
+        Some((taken, execs.saturating_sub(taken)))
+    }
+
+    /// The recorded entry count of a function (0 if out of range).
+    pub fn func_weight(&self, f: FuncId) -> u64 {
+        self.func_entries.get(f.index()).copied().unwrap_or(0)
+    }
+
+    /// The recorded execution count of a call site (0 if out of range).
+    pub fn site_weight(&self, s: CallSiteId) -> u64 {
+        self.site_counts.get(s.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Accumulates another profile into this one (element-wise sums; the
+    /// stack high-water mark takes the max).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profiles were collected for differently shaped
+    /// modules.
+    pub fn merge(&mut self, other: &Profile) {
+        assert_eq!(
+            self.func_entries.len(),
+            other.func_entries.len(),
+            "profiles come from different modules"
+        );
+        self.runs += other.runs;
+        self.il_executed += other.il_executed;
+        self.control_transfers += other.control_transfers;
+        self.calls += other.calls;
+        self.returns += other.returns;
+        self.max_stack_bytes = self.max_stack_bytes.max(other.max_stack_bytes);
+        for (a, b) in self.func_entries.iter_mut().zip(&other.func_entries) {
+            *a += b;
+        }
+        if self.site_counts.len() < other.site_counts.len() {
+            self.site_counts.resize(other.site_counts.len(), 0);
+        }
+        for (i, b) in other.site_counts.iter().enumerate() {
+            self.site_counts[i] += b;
+        }
+        for (site, targets) in &other.site_targets {
+            let entry = self.site_targets.entry(*site).or_default();
+            for (t, n) in targets {
+                *entry.entry(*t).or_insert(0) += n;
+            }
+        }
+        for (a, b) in self.block_counts.iter_mut().zip(&other.block_counts) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+        for (a, b) in self.branch_taken.iter_mut().zip(&other.branch_taken) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+    }
+
+    /// Returns the per-run average of this profile (integer division).
+    ///
+    /// Node and arc weights in the paper are per-typical-run counts; when
+    /// several runs were merged the averaged profile is what drives inline
+    /// decisions and the reported tables.
+    pub fn averaged(&self) -> Profile {
+        let n = u64::from(self.runs.max(1));
+        Profile {
+            runs: 1,
+            il_executed: self.il_executed / n,
+            control_transfers: self.control_transfers / n,
+            calls: self.calls / n,
+            returns: self.returns / n,
+            max_stack_bytes: self.max_stack_bytes,
+            func_entries: self.func_entries.iter().map(|v| v / n).collect(),
+            site_counts: self.site_counts.iter().map(|v| v / n).collect(),
+            site_targets: self
+                .site_targets
+                .iter()
+                .map(|(s, ts)| (*s, ts.iter().map(|(t, v)| (*t, *v / n)).collect()))
+                .collect(),
+            block_counts: self
+                .block_counts
+                .iter()
+                .map(|bs| bs.iter().map(|v| v / n).collect())
+                .collect(),
+            branch_taken: self
+                .branch_taken
+                .iter()
+                .map(|bs| bs.iter().map(|v| v / n).collect())
+                .collect(),
+        }
+    }
+
+    /// Average executed IL instructions between dynamic calls — the
+    /// paper's `IL's per call` metric (Table 4).
+    pub fn ils_per_call(&self) -> u64 {
+        if self.calls == 0 {
+            self.il_executed
+        } else {
+            self.il_executed / self.calls
+        }
+    }
+
+    /// Average control transfers between dynamic calls — the paper's
+    /// `CT's per call` metric (Table 4).
+    pub fn cts_per_call(&self) -> u64 {
+        if self.calls == 0 {
+            self.control_transfers
+        } else {
+            self.control_transfers / self.calls
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impact_il::Function;
+
+    fn tiny_module() -> Module {
+        let mut m = Module::new();
+        m.add_function(Function::new("main", 0));
+        m.add_function(Function::new("f", 0));
+        let _ = m.fresh_call_site();
+        let _ = m.fresh_call_site();
+        m
+    }
+
+    #[test]
+    fn for_module_shapes_tables() {
+        let m = tiny_module();
+        let p = Profile::for_module(&m);
+        assert_eq!(p.func_entries.len(), 2);
+        assert_eq!(p.site_counts.len(), 2);
+        assert_eq!(p.block_counts.len(), 2);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_maxes_stack() {
+        let m = tiny_module();
+        let mut a = Profile::for_module(&m);
+        a.runs = 1;
+        a.il_executed = 100;
+        a.max_stack_bytes = 64;
+        a.func_entries[1] = 5;
+        a.site_counts[0] = 7;
+        let mut b = Profile::for_module(&m);
+        b.runs = 1;
+        b.il_executed = 50;
+        b.max_stack_bytes = 128;
+        b.func_entries[1] = 3;
+        b.site_counts[0] = 1;
+        b.site_targets
+            .entry(CallSiteId(1))
+            .or_default()
+            .insert(ProfTarget::Func(FuncId(1)), 4);
+        a.merge(&b);
+        assert_eq!(a.runs, 2);
+        assert_eq!(a.il_executed, 150);
+        assert_eq!(a.max_stack_bytes, 128);
+        assert_eq!(a.func_entries[1], 8);
+        assert_eq!(a.site_counts[0], 8);
+        assert_eq!(
+            a.site_targets[&CallSiteId(1)][&ProfTarget::Func(FuncId(1))],
+            4
+        );
+    }
+
+    #[test]
+    fn averaged_divides_by_runs() {
+        let m = tiny_module();
+        let mut p = Profile::for_module(&m);
+        p.runs = 4;
+        p.il_executed = 100;
+        p.calls = 8;
+        p.func_entries[0] = 4;
+        let avg = p.averaged();
+        assert_eq!(avg.runs, 1);
+        assert_eq!(avg.il_executed, 25);
+        assert_eq!(avg.calls, 2);
+        assert_eq!(avg.func_entries[0], 1);
+    }
+
+    #[test]
+    fn per_call_metrics() {
+        let m = tiny_module();
+        let mut p = Profile::for_module(&m);
+        p.il_executed = 1000;
+        p.control_transfers = 100;
+        p.calls = 10;
+        assert_eq!(p.ils_per_call(), 100);
+        assert_eq!(p.cts_per_call(), 10);
+        p.calls = 0;
+        assert_eq!(p.ils_per_call(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "different modules")]
+    fn merge_rejects_mismatched_shapes() {
+        let m = tiny_module();
+        let mut a = Profile::for_module(&m);
+        let mut m2 = Module::new();
+        m2.add_function(Function::new("main", 0));
+        let b = Profile::for_module(&m2);
+        a.merge(&b);
+    }
+}
+
+// ----- on-disk text format -----------------------------------------------
+
+impl Profile {
+    /// Serializes the profile to a line-oriented text format — the
+    /// "Profiler to C Compiler interface" (§1.2): the paper's profiler
+    /// persists statistics that the compiler later reads back.
+    ///
+    /// The format is versioned and self-describing:
+    ///
+    /// ```text
+    /// impact-profile v1
+    /// runs 3
+    /// il_executed 123456
+    /// ...
+    /// func_entries 1 500 500
+    /// site_counts 500 500 0
+    /// block_counts 0 1 500
+    /// site_target 7 func 2 480
+    /// ```
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "impact-profile v1");
+        let _ = writeln!(s, "runs {}", self.runs);
+        let _ = writeln!(s, "il_executed {}", self.il_executed);
+        let _ = writeln!(s, "control_transfers {}", self.control_transfers);
+        let _ = writeln!(s, "calls {}", self.calls);
+        let _ = writeln!(s, "returns {}", self.returns);
+        let _ = writeln!(s, "max_stack_bytes {}", self.max_stack_bytes);
+        let join = |v: &[u64]| {
+            v.iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let _ = writeln!(s, "func_entries {}", join(&self.func_entries));
+        let _ = writeln!(s, "site_counts {}", join(&self.site_counts));
+        for (fi, counts) in self.block_counts.iter().enumerate() {
+            let _ = writeln!(s, "block_counts {fi} {}", join(counts));
+        }
+        for (fi, counts) in self.branch_taken.iter().enumerate() {
+            let _ = writeln!(s, "branch_taken {fi} {}", join(counts));
+        }
+        let mut sites: Vec<_> = self.site_targets.iter().collect();
+        sites.sort_by_key(|(site, _)| site.0);
+        for (site, targets) in sites {
+            let mut ts: Vec<_> = targets.iter().collect();
+            ts.sort();
+            for (t, n) in ts {
+                match t {
+                    ProfTarget::Func(f) => {
+                        let _ = writeln!(s, "site_target {} func {} {n}", site.0, f.0);
+                    }
+                    ProfTarget::Ext(x) => {
+                        let _ = writeln!(s, "site_target {} ext {} {n}", site.0, x.0);
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    /// Parses the format produced by [`Profile::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a line-anchored message on malformed input.
+    pub fn from_text(text: &str) -> Result<Profile, String> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or("empty profile")?;
+        if header.trim() != "impact-profile v1" {
+            return Err(format!("bad header `{header}`"));
+        }
+        let mut p = Profile::default();
+        let parse_u64 = |ln: usize, tok: &str| {
+            tok.parse::<u64>()
+                .map_err(|_| format!("line {}: bad number `{tok}`", ln + 1))
+        };
+        for (ln, line) in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let key = it.next().expect("nonempty line");
+            let rest: Vec<&str> = it.collect();
+            match key {
+                "runs" => p.runs = parse_u64(ln, rest.first().ok_or("missing value")?)? as u32,
+                "il_executed" => p.il_executed = parse_u64(ln, rest.first().ok_or("missing")?)?,
+                "control_transfers" => {
+                    p.control_transfers = parse_u64(ln, rest.first().ok_or("missing")?)?
+                }
+                "calls" => p.calls = parse_u64(ln, rest.first().ok_or("missing")?)?,
+                "returns" => p.returns = parse_u64(ln, rest.first().ok_or("missing")?)?,
+                "max_stack_bytes" => {
+                    p.max_stack_bytes = parse_u64(ln, rest.first().ok_or("missing")?)?
+                }
+                "func_entries" => {
+                    p.func_entries = rest
+                        .iter()
+                        .map(|t| parse_u64(ln, t))
+                        .collect::<Result<_, _>>()?;
+                }
+                "site_counts" => {
+                    p.site_counts = rest
+                        .iter()
+                        .map(|t| parse_u64(ln, t))
+                        .collect::<Result<_, _>>()?;
+                }
+                "block_counts" => {
+                    let fi = parse_u64(ln, rest.first().ok_or("missing func index")?)? as usize;
+                    if p.block_counts.len() <= fi {
+                        p.block_counts.resize(fi + 1, Vec::new());
+                    }
+                    p.block_counts[fi] = rest[1..]
+                        .iter()
+                        .map(|t| parse_u64(ln, t))
+                        .collect::<Result<_, _>>()?;
+                }
+                "branch_taken" => {
+                    let fi = parse_u64(ln, rest.first().ok_or("missing func index")?)? as usize;
+                    if p.branch_taken.len() <= fi {
+                        p.branch_taken.resize(fi + 1, Vec::new());
+                    }
+                    p.branch_taken[fi] = rest[1..]
+                        .iter()
+                        .map(|t| parse_u64(ln, t))
+                        .collect::<Result<_, _>>()?;
+                }
+                "site_target" => {
+                    if rest.len() != 4 {
+                        return Err(format!("line {}: site_target needs 4 fields", ln + 1));
+                    }
+                    let site = CallSiteId(parse_u64(ln, rest[0])? as u32);
+                    let id = parse_u64(ln, rest[2])? as u32;
+                    let n = parse_u64(ln, rest[3])?;
+                    let target = match rest[1] {
+                        "func" => ProfTarget::Func(FuncId(id)),
+                        "ext" => ProfTarget::Ext(ExternId(id)),
+                        other => {
+                            return Err(format!("line {}: bad target kind `{other}`", ln + 1))
+                        }
+                    };
+                    p.site_targets.entry(site).or_default().insert(target, n);
+                }
+                other => return Err(format!("line {}: unknown key `{other}`", ln + 1)),
+            }
+        }
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod text_tests {
+    use super::*;
+    use impact_il::Function;
+
+    fn sample_profile() -> Profile {
+        let mut m = Module::new();
+        m.add_function(Function::new("main", 0));
+        m.add_function(Function::new("f", 0));
+        let s0 = m.fresh_call_site();
+        let _s1 = m.fresh_call_site();
+        let mut p = Profile::for_module(&m);
+        p.runs = 3;
+        p.il_executed = 1234;
+        p.control_transfers = 99;
+        p.calls = 55;
+        p.returns = 56;
+        p.max_stack_bytes = 2048;
+        p.func_entries = vec![1, 54];
+        p.site_counts = vec![54, 1];
+        p.block_counts = vec![vec![1, 2], vec![54]];
+        p.branch_taken = vec![vec![0, 1], vec![30]];
+        p.site_targets
+            .entry(s0)
+            .or_default()
+            .insert(ProfTarget::Func(FuncId(1)), 54);
+        p.site_targets
+            .entry(s0)
+            .or_default()
+            .insert(ProfTarget::Ext(ExternId(0)), 3);
+        p
+    }
+
+    #[test]
+    fn text_round_trip_is_lossless() {
+        let p = sample_profile();
+        let text = p.to_text();
+        let q = Profile::from_text(&text).expect("parses");
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn rejects_bad_header_and_junk() {
+        assert!(Profile::from_text("").is_err());
+        assert!(Profile::from_text("not-a-profile").is_err());
+        assert!(Profile::from_text("impact-profile v1\nbogus_key 3").is_err());
+        assert!(Profile::from_text("impact-profile v1\nruns x").is_err());
+        assert!(Profile::from_text("impact-profile v1\nsite_target 1 alien 2 3").is_err());
+    }
+
+    #[test]
+    fn text_is_stable_and_human_readable() {
+        let text = sample_profile().to_text();
+        assert!(text.starts_with("impact-profile v1\n"));
+        assert!(text.contains("runs 3"));
+        assert!(text.contains("func_entries 1 54"));
+        assert!(text.contains("site_target 0 func 1 54"));
+    }
+}

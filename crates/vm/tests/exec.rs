@@ -1,0 +1,588 @@
+//! Behavioral tests: C programs compiled by `impact-cfront` and executed
+//! by the VM, checking observable results (exit codes, output bytes) and
+//! the profile counters the inliner depends on.
+
+use impact_cfront::{compile, Source};
+use impact_vm::{run, NamedFile, VmConfig, VmError};
+
+fn exec(src: &str) -> i64 {
+    exec_io(src, vec![], vec![]).0
+}
+
+fn exec_io(src: &str, inputs: Vec<NamedFile>, args: Vec<String>) -> (i64, String) {
+    let module = compile(&[Source::new("t.c", src)]).expect("compiles");
+    impact_il::verify_module(&module).expect("verifies");
+    let out = run(&module, inputs, args, &VmConfig::default()).expect("runs");
+    (out.exit_code, String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+fn exec_err(src: &str) -> VmError {
+    let module = compile(&[Source::new("t.c", src)]).expect("compiles");
+    run(&module, vec![], vec![], &VmConfig::default()).expect_err("should trap")
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    assert_eq!(exec("int main() { return 2 + 3 * 4 - 6 / 2; }"), 11);
+    assert_eq!(exec("int main() { return (2 + 3) * 4 % 7; }"), 6);
+    assert_eq!(exec("int main() { return 10 - -3; }"), 13);
+    assert_eq!(exec("int main() { return ~0 & 0xff; }"), 255);
+    assert_eq!(exec("int main() { return 1 << 10; }"), 1024);
+    assert_eq!(exec("int main() { return -16 >> 2; }"), -4);
+}
+
+#[test]
+fn comparisons_and_logic() {
+    assert_eq!(exec("int main() { return 3 < 5; }"), 1);
+    assert_eq!(exec("int main() { return 5 <= 4; }"), 0);
+    assert_eq!(exec("int main() { return (1 && 0) || (2 && 3); }"), 1);
+    assert_eq!(exec("int main() { return !42; }"), 0);
+    assert_eq!(exec("int main() { return !0; }"), 1);
+}
+
+#[test]
+fn short_circuit_skips_side_effects() {
+    assert_eq!(
+        exec(
+            "int g;\n\
+             int bump() { g = g + 1; return 1; }\n\
+             int main() { 0 && bump(); 1 || bump(); return g; }"
+        ),
+        0
+    );
+    assert_eq!(
+        exec(
+            "int g;\n\
+             int bump() { g = g + 1; return 1; }\n\
+             int main() { 1 && bump(); 0 || bump(); return g; }"
+        ),
+        2
+    );
+}
+
+#[test]
+fn while_and_for_loops() {
+    assert_eq!(
+        exec("int main() { int i; int s; s = 0; for (i = 1; i <= 10; i++) s += i; return s; }"),
+        55
+    );
+    assert_eq!(
+        exec("int main() { int n; n = 100; while (n > 1) n /= 2; return n; }"),
+        1
+    );
+    assert_eq!(
+        exec("int main() { int n; n = 0; do { n++; } while (n < 5); return n; }"),
+        5
+    );
+}
+
+#[test]
+fn break_and_continue() {
+    assert_eq!(
+        exec(
+            "int main() {\n\
+               int i; int s; s = 0;\n\
+               for (i = 0; i < 100; i++) {\n\
+                 if (i % 2) continue;\n\
+                 if (i > 10) break;\n\
+                 s += i;\n\
+               }\n\
+               return s;\n\
+             }"
+        ),
+        30 // 0+2+4+6+8+10
+    );
+}
+
+#[test]
+fn switch_dispatch_and_fallthrough() {
+    let prog = |x: i32| {
+        format!(
+            "int classify(int x) {{\n\
+               int n; n = 0;\n\
+               switch (x) {{\n\
+                 case 1: n += 1;\n\
+                 case 2: n += 2; break;\n\
+                 case 3: return 30;\n\
+                 default: n = 99;\n\
+               }}\n\
+               return n;\n\
+             }}\n\
+             int main() {{ return classify({x}); }}"
+        )
+    };
+    assert_eq!(exec(&prog(1)), 3); // falls through 1 → 2
+    assert_eq!(exec(&prog(2)), 2);
+    assert_eq!(exec(&prog(3)), 30);
+    assert_eq!(exec(&prog(7)), 99);
+}
+
+#[test]
+fn recursion_fibonacci() {
+    assert_eq!(
+        exec(
+            "int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }\n\
+             int main() { return fib(12); }"
+        ),
+        144
+    );
+}
+
+#[test]
+fn mutual_recursion() {
+    assert_eq!(
+        exec(
+            "int is_odd(int n);\n\
+             int is_even(int n) { return n == 0 ? 1 : is_odd(n - 1); }\n\
+             int is_odd(int n) { return n == 0 ? 0 : is_even(n - 1); }\n\
+             int main() { return is_even(10) * 10 + is_odd(7); }"
+        ),
+        11
+    );
+}
+
+#[test]
+fn pointers_and_out_params() {
+    assert_eq!(
+        exec(
+            "void swap(int *a, int *b) { int t; t = *a; *a = *b; *b = t; }\n\
+             int main() { int x; int y; x = 3; y = 40; swap(&x, &y); return x - y; }"
+        ),
+        37
+    );
+}
+
+#[test]
+fn arrays_and_pointer_walks() {
+    assert_eq!(
+        exec(
+            "int main() {\n\
+               int a[5]; int i; int s; int *p;\n\
+               for (i = 0; i < 5; i++) a[i] = i * i;\n\
+               s = 0;\n\
+               for (p = a; p < a + 5; p++) s += *p;\n\
+               return s;\n\
+             }"
+        ),
+        30
+    );
+}
+
+#[test]
+fn strings_and_char_ops() {
+    assert_eq!(
+        exec(
+            "int my_strlen(char *s) { int n; n = 0; while (s[n]) n++; return n; }\n\
+             int main() { return my_strlen(\"hello world\"); }"
+        ),
+        11
+    );
+    assert_eq!(
+        exec("int main() { char c; c = 'A'; return c + 2; }"),
+        67
+    );
+}
+
+#[test]
+fn global_state_and_tables() {
+    assert_eq!(
+        exec(
+            "int table[8] = {1, 2, 4, 8, 16, 32, 64, 128};\n\
+             int counter;\n\
+             int next() { return table[counter++ & 7]; }\n\
+             int main() { int s; s = next() + next() + next(); return s; }"
+        ),
+        7
+    );
+}
+
+#[test]
+fn structs_through_pointers() {
+    assert_eq!(
+        exec(
+            "struct point { int x; int y; };\n\
+             struct point origin;\n\
+             void shift(struct point *p, int dx, int dy) { p->x += dx; p->y += dy; }\n\
+             int main() { shift(&origin, 3, 4); return origin.x * 10 + origin.y; }"
+        ),
+        34
+    );
+}
+
+#[test]
+fn linked_list_on_heap() {
+    assert_eq!(
+        exec(
+            "extern long __malloc(long n);\n\
+             struct node { int v; struct node *next; };\n\
+             int main() {\n\
+               struct node *head; struct node *n; int i; int s;\n\
+               head = 0;\n\
+               for (i = 1; i <= 4; i++) {\n\
+                 n = (struct node*)__malloc(sizeof(struct node));\n\
+                 n->v = i; n->next = head; head = n;\n\
+               }\n\
+               s = 0;\n\
+               for (n = head; n; n = n->next) s = s * 10 + n->v;\n\
+               return s;\n\
+             }"
+        ),
+        4321
+    );
+}
+
+#[test]
+fn function_pointers_direct_and_table() {
+    assert_eq!(
+        exec(
+            "int add(int a, int b) { return a + b; }\n\
+             int mul(int a, int b) { return a * b; }\n\
+             int (*ops[2])(int, int) = {add, mul};\n\
+             int apply(int which, int a, int b) { return ops[which](a, b); }\n\
+             int main() { return apply(0, 2, 3) * apply(1, 2, 3); }"
+        ),
+        30
+    );
+}
+
+#[test]
+fn unsigned_semantics() {
+    assert_eq!(
+        exec("int main() { unsigned a; a = 0; a = a - 1; return a > 100; }"),
+        1
+    );
+    assert_eq!(
+        exec("int main() { unsigned char c; c = 255; c = c + 1; return c; }"),
+        0
+    );
+    assert_eq!(
+        exec("int main() { return (unsigned char)-1; }"),
+        255
+    );
+}
+
+#[test]
+fn narrow_types_truncate() {
+    assert_eq!(exec("int main() { char c; c = 300; return c; }"), 44);
+    assert_eq!(
+        exec("int main() { short s; s = 70000; return s == 70000 - 65536; }"),
+        1
+    );
+}
+
+#[test]
+fn conditional_and_comma() {
+    assert_eq!(exec("int main() { return 1 ? 2 : 3; }"), 2);
+    assert_eq!(exec("int main() { int x; x = (1, 2, 3); return x; }"), 3);
+    assert_eq!(
+        exec("int main() { int a; a = 5; return a > 3 ? a > 4 ? 44 : 4 : 3; }"),
+        44
+    );
+}
+
+#[test]
+fn inc_dec_semantics() {
+    assert_eq!(
+        exec("int main() { int i; i = 5; return i++ * 10 + i; }"),
+        56
+    );
+    assert_eq!(
+        exec("int main() { int i; i = 5; return ++i * 10 + i; }"),
+        66
+    );
+    assert_eq!(
+        exec(
+            "int main() { int a[3]; int *p; a[0]=1; a[1]=2; a[2]=3; p = a; return *p++ + *p; }"
+        ),
+        3
+    );
+}
+
+#[test]
+fn io_echo_program() {
+    let (code, out) = exec_io(
+        "extern int __fgetc(int fd);\n\
+         extern int __fputc(int c, int fd);\n\
+         int main() {\n\
+           int c;\n\
+           while ((c = __fgetc(0)) != -1) __fputc(c, 1);\n\
+           return 0;\n\
+         }",
+        vec![NamedFile::new("stdin", b"echo me!".to_vec())],
+        vec![],
+    );
+    assert_eq!(code, 0);
+    assert_eq!(out, "echo me!");
+}
+
+#[test]
+fn io_open_named_files_and_args() {
+    let (code, out) = exec_io(
+        "extern int __open(char *path);\n\
+         extern int __fgetc(int fd);\n\
+         extern int __fputc(int c, int fd);\n\
+         extern int __nargs(void);\n\
+         extern int __arg(int i, char *buf);\n\
+         int main() {\n\
+           char name[64];\n\
+           int fd; int c;\n\
+           if (__nargs() < 1) return 2;\n\
+           __arg(0, name);\n\
+           fd = __open(name);\n\
+           if (fd < 0) return 3;\n\
+           while ((c = __fgetc(fd)) != -1) __fputc(c, 1);\n\
+           return 0;\n\
+         }",
+        vec![NamedFile::new("data.txt", b"42".to_vec())],
+        vec!["data.txt".into()],
+    );
+    assert_eq!(code, 0);
+    assert_eq!(out, "42");
+}
+
+#[test]
+fn exit_builtin_stops_program() {
+    assert_eq!(
+        exec(
+            "extern void __exit(int code);\n\
+             int main() { __exit(7); return 1; }"
+        ),
+        7
+    );
+}
+
+#[test]
+fn traps_on_null_deref() {
+    let e = exec_err("int main() { int *p; p = 0; return *p; }");
+    assert!(matches!(e, VmError::OutOfBounds { .. }), "{e}");
+}
+
+#[test]
+fn traps_on_division_by_zero() {
+    let e = exec_err("int main() { int z; z = 0; return 5 / z; }");
+    assert!(matches!(e, VmError::DivisionByZero { .. }), "{e}");
+}
+
+#[test]
+fn traps_on_unbounded_recursion() {
+    let e = exec_err("int f(int n) { return f(n + 1); }\nint main() { return f(0); }");
+    assert!(matches!(e, VmError::StackOverflow { .. }), "{e}");
+}
+
+#[test]
+fn traps_on_step_limit() {
+    let module = compile(&[Source::new("t.c", "int main() { while (1) {} return 0; }")]).unwrap();
+    let cfg = VmConfig {
+        max_steps: 10_000,
+        ..VmConfig::default()
+    };
+    let e = run(&module, vec![], vec![], &cfg).expect_err("should hit limit");
+    assert!(matches!(e, VmError::StepLimitExceeded { .. }), "{e}");
+}
+
+#[test]
+fn traps_on_bad_function_pointer() {
+    let e = exec_err(
+        "int main() { int (*f)(int); f = (int (*)(int))1234; return f(1); }",
+    );
+    assert!(matches!(e, VmError::BadFunctionPointer { .. }), "{e}");
+}
+
+#[test]
+fn profile_counts_calls_and_sites() {
+    let module = compile(&[Source::new(
+        "t.c",
+        "int leaf(int x) { return x + 1; }\n\
+         int mid(int x) { return leaf(x) + leaf(x + 1); }\n\
+         int main() { int i; int s; s = 0; for (i = 0; i < 10; i++) s += mid(i); return s & 0xff; }",
+    )])
+    .unwrap();
+    let out = run(&module, vec![], vec![], &VmConfig::default()).unwrap();
+    let p = &out.profile;
+    let leaf = module.func_by_name("leaf").unwrap();
+    let mid = module.func_by_name("mid").unwrap();
+    let main = module.func_by_name("main").unwrap();
+    assert_eq!(p.func_weight(main), 1);
+    assert_eq!(p.func_weight(mid), 10);
+    assert_eq!(p.func_weight(leaf), 20);
+    // 10 calls to mid + 20 calls to leaf.
+    assert_eq!(p.calls, 30);
+    assert_eq!(p.returns, 31); // including main's return
+    // Each of the three static sites fired: mid's two sites 10x each,
+    // main's site 10x.
+    let sites = module.all_call_sites();
+    assert_eq!(sites.len(), 3);
+    for (_, site, _) in &sites {
+        assert_eq!(p.site_weight(*site), 10, "site {site:?}");
+    }
+    assert!(p.il_executed > 0);
+    assert!(p.control_transfers > 0);
+}
+
+#[test]
+fn profile_records_indirect_targets() {
+    let module = compile(&[Source::new(
+        "t.c",
+        "int even(int x) { return x * 2; }\n\
+         int odd(int x) { return x * 2 + 1; }\n\
+         int (*pick[2])(int) = {even, odd};\n\
+         int main() { int i; int s; s = 0; for (i = 0; i < 6; i++) s += pick[i & 1](i); return s; }",
+    )])
+    .unwrap();
+    let out = run(&module, vec![], vec![], &VmConfig::default()).unwrap();
+    let p = &out.profile;
+    // One indirect site, two targets, 3 hits each.
+    assert_eq!(p.site_targets.len(), 1);
+    let targets = p.site_targets.values().next().unwrap();
+    assert_eq!(targets.len(), 2);
+    for count in targets.values() {
+        assert_eq!(*count, 3);
+    }
+}
+
+#[test]
+fn profile_stack_high_water_tracks_recursion() {
+    let src = |depth: i32| {
+        format!(
+            "int f(int n) {{ char pad[256]; pad[0] = n; return n == 0 ? pad[0] : f(n - 1); }}\n\
+             int main() {{ return f({depth}); }}"
+        )
+    };
+    let shallow = {
+        let m = compile(&[Source::new("t.c", &src(2))]).unwrap();
+        run(&m, vec![], vec![], &VmConfig::default())
+            .unwrap()
+            .profile
+            .max_stack_bytes
+    };
+    let deep = {
+        let m = compile(&[Source::new("t.c", &src(20))]).unwrap();
+        run(&m, vec![], vec![], &VmConfig::default())
+            .unwrap()
+            .profile
+            .max_stack_bytes
+    };
+    assert!(deep > shallow + 256 * 15, "deep={deep} shallow={shallow}");
+}
+
+#[test]
+fn profile_runs_merges_over_inputs() {
+    let module = compile(&[Source::new(
+        "t.c",
+        "extern int __fgetc(int fd);\n\
+         int count() { int n; n = 0; while (__fgetc(0) != -1) n++; return n; }\n\
+         int main() { return count(); }",
+    )])
+    .unwrap();
+    let runs: Vec<(Vec<NamedFile>, Vec<String>)> = vec![
+        (vec![NamedFile::new("stdin", b"aa".to_vec())], vec![]),
+        (vec![NamedFile::new("stdin", b"bbbb".to_vec())], vec![]),
+    ];
+    let (profile, outcomes) =
+        impact_vm::profile_runs(&module, &runs, &VmConfig::default()).unwrap();
+    assert_eq!(profile.runs, 2);
+    assert_eq!(outcomes[0].exit_code, 2);
+    assert_eq!(outcomes[1].exit_code, 4);
+    let count = module.func_by_name("count").unwrap();
+    assert_eq!(profile.func_weight(count), 2);
+    let avg = profile.averaged();
+    assert_eq!(avg.func_weight(count), 1);
+}
+
+#[test]
+fn void_functions_and_implicit_return() {
+    assert_eq!(
+        exec(
+            "int g;\n\
+             void set(int v) { g = v; }\n\
+             int main() { set(9); return g; }"
+        ),
+        9
+    );
+}
+
+#[test]
+fn sizeof_values_at_runtime() {
+    assert_eq!(
+        exec(
+            "struct wide { long a; char b; };\n\
+             int main() { return sizeof(struct wide) + sizeof(int) + sizeof(char*); }"
+        ),
+        16 + 4 + 8
+    );
+}
+
+#[test]
+fn bubble_sort_end_to_end() {
+    let (code, out) = exec_io(
+        "extern int __fputc(int c, int fd);\n\
+         void sort(int *a, int n) {\n\
+           int i; int j; int t;\n\
+           for (i = 0; i < n - 1; i++)\n\
+             for (j = 0; j < n - 1 - i; j++)\n\
+               if (a[j] > a[j + 1]) { t = a[j]; a[j] = a[j + 1]; a[j + 1] = t; }\n\
+         }\n\
+         int main() {\n\
+           int a[6]; int i;\n\
+           a[0]=5; a[1]=3; a[2]=9; a[3]=1; a[4]=8; a[5]=2;\n\
+           sort(a, 6);\n\
+           for (i = 0; i < 6; i++) __fputc('0' + a[i], 1);\n\
+           return 0;\n\
+         }",
+        vec![],
+        vec![],
+    );
+    assert_eq!(code, 0);
+    assert_eq!(out, "123589");
+}
+
+#[test]
+fn icache_simulation_reports_stats() {
+    use impact_vm::IcacheConfig;
+    let module = compile(&[Source::new(
+        "t.c",
+        "int step(int x) { return x * 3 + 1; }\n\
+         int main() { int i; int s; s = 0; for (i = 0; i < 500; i++) s += step(i); return s & 0x7f; }",
+    )])
+    .unwrap();
+    let cfg = VmConfig {
+        icache: Some(IcacheConfig::small_direct_mapped()),
+        ..VmConfig::default()
+    };
+    let out = run(&module, vec![], vec![], &cfg).unwrap();
+    let stats = out.icache.expect("stats present");
+    // Every executed IL instruction and terminator is one fetch.
+    assert_eq!(stats.accesses, out.profile.il_executed);
+    // The whole program fits in 8 KiB: after warmup it always hits.
+    assert!(stats.misses < 64, "misses {}", stats.misses);
+    assert!(stats.miss_ratio() < 0.01);
+    // Disabled by default.
+    let plain = run(&module, vec![], vec![], &VmConfig::default()).unwrap();
+    assert!(plain.icache.is_none());
+}
+
+#[test]
+fn branch_direction_frequencies_are_recorded() {
+    // A branch taken 3 times out of 10 executions.
+    let module = compile(&[Source::new(
+        "t.c",
+        "int main() {\n\
+           int i; int s; s = 0;\n\
+           for (i = 0; i < 10; i++)\n\
+             if (i < 3) s += 100;\n\
+             else s += 1;\n\
+           return s & 0x7f;\n\
+         }",
+    )])
+    .unwrap();
+    let out = run(&module, vec![], vec![], &VmConfig::default()).unwrap();
+    let main = module.main_id().unwrap();
+    // Find the block whose branch split 3/7.
+    let p = &out.profile;
+    let found = (0..module.function(main).blocks.len() as u32).any(|b| {
+        matches!(p.branch_directions(main, b), Some((3, 7)))
+    });
+    assert!(found, "no 3/7 branch found: {:?}", p.branch_taken[main.index()]);
+    // Out-of-range queries are None.
+    assert!(p.branch_directions(main, 999).is_none());
+}

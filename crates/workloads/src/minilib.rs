@@ -1,0 +1,268 @@
+//! The shared mini C library linked into every benchmark.
+//!
+//! Real C programs of the paper's era carried their own small utility
+//! functions in addition to libc; these are exactly the "many small
+//! functions" profile-guided inlining feeds on. True system services
+//! (I/O, the heap, exit) stay `extern` — they are the paper's external
+//! functions and can never be inlined.
+
+/// C source of the mini library (string/character/printing/reading
+/// helpers).
+pub const MINILIB_C: &str = r#"
+/* mini runtime library shared by all benchmarks.
+   I/O is buffered like 1989 stdio: getc/putc are ordinary (inlinable)
+   functions over block read/write system calls. */
+extern int __fgetc(int fd);
+extern int __fputc(int c, int fd);
+extern int __fread(int fd, char *buf, int n);
+extern int __fwrite(int fd, char *buf, int n);
+extern int __open(char *path);
+extern int __creat(char *path);
+extern int __close(int fd);
+
+enum { IOBUF = 1024, MAXFDS = 8 };
+
+char in_buf[MAXFDS][IOBUF];
+int in_pos[MAXFDS];
+int in_len[MAXFDS];
+char out_buf[MAXFDS][IOBUF];
+int out_n[MAXFDS];
+
+/* Refills the read buffer of fd; returns 0 at end of file. */
+int in_fill(int fd) {
+    in_len[fd] = __fread(fd, in_buf[fd], IOBUF);
+    in_pos[fd] = 0;
+    return in_len[fd] > 0;
+}
+
+/* Buffered getc: the hottest library function in most programs. */
+int in_byte(int fd) {
+    if (fd < 0 || fd >= MAXFDS) return __fgetc(fd);
+    if (in_pos[fd] >= in_len[fd]) {
+        if (!in_fill(fd)) return -1;
+    }
+    return in_buf[fd][in_pos[fd]++] & 255;
+}
+
+void flush_fd(int fd) {
+    if (fd >= 0 && fd < MAXFDS && out_n[fd] > 0) {
+        __fwrite(fd, out_buf[fd], out_n[fd]);
+        out_n[fd] = 0;
+    }
+}
+
+void flush_all() {
+    int i;
+    for (i = 0; i < MAXFDS; i++) flush_fd(i);
+}
+
+/* Buffered putc. */
+void out_byte(int c, int fd) {
+    if (fd < 0 || fd >= MAXFDS) { __fputc(c, fd); return; }
+    out_buf[fd][out_n[fd]++] = c;
+    if (out_n[fd] >= IOBUF) flush_fd(fd);
+}
+
+/* Opens a named input for buffered reading (resets stale buffers from a
+   previously closed fd of the same number). */
+int open_read(char *path) {
+    int fd;
+    fd = __open(path);
+    if (fd >= 0 && fd < MAXFDS) { in_pos[fd] = 0; in_len[fd] = 0; }
+    return fd;
+}
+
+/* Creates a named output for buffered writing. */
+int open_write(char *path) {
+    int fd;
+    fd = __creat(path);
+    if (fd >= 0 && fd < MAXFDS) out_n[fd] = 0;
+    return fd;
+}
+
+/* Flushes and closes. */
+void close_fd(int fd) {
+    flush_fd(fd);
+    if (fd >= 0 && fd < MAXFDS) { in_pos[fd] = 0; in_len[fd] = 0; }
+    __close(fd);
+}
+
+int str_len(char *s) {
+    int n;
+    n = 0;
+    while (s[n]) n++;
+    return n;
+}
+
+int str_cmp(char *a, char *b) {
+    int i;
+    i = 0;
+    while (a[i] && a[i] == b[i]) i++;
+    return a[i] - b[i];
+}
+
+int str_ncmp(char *a, char *b, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        if (a[i] != b[i]) return a[i] - b[i];
+        if (!a[i]) return 0;
+    }
+    return 0;
+}
+
+void str_cpy(char *dst, char *src) {
+    int i;
+    i = 0;
+    while (src[i]) { dst[i] = src[i]; i++; }
+    dst[i] = 0;
+}
+
+void str_ncpy(char *dst, char *src, int n) {
+    int i;
+    i = 0;
+    while (i < n && src[i]) { dst[i] = src[i]; i++; }
+    dst[i] = 0;
+}
+
+void str_cat(char *dst, char *src) {
+    int i; int j;
+    i = 0;
+    while (dst[i]) i++;
+    j = 0;
+    while (src[j]) { dst[i] = src[j]; i++; j++; }
+    dst[i] = 0;
+}
+
+int str_index(char *s, int c) {
+    int i;
+    for (i = 0; s[i]; i++)
+        if (s[i] == c) return i;
+    return -1;
+}
+
+int is_digit(int c) { return c >= '0' && c <= '9'; }
+int is_lower(int c) { return c >= 'a' && c <= 'z'; }
+int is_upper(int c) { return c >= 'A' && c <= 'Z'; }
+int is_alpha(int c) { return is_lower(c) || is_upper(c); }
+int is_alnum(int c) { return is_alpha(c) || is_digit(c); }
+int is_space(int c) { return c == ' ' || c == '\t' || c == '\n' || c == '\r'; }
+int to_lower(int c) { return is_upper(c) ? c + 32 : c; }
+int to_upper(int c) { return is_lower(c) ? c - 32 : c; }
+
+int a_to_i(char *s) {
+    int v; int i; int neg;
+    v = 0; i = 0; neg = 0;
+    while (is_space(s[i])) i++;
+    if (s[i] == '-') { neg = 1; i++; }
+    while (is_digit(s[i])) { v = v * 10 + (s[i] - '0'); i++; }
+    return neg ? -v : v;
+}
+
+void put_char(int c, int fd) { out_byte(c, fd); }
+
+void put_str(char *s, int fd) {
+    int i;
+    for (i = 0; s[i]; i++) out_byte(s[i], fd);
+}
+
+void put_int(long n, int fd) {
+    char buf[24];
+    int i;
+    long v;
+    if (n < 0) { out_byte('-', fd); v = -n; } else v = n;
+    i = 0;
+    do { buf[i++] = '0' + (int)(v % 10); v /= 10; } while (v > 0);
+    while (i > 0) out_byte(buf[--i], fd);
+}
+
+void put_line(char *s, int fd) {
+    put_str(s, fd);
+    out_byte('\n', fd);
+}
+
+/* Reads one line (without the newline) into buf, NUL-terminated.
+   Returns the length, or -1 on end of file with nothing read. */
+int read_line(int fd, char *buf, int max) {
+    int c; int n;
+    n = 0;
+    while (1) {
+        c = in_byte(fd);
+        if (c == -1) {
+            if (n == 0) { buf[0] = 0; return -1; }
+            break;
+        }
+        if (c == '\n') break;
+        if (n < max - 1) buf[n++] = c;
+    }
+    buf[n] = 0;
+    return n;
+}
+
+void int_to_str(long n, char *buf) {
+    char tmp[24];
+    int i; int j;
+    long v;
+    j = 0;
+    if (n < 0) { buf[j++] = '-'; v = -n; } else v = n;
+    i = 0;
+    do { tmp[i++] = '0' + (int)(v % 10); v /= 10; } while (v > 0);
+    while (i > 0) buf[j++] = tmp[--i];
+    buf[j] = 0;
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impact_cfront::{compile, Source};
+    use impact_vm::{run, NamedFile, VmConfig};
+
+    #[test]
+    fn minilib_compiles_and_works() {
+        let driver = r#"
+extern int __fputc(int c, int fd);
+int str_len(char *s);
+int main() {
+    char buf[64];
+    char line[64];
+    int n;
+    str_cpy(buf, "hello");
+    str_cat(buf, " world");
+    if (str_len(buf) != 11) return 1;
+    if (str_cmp(buf, "hello world") != 0) return 2;
+    if (str_ncmp(buf, "hello xxxxx", 6) != 0) return 3;
+    if (str_index(buf, 'w') != 6) return 4;
+    if (!is_digit('7') || is_digit('x')) return 5;
+    if (to_upper('a') != 'A' || to_lower('Z') != 'z') return 6;
+    if (a_to_i("  -417") != -417) return 7;
+    int_to_str(-305, line);
+    if (str_cmp(line, "-305") != 0) return 8;
+    put_int(12345, 1);
+    put_char('|', 1);
+    put_line("ok", 1);
+    n = read_line(0, line, 64);
+    if (n != 5 || str_cmp(line, "first") != 0) return 9;
+    n = read_line(0, line, 64);
+    if (n != 6 || str_cmp(line, "second") != 0) return 10;
+    n = read_line(0, line, 64);
+    if (n != -1) return 11;
+    flush_all();
+    return 0;
+}
+"#;
+        let module = compile(&[
+            Source::new("lib.c", MINILIB_C),
+            Source::new("driver.c", driver),
+        ])
+        .expect("compiles");
+        let out = run(
+            &module,
+            vec![NamedFile::new("stdin", b"first\nsecond".to_vec())],
+            vec![],
+            &VmConfig::default(),
+        )
+        .expect("runs");
+        assert_eq!(out.exit_code, 0, "stdout: {:?}", String::from_utf8_lossy(&out.stdout));
+        assert_eq!(out.stdout, b"12345|ok\n".to_vec());
+    }
+}

@@ -1,0 +1,247 @@
+//! `cccp` — a miniature C preprocessor (the GNU C preprocessor in the
+//! paper). Handles `#define`/`#undef`, `#ifdef`/`#ifndef`/`#else`/`#endif`,
+//! `#include "file"`, comment stripping, and object-macro substitution.
+
+use impact_vm::NamedFile;
+
+use crate::textgen::{c_like_source, rng_for};
+use crate::RunInput;
+
+/// Paper Table 1: 20 runs of C programs.
+pub const RUNS: u32 = 20;
+
+/// Paper Table 1 input description.
+pub const DESCRIPTION: &str = "C programs (100-3000 lines)";
+
+/// The program source.
+pub const SOURCE: &str = r##"
+/* cccp: miniature C preprocessor */
+extern int __fgetc(int fd);
+extern int __fputc(int c, int fd);
+extern int __open(char *path);
+extern int __close(int fd);
+
+enum { NMACROS = 128, NAMELEN = 32, VALLEN = 64, LINELEN = 512, MAXCOND = 32 };
+
+char macro_names[NMACROS][NAMELEN];
+char macro_vals[NMACROS][VALLEN];
+int macro_live[NMACROS];
+int nmacros;
+
+int cond_stack[MAXCOND];
+int cond_depth;
+int in_comment;
+long lines_out;
+
+int macro_find(char *name) {
+    int i;
+    for (i = 0; i < nmacros; i++)
+        if (macro_live[i] && str_cmp(macro_names[i], name) == 0)
+            return i;
+    return -1;
+}
+
+void macro_define(char *name, char *value) {
+    int i;
+    i = macro_find(name);
+    if (i < 0) {
+        if (nmacros >= NMACROS) return;
+        i = nmacros++;
+        str_ncpy(macro_names[i], name, NAMELEN - 1);
+        macro_live[i] = 1;
+    }
+    str_ncpy(macro_vals[i], value, VALLEN - 1);
+}
+
+void macro_undef(char *name) {
+    int i;
+    i = macro_find(name);
+    if (i >= 0) macro_live[i] = 0;
+}
+
+int active() {
+    int i;
+    for (i = 0; i < cond_depth; i++)
+        if (!cond_stack[i]) return 0;
+    return 1;
+}
+
+int ident_start(int c) { return is_alpha(c) || c == '_'; }
+int ident_char(int c) { return is_alnum(c) || c == '_'; }
+
+/* Strips comments in place; tracks multi-line comment state. */
+void strip_comments(char *line, char *out) {
+    int i; int j;
+    i = 0; j = 0;
+    while (line[i]) {
+        if (in_comment) {
+            if (line[i] == '*' && line[i + 1] == '/') { in_comment = 0; i += 2; }
+            else i++;
+        } else if (line[i] == '/' && line[i + 1] == '*') {
+            in_comment = 1;
+            i += 2;
+        } else if (line[i] == '/' && line[i + 1] == '/') {
+            break;
+        } else {
+            out[j++] = line[i++];
+        }
+    }
+    out[j] = 0;
+}
+
+/* Substitutes macros in a code line and writes the result to stdout. */
+void expand_line(char *line) {
+    char name[NAMELEN];
+    int i; int n; int m;
+    i = 0;
+    while (line[i]) {
+        if (ident_start(line[i])) {
+            n = 0;
+            while (ident_char(line[i])) {
+                if (n < NAMELEN - 1) name[n++] = line[i];
+                i++;
+            }
+            name[n] = 0;
+            m = macro_find(name);
+            if (m >= 0) put_str(macro_vals[m], 1);
+            else put_str(name, 1);
+        } else {
+            put_char(line[i], 1);
+            i++;
+        }
+    }
+    put_char('\n', 1);
+    lines_out++;
+}
+
+/* Splits "#word rest" and returns the directive word; rest in arg. */
+void parse_directive(char *line, char *word, char *arg) {
+    int i; int n;
+    i = 1;
+    while (is_space(line[i])) i++;
+    n = 0;
+    while (is_alpha(line[i])) { word[n++] = line[i]; i++; }
+    word[n] = 0;
+    while (is_space(line[i])) i++;
+    n = 0;
+    while (line[i] && line[i] != '\n') { arg[n++] = line[i]; i++; }
+    while (n > 0 && is_space(arg[n - 1])) n--;
+    arg[n] = 0;
+}
+
+void process_fd(int fd, int depth);
+
+/* Directive handlers, dispatched through a function-pointer table (the
+   classic C idiom that makes the compiler's call graph ambiguous). */
+void dir_define(char *arg, int depth) {
+    char name[NAMELEN];
+    int i; int n;
+    if (!active()) return;
+    i = 0; n = 0;
+    while (ident_char(arg[i])) { name[n++] = arg[i]; i++; }
+    name[n] = 0;
+    while (is_space(arg[i])) i++;
+    macro_define(name, arg + i);
+}
+
+void dir_undef(char *arg, int depth) {
+    if (active()) macro_undef(arg);
+}
+
+void dir_ifdef(char *arg, int depth) {
+    cond_stack[cond_depth++] = macro_find(arg) >= 0;
+}
+
+void dir_ifndef(char *arg, int depth) {
+    cond_stack[cond_depth++] = macro_find(arg) < 0;
+}
+
+void dir_else(char *arg, int depth) {
+    if (cond_depth > 0) cond_stack[cond_depth - 1] = !cond_stack[cond_depth - 1];
+}
+
+void dir_endif(char *arg, int depth) {
+    if (cond_depth > 0) cond_depth--;
+}
+
+void dir_include(char *arg, int depth) {
+    char name[NAMELEN];
+    int i; int n; int inc;
+    if (!active() || depth > 6) return;
+    /* strip quotes */
+    i = 0; n = 0;
+    while (arg[i]) {
+        if (arg[i] != '"' && arg[i] != '<' && arg[i] != '>') name[n++] = arg[i];
+        i++;
+    }
+    name[n] = 0;
+    inc = open_read(name);
+    if (inc >= 0) {
+        process_fd(inc, depth + 1);
+        close_fd(inc);
+    }
+}
+
+char dir_names[7][NAMELEN] = {"define", "undef", "ifdef", "ifndef", "else", "endif", "include"};
+void (*dir_table[7])(char *arg, int depth) = {
+    dir_define, dir_undef, dir_ifdef, dir_ifndef, dir_else, dir_endif, dir_include
+};
+
+void handle_directive(char *line, int depth) {
+    char word[NAMELEN];
+    char arg[LINELEN];
+    int d;
+    parse_directive(line, word, arg);
+    for (d = 0; d < 7; d++) {
+        if (str_cmp(word, dir_names[d]) == 0) {
+            dir_table[d](arg, depth);
+            return;
+        }
+    }
+}
+
+void process_fd(int fd, int depth) {
+    char raw[LINELEN];
+    char line[LINELEN];
+    while (read_line(fd, raw, LINELEN) != -1) {
+        strip_comments(raw, line);
+        if (line[0] == '#') handle_directive(line, depth);
+        else if (active()) expand_line(line);
+    }
+}
+
+int main() {
+    int fd;
+    fd = open_read("main.c");
+    if (fd < 0) return 1;
+    process_fd(fd, 0);
+    close_fd(fd);
+    put_str("; lines ", 1);
+    put_int(lines_out, 1);
+    put_char('\n', 1);
+    flush_all();
+    return 0;
+}
+"##;
+
+/// Generates the inputs for one run: a main source plus two headers it
+/// includes, of varying size and option mix.
+pub fn gen(run: u64) -> RunInput {
+    let mut rng = rng_for("cccp", run);
+    let main_lines = 80 + (run as usize % 10) * 35;
+    let mut main_src = Vec::new();
+    main_src.extend_from_slice(b"#include \"defs.h\"\n");
+    main_src.extend_from_slice(b"#include \"util.h\"\n");
+    main_src.extend_from_slice(b"#ifdef CFG_MAIN0\n#endif\n");
+    main_src.extend_from_slice(&c_like_source(&mut rng, main_lines));
+    let defs = c_like_source(&mut rng, 25 + (run as usize % 7) * 8);
+    let util = c_like_source(&mut rng, 18 + (run as usize % 5) * 6);
+    RunInput {
+        inputs: vec![
+            NamedFile::new("main.c", main_src),
+            NamedFile::new("defs.h", defs),
+            NamedFile::new("util.h", util),
+        ],
+        args: vec![],
+    }
+}

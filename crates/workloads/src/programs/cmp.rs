@@ -1,0 +1,131 @@
+//! `cmp` — byte-by-byte file comparison with `-l` (list differences) and
+//! `-s` (silent) options.
+
+use impact_vm::NamedFile;
+
+use crate::textgen::{english_text, mutate, rng_for};
+use crate::RunInput;
+
+/// Paper Table 1: 16 runs.
+pub const RUNS: u32 = 16;
+
+/// Paper Table 1 input description.
+pub const DESCRIPTION: &str = "similar/dissimilar text files";
+
+/// The program source.
+pub const SOURCE: &str = r#"
+/* cmp: compare two files byte by byte */
+extern int __fgetc(int fd);
+extern int __fputc(int c, int fd);
+extern int __open(char *path);
+extern int __nargs(void);
+extern int __arg(int i, char *buf);
+extern void __exit(int code);
+
+enum { MODE_NORMAL = 0, MODE_LIST = 1, MODE_SILENT = 2 };
+
+long position;
+long line_no;
+long diff_count;
+
+/* buffered-getc style wrapper: the hot helper real cmp hides in stdio */
+int get_byte(int fd) {
+    return in_byte(fd);
+}
+
+void report_diff(long pos, long line, int a, int b, int mode) {
+    if (mode == MODE_SILENT) return;
+    if (mode == MODE_LIST) {
+        put_int(pos, 1);
+        put_char(' ', 1);
+        put_int(a, 1);
+        put_char(' ', 1);
+        put_int(b, 1);
+        put_char('\n', 1);
+    } else {
+        put_str("differ: byte ", 1);
+        put_int(pos, 1);
+        put_str(", line ", 1);
+        put_int(line, 1);
+        put_char('\n', 1);
+    }
+}
+
+int compare(int fd1, int fd2, int mode) {
+    int a; int b;
+    position = 0;
+    line_no = 1;
+    diff_count = 0;
+    while (1) {
+        a = get_byte(fd1);
+        b = get_byte(fd2);
+        position++;
+        if (a == -1 && b == -1) break;
+        if (a == -1 || b == -1) {
+            if (mode != MODE_SILENT) put_line("EOF mismatch", 1);
+            return 1;
+        }
+        if (a != b) {
+            diff_count++;
+            report_diff(position, line_no, a, b, mode);
+            if (mode == MODE_NORMAL) return 1;
+            if (mode == MODE_SILENT) return 1;
+        }
+        if (a == '\n') line_no++;
+    }
+    return diff_count > 0 ? 1 : 0;
+}
+
+int main() {
+    char argbuf[128];
+    char file1[128];
+    char file2[128];
+    int mode; int argi; int n; int fd1; int fd2; int rc;
+    mode = MODE_NORMAL;
+    argi = 0;
+    n = __nargs();
+    if (n < 2) return 2;
+    __arg(0, argbuf);
+    if (str_cmp(argbuf, "-l") == 0) { mode = MODE_LIST; argi = 1; }
+    else if (str_cmp(argbuf, "-s") == 0) { mode = MODE_SILENT; argi = 1; }
+    if (n < argi + 2) return 2;
+    __arg(argi, file1);
+    __arg(argi + 1, file2);
+    fd1 = open_read(file1);
+    fd2 = open_read(file2);
+    if (fd1 < 0 || fd2 < 0) return 2;
+    rc = compare(fd1, fd2, mode);
+    if (mode != MODE_SILENT && rc == 0) put_line("identical", 1);
+    flush_all();
+    return rc;
+}
+"#;
+
+/// Generates one run: two files (identical, slightly different, or very
+/// different) and an option mix that exercises `-l`/`-s`/default.
+pub fn gen(run: u64) -> RunInput {
+    let mut rng = rng_for("cmp", run);
+    let base = english_text(&mut rng, 1200 + (run as usize % 8) * 500);
+    let (other, args) = match run % 4 {
+        0 => (base.clone(), vec!["a.txt".into(), "b.txt".into()]),
+        1 => (
+            mutate(&mut rng, &base, 2),
+            vec!["-l".into(), "a.txt".into(), "b.txt".into()],
+        ),
+        2 => (
+            mutate(&mut rng, &base, 30),
+            vec!["-s".into(), "a.txt".into(), "b.txt".into()],
+        ),
+        _ => (
+            mutate(&mut rng, &base, 8),
+            vec!["-l".into(), "a.txt".into(), "b.txt".into()],
+        ),
+    };
+    RunInput {
+        inputs: vec![
+            NamedFile::new("a.txt", base),
+            NamedFile::new("b.txt", other),
+        ],
+        args,
+    }
+}

@@ -1,0 +1,152 @@
+//! `compress` — LZW compression with 12-bit codes, open-addressing code
+//! table, and bit-packed output (a faithful miniature of UNIX
+//! `compress`).
+
+use impact_vm::NamedFile;
+
+use crate::textgen::{c_like_source, english_text, rng_for};
+use crate::RunInput;
+
+/// Paper Table 1: 20 runs (same inputs as cccp).
+pub const RUNS: u32 = 20;
+
+/// Paper Table 1 input description.
+pub const DESCRIPTION: &str = "same as cccp";
+
+/// The program source.
+pub const SOURCE: &str = r#"
+/* compress: LZW with 12-bit codes */
+extern int __fgetc(int fd);
+extern int __fputc(int c, int fd);
+extern int __creat(char *path);
+
+enum {
+    BITS = 12,
+    MAXCODE = 4096,        /* 1 << BITS */
+    HSIZE = 5003,          /* hash table size (prime) */
+    FIRST_FREE = 257,      /* 0..255 literals, 256 = clear */
+    CLEAR_CODE = 256
+};
+
+int hash_key[HSIZE];    /* (prefix << 8) | byte, or -1 when empty */
+int hash_code[HSIZE];
+int next_code;
+long bit_buf;
+int bit_count;
+long bytes_in;
+long bytes_out;
+int out_fd;
+
+int hash_of(int prefix, int byte) {
+    long h;
+    h = (long)prefix * 31 + byte * 7 + 17;
+    h = h % HSIZE;
+    if (h < 0) h += HSIZE;
+    return (int)h;
+}
+
+void table_clear() {
+    int i;
+    for (i = 0; i < HSIZE; i++) hash_key[i] = -1;
+    next_code = FIRST_FREE;
+}
+
+/* Probes for (prefix, byte); returns the code or -1. */
+int table_find(int prefix, int byte) {
+    int h; int key;
+    key = (prefix << 8) | byte;
+    h = hash_of(prefix, byte);
+    while (hash_key[h] != -1) {
+        if (hash_key[h] == key) return hash_code[h];
+        h++;
+        if (h == HSIZE) h = 0;
+    }
+    return -1;
+}
+
+void table_insert(int prefix, int byte, int code) {
+    int h; int key;
+    key = (prefix << 8) | byte;
+    h = hash_of(prefix, byte);
+    while (hash_key[h] != -1) {
+        h++;
+        if (h == HSIZE) h = 0;
+    }
+    hash_key[h] = key;
+    hash_code[h] = code;
+}
+
+void put_bits(int code) {
+    bit_buf |= (long)code << bit_count;
+    bit_count += BITS;
+    while (bit_count >= 8) {
+        out_byte((int)(bit_buf & 0xff), out_fd);
+        bytes_out++;
+        bit_buf >>= 8;
+        bit_count -= 8;
+    }
+}
+
+void flush_bits() {
+    if (bit_count > 0) {
+        out_byte((int)(bit_buf & 0xff), out_fd);
+        bytes_out++;
+        bit_buf = 0;
+        bit_count = 0;
+    }
+}
+
+void compress_stream(int in_fd) {
+    int c; int prefix; int code;
+    table_clear();
+    prefix = in_byte(in_fd);
+    if (prefix == -1) return;
+    bytes_in = 1;
+    while ((c = in_byte(in_fd)) != -1) {
+        bytes_in++;
+        code = table_find(prefix, c);
+        if (code >= 0) {
+            prefix = code;
+        } else {
+            put_bits(prefix);
+            if (next_code < MAXCODE) {
+                table_insert(prefix, c, next_code);
+                next_code++;
+            } else {
+                put_bits(CLEAR_CODE);
+                table_clear();
+            }
+            prefix = c;
+        }
+    }
+    put_bits(prefix);
+    flush_bits();
+}
+
+int main() {
+    out_fd = open_write("out.Z");
+    if (out_fd < 0) return 2;
+    compress_stream(0);
+    put_str("in ", 1);
+    put_int(bytes_in, 1);
+    put_str(" out ", 1);
+    put_int(bytes_out, 1);
+    put_char('\n', 1);
+    flush_all();
+    return bytes_out > 0 ? 0 : 1;
+}
+"#;
+
+/// Generates one run: a compressible text on stdin.
+pub fn gen(run: u64) -> RunInput {
+    let mut rng = rng_for("compress", run);
+    let data = if run % 2 == 0 {
+        english_text(&mut rng, 2500 + (run as usize % 6) * 700)
+    } else {
+        c_like_source(&mut rng, 350 + (run as usize % 6) * 120)
+    };
+    RunInput {
+        inputs: vec![NamedFile::new("stdin", data)],
+        args: vec![],
+    }
+}

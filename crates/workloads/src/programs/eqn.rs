@@ -1,0 +1,177 @@
+//! `eqn` — troff equation preprocessor: passes ordinary lines through and
+//! rewrites `.EQ`/`.EN` blocks (with `sup`, `sub`, `over`, and braces)
+//! into explicit markup via a small recursive-descent parser.
+
+use impact_vm::NamedFile;
+
+use crate::textgen::{eqn_document, rng_for};
+use crate::RunInput;
+
+/// Paper Table 1: 20 runs.
+pub const RUNS: u32 = 20;
+
+/// Paper Table 1 input description.
+pub const DESCRIPTION: &str = "papers with .EQ options";
+
+/// The program source.
+pub const SOURCE: &str = r#"
+/* eqn: equation preprocessor */
+extern int __fgetc(int fd);
+extern int __fputc(int c, int fd);
+
+enum { LINELEN = 512, TOKLEN = 64 };
+enum { T_EOF = 0, T_WORD = 1, T_NUM = 2, T_SUP = 3, T_SUB = 4, T_OVER = 5,
+       T_LBRACE = 6, T_RBRACE = 7, T_OP = 8 };
+
+char cur_line[LINELEN];
+int cur_pos;
+char tok_text[TOKLEN];
+int tok_kind;
+long eq_count;
+long tok_count;
+
+int classify_word(char *w) {
+    if (str_cmp(w, "sup") == 0) return T_SUP;
+    if (str_cmp(w, "sub") == 0) return T_SUB;
+    if (str_cmp(w, "over") == 0) return T_OVER;
+    return T_WORD;
+}
+
+void next_token() {
+    int c; int n;
+    while (is_space(cur_line[cur_pos])) cur_pos++;
+    c = cur_line[cur_pos];
+    if (c == 0) { tok_kind = T_EOF; tok_text[0] = 0; return; }
+    tok_count++;
+    if (c == '{') { tok_kind = T_LBRACE; cur_pos++; return; }
+    if (c == '}') { tok_kind = T_RBRACE; cur_pos++; return; }
+    if (is_digit(c)) {
+        n = 0;
+        while (is_digit(cur_line[cur_pos])) tok_text[n++] = cur_line[cur_pos++];
+        tok_text[n] = 0;
+        tok_kind = T_NUM;
+        return;
+    }
+    if (is_alpha(c)) {
+        n = 0;
+        while (is_alnum(cur_line[cur_pos])) tok_text[n++] = cur_line[cur_pos++];
+        tok_text[n] = 0;
+        tok_kind = classify_word(tok_text);
+        return;
+    }
+    tok_text[0] = c;
+    tok_text[1] = 0;
+    tok_kind = T_OP;
+    cur_pos++;
+}
+
+void parse_expr();
+
+/* primary := WORD | NUM | OP | '{' expr '}' */
+void parse_primary() {
+    if (tok_kind == T_LBRACE) {
+        next_token();
+        put_char('(', 1);
+        parse_expr();
+        put_char(')', 1);
+        if (tok_kind == T_RBRACE) next_token();
+        return;
+    }
+    if (tok_kind == T_WORD) {
+        put_str("VAR<", 1);
+        put_str(tok_text, 1);
+        put_char('>', 1);
+        next_token();
+        return;
+    }
+    if (tok_kind == T_NUM) {
+        put_str(tok_text, 1);
+        next_token();
+        return;
+    }
+    if (tok_kind == T_OP) {
+        put_str(tok_text, 1);
+        next_token();
+        return;
+    }
+    /* sup/sub/over with no left operand, or EOF: emit placeholder */
+    put_char('?', 1);
+    if (tok_kind != T_EOF) next_token();
+}
+
+/* scripted := primary (sup primary | sub primary)* */
+void parse_scripted() {
+    parse_primary();
+    while (tok_kind == T_SUP || tok_kind == T_SUB) {
+        if (tok_kind == T_SUP) put_str("^{", 1);
+        else put_str("_{", 1);
+        next_token();
+        parse_primary();
+        put_char('}', 1);
+    }
+}
+
+/* fraction := scripted (over scripted)* */
+void parse_fraction() {
+    parse_scripted();
+    while (tok_kind == T_OVER) {
+        put_str(" / ", 1);
+        next_token();
+        parse_scripted();
+    }
+}
+
+/* expr := fraction (fraction)*  — juxtaposition and operators */
+void parse_expr() {
+    parse_fraction();
+    while (tok_kind != T_EOF && tok_kind != T_RBRACE) {
+        put_char(' ', 1);
+        parse_fraction();
+    }
+}
+
+int starts_with(char *line, char *prefix) {
+    return str_ncmp(line, prefix, str_len(prefix)) == 0;
+}
+
+int main() {
+    char line[LINELEN];
+    int in_eq;
+    in_eq = 0;
+    while (read_line(0, line, LINELEN) != -1) {
+        if (starts_with(line, ".EQ")) {
+            in_eq = 1;
+            eq_count++;
+            put_line("[eq]", 1);
+        } else if (starts_with(line, ".EN")) {
+            in_eq = 0;
+            put_line("[/eq]", 1);
+        } else if (in_eq) {
+            str_cpy(cur_line, line);
+            cur_pos = 0;
+            next_token();
+            parse_expr();
+            put_char('\n', 1);
+        } else {
+            put_line(line, 1);
+        }
+    }
+    put_str("; equations ", 1);
+    put_int(eq_count, 1);
+    put_str(" tokens ", 1);
+    put_int(tok_count, 1);
+    put_char('\n', 1);
+    flush_all();
+    return 0;
+}
+"#;
+
+/// Generates one run: a troff-ish document with equation blocks.
+pub fn gen(run: u64) -> RunInput {
+    let mut rng = rng_for("eqn", run);
+    let doc = eqn_document(&mut rng, 30 + (run as usize % 10) * 12);
+    RunInput {
+        inputs: vec![NamedFile::new("stdin", doc)],
+        args: vec![],
+    }
+}

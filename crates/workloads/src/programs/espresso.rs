@@ -1,0 +1,201 @@
+//! `espresso` — two-level logic minimization kernel: reads a PLA truth
+//! table and iteratively merges distance-1 cubes and removes covered
+//! cubes (the inner loops of the real espresso's EXPAND/IRREDUNDANT
+//! phases).
+
+use impact_vm::NamedFile;
+
+use crate::textgen::{pla_table, rng_for};
+use crate::RunInput;
+
+/// Paper Table 1: 20 runs.
+pub const RUNS: u32 = 20;
+
+/// Paper Table 1 input description.
+pub const DESCRIPTION: &str = "original espresso benchmarks";
+
+/// The program source.
+pub const SOURCE: &str = r#"
+/* espresso: cube-list logic minimization */
+extern int __fgetc(int fd);
+extern int __fputc(int c, int fd);
+
+enum { MAXIN = 24, MAXTERMS = 600, LINELEN = 128 };
+enum { V0 = 0, V1 = 1, VX = 2 };
+
+char cube[MAXTERMS][MAXIN];
+int live[MAXTERMS];
+int ncubes;
+int ninputs;
+long merge_count;
+long cover_count;
+
+int char_to_val(int c) {
+    if (c == '0') return V0;
+    if (c == '1') return V1;
+    return VX;
+}
+
+int val_to_char(int v) {
+    if (v == V0) return '0';
+    if (v == V1) return '1';
+    return '-';
+}
+
+/* a covers b: every position of a is don't-care or equal to b's. */
+int covers(int a, int b) {
+    int i;
+    for (i = 0; i < ninputs; i++)
+        if (cube[a][i] != VX && cube[a][i] != cube[b][i])
+            return 0;
+    return 1;
+}
+
+/* Number of positions where both cubes are specified and differ. */
+int distance(int a, int b) {
+    int i; int d;
+    d = 0;
+    for (i = 0; i < ninputs; i++)
+        if (cube[a][i] != VX && cube[b][i] != VX && cube[a][i] != cube[b][i])
+            d++;
+    return d;
+}
+
+/* Positions where the don't-care patterns differ. */
+int shape_diff(int a, int b) {
+    int i; int d;
+    d = 0;
+    for (i = 0; i < ninputs; i++) {
+        if ((cube[a][i] == VX) != (cube[b][i] == VX)) d++;
+    }
+    return d;
+}
+
+/* Merge b into a across their single differing position. */
+void merge_into(int a, int b) {
+    int i;
+    for (i = 0; i < ninputs; i++)
+        if (cube[a][i] != cube[b][i])
+            cube[a][i] = VX;
+    live[b] = 0;
+    merge_count++;
+}
+
+int try_merge_pass() {
+    int i; int j; int changed;
+    changed = 0;
+    for (i = 0; i < ncubes; i++) {
+        if (!live[i]) continue;
+        for (j = i + 1; j < ncubes; j++) {
+            if (!live[j]) continue;
+            if (distance(i, j) == 1 && shape_diff(i, j) == 0) {
+                merge_into(i, j);
+                changed = 1;
+            }
+        }
+    }
+    return changed;
+}
+
+int remove_covered_pass() {
+    int i; int j; int changed;
+    changed = 0;
+    for (i = 0; i < ncubes; i++) {
+        if (!live[i]) continue;
+        for (j = 0; j < ncubes; j++) {
+            if (i == j || !live[j]) continue;
+            if (covers(i, j)) {
+                live[j] = 0;
+                cover_count++;
+                changed = 1;
+            }
+        }
+    }
+    return changed;
+}
+
+int literal_count() {
+    int i; int k; int n;
+    n = 0;
+    for (i = 0; i < ncubes; i++) {
+        if (!live[i]) continue;
+        for (k = 0; k < ninputs; k++)
+            if (cube[i][k] != VX) n++;
+    }
+    return n;
+}
+
+void read_pla() {
+    char line[LINELEN];
+    int i;
+    ninputs = 0;
+    ncubes = 0;
+    while (read_line(0, line, LINELEN) != -1) {
+        if (line[0] == '.') {
+            if (line[1] == 'i') ninputs = a_to_i(line + 2);
+            if (line[1] == 'e') break;
+            continue;
+        }
+        if (line[0] == 0) continue;
+        if (ncubes >= MAXTERMS) continue;
+        for (i = 0; i < ninputs && line[i]; i++)
+            cube[ncubes][i] = char_to_val(line[i]);
+        live[ncubes] = 1;
+        ncubes++;
+    }
+}
+
+void write_result() {
+    int i; int k; int alive;
+    alive = 0;
+    for (i = 0; i < ncubes; i++) {
+        if (!live[i]) continue;
+        alive++;
+        for (k = 0; k < ninputs; k++)
+            put_char(val_to_char(cube[i][k]), 1);
+        put_char('\n', 1);
+    }
+    put_str(".terms ", 1);
+    put_int(alive, 1);
+    put_str(" .lits ", 1);
+    put_int(literal_count(), 1);
+    put_str(" .merges ", 1);
+    put_int(merge_count, 1);
+    put_str(" .covered ", 1);
+    put_int(cover_count, 1);
+    put_char('\n', 1);
+}
+
+/* The minimization schedule is a table of pass functions, invoked
+   through pointers (as espresso's own phase drivers are). */
+int (*passes[2])(void) = {try_merge_pass, remove_covered_pass};
+
+int main() {
+    int rounds; int p;
+    read_pla();
+    if (ninputs == 0 || ninputs > MAXIN) return 1;
+    rounds = 0;
+    while (rounds < 40) {
+        int changed;
+        changed = 0;
+        for (p = 0; p < 2; p++)
+            if (passes[p]()) changed = 1;
+        if (!changed) break;
+        rounds++;
+    }
+    write_result();
+    flush_all();
+    return 0;
+}
+"#;
+
+/// Generates one run: a PLA table of growing size.
+pub fn gen(run: u64) -> RunInput {
+    let mut rng = rng_for("espresso", run);
+    let inputs = 8 + (run as usize % 5) * 2;
+    let terms = 120 + (run as usize % 7) * 45;
+    RunInput {
+        inputs: vec![NamedFile::new("stdin", pla_table(&mut rng, inputs, terms))],
+        args: vec![],
+    }
+}

@@ -1,0 +1,226 @@
+//! `grep` — regular-expression line matcher supporting `.` `*` `^` `$`
+//! and character classes, with `-v`, `-c`, and `-n` options (the option
+//! mix the paper exercises: `.+"^$` patterns).
+
+use impact_vm::NamedFile;
+
+use crate::textgen::{english_text, rng_for, word};
+use crate::RunInput;
+
+/// Paper Table 1: 20 runs.
+pub const RUNS: u32 = 20;
+
+/// Paper Table 1 input description.
+pub const DESCRIPTION: &str = "exercised .*^$[] options";
+
+/// The program source.
+pub const SOURCE: &str = r#"
+/* grep: regular expression search */
+extern int __fgetc(int fd);
+extern int __fputc(int c, int fd);
+extern int __nargs(void);
+extern int __arg(int i, char *buf);
+
+enum { MAXTOK = 64, LINELEN = 1024, CLSBYTES = 16 };
+enum { TK_CHAR = 0, TK_ANY = 1, TK_CLASS = 2 };
+
+int ttype[MAXTOK];
+int tch[MAXTOK];
+char tcls[MAXTOK][CLSBYTES];  /* 128-bit membership bitmaps */
+int tneg[MAXTOK];
+int tstar[MAXTOK];
+int ntok;
+int anchor_start;
+int anchor_end;
+
+int opt_invert;
+int opt_count;
+int opt_number;
+
+void cls_set(int t, int c) {
+    tcls[t][(c & 127) >> 3] |= 1 << (c & 7);
+}
+
+int cls_get(int t, int c) {
+    return (tcls[t][(c & 127) >> 3] >> (c & 7)) & 1;
+}
+
+/* Compiles the pattern; returns 0 on malformed patterns. */
+int compile(char *pat) {
+    int i; int t; int c;
+    i = 0;
+    ntok = 0;
+    anchor_start = 0;
+    anchor_end = 0;
+    if (pat[i] == '^') { anchor_start = 1; i++; }
+    while (pat[i]) {
+        if (pat[i] == '$' && pat[i + 1] == 0) { anchor_end = 1; break; }
+        if (ntok >= MAXTOK) return 0;
+        t = ntok;
+        tstar[t] = 0;
+        tneg[t] = 0;
+        if (pat[i] == '.') {
+            ttype[t] = TK_ANY;
+            i++;
+        } else if (pat[i] == '[') {
+            ttype[t] = TK_CLASS;
+            i++;
+            if (pat[i] == '^') { tneg[t] = 1; i++; }
+            while (pat[i] && pat[i] != ']') {
+                if (pat[i + 1] == '-' && pat[i + 2] && pat[i + 2] != ']') {
+                    for (c = pat[i]; c <= pat[i + 2]; c++) cls_set(t, c);
+                    i += 3;
+                } else {
+                    cls_set(t, pat[i]);
+                    i++;
+                }
+            }
+            if (pat[i] != ']') return 0;
+            i++;
+        } else {
+            ttype[t] = TK_CHAR;
+            if (pat[i] == '\\' && pat[i + 1]) i++;
+            tch[t] = pat[i];
+            i++;
+        }
+        if (pat[i] == '*') { tstar[t] = 1; i++; }
+        else if (pat[i] == '+') {
+            /* a+ == a a* : duplicate the token with a star */
+            if (ntok + 1 >= MAXTOK) return 0;
+            ttype[t + 1] = ttype[t];
+            tch[t + 1] = tch[t];
+            tneg[t + 1] = tneg[t];
+            for (c = 0; c < CLSBYTES; c++) tcls[t + 1][c] = tcls[t][c];
+            tstar[t + 1] = 1;
+            ntok++;
+            i++;
+        }
+        ntok++;
+    }
+    return 1;
+}
+
+/* Does token t match character c? The hottest function in the program. */
+int tok_match(int t, int c) {
+    if (c == 0) return 0;
+    if (ttype[t] == TK_CHAR) return tch[t] == c;
+    if (ttype[t] == TK_ANY) return 1;
+    return cls_get(t, c) != tneg[t];
+}
+
+int match_here(int t, char *line, int j);
+
+/* Greedy star: consume as many as possible, then back off. */
+int match_star(int t, char *line, int j) {
+    int k;
+    k = j;
+    while (line[k] && tok_match(t, line[k])) k++;
+    while (k >= j) {
+        if (match_here(t + 1, line, k)) return 1;
+        k--;
+    }
+    return 0;
+}
+
+int match_here(int t, char *line, int j) {
+    while (t < ntok) {
+        if (tstar[t]) return match_star(t, line, j);
+        if (!tok_match(t, line[j])) return 0;
+        t++;
+        j++;
+    }
+    if (anchor_end) return line[j] == 0;
+    return 1;
+}
+
+int match_line(char *line) {
+    int j;
+    if (anchor_start) return match_here(0, line, 0);
+    j = 0;
+    while (1) {
+        if (match_here(0, line, j)) return 1;
+        if (!line[j]) return 0;
+        j++;
+    }
+}
+
+int main() {
+    char pat[256];
+    char opt[16];
+    char line[LINELEN];
+    int argi; int nargs; int hit; long matched; long lineno;
+    nargs = __nargs();
+    if (nargs < 1) return 2;
+    argi = 0;
+    opt_invert = 0;
+    opt_count = 0;
+    opt_number = 0;
+    while (argi < nargs - 1) {
+        __arg(argi, opt);
+        if (str_cmp(opt, "-v") == 0) opt_invert = 1;
+        else if (str_cmp(opt, "-c") == 0) opt_count = 1;
+        else if (str_cmp(opt, "-n") == 0) opt_number = 1;
+        else break;
+        argi++;
+    }
+    __arg(argi, pat);
+    if (!compile(pat)) return 2;
+    matched = 0;
+    lineno = 0;
+    while (read_line(0, line, LINELEN) != -1) {
+        lineno++;
+        hit = match_line(line);
+        if (opt_invert) hit = !hit;
+        if (hit) {
+            matched++;
+            if (!opt_count) {
+                if (opt_number) {
+                    put_int(lineno, 1);
+                    put_char(':', 1);
+                }
+                put_line(line, 1);
+            }
+        }
+    }
+    if (opt_count) {
+        put_int(matched, 1);
+        put_char('\n', 1);
+    }
+    flush_all();
+    return matched > 0 ? 0 : 1;
+}
+"#;
+
+/// Generates one run: a text corpus plus a pattern/option combination
+/// cycling through literal, class, star, and anchor forms.
+pub fn gen(run: u64) -> RunInput {
+    let mut rng = rng_for("grep", run);
+    let text = english_text(&mut rng, 2500 + (run as usize % 6) * 800);
+    let w = word(&mut rng);
+    let pattern = match run % 8 {
+        0 => w.to_string(),
+        1 => format!("^{w}"),
+        2 => format!("{w}$"),
+        3 => "c[ao]l[lt]".to_string(),
+        4 => format!("{}.*{}", &w[..w.len().min(3)], word(&mut rng)),
+        5 => "[a-m]o[n-z]+".to_string(),
+        6 => "t.e".to_string(),
+        _ => format!("[^aeiou]{w}"),
+    };
+    let mut args: Vec<String> = Vec::new();
+    match run % 5 {
+        1 => args.push("-c".into()),
+        2 => args.push("-n".into()),
+        3 => args.push("-v".into()),
+        4 => {
+            args.push("-c".into());
+            args.push("-v".into());
+        }
+        _ => {}
+    }
+    args.push(pattern);
+    RunInput {
+        inputs: vec![NamedFile::new("stdin", text)],
+        args,
+    }
+}

@@ -1,0 +1,184 @@
+//! `lex` — a generated lexical analyzer: builds a keyword trie and
+//! character-class tables from a spec file at startup, then scans a large
+//! token stream with the table-driven inner loop that dominates real
+//! lex-generated scanners.
+
+use impact_vm::NamedFile;
+
+use crate::textgen::{lexer_input, rng_for};
+use crate::RunInput;
+
+/// Paper Table 1: 4 runs (lex has by far the largest dynamic counts).
+pub const RUNS: u32 = 4;
+
+/// Paper Table 1 input description.
+pub const DESCRIPTION: &str = "lexers for C, Lisp, awk, and pic";
+
+/// The program source.
+pub const SOURCE: &str = r#"
+/* lex: table-driven scanner built from a keyword spec */
+extern int __fgetc(int fd);
+extern int __fputc(int c, int fd);
+extern int __open(char *path);
+
+enum { MAXSTATES = 512, ALPHA = 26, LINELEN = 128, MAXKW = 64 };
+enum { T_IDENT = 0, T_NUMBER = 1, T_OP = 2, T_KEYWORD = 3 };
+
+int trie_next[MAXSTATES][ALPHA];
+int trie_final[MAXSTATES];   /* 0 = not a keyword, else keyword id + 1 */
+int nstates;
+
+long counts[4];
+long total_tokens;
+long total_chars;
+
+int cur_char;
+
+void advance(int fd) {
+    cur_char = in_byte(fd);
+    total_chars++;
+}
+
+int letter_index(int c) {
+    int l;
+    l = to_lower(c);
+    if (l >= 'a' && l <= 'z') return l - 'a';
+    return -1;
+}
+
+void trie_insert(char *word, int id) {
+    int s; int i; int li;
+    s = 0;
+    for (i = 0; word[i]; i++) {
+        li = letter_index(word[i]);
+        if (li < 0) return;
+        if (trie_next[s][li] == 0) {
+            if (nstates >= MAXSTATES) return;
+            trie_next[s][li] = nstates;
+            s = nstates;
+            nstates++;
+        } else {
+            s = trie_next[s][li];
+        }
+    }
+    trie_final[s] = id + 1;
+}
+
+/* Walks the trie over a scanned identifier; 0 if not a keyword. */
+int trie_lookup(char *word) {
+    int s; int i; int li;
+    s = 0;
+    for (i = 0; word[i]; i++) {
+        li = letter_index(word[i]);
+        if (li < 0) return 0;
+        s = trie_next[s][li];
+        if (s == 0) return 0;
+    }
+    return trie_final[s];
+}
+
+void load_spec() {
+    char line[LINELEN];
+    int fd; int id;
+    fd = open_read("spec");
+    if (fd < 0) return;
+    nstates = 1;
+    id = 0;
+    while (read_line(fd, line, LINELEN) != -1) {
+        if (line[0] == 0) continue;
+        trie_insert(line, id);
+        id++;
+    }
+}
+
+int scan_ident(int fd, char *buf) {
+    int n;
+    n = 0;
+    while (is_alnum(cur_char) || cur_char == '_') {
+        if (n < LINELEN - 1) buf[n++] = cur_char;
+        advance(fd);
+    }
+    buf[n] = 0;
+    return n;
+}
+
+void scan_number(int fd) {
+    while (is_digit(cur_char)) advance(fd);
+}
+
+void scan_op(int fd) {
+    int first;
+    first = cur_char;
+    advance(fd);
+    /* two-character operators */
+    if ((first == '=' || first == '<' || first == '>' || first == '!') && cur_char == '=')
+        advance(fd);
+}
+
+void note_token(int kind) {
+    counts[kind]++;
+    total_tokens++;
+}
+
+void scan_stream(int fd) {
+    char word[LINELEN];
+    advance(fd);
+    while (cur_char != -1) {
+        if (is_space(cur_char)) {
+            advance(fd);
+        } else if (is_alpha(cur_char) || cur_char == '_') {
+            scan_ident(fd, word);
+            if (trie_lookup(word)) note_token(T_KEYWORD);
+            else note_token(T_IDENT);
+        } else if (is_digit(cur_char)) {
+            scan_number(fd);
+            note_token(T_NUMBER);
+        } else {
+            scan_op(fd);
+            note_token(T_OP);
+        }
+    }
+}
+
+int main() {
+    load_spec();
+    scan_stream(0);
+    put_str("ident ", 1);
+    put_int(counts[T_IDENT], 1);
+    put_str(" num ", 1);
+    put_int(counts[T_NUMBER], 1);
+    put_str(" op ", 1);
+    put_int(counts[T_OP], 1);
+    put_str(" kw ", 1);
+    put_int(counts[T_KEYWORD], 1);
+    put_str(" total ", 1);
+    put_int(total_tokens, 1);
+    put_char('\n', 1);
+    flush_all();
+    return total_tokens > 0 ? 0 : 1;
+}
+"#;
+
+/// Generates one run: a keyword spec (the "language") and a large token
+/// stream in that language.
+pub fn gen(run: u64) -> RunInput {
+    let mut rng = rng_for("lex", run);
+    let spec: &[&str] = match run % 4 {
+        0 => &[
+            "if", "else", "while", "for", "return", "int", "char", "break", "continue",
+            "switch", "case", "struct",
+        ],
+        1 => &["defun", "lambda", "setq", "cond", "car", "cdr", "cons", "let", "quote"],
+        2 => &["begin", "end", "print", "next", "getline", "function", "delete", "in"],
+        _ => &["line", "box", "circle", "arrow", "move", "left", "right", "up", "down"],
+    };
+    let spec_text: Vec<u8> = spec.join("\n").into_bytes();
+    let tokens = 18_000 + (run as usize % 4) * 9_000;
+    RunInput {
+        inputs: vec![
+            NamedFile::new("spec", spec_text),
+            NamedFile::new("stdin", lexer_input(&mut rng, tokens)),
+        ],
+        args: vec![],
+    }
+}

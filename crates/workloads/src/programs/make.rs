@@ -1,0 +1,240 @@
+//! `make` — dependency-driven build planner: parses a makefile, reads a
+//! timestamp table, and recursively decides which targets are out of date,
+//! printing the commands it would run.
+
+use impact_vm::NamedFile;
+
+use crate::textgen::{makefile, rng_for};
+use crate::RunInput;
+
+/// Paper Table 1: 20 runs.
+pub const RUNS: u32 = 20;
+
+/// Paper Table 1 input description.
+pub const DESCRIPTION: &str = "makefiles for cccp, compress, etc.";
+
+/// The program source.
+pub const SOURCE: &str = r#"
+/* make: dependency analysis and build planning */
+extern int __fgetc(int fd);
+extern int __fputc(int c, int fd);
+extern int __open(char *path);
+extern int __nargs(void);
+extern int __arg(int i, char *buf);
+
+enum { MAXT = 128, MAXD = 8, NAMELEN = 32, CMDLEN = 96, LINELEN = 256 };
+
+char tname[MAXT][NAMELEN];
+int tdeps[MAXT][MAXD];
+int tndeps[MAXT];
+char tcmd[MAXT][CMDLEN];
+long ttime[MAXT];
+int tbuilt[MAXT];     /* 0 unknown, 1 visiting, 2 fresh, 3 rebuilt */
+int ntargets;
+long commands_run;
+long now_clock;       /* monotonically increasing build clock */
+
+int find_target(char *name) {
+    int i;
+    for (i = 0; i < ntargets; i++)
+        if (str_cmp(tname[i], name) == 0)
+            return i;
+    return -1;
+}
+
+int intern_target(char *name) {
+    int i;
+    i = find_target(name);
+    if (i >= 0) return i;
+    if (ntargets >= MAXT) return 0;
+    i = ntargets++;
+    str_ncpy(tname[i], name, NAMELEN - 1);
+    tndeps[i] = 0;
+    tcmd[i][0] = 0;
+    ttime[i] = 0;
+    return i;
+}
+
+/* Splits a "target: dep dep" line. */
+void parse_rule(char *line) {
+    char name[NAMELEN];
+    int i; int n; int t; int d;
+    i = 0;
+    n = 0;
+    while (line[i] && line[i] != ':') {
+        if (n < NAMELEN - 1 && !is_space(line[i])) name[n++] = line[i];
+        i++;
+    }
+    name[n] = 0;
+    if (line[i] != ':') return;
+    i++;
+    t = intern_target(name);
+    while (line[i]) {
+        while (is_space(line[i])) i++;
+        if (!line[i]) break;
+        n = 0;
+        while (line[i] && !is_space(line[i])) {
+            if (n < NAMELEN - 1) name[n++] = line[i];
+            i++;
+        }
+        name[n] = 0;
+        d = intern_target(name);
+        if (tndeps[t] < MAXD) tdeps[t][tndeps[t]++] = d;
+    }
+}
+
+void parse_makefile(int fd) {
+    char line[LINELEN];
+    int last;
+    last = -1;
+    while (read_line(fd, line, LINELEN) != -1) {
+        if (line[0] == '\t') {
+            if (last >= 0) str_ncpy(tcmd[last], line + 1, CMDLEN - 1);
+        } else if (line[0] && line[0] != '#') {
+            parse_rule(line);
+            last = find_colon_target(line);
+        }
+    }
+}
+
+/* Re-finds the target named before ':' (helper for command attachment). */
+int find_colon_target(char *line) {
+    char name[NAMELEN];
+    int i; int n;
+    i = 0;
+    n = 0;
+    while (line[i] && line[i] != ':') {
+        if (n < NAMELEN - 1 && !is_space(line[i])) name[n++] = line[i];
+        i++;
+    }
+    name[n] = 0;
+    return find_target(name);
+}
+
+void read_stamps(int fd) {
+    char line[LINELEN];
+    char name[NAMELEN];
+    int i; int n; int t;
+    while (read_line(fd, line, LINELEN) != -1) {
+        i = 0;
+        n = 0;
+        while (line[i] && !is_space(line[i])) {
+            if (n < NAMELEN - 1) name[n++] = line[i];
+            i++;
+        }
+        name[n] = 0;
+        t = find_target(name);
+        if (t >= 0) ttime[t] = a_to_i(line + i);
+    }
+}
+
+/* Command execution is pluggable (-n dry run prints, -q only counts),
+   selected once through a function pointer — as real make dispatches
+   its job runner. */
+void exec_print(char *cmd) {
+    put_line(cmd, 1);
+    commands_run++;
+}
+
+void exec_count(char *cmd) {
+    commands_run++;
+}
+
+void (*executor)(char *cmd) = exec_print;
+
+/* Returns the (possibly updated) timestamp of target t, rebuilding it
+   if any dependency is newer. Classic recursive make traversal. */
+long build(int t) {
+    long newest; long dep_time; int i; int need;
+    if (tbuilt[t] == 2 || tbuilt[t] == 3) return ttime[t];
+    if (tbuilt[t] == 1) return ttime[t]; /* cycle: treat as fresh */
+    tbuilt[t] = 1;
+    newest = 0;
+    for (i = 0; i < tndeps[t]; i++) {
+        dep_time = build(tdeps[t][i]);
+        if (dep_time > newest) newest = dep_time;
+    }
+    need = 0;
+    if (ttime[t] == 0) need = 1;            /* missing */
+    if (newest > ttime[t]) need = 1;        /* stale */
+    if (need && tcmd[t][0]) {
+        executor(tcmd[t]);
+        /* a rebuilt target is newer than everything seen so far */
+        ttime[t] = now_clock++;
+        tbuilt[t] = 3;
+    } else {
+        tbuilt[t] = 2;
+    }
+    return ttime[t];
+}
+
+int main() {
+    char opt[16];
+    int fd; int root;
+    if (__nargs() > 0) {
+        __arg(0, opt);
+        if (str_cmp(opt, "-q") == 0) executor = exec_count;
+    }
+    fd = open_read("Makefile");
+    if (fd < 0) return 2;
+    parse_makefile(fd);
+    fd = open_read("stamps");
+    if (fd >= 0) read_stamps(fd);
+    /* start the build clock past every recorded timestamp */
+    now_clock = 1;
+    {
+        int t;
+        for (t = 0; t < ntargets; t++)
+            if (ttime[t] >= now_clock) now_clock = ttime[t] + 1;
+    }
+    root = find_target("all");
+    if (root < 0) {
+        if (ntargets == 0) return 1;
+        root = 0;
+    }
+    build(root);
+    put_str("; commands ", 1);
+    put_int(commands_run, 1);
+    put_str(" targets ", 1);
+    put_int(ntargets, 1);
+    put_char('\n', 1);
+    flush_all();
+    return 0;
+}
+"#;
+
+/// Generates one run: a makefile plus a timestamp table where a random
+/// subset of targets is stale.
+pub fn gen(run: u64) -> RunInput {
+    use rand::Rng;
+    let mut rng = rng_for("make", run);
+    let ntargets = 25 + (run as usize % 8) * 10;
+    let mk = makefile(&mut rng, ntargets);
+    // Timestamps: parse target names back out of the makefile text.
+    let text = String::from_utf8(mk.clone()).expect("ascii");
+    let mut stamps = Vec::new();
+    for line in text.lines() {
+        if let Some((name, _)) = line.split_once(':') {
+            if !line.starts_with('\t') {
+                let t: u32 = if rng.gen_bool(0.3) {
+                    0 // missing → must build
+                } else {
+                    rng.gen_range(1..1000)
+                };
+                stamps.extend_from_slice(format!("{name} {t}\n").as_bytes());
+            }
+        }
+    }
+    let args = if run % 4 == 3 {
+        vec!["-q".to_string()]
+    } else {
+        vec![]
+    };
+    RunInput {
+        inputs: vec![
+            NamedFile::new("Makefile", mk),
+            NamedFile::new("stamps", stamps),
+        ],
+        args,
+    }
+}

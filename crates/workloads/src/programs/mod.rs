@@ -1,0 +1,14 @@
+//! The twelve benchmark programs, one module each.
+
+pub mod cccp;
+pub mod cmp;
+pub mod compress;
+pub mod eqn;
+pub mod espresso;
+pub mod grep;
+pub mod lex;
+pub mod make;
+pub mod tar;
+pub mod tee;
+pub mod wc;
+pub mod yacc;

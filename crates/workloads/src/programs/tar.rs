@@ -1,0 +1,172 @@
+//! `tar` — archive packer/unpacker with a simple textual header format
+//! (`name\n size\n bytes...`), a per-file checksum, and block copying.
+
+use impact_vm::NamedFile;
+
+use crate::textgen::{c_like_source, english_text, rng_for};
+use crate::RunInput;
+
+/// Paper Table 1: 14 runs.
+pub const RUNS: u32 = 14;
+
+/// Paper Table 1 input description.
+pub const DESCRIPTION: &str = "save/extract files";
+
+/// The program source.
+pub const SOURCE: &str = r#"
+/* tar: save (c) and extract (x) archives */
+extern int __fgetc(int fd);
+extern int __fputc(int c, int fd);
+extern int __open(char *path);
+extern int __creat(char *path);
+extern int __close(int fd);
+extern int __ninputs(void);
+extern int __input_name(int i, char *buf);
+extern int __nargs(void);
+extern int __arg(int i, char *buf);
+
+enum { NAMELEN = 64, LINELEN = 128 };
+
+long files_done;
+long bytes_done;
+long checksum_acc;
+
+void check_byte(int c) {
+    checksum_acc = (checksum_acc * 31 + c) & 0xffffff;
+}
+
+/* Copies n bytes from in to out, checksumming. */
+void copy_bytes(int in, int out, long n) {
+    int c;
+    while (n > 0) {
+        c = in_byte(in);
+        if (c == -1) break;
+        check_byte(c);
+        out_byte(c, out);
+        bytes_done++;
+        n--;
+    }
+}
+
+long file_size(char *name) {
+    int fd; long n;
+    fd = open_read(name);
+    if (fd < 0) return -1;
+    n = 0;
+    while (in_byte(fd) != -1) n++;
+    close_fd(fd);
+    return n;
+}
+
+void write_header(int out, char *name, long size) {
+    char num[24];
+    put_str(name, out);
+    put_char('\n', out);
+    int_to_str(size, num);
+    put_str(num, out);
+    put_char('\n', out);
+}
+
+void save_one(int out, char *name) {
+    long size; int fd;
+    size = file_size(name);
+    if (size < 0) return;
+    write_header(out, name, size);
+    fd = open_read(name);
+    checksum_acc = 0;
+    copy_bytes(fd, out, size);
+    close_fd(fd);
+    files_done++;
+}
+
+void do_create() {
+    char name[NAMELEN];
+    int out; int i; int n;
+    out = open_write("archive.tar");
+    n = __ninputs();
+    for (i = 0; i < n; i++) {
+        __input_name(i, name);
+        /* don't pack the archive itself or control files */
+        if (str_cmp(name, "archive.tar") == 0) continue;
+        save_one(out, name);
+    }
+    close_fd(out);
+}
+
+void do_extract() {
+    char name[LINELEN];
+    char sizebuf[LINELEN];
+    int in; int out; long size;
+    in = open_read("archive.tar");
+    if (in < 0) return;
+    while (read_line(in, name, LINELEN) != -1) {
+        if (name[0] == 0) break;
+        if (read_line(in, sizebuf, LINELEN) == -1) break;
+        size = a_to_i(sizebuf);
+        out = open_write(name);
+        checksum_acc = 0;
+        copy_bytes(in, out, size);
+        close_fd(out);
+        files_done++;
+    }
+    close_fd(in);
+}
+
+int main() {
+    char mode[16];
+    if (__nargs() < 1) return 2;
+    __arg(0, mode);
+    if (str_cmp(mode, "c") == 0) do_create();
+    else if (str_cmp(mode, "x") == 0) do_extract();
+    else return 2;
+    put_str("; files ", 1);
+    put_int(files_done, 1);
+    put_str(" bytes ", 1);
+    put_int(bytes_done, 1);
+    put_str(" sum ", 1);
+    put_int(checksum_acc, 1);
+    put_char('\n', 1);
+    flush_all();
+    return files_done > 0 ? 0 : 1;
+}
+"#;
+
+/// Generates one run: either a set of files to pack (`c`) or an archive
+/// in the program's own format to extract (`x`).
+pub fn gen(run: u64) -> RunInput {
+    let mut rng = rng_for("tar", run);
+    let nfiles = 3 + (run as usize % 4);
+    let mut files: Vec<(String, Vec<u8>)> = Vec::new();
+    for i in 0..nfiles {
+        let data = if i % 2 == 0 {
+            english_text(&mut rng, 300 + (run as usize % 5) * 150)
+        } else {
+            c_like_source(&mut rng, 60 + (run as usize % 5) * 25)
+        };
+        files.push((format!("f{i}.txt"), data));
+    }
+    if run % 2 == 0 {
+        // Create mode: hand the files over directly.
+        RunInput {
+            inputs: files
+                .into_iter()
+                .map(|(n, d)| NamedFile::new(n, d))
+                .collect(),
+            args: vec!["c".into()],
+        }
+    } else {
+        // Extract mode: build the archive in the program's own format.
+        let mut archive = Vec::new();
+        for (name, data) in &files {
+            archive.extend_from_slice(name.as_bytes());
+            archive.push(b'\n');
+            archive.extend_from_slice(data.len().to_string().as_bytes());
+            archive.push(b'\n');
+            archive.extend_from_slice(data);
+        }
+        RunInput {
+            inputs: vec![NamedFile::new("archive.tar", archive)],
+            args: vec!["x".into()],
+        }
+    }
+}

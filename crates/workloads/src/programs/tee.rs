@@ -1,0 +1,66 @@
+//! `tee` — copy stdin to stdout and to every named output file, using
+//! block I/O. Like the real `tee`, almost all of its work is in system
+//! calls: the paper reports 0% call elimination and only 24K IL per run —
+//! inlining rightly finds nothing to do here.
+
+use impact_vm::NamedFile;
+
+use crate::textgen::{c_like_source, rng_for};
+use crate::RunInput;
+
+/// Paper Table 1: 20 runs (same inputs as cccp).
+pub const RUNS: u32 = 20;
+
+/// Paper Table 1 input description.
+pub const DESCRIPTION: &str = "same as cccp";
+
+/// The program source.
+pub const SOURCE: &str = r#"
+/* tee: copy stdin to stdout and the named files */
+extern int __fread(int fd, char *buf, int n);
+extern int __fwrite(int fd, char *buf, int n);
+extern int __creat(char *path);
+extern int __close(int fd);
+extern int __nargs(void);
+extern int __arg(int i, char *buf);
+
+enum { BUFSZ = 256, MAXOUT = 8 };
+
+int main() {
+    char buf[BUFSZ];
+    char name[128];
+    int fds[MAXOUT];
+    int nout; int i; int n;
+    long total;
+    nout = __nargs();
+    if (nout > MAXOUT) nout = MAXOUT;
+    for (i = 0; i < nout; i++) {
+        __arg(i, name);
+        fds[i] = __creat(name);
+    }
+    total = 0;
+    while ((n = __fread(0, buf, BUFSZ)) > 0) {
+        __fwrite(1, buf, n);
+        for (i = 0; i < nout; i++)
+            if (fds[i] >= 0) __fwrite(fds[i], buf, n);
+        total += n;
+    }
+    for (i = 0; i < nout; i++)
+        if (fds[i] >= 0) __close(fds[i]);
+    return total > 0 ? 0 : 1;
+}
+"#;
+
+/// Generates one run: a C-like file on stdin and one or two output names.
+pub fn gen(run: u64) -> RunInput {
+    let mut rng = rng_for("tee", run);
+    let data = c_like_source(&mut rng, 1500 + (run as usize % 10) * 400);
+    let mut args = vec!["copy1.txt".to_string()];
+    if run % 3 == 0 {
+        args.push("copy2.txt".to_string());
+    }
+    RunInput {
+        inputs: vec![NamedFile::new("stdin", data)],
+        args,
+    }
+}

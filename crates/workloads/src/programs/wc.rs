@@ -1,0 +1,99 @@
+//! `wc` — line/word/character counts over block-read buffers, with the
+//! hot state machine directly in `main` (as in the real 1989 `wc`):
+//! the paper reports ~0% call elimination and very long stretches of
+//! straight-line execution between calls.
+
+use impact_vm::NamedFile;
+
+use crate::textgen::{c_like_source, english_text, rng_for};
+use crate::RunInput;
+
+/// Paper Table 1: 20 runs (same inputs as cccp).
+pub const RUNS: u32 = 20;
+
+/// Paper Table 1 input description.
+pub const DESCRIPTION: &str = "same as cccp";
+
+/// The program source.
+pub const SOURCE: &str = r#"
+/* wc: count lines, words, characters */
+extern int __fread(int fd, char *buf, int n);
+extern int __open(char *path);
+extern int __close(int fd);
+extern int __nargs(void);
+extern int __arg(int i, char *buf);
+
+enum { BUFSZ = 4096 };
+
+long total_lines;
+long total_words;
+long total_chars;
+
+void report(char *name, long l, long w, long c) {
+    put_int(l, 1);
+    put_char(' ', 1);
+    put_int(w, 1);
+    put_char(' ', 1);
+    put_int(c, 1);
+    put_char(' ', 1);
+    put_line(name, 1);
+}
+
+int main() {
+    char buf[BUFSZ];
+    char name[128];
+    long lines; long words; long chars;
+    int nfiles; int fi; int fd; int n; int i; int c; int in_word;
+    nfiles = __nargs();
+    if (nfiles == 0) return 2;
+    for (fi = 0; fi < nfiles; fi++) {
+        __arg(fi, name);
+        fd = __open(name);
+        if (fd < 0) continue;
+        lines = 0;
+        words = 0;
+        chars = 0;
+        in_word = 0;
+        /* the hot loop: branch-heavy, call-free */
+        while ((n = __fread(fd, buf, BUFSZ)) > 0) {
+            for (i = 0; i < n; i++) {
+                c = buf[i];
+                chars++;
+                if (c == '\n') lines++;
+                if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+                    in_word = 0;
+                } else if (!in_word) {
+                    in_word = 1;
+                    words++;
+                }
+            }
+        }
+        __close(fd);
+        report(name, lines, words, chars);
+        total_lines += lines;
+        total_words += words;
+        total_chars += chars;
+    }
+    if (nfiles > 1) report("total", total_lines, total_words, total_chars);
+    flush_all();
+    return 0;
+}
+"#;
+
+/// Generates one run: two or three files to count.
+pub fn gen(run: u64) -> RunInput {
+    let mut rng = rng_for("wc", run);
+    let mut inputs = vec![
+        NamedFile::new("a.c", c_like_source(&mut rng, 200 + (run as usize % 8) * 80)),
+        NamedFile::new("b.txt", english_text(&mut rng, 1500 + (run as usize % 5) * 400)),
+    ];
+    let mut args = vec!["a.c".to_string(), "b.txt".to_string()];
+    if run % 2 == 0 {
+        inputs.push(NamedFile::new(
+            "c.txt",
+            english_text(&mut rng, 800 + (run as usize % 7) * 300),
+        ));
+        args.push("c.txt".to_string());
+    }
+    RunInput { inputs, args }
+}

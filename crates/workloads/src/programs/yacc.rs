@@ -1,0 +1,257 @@
+//! `yacc` — LR(0) parser-generator kernel: reads a grammar, interns
+//! symbols, computes nullable/FIRST sets to a fixpoint, and constructs
+//! the LR(0) item-set automaton via closure/goto with state
+//! deduplication.
+
+use impact_vm::NamedFile;
+
+use crate::textgen::{grammar, rng_for};
+use crate::RunInput;
+
+/// Paper Table 1: 8 runs.
+pub const RUNS: u32 = 8;
+
+/// Paper Table 1 input description.
+pub const DESCRIPTION: &str = "grammar for a C compiler, etc.";
+
+/// The program source.
+pub const SOURCE: &str = r#"
+/* yacc: LR(0) automaton construction */
+extern int __fgetc(int fd);
+extern int __fputc(int c, int fd);
+
+enum { MAXSYM = 96, MAXRULE = 160, MAXRHS = 6, NAMELEN = 16,
+       MAXITEM = 48, MAXSTATE = 160, LINELEN = 256, SETBYTES = 12 };
+
+char sym_name[MAXSYM][NAMELEN];
+int sym_is_term[MAXSYM];
+int nsyms;
+
+int rule_lhs[MAXRULE];
+int rule_rhs[MAXRULE][MAXRHS];
+int rule_len[MAXRULE];
+int nrules;
+
+int nullable[MAXSYM];
+char first_set[MAXSYM][SETBYTES];
+
+/* A state is a set of items; an item is rule * 32 + dot. */
+int state_items[MAXSTATE][MAXITEM];
+int state_nitems[MAXSTATE];
+int nstates;
+
+long closure_steps;
+long goto_steps;
+
+int bit_get(char *set, int i) { return (set[i >> 3] >> (i & 7)) & 1; }
+
+int bit_set(char *set, int i) {
+    int old;
+    old = bit_get(set, i);
+    set[i >> 3] |= 1 << (i & 7);
+    return !old;
+}
+
+int set_union(char *dst, char *src) {
+    int i; int changed; int before;
+    changed = 0;
+    for (i = 0; i < SETBYTES; i++) {
+        before = dst[i];
+        dst[i] |= src[i];
+        if (dst[i] != before) changed = 1;
+    }
+    return changed;
+}
+
+int sym_intern(char *name, int is_term) {
+    int i;
+    for (i = 0; i < nsyms; i++)
+        if (str_cmp(sym_name[i], name) == 0)
+            return i;
+    if (nsyms >= MAXSYM) return 0;
+    i = nsyms++;
+    str_ncpy(sym_name[i], name, NAMELEN - 1);
+    sym_is_term[i] = is_term;
+    return i;
+}
+
+void parse_grammar() {
+    char line[LINELEN];
+    char name[NAMELEN];
+    int i; int n; int lhs; int r;
+    while (read_line(0, line, LINELEN) != -1) {
+        i = 0;
+        n = 0;
+        while (line[i] && line[i] != ':') {
+            if (!is_space(line[i]) && n < NAMELEN - 1) name[n++] = line[i];
+            i++;
+        }
+        name[n] = 0;
+        if (line[i] != ':' || n == 0) continue;
+        i++;
+        lhs = sym_intern(name, 0);
+        if (nrules >= MAXRULE) continue;
+        r = nrules++;
+        rule_lhs[r] = lhs;
+        rule_len[r] = 0;
+        while (line[i]) {
+            while (is_space(line[i])) i++;
+            if (!line[i] || line[i] == ';') break;
+            n = 0;
+            while (line[i] && !is_space(line[i]) && line[i] != ';') {
+                if (n < NAMELEN - 1) name[n++] = line[i];
+                i++;
+            }
+            name[n] = 0;
+            if (rule_len[r] < MAXRHS)
+                rule_rhs[r][rule_len[r]++] = sym_intern(name, is_upper(name[0]));
+        }
+    }
+}
+
+void compute_nullable_and_first() {
+    int changed; int r; int k; int s; int all_nullable;
+    /* terminals' FIRST sets are themselves */
+    for (s = 0; s < nsyms; s++)
+        if (sym_is_term[s]) bit_set(first_set[s], s);
+    changed = 1;
+    while (changed) {
+        changed = 0;
+        for (r = 0; r < nrules; r++) {
+            all_nullable = 1;
+            for (k = 0; k < rule_len[r]; k++) {
+                s = rule_rhs[r][k];
+                if (set_union(first_set[rule_lhs[r]], first_set[s])) changed = 1;
+                if (!nullable[s]) { all_nullable = 0; break; }
+            }
+            if (all_nullable && !nullable[rule_lhs[r]]) {
+                nullable[rule_lhs[r]] = 1;
+                changed = 1;
+            }
+        }
+    }
+}
+
+int item_rule(int item) { return item >> 5; }
+int item_dot(int item) { return item & 31; }
+int make_item(int rule, int dot) { return (rule << 5) | dot; }
+
+int state_has_item(int st, int item) {
+    int i;
+    for (i = 0; i < state_nitems[st]; i++)
+        if (state_items[st][i] == item) return 1;
+    return 0;
+}
+
+void state_add_item(int st, int item) {
+    if (state_nitems[st] < MAXITEM && !state_has_item(st, item))
+        state_items[st][state_nitems[st]++] = item;
+}
+
+/* Expands a state with closure items: for every item A → α . B β, add
+   B → . γ for each rule of B. */
+void close_state(int st) {
+    int i; int r; int item; int dot; int sym;
+    i = 0;
+    while (i < state_nitems[st]) {
+        item = state_items[st][i];
+        r = item_rule(item);
+        dot = item_dot(item);
+        closure_steps++;
+        if (dot < rule_len[r]) {
+            sym = rule_rhs[r][dot];
+            if (!sym_is_term[sym]) {
+                int r2;
+                for (r2 = 0; r2 < nrules; r2++)
+                    if (rule_lhs[r2] == sym)
+                        state_add_item(st, make_item(r2, 0));
+            }
+        }
+        i++;
+    }
+}
+
+int states_equal(int a, int b) {
+    int i;
+    if (state_nitems[a] != state_nitems[b]) return 0;
+    for (i = 0; i < state_nitems[a]; i++)
+        if (!state_has_item(b, state_items[a][i])) return 0;
+    return 1;
+}
+
+int find_state(int st) {
+    int i;
+    for (i = 0; i < st; i++)
+        if (states_equal(i, st)) return i;
+    return -1;
+}
+
+/* Builds GOTO(st, sym) into a scratch state; returns 1 if non-empty. */
+int build_goto(int st, int sym, int dst) {
+    int i; int item; int r; int dot;
+    state_nitems[dst] = 0;
+    for (i = 0; i < state_nitems[st]; i++) {
+        item = state_items[st][i];
+        r = item_rule(item);
+        dot = item_dot(item);
+        goto_steps++;
+        if (dot < rule_len[r] && rule_rhs[r][dot] == sym)
+            state_add_item(dst, make_item(r, dot + 1));
+    }
+    return state_nitems[dst] > 0;
+}
+
+void build_automaton() {
+    int st; int sym; int existing;
+    if (nrules == 0) return;
+    nstates = 1;
+    state_nitems[0] = 0;
+    state_add_item(0, make_item(0, 0));
+    close_state(0);
+    st = 0;
+    while (st < nstates) {
+        for (sym = 0; sym < nsyms; sym++) {
+            if (nstates >= MAXSTATE - 1) break;
+            if (build_goto(st, sym, nstates)) {
+                close_state(nstates);
+                existing = find_state(nstates);
+                if (existing < 0) nstates++;
+            }
+        }
+        st++;
+    }
+}
+
+int main() {
+    int total_items; int i;
+    parse_grammar();
+    if (nrules == 0) return 1;
+    compute_nullable_and_first();
+    build_automaton();
+    total_items = 0;
+    for (i = 0; i < nstates; i++) total_items += state_nitems[i];
+    put_str("syms ", 1);
+    put_int(nsyms, 1);
+    put_str(" rules ", 1);
+    put_int(nrules, 1);
+    put_str(" states ", 1);
+    put_int(nstates, 1);
+    put_str(" items ", 1);
+    put_int(total_items, 1);
+    put_str(" closure ", 1);
+    put_int(closure_steps, 1);
+    put_char('\n', 1);
+    flush_all();
+    return 0;
+}
+"#;
+
+/// Generates one run: a grammar whose size grows with the run index.
+pub fn gen(run: u64) -> RunInput {
+    let mut rng = rng_for("yacc", run);
+    let nonterms = 10 + (run as usize % 8) * 4;
+    RunInput {
+        inputs: vec![NamedFile::new("stdin", grammar(&mut rng, nonterms))],
+        args: vec![],
+    }
+}

@@ -1,0 +1,323 @@
+//! Seeded generators for "representative inputs" (§4: the paper collects
+//! real inputs; we synthesize inputs of the same kind, deterministically).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG for `(benchmark, run)` so every table cell is
+/// reproducible bit-for-bit.
+pub fn rng_for(benchmark: &str, run: u64) -> StdRng {
+    let mut seed = 0xC0FFEE_u64;
+    for b in benchmark.bytes() {
+        seed = seed.wrapping_mul(0x100000001b3).wrapping_add(b as u64);
+    }
+    StdRng::seed_from_u64(seed ^ (run.wrapping_mul(0x9E3779B97F4A7C15)))
+}
+
+const WORDS: &[&str] = &[
+    "the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog", "compiler", "inline",
+    "function", "expansion", "profile", "weight", "graph", "stack", "register", "window",
+    "buffer", "system", "call", "return", "branch", "loop", "table", "index", "value", "token",
+    "parse", "scan", "emit", "node", "arc", "cycle", "main", "static", "dynamic", "code",
+    "size", "cost", "bound", "hazard", "expand", "caller", "callee", "linear", "order",
+    "sequence", "cache", "memory", "access", "pipeline", "optimize", "transfer", "control",
+];
+
+const IDENTS: &[&str] = &[
+    "count", "total", "buf", "ptr", "len", "idx", "tmp", "state", "flags", "mode", "head",
+    "tail", "next", "prev", "size", "data", "line", "word", "ch", "fd", "ret", "val", "pos",
+    "lim", "mask", "key", "hash", "node", "item", "left", "right",
+];
+
+/// A random word from the lexicon.
+pub fn word(rng: &mut StdRng) -> &'static str {
+    WORDS[rng.gen_range(0..WORDS.len())]
+}
+
+/// English-ish prose: `words` words with punctuation and line breaks.
+pub fn english_text(rng: &mut StdRng, words: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(words * 6);
+    let mut col = 0usize;
+    for i in 0..words {
+        let w = word(rng);
+        out.extend_from_slice(w.as_bytes());
+        col += w.len() + 1;
+        if rng.gen_ratio(1, 12) {
+            out.push(if rng.gen_bool(0.5) { b'.' } else { b',' });
+        }
+        if col > 60 || (i > 0 && rng.gen_ratio(1, 18)) {
+            out.push(b'\n');
+            col = 0;
+        } else {
+            out.push(b' ');
+        }
+    }
+    out.push(b'\n');
+    out
+}
+
+/// Pseudo-C source text with preprocessor directives — food for `cccp`,
+/// `wc`, and `tee`. Roughly `lines` lines long.
+pub fn c_like_source(rng: &mut StdRng, lines: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut defined: Vec<String> = Vec::new();
+    let mut depth = 0usize;
+    let mut line = 0usize;
+    while line < lines {
+        let roll = rng.gen_range(0..100);
+        if roll < 10 {
+            let name = format!("CFG_{}{}", IDENTS[rng.gen_range(0..IDENTS.len())].to_uppercase(), defined.len());
+            out.extend_from_slice(format!("#define {} {}\n", name, rng.gen_range(0..256)).as_bytes());
+            defined.push(name);
+        } else if roll < 14 && !defined.is_empty() {
+            let name = &defined[rng.gen_range(0..defined.len())];
+            out.extend_from_slice(format!("#ifdef {name}\n").as_bytes());
+            depth += 1;
+        } else if roll < 18 && depth > 0 {
+            out.extend_from_slice(b"#endif\n");
+            depth -= 1;
+        } else if roll < 22 {
+            out.extend_from_slice(
+                format!("/* {} {} */\n", word(rng), word(rng)).as_bytes(),
+            );
+        } else if roll < 30 {
+            let f = IDENTS[rng.gen_range(0..IDENTS.len())];
+            out.extend_from_slice(format!("int {f}_{line}(int a, int b) {{\n").as_bytes());
+        } else if roll < 38 {
+            out.extend_from_slice(b"}\n");
+        } else {
+            let a = IDENTS[rng.gen_range(0..IDENTS.len())];
+            let b = IDENTS[rng.gen_range(0..IDENTS.len())];
+            let macro_use = if !defined.is_empty() && rng.gen_bool(0.3) {
+                defined[rng.gen_range(0..defined.len())].clone()
+            } else {
+                rng.gen_range(0..100).to_string()
+            };
+            out.extend_from_slice(
+                format!("    {a} = {b} + {macro_use} * {};\n", rng.gen_range(1..9)).as_bytes(),
+            );
+        }
+        line += 1;
+    }
+    for _ in 0..depth {
+        out.extend_from_slice(b"#endif\n");
+    }
+    out
+}
+
+/// A makefile: `targets` object targets with dependencies on earlier
+/// ones, then a final `all` target depending on many of them.
+pub fn makefile(rng: &mut StdRng, targets: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    for i in 0..targets.saturating_sub(1) {
+        let name = format!("{}{}.o", IDENTS[rng.gen_range(0..IDENTS.len())], i);
+        let mut line = format!("{name}:");
+        if !names.is_empty() {
+            let ndeps = rng.gen_range(1..=3.min(names.len()));
+            for _ in 0..ndeps {
+                let d = &names[rng.gen_range(0..names.len())];
+                line.push(' ');
+                line.push_str(d);
+            }
+        }
+        out.extend_from_slice(line.as_bytes());
+        out.push(b'\n');
+        out.extend_from_slice(format!("\tcc -c {name}\n").as_bytes());
+        names.push(name);
+    }
+    let mut all = String::from("all:");
+    for n in &names {
+        if rng.gen_bool(0.6) || all == "all:" {
+            all.push(' ');
+            all.push_str(n);
+        }
+    }
+    out.extend_from_slice(all.as_bytes());
+    out.push(b'\n');
+    out.extend_from_slice(b"\tld -o all\n");
+    out
+}
+
+/// A PLA-style truth table for `espresso`: `terms` product terms over
+/// `inputs` inputs and one output.
+pub fn pla_table(rng: &mut StdRng, inputs: usize, terms: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(format!(".i {inputs}\n.p {terms}\n").as_bytes());
+    for _ in 0..terms {
+        for _ in 0..inputs {
+            out.push(match rng.gen_range(0..3) {
+                0 => b'0',
+                1 => b'1',
+                _ => b'-',
+            });
+        }
+        out.push(b' ');
+        out.push(b'1');
+        out.push(b'\n');
+    }
+    out.extend_from_slice(b".e\n");
+    out
+}
+
+/// A troff-ish document with `.EQ`/`.EN` equation blocks for `eqn`.
+pub fn eqn_document(rng: &mut StdRng, blocks: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    let vars = ["x", "y", "z", "alpha", "beta", "gamma", "n", "k"];
+    for _ in 0..blocks {
+        // Some prose between equations.
+        let prose_words = rng.gen_range(8..25);
+        out.extend_from_slice(&english_text(rng, prose_words));
+        out.extend_from_slice(b".EQ\n");
+        let terms = rng.gen_range(2..6);
+        let mut eq = String::new();
+        for t in 0..terms {
+            if t > 0 {
+                eq.push_str(if rng.gen_bool(0.5) { " + " } else { " - " });
+            }
+            let v = vars[rng.gen_range(0..vars.len())];
+            match rng.gen_range(0..4) {
+                0 => eq.push_str(&format!("{v} sup {}", rng.gen_range(2..5))),
+                1 => eq.push_str(&format!("{v} sub {}", rng.gen_range(1..4))),
+                2 => eq.push_str(&format!("{{ {v} over {} }}", vars[rng.gen_range(0..vars.len())])),
+                _ => eq.push_str(v),
+            }
+        }
+        out.extend_from_slice(eq.as_bytes());
+        out.push(b'\n');
+        out.extend_from_slice(b".EN\n");
+    }
+    out
+}
+
+/// A context-free grammar for `yacc`: rules `lhs: sym sym ...;` over
+/// `nonterms` nonterminals and a handful of terminals.
+pub fn grammar(rng: &mut StdRng, nonterms: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    let terms = ["NUM", "ID", "PLUS", "STAR", "LP", "RP", "COMMA", "SEMI"];
+    for i in 0..nonterms {
+        let nprods = rng.gen_range(1..=3);
+        for _ in 0..nprods {
+            let mut line = format!("n{i}:");
+            let len = rng.gen_range(1..=4);
+            for _ in 0..len {
+                if rng.gen_bool(0.45) && nonterms > 1 {
+                    // Reference an earlier nonterminal (or self, making
+                    // the grammar recursive like real expression grammars).
+                    let j = rng.gen_range(0..=i);
+                    line.push_str(&format!(" n{j}"));
+                } else {
+                    line.push(' ');
+                    line.push_str(terms[rng.gen_range(0..terms.len())]);
+                }
+            }
+            line.push_str(" ;\n");
+            out.extend_from_slice(line.as_bytes());
+        }
+    }
+    out
+}
+
+/// A token-heavy program-like input for the generated lexer in `lex`.
+pub fn lexer_input(rng: &mut StdRng, tokens: usize) -> Vec<u8> {
+    let kw = ["if", "else", "while", "for", "return", "int", "char", "break"];
+    let mut out = Vec::new();
+    let mut col = 0;
+    for _ in 0..tokens {
+        let s: String = match rng.gen_range(0..5) {
+            0 => kw[rng.gen_range(0..kw.len())].to_string(),
+            1 => IDENTS[rng.gen_range(0..IDENTS.len())].to_string(),
+            2 => rng.gen_range(0..10000).to_string(),
+            3 => ["+", "-", "*", "/", "=", "==", "<=", ">=", "(", ")", "{", "}", ";"]
+                [rng.gen_range(0..13)]
+            .to_string(),
+            _ => format!("{}{}", IDENTS[rng.gen_range(0..IDENTS.len())], rng.gen_range(0..100)),
+        };
+        out.extend_from_slice(s.as_bytes());
+        col += s.len() + 1;
+        if col > 70 {
+            out.push(b'\n');
+            col = 0;
+        } else {
+            out.push(b' ');
+        }
+    }
+    out.push(b'\n');
+    out
+}
+
+/// Mutates about `percent`% of the bytes of `data` (for `cmp`'s
+/// similar-file runs).
+pub fn mutate(rng: &mut StdRng, data: &[u8], percent: u32) -> Vec<u8> {
+    let mut out = data.to_vec();
+    for b in &mut out {
+        if rng.gen_ratio(percent, 100) {
+            *b = rng.gen_range(b'a'..=b'z');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_benchmark_and_run() {
+        let a: u64 = rng_for("grep", 3).gen();
+        let b: u64 = rng_for("grep", 3).gen();
+        let c: u64 = rng_for("grep", 4).gen();
+        let d: u64 = rng_for("make", 3).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn generators_produce_plausible_output() {
+        let mut rng = rng_for("test", 0);
+        let text = english_text(&mut rng, 100);
+        assert!(text.len() > 300);
+        assert!(text.iter().filter(|&&b| b == b'\n').count() > 2);
+
+        let src = c_like_source(&mut rng, 50);
+        let s = String::from_utf8_lossy(&src);
+        assert!(s.contains("#define"));
+        // Balanced conditionals.
+        assert_eq!(s.matches("#ifdef").count(), s.matches("#endif").count());
+
+        let mk = makefile(&mut rng, 10);
+        let s = String::from_utf8_lossy(&mk);
+        assert!(s.contains("all:"));
+        assert!(s.contains("\tcc -c"));
+
+        let pla = pla_table(&mut rng, 8, 20);
+        let s = String::from_utf8_lossy(&pla);
+        assert!(s.starts_with(".i 8"));
+        assert_eq!(s.lines().filter(|l| l.ends_with(" 1")).count(), 20);
+
+        let eqn = eqn_document(&mut rng, 5);
+        let s = String::from_utf8_lossy(&eqn);
+        assert_eq!(s.matches(".EQ").count(), 5);
+        assert_eq!(s.matches(".EN").count(), 5);
+
+        let g = grammar(&mut rng, 6);
+        let s = String::from_utf8_lossy(&g);
+        assert!(s.contains("n0:"));
+        assert!(s.lines().all(|l| l.ends_with(';') || l.is_empty()));
+
+        let li = lexer_input(&mut rng, 200);
+        assert!(li.len() > 400);
+    }
+
+    #[test]
+    fn mutate_changes_roughly_the_requested_fraction() {
+        let mut rng = rng_for("cmp", 1);
+        let base = english_text(&mut rng, 500);
+        let changed = mutate(&mut rng, &base, 10);
+        assert_eq!(base.len(), changed.len());
+        let diffs = base.iter().zip(&changed).filter(|(a, b)| a != b).count();
+        let frac = diffs as f64 / base.len() as f64;
+        assert!(frac > 0.03 && frac < 0.20, "frac={frac}");
+    }
+}

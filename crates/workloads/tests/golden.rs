@@ -1,0 +1,69 @@
+//! Golden-output snapshots: run 0 of every benchmark hashed, so any
+//! accidental behavior drift in the programs, the generators, the front
+//! end, or the VM is caught immediately. (Inlining correctness is tested
+//! separately by comparing outputs before/after expansion.)
+
+use impact_vm::{run, VmConfig};
+use impact_workloads::all_benchmarks;
+
+/// FNV-1a over stdout, exit code, and all written files.
+fn fingerprint(name: &str) -> u64 {
+    let b = impact_workloads::benchmark(name).unwrap();
+    let module = b.compile().unwrap();
+    let input = b.run_input(0);
+    let out = run(&module, input.inputs, input.args, &VmConfig::default()).unwrap();
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |bytes: &[u8]| {
+        for &byte in bytes {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    eat(&out.exit_code.to_le_bytes());
+    eat(&out.stdout);
+    let mut files = out.files.clone();
+    files.sort();
+    for (fname, data) in &files {
+        eat(fname.as_bytes());
+        eat(data);
+    }
+    h
+}
+
+#[test]
+fn benchmark_outputs_match_recorded_fingerprints() {
+    let expected: &[(&str, u64)] = &[
+        // REGENERATE: cargo test -p impact-workloads --test golden -- --nocapture
+        ("cccp", 0x9d6b7f8546def189),
+        ("cmp", 0xe6cd38a7f123aa2e),
+        ("compress", 0x2315111af6b294fd),
+        ("eqn", 0x3a2d5ec2f625a448),
+        ("espresso", 0xfd438b5f6645514a),
+        ("grep", 0xd4aa329fd319c138),
+        ("lex", 0xad53f96b43e1320c),
+        ("make", 0xbfdebb25e78ae2cd),
+        ("tar", 0x16ef09711bdb2b17),
+        ("tee", 0x0d5e5c7b8a70f3cc),
+        ("wc", 0x9acbf9adbd69fbf3),
+        ("yacc", 0xe26804c953b7308a),
+    ];
+    let mut failures = Vec::new();
+    for (name, want) in expected {
+        let got = fingerprint(name);
+        if got != *want {
+            failures.push(format!("    (\"{name}\", 0x{got:016x}),"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "fingerprints changed; if intentional, update to:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn fingerprints_are_stable_across_runs() {
+    for b in all_benchmarks().iter().take(3) {
+        assert_eq!(fingerprint(b.name), fingerprint(b.name));
+    }
+}

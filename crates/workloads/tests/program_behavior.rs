@@ -1,0 +1,373 @@
+//! Functional correctness of each benchmark program on hand-crafted
+//! inputs: the miniatures must genuinely behave like the tools they
+//! stand in for, otherwise their call profiles mean nothing.
+
+use impact_vm::{run, NamedFile, RunOutcome, VmConfig};
+use impact_workloads::benchmark;
+
+fn exec(name: &str, inputs: Vec<NamedFile>, args: Vec<&str>) -> RunOutcome {
+    let b = benchmark(name).expect("known benchmark");
+    let module = b.compile().expect("compiles");
+    run(
+        &module,
+        inputs,
+        args.into_iter().map(String::from).collect(),
+        &VmConfig::default(),
+    )
+    .expect("runs")
+}
+
+fn stdout(out: &RunOutcome) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn cccp_defines_expands_and_conditionals() {
+    let main_c = b"#define WIDTH 80\n\
+#define NAME buffer\n\
+int NAME[WIDTH];\n\
+#ifdef WIDTH\n\
+visible WIDTH\n\
+#else\n\
+hidden\n\
+#endif\n\
+#ifdef UNDEFINED\n\
+also hidden\n\
+#endif\n\
+#undef WIDTH\n\
+after WIDTH\n"
+        .to_vec();
+    let out = exec("cccp", vec![NamedFile::new("main.c", main_c)], vec![]);
+    let text = stdout(&out);
+    assert!(text.contains("int buffer[80];"), "{text}");
+    assert!(text.contains("visible 80"), "{text}");
+    assert!(!text.contains("hidden"), "{text}");
+    // After #undef the macro no longer substitutes.
+    assert!(text.contains("after WIDTH"), "{text}");
+}
+
+#[test]
+fn cccp_includes_and_comments() {
+    let main_c = b"/* strip\nme */\n#include \"inc.h\"\nuse MAX here\n// gone\nkeep\n".to_vec();
+    let inc_h = b"#define MAX 42\n".to_vec();
+    let out = exec(
+        "cccp",
+        vec![
+            NamedFile::new("main.c", main_c),
+            NamedFile::new("inc.h", inc_h),
+        ],
+        vec![],
+    );
+    let text = stdout(&out);
+    assert!(text.contains("use 42 here"), "{text}");
+    assert!(!text.contains("strip"), "{text}");
+    assert!(!text.contains("gone"), "{text}");
+    assert!(text.contains("keep"), "{text}");
+}
+
+#[test]
+fn cmp_reports_first_difference_position() {
+    let out = exec(
+        "cmp",
+        vec![
+            NamedFile::new("a.txt", b"line one\nline two\n".to_vec()),
+            NamedFile::new("b.txt", b"line one\nline tWo\n".to_vec()),
+        ],
+        vec!["a.txt", "b.txt"],
+    );
+    assert_eq!(out.exit_code, 1);
+    let text = stdout(&out);
+    // Differs at byte 16 (1-based, as real cmp reports), line 2.
+    assert!(text.contains("byte 16"), "{text}");
+    assert!(text.contains("line 2"), "{text}");
+}
+
+#[test]
+fn cmp_identical_and_silent_modes() {
+    let same = b"same bytes".to_vec();
+    let out = exec(
+        "cmp",
+        vec![
+            NamedFile::new("a.txt", same.clone()),
+            NamedFile::new("b.txt", same.clone()),
+        ],
+        vec!["a.txt", "b.txt"],
+    );
+    assert_eq!(out.exit_code, 0);
+    assert!(stdout(&out).contains("identical"));
+
+    let out = exec(
+        "cmp",
+        vec![
+            NamedFile::new("a.txt", same.clone()),
+            NamedFile::new("b.txt", b"different!".to_vec()),
+        ],
+        vec!["-s", "a.txt", "b.txt"],
+    );
+    assert_eq!(out.exit_code, 1);
+    assert!(stdout(&out).is_empty(), "silent mode prints nothing");
+}
+
+#[test]
+fn compress_shrinks_repetitive_data() {
+    let data = b"abcabcabcabcabcabcabcabcabcabcabcabcabcabcabcabc".repeat(40);
+    let in_len = data.len();
+    let out = exec("compress", vec![NamedFile::new("stdin", data)], vec![]);
+    assert_eq!(out.exit_code, 0);
+    let (name, packed) = &out.files[0];
+    assert_eq!(name, "out.Z");
+    assert!(
+        packed.len() < in_len / 2,
+        "LZW should halve {in_len} bytes, got {}",
+        packed.len()
+    );
+    let text = stdout(&out);
+    assert!(text.contains(&format!("in {in_len}")), "{text}");
+}
+
+#[test]
+fn compress_handles_incompressible_and_empty() {
+    // Empty input: no output bytes, exit 1.
+    let out = exec("compress", vec![NamedFile::new("stdin", vec![])], vec![]);
+    assert_eq!(out.exit_code, 1);
+    // All-distinct codes still round through the table-reset path.
+    let data: Vec<u8> = (0..=255u8).cycle().take(12_000).collect();
+    let out = exec("compress", vec![NamedFile::new("stdin", data)], vec![]);
+    assert_eq!(out.exit_code, 0);
+}
+
+#[test]
+fn eqn_passes_text_and_rewrites_equations() {
+    let doc = b"prose before\n.EQ\nx sup 2 + y sub 1\n.EN\nprose after\n".to_vec();
+    let out = exec("eqn", vec![NamedFile::new("stdin", doc)], vec![]);
+    let text = stdout(&out);
+    assert!(text.contains("prose before"), "{text}");
+    assert!(text.contains("prose after"), "{text}");
+    assert!(text.contains("[eq]") && text.contains("[/eq]"), "{text}");
+    // x sup 2 → VAR<x>^{2}; y sub 1 → VAR<y>_{1}
+    assert!(text.contains("VAR<x>^{2}"), "{text}");
+    assert!(text.contains("VAR<y>_{1}"), "{text}");
+    assert!(text.contains("equations 1"), "{text}");
+}
+
+#[test]
+fn eqn_braces_and_over() {
+    let doc = b".EQ\n{ alpha over beta }\n.EN\n".to_vec();
+    let out = exec("eqn", vec![NamedFile::new("stdin", doc)], vec![]);
+    let text = stdout(&out);
+    assert!(
+        text.contains("(VAR<alpha> / VAR<beta>)"),
+        "{text}"
+    );
+}
+
+#[test]
+fn espresso_merges_distance_one_cubes() {
+    // f = a'b + ab  ==>  b   (i.e. "01 1" + "11 1" merge to "-1 1")
+    let pla = b".i 2\n.p 2\n01 1\n11 1\n.e\n".to_vec();
+    let out = exec("espresso", vec![NamedFile::new("stdin", pla)], vec![]);
+    let text = stdout(&out);
+    assert!(text.contains("-1\n"), "{text}");
+    assert!(text.contains(".terms 1"), "{text}");
+    assert!(text.contains(".merges 1"), "{text}");
+}
+
+#[test]
+fn espresso_removes_covered_cubes() {
+    // "1- 1" covers both minterms; merging and covering together leave
+    // a single cube.
+    let pla = b".i 2\n.p 3\n1- 1\n11 1\n10 1\n.e\n".to_vec();
+    let out = exec("espresso", vec![NamedFile::new("stdin", pla)], vec![]);
+    let text = stdout(&out);
+    assert!(text.contains(".terms 1"), "{text}");
+    assert!(text.contains(".lits 1"), "{text}");
+    // Pure containment, no merging possible between identical shapes:
+    // at least one cube must have been eliminated by covering.
+    assert!(text.contains(".covered 1"), "{text}");
+}
+
+#[test]
+fn grep_literal_anchors_classes_and_star() {
+    let corpus = b"the cat sat\ncatalog entry\nconcatenate\ndog only\ncat\n".to_vec();
+    // Literal.
+    let out = exec("grep", vec![NamedFile::new("stdin", corpus.clone())], vec!["cat"]);
+    assert_eq!(stdout(&out).lines().count(), 4);
+    // Anchored start: "catalog entry" and "cat".
+    let out = exec("grep", vec![NamedFile::new("stdin", corpus.clone())], vec!["^cat"]);
+    assert_eq!(stdout(&out).lines().count(), 2);
+    // Anchored both ends.
+    let out = exec("grep", vec![NamedFile::new("stdin", corpus.clone())], vec!["^cat$"]);
+    assert_eq!(stdout(&out), "cat\n");
+    // Class + star: "c.*e" matches catalog entry & concatenate.
+    let out = exec("grep", vec![NamedFile::new("stdin", corpus.clone())], vec!["c.*e"]);
+    assert_eq!(stdout(&out).lines().count(), 2);
+    // Negated class: lines with a vowel after 'd'.
+    let out = exec("grep", vec![NamedFile::new("stdin", corpus)], vec!["d[aeiou]g"]);
+    assert_eq!(stdout(&out), "dog only\n");
+}
+
+#[test]
+fn grep_options_count_number_invert() {
+    let corpus = b"alpha\nbeta\ngamma\n".to_vec();
+    let out = exec("grep", vec![NamedFile::new("stdin", corpus.clone())], vec!["-c", "a"]);
+    assert_eq!(stdout(&out), "3\n");
+    let out = exec("grep", vec![NamedFile::new("stdin", corpus.clone())], vec!["-n", "beta"]);
+    assert_eq!(stdout(&out), "2:beta\n");
+    let out = exec("grep", vec![NamedFile::new("stdin", corpus)], vec!["-v", "a"]);
+    assert_eq!(out.exit_code, 1, "nothing survives inversion");
+}
+
+#[test]
+fn lex_classifies_tokens_with_keyword_trie() {
+    let spec = b"if\nwhile\nreturn\n".to_vec();
+    let program = b"if x1 while 42 returns return <= ;\n".to_vec();
+    let out = exec(
+        "lex",
+        vec![
+            NamedFile::new("spec", spec),
+            NamedFile::new("stdin", program),
+        ],
+        vec![],
+    );
+    let text = stdout(&out);
+    // if, while, return are keywords; x1 and returns are identifiers;
+    // 42 is a number; <= and ; are operators.
+    assert!(text.contains("ident 2"), "{text}");
+    assert!(text.contains("num 1"), "{text}");
+    assert!(text.contains("op 2"), "{text}");
+    assert!(text.contains("kw 3"), "{text}");
+    assert!(text.contains("total 8"), "{text}");
+}
+
+#[test]
+fn make_rebuilds_stale_targets_transitively() {
+    let mk = b"a.o: \n\tcc -c a.o\nb.o: a.o\n\tcc -c b.o\nall: b.o\n\tld -o all\n".to_vec();
+    // a.o is missing (time 0) → rebuild a.o, then b.o and all are stale.
+    let stamps = b"a.o 0\nb.o 50\nall 90\n".to_vec();
+    let out = exec(
+        "make",
+        vec![
+            NamedFile::new("Makefile", mk.clone()),
+            NamedFile::new("stamps", stamps),
+        ],
+        vec![],
+    );
+    let text = stdout(&out);
+    assert!(text.contains("cc -c a.o"), "{text}");
+    assert!(text.contains("cc -c b.o"), "{text}");
+    assert!(text.contains("ld -o all"), "{text}");
+    assert!(text.contains("commands 3"), "{text}");
+
+    // Everything fresh → nothing to do.
+    let fresh = b"a.o 10\nb.o 50\nall 90\n".to_vec();
+    let out = exec(
+        "make",
+        vec![
+            NamedFile::new("Makefile", mk),
+            NamedFile::new("stamps", fresh),
+        ],
+        vec![],
+    );
+    assert!(stdout(&out).contains("commands 0"), "{}", stdout(&out));
+}
+
+#[test]
+fn tar_create_then_extract_round_trips() {
+    let f0 = b"first file contents\nwith two lines\n".to_vec();
+    let f1 = b"second".to_vec();
+    // Create.
+    let out = exec(
+        "tar",
+        vec![
+            NamedFile::new("f0.txt", f0.clone()),
+            NamedFile::new("f1.txt", f1.clone()),
+        ],
+        vec!["c"],
+    );
+    assert_eq!(out.exit_code, 0);
+    let archive = out
+        .files
+        .iter()
+        .find(|(n, _)| n == "archive.tar")
+        .expect("archive written")
+        .1
+        .clone();
+    assert!(stdout(&out).contains("files 2"), "{}", stdout(&out));
+
+    // Extract what we just created.
+    let out = exec(
+        "tar",
+        vec![NamedFile::new("archive.tar", archive)],
+        vec!["x"],
+    );
+    assert_eq!(out.exit_code, 0);
+    let get = |name: &str| {
+        out.files
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("{name} extracted"))
+            .1
+            .clone()
+    };
+    assert_eq!(get("f0.txt"), f0);
+    assert_eq!(get("f1.txt"), f1);
+}
+
+#[test]
+fn tee_copies_to_stdout_and_files() {
+    let data = b"tee copies this".to_vec();
+    let out = exec(
+        "tee",
+        vec![NamedFile::new("stdin", data.clone())],
+        vec!["one.txt", "two.txt"],
+    );
+    assert_eq!(out.exit_code, 0);
+    assert_eq!(out.stdout, data);
+    assert_eq!(out.files.len(), 2);
+    for (_, contents) in &out.files {
+        assert_eq!(contents, &data);
+    }
+}
+
+#[test]
+fn wc_counts_lines_words_chars() {
+    let a = b"one two three\nfour\n".to_vec(); // 2 lines, 4 words, 19 chars
+    let b = b"x\n".to_vec(); // 1 line, 1 word, 2 chars
+    let out = exec(
+        "wc",
+        vec![NamedFile::new("a.txt", a), NamedFile::new("b.txt", b)],
+        vec!["a.txt", "b.txt"],
+    );
+    let text = stdout(&out);
+    assert!(text.contains("2 4 19 a.txt"), "{text}");
+    assert!(text.contains("1 1 2 b.txt"), "{text}");
+    assert!(text.contains("3 5 21 total"), "{text}");
+}
+
+#[test]
+fn yacc_builds_expected_automaton_for_tiny_grammar() {
+    // S → ( S ) | NUM — the canonical nested-parens grammar.
+    let grammar = b"s: LP s RP ;\ns: NUM ;\n".to_vec();
+    let out = exec("yacc", vec![NamedFile::new("stdin", grammar)], vec![]);
+    let text = stdout(&out);
+    assert!(text.contains("syms 4"), "{text}"); // s, LP, RP, NUM
+    assert!(text.contains("rules 2"), "{text}");
+    // LR(0) states for this grammar: a small fixed machine; at minimum
+    // the start state plus shifts over LP, NUM, s, and RP.
+    let states: i64 = text
+        .split("states ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .expect("states count");
+    assert!((5..=9).contains(&states), "{text}");
+}
+
+#[test]
+fn yacc_first_sets_reach_fixpoint_on_recursive_grammar() {
+    // Left-recursive list grammar must not loop forever.
+    let grammar = b"list: list COMMA ID ;\nlist: ID ;\n".to_vec();
+    let out = exec("yacc", vec![NamedFile::new("stdin", grammar)], vec![]);
+    assert_eq!(out.exit_code, 0);
+    assert!(stdout(&out).contains("rules 2"));
+}

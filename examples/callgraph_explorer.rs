@@ -1,0 +1,80 @@
+//! Domain scenario 2 — exploring the weighted call graph with its
+//! worst-case `$$$`/`###` nodes. Uses the bundled `make` benchmark
+//! (recursion through the dependency walk, a function-pointer dispatched
+//! executor, and external file I/O — all three kinds of "interesting"
+//! arcs), prints the classification per call site, the recursion the
+//! graph detects, and the DOT rendering.
+//!
+//! ```sh
+//! cargo run --release --example callgraph_explorer > make.dot
+//! ```
+
+use impact::callgraph::{CallGraph, NodeKind};
+use impact::inline::{classify, InlineConfig};
+use impact::vm::{profile_runs, VmConfig};
+
+fn main() {
+    let b = impact::workloads::benchmark("make").expect("bundled");
+    let module = b.compile().expect("compiles");
+    let runs = b.profile_run_set(2);
+    let (profile, _) = profile_runs(&module, &runs, &VmConfig::default()).expect("profiles");
+    let averaged = profile.averaged();
+    let graph = CallGraph::build(&module, &averaged);
+
+    eprintln!("== nodes ==");
+    for n in graph.nodes() {
+        match n.kind {
+            NodeKind::Func(f) => eprintln!(
+                "  {:<22} weight {:>8}  ({} in / {} out arcs)",
+                module.function(f).name,
+                n.weight,
+                n.in_arcs.len(),
+                n.out_arcs.len()
+            ),
+            NodeKind::External => eprintln!(
+                "  $$$ (external summary)           ({} out arcs)",
+                n.out_arcs.len()
+            ),
+            NodeKind::Pointer => eprintln!(
+                "  ### (pointer summary)            ({} out arcs)",
+                n.out_arcs.len()
+            ),
+        }
+    }
+
+    eprintln!("\n== recursion ==");
+    let user = graph.user_cyclic_funcs();
+    let conservative = graph.cyclic_funcs();
+    eprintln!(
+        "  true source-level recursive: {:?}",
+        user.iter()
+            .map(|f| module.function(*f).name.clone())
+            .collect::<Vec<_>>()
+    );
+    eprintln!(
+        "  conservatively recursive  : {} functions (cycles through $$$/###)",
+        conservative.len()
+    );
+
+    eprintln!("\n== classification ==");
+    let classification = classify(&module, &graph, &InlineConfig::default());
+    for s in &classification.sites {
+        if s.weight == 0 {
+            continue;
+        }
+        let caller = &module.function(s.caller).name;
+        let callee = s
+            .callee
+            .map(|f| module.function(f).name.clone())
+            .unwrap_or_else(|| "·".into());
+        eprintln!(
+            "  {:<10} w={:<8} {caller} -> {callee} ({:?})",
+            format!("{:?}", s.class),
+            s.weight,
+            s.unsafe_reason
+        );
+    }
+
+    // The DOT graph goes to stdout so it can be piped into graphviz.
+    print!("{}", graph.to_dot(&module));
+}

@@ -1,0 +1,86 @@
+//! Domain scenario 1 — the paper's motivating workload: a text-search
+//! tool (`grep`) whose inner loop is a cascade of tiny functions. This
+//! example runs the full evaluation pipeline on the bundled `grep`
+//! benchmark and prints its Table 2/3/4 row, the hottest arcs, and what
+//! the expander did to them.
+//!
+//! ```sh
+//! cargo run --release --example grep_workload
+//! ```
+
+use impact::callgraph::CallGraph;
+use impact::inline::{classify, inline_module, InlineConfig, SiteClass};
+use impact::vm::{profile_runs, VmConfig};
+
+fn main() {
+    let b = impact::workloads::benchmark("grep").expect("bundled");
+    let module = b.compile().expect("compiles");
+    let runs = b.profile_run_set(4);
+    let vm_cfg = VmConfig::default();
+
+    let (profile, _) = profile_runs(&module, &runs, &vm_cfg).expect("profiles");
+    let averaged = profile.averaged();
+    println!(
+        "grep: {} C lines, {} static call sites, {} dynamic calls/run",
+        b.c_lines(),
+        module.all_call_sites().len(),
+        averaged.calls
+    );
+
+    // Classification — Table 2/3 for this benchmark.
+    let inline_cfg = InlineConfig {
+        code_growth_limit: 1.2,
+        ..InlineConfig::default()
+    };
+    let graph = CallGraph::build(&module, &averaged);
+    let classification = classify(&module, &graph, &inline_cfg);
+    let st = classification.static_totals();
+    let dy = classification.dynamic_totals();
+    println!(
+        "static : {:4.1}% external {:4.1}% pointer {:4.1}% unsafe {:4.1}% safe",
+        st.percent(SiteClass::External),
+        st.percent(SiteClass::Pointer),
+        st.percent(SiteClass::Unsafe),
+        st.percent(SiteClass::Safe),
+    );
+    println!(
+        "dynamic: {:4.1}% external {:4.1}% pointer {:4.1}% unsafe {:4.1}% safe",
+        dy.percent(SiteClass::External),
+        dy.percent(SiteClass::Pointer),
+        dy.percent(SiteClass::Unsafe),
+        dy.percent(SiteClass::Safe),
+    );
+
+    // The ten hottest arcs, by profile weight.
+    let mut sites = classification.sites.clone();
+    sites.sort_by(|a, b| b.weight.cmp(&a.weight));
+    println!("\nhottest arcs:");
+    for s in sites.iter().take(10) {
+        let caller = &module.function(s.caller).name;
+        let callee = s
+            .callee
+            .map(|f| module.function(f).name.clone())
+            .unwrap_or_else(|| "<external/pointer>".into());
+        println!(
+            "  {:>9} calls  {caller} -> {callee}  [{:?}]",
+            s.weight, s.class
+        );
+    }
+
+    // Expand and measure.
+    let mut inlined = module.clone();
+    let report = inline_module(&mut inlined, &averaged, &inline_cfg);
+    let (after, _) = profile_runs(&inlined, &runs, &vm_cfg).expect("re-profiles");
+    println!(
+        "\nexpanded {} arcs; code {:+.1}%; dynamic calls {} -> {} ({:.1}% eliminated)",
+        report.expanded.len(),
+        report.code_increase_percent(),
+        profile.calls,
+        after.calls,
+        100.0 * profile.calls.saturating_sub(after.calls) as f64 / profile.calls as f64
+    );
+    println!(
+        "ILs per remaining call: {} (paper's grep: 11214)",
+        after.averaged().ils_per_call()
+    );
+}

@@ -1,0 +1,40 @@
+//! Domain scenario 3 — tuning the expander: sweep the arc-weight
+//! threshold (the paper fixes it at 10, §4.2) on one benchmark and watch
+//! the code-size/call-elimination trade-off move.
+//!
+//! ```sh
+//! cargo run --release --example threshold_sweep [benchmark]
+//! ```
+
+use impact::inline::{inline_module, InlineConfig};
+use impact::vm::{profile_runs, VmConfig};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "compress".into());
+    let b = impact::workloads::benchmark(&name).expect("known benchmark");
+    let module = b.compile().expect("compiles");
+    let runs = b.profile_run_set(3);
+    let vm_cfg = VmConfig::default();
+    let (profile, _) = profile_runs(&module, &runs, &vm_cfg).expect("profiles");
+    let averaged = profile.averaged();
+
+    println!("{name}: sweeping weight_threshold (paper: 10)");
+    println!("{:>10}  {:>9}  {:>9}  {:>6}", "threshold", "call dec", "code inc", "arcs");
+    for threshold in [1u64, 3, 10, 30, 100, 1000, 10_000, 100_000] {
+        let cfg = InlineConfig {
+            weight_threshold: threshold,
+            code_growth_limit: 1.2,
+            ..InlineConfig::default()
+        };
+        let mut inlined = module.clone();
+        let report = inline_module(&mut inlined, &averaged, &cfg);
+        let (after, _) = profile_runs(&inlined, &runs, &vm_cfg).expect("re-profiles");
+        let dec = 100.0 * profile.calls.saturating_sub(after.calls) as f64
+            / profile.calls.max(1) as f64;
+        println!(
+            "{threshold:>10}  {dec:>8.1}%  {:>8.1}%  {:>6}",
+            report.code_increase_percent(),
+            report.expanded.len()
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! Property-based testing: generate random well-formed C programs (a
+//! layered call DAG of arithmetic functions driven by bounded loops) and
+//! check that the whole pipeline — front end, optimizer, inliner under
+//! several configurations — preserves the observable result on every one
+//! of them.
+
+use impact::cfront::{compile, Source};
+use impact::il::verify_module;
+use impact::inline::{inline_module, InlineConfig, Linearization};
+use impact::vm::{run, VmConfig};
+use proptest::prelude::*;
+
+/// A random arithmetic expression over two variables `a` and `b`.
+#[derive(Clone, Debug)]
+enum Expr {
+    A,
+    B,
+    Lit(i8),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Shl(Box<Expr>, u8),
+    Shr(Box<Expr>, u8),
+    // Division made safe by construction: `x / (1 + (y & 7))`.
+    SafeDiv(Box<Expr>, Box<Expr>),
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn render(&self) -> String {
+        match self {
+            Expr::A => "a".into(),
+            Expr::B => "b".into(),
+            Expr::Lit(v) => format!("({v})"),
+            Expr::Add(l, r) => format!("({} + {})", l.render(), r.render()),
+            Expr::Sub(l, r) => format!("({} - {})", l.render(), r.render()),
+            Expr::Mul(l, r) => format!("({} * {})", l.render(), r.render()),
+            Expr::Xor(l, r) => format!("({} ^ {})", l.render(), r.render()),
+            Expr::And(l, r) => format!("({} & {})", l.render(), r.render()),
+            Expr::Shl(l, k) => format!("({} << {k})", l.render()),
+            Expr::Shr(l, k) => format!("({} >> {k})", l.render()),
+            Expr::SafeDiv(l, r) => format!("({} / (1 + ({} & 7)))", l.render(), r.render()),
+            Expr::Cond(c, t, e) => {
+                format!("({} ? {} : {})", c.render(), t.render(), e.render())
+            }
+        }
+    }
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::A),
+        Just(Expr::B),
+        any::<i8>().prop_map(Expr::Lit),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::Add(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::Sub(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::Mul(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::Xor(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::And(Box::new(l), Box::new(r))),
+            (inner.clone(), 0u8..14).prop_map(|(l, k)| Expr::Shl(Box::new(l), k)),
+            (inner.clone(), 0u8..14).prop_map(|(l, k)| Expr::Shr(Box::new(l), k)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Expr::SafeDiv(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, e)| Expr::Cond(Box::new(c), Box::new(t), Box::new(e))),
+        ]
+    })
+}
+
+/// One generated function: an expression body that may call up to two
+/// earlier functions in the DAG (guaranteeing acyclicity).
+#[derive(Clone, Debug)]
+struct FuncSpec {
+    body: Expr,
+    calls: Vec<(usize, Expr, Expr)>, // callee index (into earlier funcs), args
+}
+
+#[derive(Clone, Debug)]
+struct ProgramSpec {
+    funcs: Vec<FuncSpec>,
+    loop_n: u8,
+    seed_a: i8,
+    seed_b: i8,
+}
+
+impl ProgramSpec {
+    fn render(&self) -> String {
+        let mut src = String::new();
+        for (i, f) in self.funcs.iter().enumerate() {
+            src.push_str(&format!("int f{i}(int a, int b) {{\n"));
+            src.push_str("    long acc;\n");
+            src.push_str(&format!("    acc = {};\n", f.body.render()));
+            for (callee, x, y) in &f.calls {
+                src.push_str(&format!(
+                    "    acc = (acc ^ f{callee}({}, {})) & 0xffffff;\n",
+                    x.render(),
+                    y.render()
+                ));
+            }
+            src.push_str("    return (int)(acc & 0xffffff);\n}\n");
+        }
+        let top = self.funcs.len() - 1;
+        src.push_str(&format!(
+            "int main() {{\n\
+             \x20   int i; long s;\n\
+             \x20   s = 0;\n\
+             \x20   for (i = 0; i < {}; i++)\n\
+             \x20       s = (s + f{top}(i + {}, i * {})) & 0xffffff;\n\
+             \x20   return (int)(s & 0x7f);\n\
+             }}\n",
+            self.loop_n, self.seed_a, self.seed_b
+        ))
+            ;
+        src
+    }
+}
+
+fn program_strategy() -> impl Strategy<Value = ProgramSpec> {
+    let func = |max_callee: usize| {
+        (
+            expr_strategy(),
+            proptest::collection::vec(
+                (0..max_callee, expr_strategy(), expr_strategy()),
+                0..=2,
+            ),
+        )
+            .prop_map(|(body, calls)| FuncSpec { body, calls })
+    };
+    // 2..=5 functions in a layered DAG.
+    (2usize..=5)
+        .prop_flat_map(move |n| {
+            let mut layers: Vec<BoxedStrategy<FuncSpec>> = Vec::new();
+            for i in 0..n {
+                layers.push(func(i.max(1)).boxed());
+            }
+            (layers, 1u8..40, any::<i8>(), any::<i8>())
+        })
+        .prop_map(|(mut funcs, loop_n, seed_a, seed_b)| {
+            // f0 may reference f0 only through max_callee=1 ⇒ itself; make
+            // the base function call-free to keep the DAG acyclic.
+            funcs[0].calls.clear();
+            ProgramSpec {
+                funcs,
+                loop_n,
+                seed_a,
+                seed_b,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    /// The headline property: for arbitrary programs, optimization and
+    /// inline expansion (under several configurations) never change the
+    /// program's result.
+    #[test]
+    fn pipeline_preserves_random_programs(spec in program_strategy()) {
+        let src = spec.render();
+        let module = compile(&[Source::new("gen.c", &src)])
+            .unwrap_or_else(|e| panic!("generated program failed to compile: {e}\n{src}"));
+        verify_module(&module).expect("IL verifies");
+        let vm = VmConfig::default();
+        let baseline = run(&module, vec![], vec![], &vm)
+            .unwrap_or_else(|e| panic!("baseline trapped: {e}\n{src}"));
+
+        // Optimizer alone.
+        let mut optimized = module.clone();
+        impact::opt::optimize_module(&mut optimized);
+        verify_module(&optimized).expect("optimized IL verifies");
+        let o = run(&optimized, vec![], vec![], &vm).expect("optimized runs");
+        prop_assert_eq!(baseline.exit_code, o.exit_code);
+
+        // Inliner under three configurations.
+        for config in [
+            InlineConfig { weight_threshold: 1, code_growth_limit: 4.0, ..InlineConfig::default() },
+            InlineConfig { code_growth_limit: 1.1, ..InlineConfig::default() },
+            InlineConfig { linearization: Linearization::Random(7), weight_threshold: 1, ..InlineConfig::default() },
+        ] {
+            let mut inlined = module.clone();
+            let report = inline_module(&mut inlined, &baseline.profile.averaged(), &config);
+            verify_module(&inlined)
+                .unwrap_or_else(|e| panic!("inlined IL invalid: {e:?}\n{src}"));
+            let i = run(&inlined, vec![], vec![], &vm).expect("inlined runs");
+            prop_assert_eq!(baseline.exit_code, i.exit_code);
+            // And the optimizer on top of the expansion.
+            impact::opt::optimize_module(&mut inlined);
+            verify_module(&inlined).expect("cleaned IL verifies");
+            let c = run(&inlined, vec![], vec![], &vm).expect("cleaned runs");
+            prop_assert_eq!(baseline.exit_code, c.exit_code);
+            let _ = report;
+        }
+    }
+
+    /// The constant-folder agrees with the VM on arbitrary expressions:
+    /// fold a constant program and compare against the unfolded run.
+    #[test]
+    fn folding_agrees_with_vm(e in expr_strategy(), a in any::<i8>(), b in any::<i8>()) {
+        let src = format!(
+            "int main() {{ int a; int b; a = {a}; b = {b}; return ({}) & 0x7f; }}",
+            e.render()
+        );
+        let module = compile(&[Source::new("e.c", &src)]).expect("compiles");
+        let vm = VmConfig::default();
+        let plain = run(&module, vec![], vec![], &vm).expect("runs");
+        let mut folded = module.clone();
+        impact::opt::optimize_module(&mut folded);
+        let f = run(&folded, vec![], vec![], &vm).expect("folded runs");
+        prop_assert_eq!(plain.exit_code, f.exit_code);
+    }
+}
