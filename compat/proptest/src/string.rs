@@ -1,0 +1,184 @@
+//! Regex-literal string generation: the subset of regex syntax that
+//! string-literal strategies in this workspace use — character classes
+//! with ranges and escapes, literal characters, and `{n}` / `{m,n}` /
+//! `?` / `*` / `+` quantifiers. Unsupported syntax panics loudly rather
+//! than silently generating the wrong language.
+
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+struct Atom {
+    /// The characters this atom may produce.
+    choices: Vec<char>,
+    /// Inclusive repetition bounds.
+    min: u32,
+    max: u32,
+}
+
+/// Samples one string matching `pattern`.
+pub fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let span = u64::from(atom.max - atom.min);
+        let count = atom.min + rng.below(span + 1) as u32;
+        for _ in 0..count {
+            let idx = rng.below(atom.choices.len() as u64) as usize;
+            out.push(atom.choices[idx]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(pattern, &chars, i + 1);
+                i = next;
+                set
+            }
+            '\\' => {
+                i += 2;
+                vec![unescape(&chars, i - 1, pattern)]
+            }
+            '(' | ')' | '|' | '.' | '^' | '$' => {
+                panic!(
+                    "regex stub: unsupported syntax {:?} in {pattern:?}",
+                    chars[i]
+                )
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max, next) = parse_quantifier(pattern, &chars, i);
+        i = next;
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+fn parse_class(pattern: &str, chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    assert!(
+        chars.get(i) != Some(&'^'),
+        "regex stub: negated classes unsupported in {pattern:?}"
+    );
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let lo = if chars[i] == '\\' {
+            i += 1;
+            unescape(chars, i, pattern)
+        } else {
+            chars[i]
+        };
+        // A trailing `-x` range?
+        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+            i += 2;
+            let hi = if chars[i] == '\\' {
+                i += 1;
+                unescape(chars, i, pattern)
+            } else {
+                chars[i]
+            };
+            assert!(lo <= hi, "regex stub: inverted range in {pattern:?}");
+            for c in lo..=hi {
+                set.push(c);
+            }
+        } else {
+            set.push(lo);
+        }
+        i += 1;
+    }
+    assert!(
+        i < chars.len(),
+        "regex stub: unterminated class in {pattern:?}"
+    );
+    assert!(!set.is_empty(), "regex stub: empty class in {pattern:?}");
+    (set, i + 1)
+}
+
+fn parse_quantifier(pattern: &str, chars: &[char], i: usize) -> (u32, u32, usize) {
+    match chars.get(i) {
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("regex stub: unterminated {{}} in {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().expect("regex stub: bad quantifier"),
+                    hi.parse().expect("regex stub: bad quantifier"),
+                ),
+                None => {
+                    let n = body.parse().expect("regex stub: bad quantifier");
+                    (n, n)
+                }
+            };
+            assert!(min <= max, "regex stub: inverted quantifier in {pattern:?}");
+            (min, max, close + 1)
+        }
+        Some('?') => (0, 1, i + 1),
+        // Star and plus get a bounded stand-in: generation must terminate.
+        Some('*') => (0, 8, i + 1),
+        Some('+') => (1, 8, i + 1),
+        _ => (1, 1, i),
+    }
+}
+
+fn unescape(chars: &[char], i: usize, pattern: &str) -> char {
+    match chars.get(i) {
+        Some('n') => '\n',
+        Some('t') => '\t',
+        Some('r') => '\r',
+        Some('0') => '\0',
+        Some(&c) if "\\-][{}().^$|*+?".contains(c) => c,
+        other => panic!("regex stub: unsupported escape {other:?} in {pattern:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sample_regex;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn printable_class_with_bounds() {
+        let mut rng = TestRng::for_case(0);
+        for _ in 0..100 {
+            let s = sample_regex("[ -~\\n\\t]{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(s
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+        }
+    }
+
+    #[test]
+    fn identifier_shape() {
+        let mut rng = TestRng::for_case(1);
+        for _ in 0..100 {
+            let s = sample_regex("[a-z][a-z0-9_]{0,12}", &mut rng);
+            let mut it = s.chars();
+            assert!(it.next().unwrap().is_ascii_lowercase());
+            assert!(it.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            assert!(s.chars().count() <= 13);
+        }
+    }
+
+    #[test]
+    fn fixed_count_and_literals() {
+        let mut rng = TestRng::for_case(2);
+        let s = sample_regex("ab[01]{3}c?", &mut rng);
+        assert!(s.starts_with("ab"));
+        let tail = &s[2..];
+        assert!(tail.len() == 3 || tail.len() == 4);
+        assert!(tail[..3].chars().all(|c| c == '0' || c == '1'));
+    }
+}

@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use impact_bench::prepared_module;
-use impact_cfront::{compile, lex, parse_into, ParseContext, Source};
 use impact_callgraph::CallGraph;
+use impact_cfront::{compile, lex, parse_into, ParseContext, Source};
 use impact_inline::{inline_module, InlineConfig};
 use impact_vm::{run, VmConfig};
 use impact_workloads::benchmark;

@@ -38,7 +38,12 @@ fn measure(b: &Benchmark, cfg: &HarnessConfig) -> Outcome {
     }
 }
 
-fn sweep(benchmarks: &[Benchmark], label: &str, settings: Vec<(String, InlineConfig)>, quick: bool) {
+fn sweep(
+    benchmarks: &[Benchmark],
+    label: &str,
+    settings: Vec<(String, InlineConfig)>,
+    quick: bool,
+) {
     let widths = [26, 10, 10, 10];
     println!("Ablation: {label}");
     println!(
@@ -104,7 +109,12 @@ fn main() {
                 )
             })
             .collect();
-        sweep(&benchmarks, "arc-weight threshold (paper: 10)", settings, quick);
+        sweep(
+            &benchmarks,
+            "arc-weight threshold (paper: 10)",
+            settings,
+            quick,
+        );
     }
     if which == "budget" || which == "all" {
         let settings = [1.05f64, 1.2, 1.5, 2.0, 3.0]
@@ -152,6 +162,11 @@ fn main() {
                 },
             ),
         ];
-        sweep(&benchmarks, "linearization heuristic (§3.3)", settings, quick);
+        sweep(
+            &benchmarks,
+            "linearization heuristic (§3.3)",
+            settings,
+            quick,
+        );
     }
 }

@@ -265,10 +265,7 @@ mod tests {
 
     #[test]
     fn row_aligns_columns() {
-        let r = row(
-            &["name".into(), "12".into(), "3".into()],
-            &[8, 6, 6],
-        );
+        let r = row(&["name".into(), "12".into(), "3".into()], &[8, 6, 6]);
         assert!(r.starts_with("name    "));
         assert!(r.ends_with("3"));
     }

@@ -15,9 +15,7 @@ fn module_with_edges(n: usize, edges: &[(usize, usize)]) -> impact_il::Module {
         src.push_str(&format!("int f{i}(int x);\n"));
     }
     for i in 0..n {
-        src.push_str(&format!(
-            "int f{i}(int x) {{\n    int acc;\n    acc = x;\n"
-        ));
+        src.push_str(&format!("int f{i}(int x) {{\n    int acc;\n    acc = x;\n"));
         for &(from, to) in edges {
             if from == i {
                 // Guarded so runs terminate; the static arc is what

@@ -30,12 +30,7 @@ impl CompileError {
         };
         let upto = &src.text.as_bytes()[..(self.span.start as usize).min(src.text.len())];
         let line = upto.iter().filter(|&&b| b == b'\n').count() + 1;
-        let col = upto
-            .iter()
-            .rev()
-            .take_while(|&&b| b != b'\n')
-            .count()
-            + 1;
+        let col = upto.iter().rev().take_while(|&&b| b != b'\n').count() + 1;
         format!("{}:{}:{}: {}", src.name, line, col, self.message)
     }
 }

@@ -107,7 +107,8 @@ impl<'s> Lexer<'s> {
                     return Err(self.err(start, "invalid digit in octal literal"));
                 }
                 u64::from_str_radix(text, 8)
-                    .map_err(|_| self.err(start, "octal literal out of range"))? as i64
+                    .map_err(|_| self.err(start, "octal literal out of range"))?
+                    as i64
             }
         } else {
             let digits_start = self.pos;
@@ -157,12 +158,7 @@ impl<'s> Lexer<'s> {
                 }
                 v as u8
             }
-            other => {
-                return Err(self.err(
-                    start,
-                    format!("unknown escape `\\{}`", other as char),
-                ))
-            }
+            other => return Err(self.err(start, format!("unknown escape `\\{}`", other as char))),
         })
     }
 
@@ -343,10 +339,7 @@ impl<'s> Lexer<'s> {
                 _ => Gt,
             },
             other => {
-                return Err(self.err(
-                    start,
-                    format!("unexpected character `{}`", other as char),
-                ))
+                return Err(self.err(start, format!("unexpected character `{}`", other as char)))
             }
         };
         Ok(TokenKind::Punct(p))
@@ -404,11 +397,7 @@ mod tests {
     use super::*;
 
     fn kinds(text: &str) -> Vec<TokenKind> {
-        lex(0, text)
-            .unwrap()
-            .into_iter()
-            .map(|t| t.kind)
-            .collect()
+        lex(0, text).unwrap().into_iter().map(|t| t.kind).collect()
     }
 
     #[test]
@@ -464,7 +453,10 @@ mod tests {
 
     #[test]
     fn char_literal_is_signed() {
-        assert_eq!(kinds(r"'\xff'"), vec![TokenKind::IntLit(-1), TokenKind::Eof]);
+        assert_eq!(
+            kinds(r"'\xff'"),
+            vec![TokenKind::IntLit(-1), TokenKind::Eof]
+        );
     }
 
     #[test]

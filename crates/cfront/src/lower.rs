@@ -62,10 +62,7 @@ struct RVal {
 
 impl RVal {
     fn new(reg: Reg, ty: CType) -> Self {
-        RVal {
-            reg: Some(reg),
-            ty,
-        }
+        RVal { reg: Some(reg), ty }
     }
 
     fn void() -> Self {
@@ -164,10 +161,7 @@ impl<'t> Lowerer<'t> {
         }
         for x in &program.externs {
             if self.funcs.contains_key(&x.name) {
-                return self.err(
-                    x.span,
-                    format!("`{}` is both extern and defined", x.name),
-                );
+                return self.err(x.span, format!("`{}` is both extern and defined", x.name));
             }
             let ty = FuncType {
                 ret: x.ret.clone(),
@@ -331,7 +325,10 @@ impl<'t> Lowerer<'t> {
                 }
             }
             (CType::Struct(_), _) => {
-                return self.err(span, "struct globals cannot have initializers (zero-filled)")
+                return self.err(
+                    span,
+                    "struct globals cannot have initializers (zero-filled)",
+                )
             }
             _ => return self.err(span, "unsupported global initializer"),
         }
@@ -618,7 +615,9 @@ impl<'t> Lowerer<'t> {
                 fc.fb.switch_to(exit);
                 Ok(())
             }
-            StmtKind::Switch { scrutinee, cases } => self.lower_switch(fc, s.span, scrutinee, cases),
+            StmtKind::Switch { scrutinee, cases } => {
+                self.lower_switch(fc, s.span, scrutinee, cases)
+            }
             StmtKind::Break => match fc.break_targets.last() {
                 Some(&b) => {
                     fc.fb.terminate(Terminator::Jump(b));
@@ -792,8 +791,9 @@ impl<'t> Lowerer<'t> {
                     .types
                     .size_of(elem)
                     .ok_or_else(|| CompileError::new(d.span, "unsized element".to_owned()))?;
-                let width = scalar_width(self.types, elem)
-                    .ok_or_else(|| CompileError::new(d.span, "element must be scalar".to_owned()))?;
+                let width = scalar_width(self.types, elem).ok_or_else(|| {
+                    CompileError::new(d.span, "element must be scalar".to_owned())
+                })?;
                 let base = fc.fb.addr_of_slot(*slot);
                 for (i, item) in items.iter().enumerate() {
                     let v = self.lower_expr(fc, item)?;
@@ -826,12 +826,10 @@ impl<'t> Lowerer<'t> {
                 return Some(v.clone());
             }
         }
-        self.globals
-            .get(name)
-            .map(|(id, ty)| VarInfo {
-                storage: Storage::Global(*id),
-                ty: ty.clone(),
-            })
+        self.globals.get(name).map(|(id, ty)| VarInfo {
+            storage: Storage::Global(*id),
+            ty: ty.clone(),
+        })
     }
 
     fn lower_place(&mut self, fc: &mut FuncCtx, e: &Expr) -> Result<Place> {
@@ -886,7 +884,7 @@ impl<'t> Lowerer<'t> {
                         return self.err(base.span, "`.` on a non-struct value");
                     };
                     let CType::Struct(sid) = ty else {
-                        return self.err(base.span, format!("`.` on non-struct"));
+                        return self.err(base.span, "`.` on non-struct".to_string());
                     };
                     (addr, sid)
                 };
@@ -953,8 +951,9 @@ impl<'t> Lowerer<'t> {
                     Ok(RVal::new(*addr, CType::Func(ft.clone()).decayed()))
                 }
                 _ => {
-                    let width = scalar_width(self.types, ty)
-                        .ok_or_else(|| CompileError::new(span, "cannot load this type".to_owned()))?;
+                    let width = scalar_width(self.types, ty).ok_or_else(|| {
+                        CompileError::new(span, "cannot load this type".to_owned())
+                    })?;
                     let signed = type_signed(ty);
                     let reg = fc.fb.load(*addr, width, signed);
                     Ok(RVal::new(reg, ty.clone()))
@@ -1287,9 +1286,7 @@ impl<'t> Lowerer<'t> {
                 let esize = self
                     .types
                     .size_of(lty.pointee().expect("pointer"))
-                    .ok_or_else(|| {
-                        CompileError::new(span, "pointer to unsized type".to_owned())
-                    })?;
+                    .ok_or_else(|| CompileError::new(span, "pointer to unsized type".to_owned()))?;
                 let diff = fc.fb.bin(BinOp::Sub, lreg, rreg);
                 let out = if esize == 1 {
                     diff
@@ -1329,10 +1326,7 @@ impl<'t> Lowerer<'t> {
         }
         // Integer arithmetic.
         let (CType::Int(lk), CType::Int(rk)) = (lty, rty) else {
-            return self.err(
-                span,
-                format!("invalid operands `{lty}` and `{rty}`"),
-            );
+            return self.err(span, format!("invalid operands `{lty}` and `{rty}`"));
         };
         let res_kind = usual_arith(*lk, *rk);
         let unsigned = !res_kind.is_signed();
@@ -1429,9 +1423,7 @@ impl<'t> Lowerer<'t> {
         }
         // Short-circuit side: result is 0 for `&&`, 1 for `||`.
         fc.fb.switch_to(short_b);
-        let short_val = fc
-            .fb
-            .const_(if op == BinaryOp::LogAnd { 0 } else { 1 });
+        let short_val = fc.fb.const_(if op == BinaryOp::LogAnd { 0 } else { 1 });
         fc.fb.mov(result, short_val);
         fc.fb.terminate(Terminator::Jump(join));
         // Evaluated side: result is rhs != 0.
@@ -1658,7 +1650,9 @@ impl<'t> Lowerer<'t> {
     fn infer_type(&mut self, fc: &FuncCtx, e: &Expr) -> Result<CType> {
         Ok(match &e.kind {
             ExprKind::IntLit(_) => CType::int(),
-            ExprKind::StrLit(bytes) => CType::Array(Box::new(CType::char()), bytes.len() as u64 + 1),
+            ExprKind::StrLit(bytes) => {
+                CType::Array(Box::new(CType::char()), bytes.len() as u64 + 1)
+            }
             ExprKind::Ident(name) => match self.lookup_var(fc, name) {
                 Some(v) => v.ty,
                 None => match self.funcs.get(name) {
@@ -1846,8 +1840,10 @@ fn collect_addr_taken_expr(e: &Expr, out: &mut HashSet<String>) {
             }
             collect_addr_taken_expr(operand, out);
         }
-        ExprKind::IntLit(_) | ExprKind::StrLit(_) | ExprKind::Ident(_) | ExprKind::SizeofType(_) => {
-        }
+        ExprKind::IntLit(_)
+        | ExprKind::StrLit(_)
+        | ExprKind::Ident(_)
+        | ExprKind::SizeofType(_) => {}
         ExprKind::Unary { operand, .. } => collect_addr_taken_expr(operand, out),
         ExprKind::Binary { lhs, rhs, .. } => {
             collect_addr_taken_expr(lhs, out);

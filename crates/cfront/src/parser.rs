@@ -40,7 +40,11 @@ impl ParseContext {
 ///
 /// Returns the first syntax error encountered.
 pub fn parse_into(ctx: &mut ParseContext, tokens: &[Token]) -> Result<()> {
-    let mut p = Parser { ctx, tokens, pos: 0 };
+    let mut p = Parser {
+        ctx,
+        tokens,
+        pos: 0,
+    };
     p.parse_top_level()
 }
 
@@ -187,7 +191,9 @@ impl<'c, 't> Parser<'c, 't> {
                     signedness = Some(true);
                     self.pos += 1;
                 }
-                TokenKind::Kw(k @ (Keyword::Void | Keyword::Char | Keyword::Short | Keyword::Long)) => {
+                TokenKind::Kw(
+                    k @ (Keyword::Void | Keyword::Char | Keyword::Short | Keyword::Long),
+                ) => {
                     if base.is_some() {
                         return Err(self.err_here("conflicting type specifiers"));
                     }
@@ -254,7 +260,9 @@ impl<'c, 't> Parser<'c, 't> {
         if *self.peek() == TokenKind::Punct(Punct::LParen)
             && matches!(
                 self.peek_at(1),
-                TokenKind::Punct(Punct::Star) | TokenKind::Punct(Punct::LParen) | TokenKind::Ident(_)
+                TokenKind::Punct(Punct::Star)
+                    | TokenKind::Punct(Punct::LParen)
+                    | TokenKind::Ident(_)
             )
             && !self.is_type_start_at(1)
         {
@@ -524,10 +532,7 @@ impl<'c, 't> Parser<'c, 't> {
         let is_extern = self.eat_kw(Keyword::Extern);
         let _ = self.eat_kw(Keyword::Static); // accepted, ignored
         if !self.is_type_start() {
-            return Err(self.err_here(format!(
-                "expected a declaration, found {}",
-                self.peek()
-            )));
+            return Err(self.err_here(format!("expected a declaration, found {}", self.peek())));
         }
         let base = self.parse_base_type()?;
 
@@ -628,7 +633,10 @@ impl<'c, 't> Parser<'c, 't> {
             return Ok(()); // forward declaration
         }
         if self.ctx.types.struct_def(id).defined {
-            return Err(CompileError::new(span, format!("struct `{name}` redefined")));
+            return Err(CompileError::new(
+                span,
+                format!("struct `{name}` redefined"),
+            ));
         }
         self.expect_punct(Punct::LBrace)?;
         let mut members = Vec::new();
@@ -673,12 +681,7 @@ impl<'c, 't> Parser<'c, 't> {
                 let e = self.parse_conditional()?;
                 next = self.const_eval(&e)?;
             }
-            if self
-                .ctx
-                .enum_consts
-                .insert(name.clone(), next)
-                .is_some()
-            {
+            if self.ctx.enum_consts.insert(name.clone(), next).is_some() {
                 return Err(CompileError::new(
                     span,
                     format!("enum constant `{name}` redefined"),
@@ -1490,7 +1493,9 @@ mod tests {
     fn parses_function_pointer_declarator() {
         let ctx = parse_ok("int apply(int (*f)(int, int), int x) { return f(x, x); }");
         let p = &ctx.program.functions[0].params[0];
-        let CType::Ptr(inner) = &p.ty else { panic!("expected pointer") };
+        let CType::Ptr(inner) = &p.ty else {
+            panic!("expected pointer")
+        };
         let CType::Func(ft) = inner.as_ref() else {
             panic!("expected function type")
         };
@@ -1583,7 +1588,9 @@ mod tests {
         let StmtKind::Block { stmts, .. } = &f.body.kind else {
             panic!()
         };
-        let StmtKind::Expr(e) = &stmts[0].kind else { panic!() };
+        let StmtKind::Expr(e) = &stmts[0].kind else {
+            panic!()
+        };
         let ExprKind::Assign { value, .. } = &e.kind else {
             panic!()
         };
@@ -1674,7 +1681,9 @@ mod tests {
             panic!()
         };
         // Top node must be ||.
-        let ExprKind::Binary { op, .. } = &e.kind else { panic!() };
+        let ExprKind::Binary { op, .. } = &e.kind else {
+            panic!()
+        };
         assert_eq!(*op, BinaryOp::LogOr);
     }
 
@@ -1726,7 +1735,9 @@ mod typedef_tests {
              int norm(Point *p) { return p->x + p->y; }",
         );
         let f = &ctx.program.functions[0];
-        let CType::Ptr(inner) = &f.params[0].ty else { panic!() };
+        let CType::Ptr(inner) = &f.params[0].ty else {
+            panic!()
+        };
         assert!(matches!(inner.as_ref(), CType::Struct(_)));
     }
 

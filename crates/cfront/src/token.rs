@@ -89,6 +89,7 @@ pub enum Keyword {
 
 impl Keyword {
     /// Maps an identifier to a keyword, if it is one.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Keyword> {
         Some(match s {
             "break" => Keyword::Break,
@@ -325,9 +326,6 @@ mod tests {
     fn token_kind_display() {
         assert_eq!(TokenKind::Punct(Punct::Arrow).to_string(), "`->`");
         assert_eq!(TokenKind::Kw(Keyword::If).to_string(), "keyword `if`");
-        assert_eq!(
-            TokenKind::Ident("x".into()).to_string(),
-            "identifier `x`"
-        );
+        assert_eq!(TokenKind::Ident("x".into()).to_string(), "identifier `x`");
     }
 }

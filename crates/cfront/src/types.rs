@@ -40,7 +40,10 @@ impl IntKind {
 
     /// Whether values of this kind are signed.
     pub fn is_signed(self) -> bool {
-        matches!(self, IntKind::I8 | IntKind::I16 | IntKind::I32 | IntKind::I64)
+        matches!(
+            self,
+            IntKind::I8 | IntKind::I16 | IntKind::I32 | IntKind::I64
+        )
     }
 
     /// The unsigned kind of the same width.
@@ -470,7 +473,9 @@ mod tests {
     #[test]
     fn struct_with_unsized_member_fails() {
         let mut tt = TypeTable::new();
-        assert!(tt.define_struct("bad", vec![("v".into(), CType::Void)]).is_none());
+        assert!(tt
+            .define_struct("bad", vec![("v".into(), CType::Void)])
+            .is_none());
     }
 
     #[test]

@@ -9,11 +9,15 @@
 
 use std::fmt::Write as _;
 
-use impact_cfront::{compile, Source};
 use impact_callgraph::CallGraph;
-use impact_il::{module_to_string, verify_module, Module};
-use impact_inline::{inline_module, InlineConfig, Linearization};
-use impact_vm::{profile_runs, NamedFile, VmConfig};
+use impact_cfront::{compile, Source};
+use impact_il::{module_to_string, verify_module, Module, VerifyError};
+use impact_inline::{
+    expand_site, inline_module, ExpansionRecord, Incident, IncidentStage, InlineConfig,
+    Linearization,
+};
+use impact_opt::optimize_module_isolated;
+use impact_vm::{profile_runs, FaultPlan, NamedFile, Profile, VmConfig};
 
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -43,6 +47,12 @@ pub struct Options {
     /// `--profile-in path`: reuse a previously written profile instead of
     /// re-running the program.
     pub profile_in: Option<String>,
+    /// `--opt`: run the classical optimization passes (with per-pass
+    /// isolation) after inline expansion.
+    pub opt: bool,
+    /// `--fault KEY[=N]` specs: deterministic fault-injection points
+    /// (repeatable), e.g. `expand:verify:1` or `vm:oom=3`.
+    pub faults: Vec<String>,
     /// `--quiet` (suppress IL dumps).
     pub quiet: bool,
 }
@@ -68,6 +78,8 @@ impl Options {
             promote_indirect: false,
             profile_out: None,
             profile_in: None,
+            opt: false,
+            faults: Vec::new(),
             quiet: false,
         };
         while let Some(a) = it.next() {
@@ -92,11 +104,15 @@ impl Options {
                     opts.budget = Some(v.parse().map_err(|_| "bad --budget")?);
                 }
                 "--stack-bound" => {
-                    let v = it.next().ok_or("--stack-bound needs a number".to_string())?;
+                    let v = it
+                        .next()
+                        .ok_or("--stack-bound needs a number".to_string())?;
                     opts.stack_bound = Some(v.parse().map_err(|_| "bad --stack-bound")?);
                 }
                 "--linearize" => {
-                    let v = it.next().ok_or("--linearize needs a strategy".to_string())?;
+                    let v = it
+                        .next()
+                        .ok_or("--linearize needs a strategy".to_string())?;
                     opts.linearization = Some(v.clone());
                 }
                 "--promote-indirect" => opts.promote_indirect = true,
@@ -108,6 +124,11 @@ impl Options {
                     let v = it.next().ok_or("--profile-in needs a path".to_string())?;
                     opts.profile_in = Some(v.clone());
                 }
+                "--opt" => opts.opt = true,
+                "--fault" => {
+                    let v = it.next().ok_or("--fault needs KEY[=N]".to_string())?;
+                    opts.faults.push(v.clone());
+                }
                 "--quiet" => opts.quiet = true,
                 other if other.starts_with("--") => {
                     return Err(format!("unknown option `{other}`\n{}", usage()));
@@ -118,6 +139,20 @@ impl Options {
         Ok(opts)
     }
 
+    /// Builds the fault-injection plan from the `--fault` flags.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed spec.
+    pub fn fault_plan(&self) -> Result<FaultPlan, String> {
+        let plan = FaultPlan::new();
+        for spec in &self.faults {
+            plan.arm_spec(spec)
+                .map_err(|e| format!("bad --fault `{spec}`: {e}"))?;
+        }
+        Ok(plan)
+    }
+
     /// Builds the inline configuration from the flags.
     pub fn inline_config(&self) -> Result<InlineConfig, String> {
         let mut cfg = InlineConfig::default();
@@ -125,11 +160,31 @@ impl Options {
             cfg.weight_threshold = t;
         }
         if let Some(b) = self.budget {
+            if !b.is_finite() {
+                return Err(format!(
+                    "--budget {b} is not a finite number; the code-growth limit \
+                     must be a multiplier such as 1.5"
+                ));
+            }
+            if b < 1.0 {
+                return Err(format!(
+                    "--budget {b} is below 1.0, which would forbid the original \
+                     program itself; use a growth multiplier >= 1.0 (default 2.0)"
+                ));
+            }
             cfg.code_growth_limit = b;
         }
         if let Some(s) = self.stack_bound {
+            if s == 0 {
+                return Err(
+                    "--stack-bound 0 would reject every expansion into a recursive \
+                     region; use a positive byte bound (default 4096)"
+                        .to_string(),
+                );
+            }
             cfg.stack_bound = s;
         }
+        cfg.fault = self.fault_plan()?;
         cfg.promote_indirect = self.promote_indirect;
         if let Some(l) = &self.linearization {
             cfg.linearization = match l.as_str() {
@@ -169,6 +224,9 @@ pub fn usage() -> String {
      \x20 --promote-indirect              promote profile-dominated indirect calls (extension)\n\
      \x20 --profile-out PATH              save the collected profile as text\n\
      \x20 --profile-in PATH               reuse a saved profile instead of re-profiling\n\
+     \x20 --opt                           run classical optimizations after expansion\n\
+     \x20 --fault KEY[=N]                 arm a deterministic fault point (repeatable),\n\
+     \x20                                 e.g. expand:verify:1, vm:oom=3, profile:parse\n\
      \x20 --quiet                         suppress IL dumps\n"
         .to_string()
 }
@@ -187,15 +245,20 @@ fn read_sources(paths: &[String]) -> Result<Vec<Source>, String> {
         .collect()
 }
 
+/// Renders verifier errors the same way on every path: one readable
+/// Display line per error.
+fn render_verify_errors(errors: &[VerifyError]) -> String {
+    errors
+        .iter()
+        .map(|e| e.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
 fn compile_sources(paths: &[String]) -> Result<Module, String> {
     let sources = read_sources(paths)?;
     let module = compile(&sources).map_err(|e| e.render(&sources))?;
-    verify_module(&module).map_err(|es| {
-        es.iter()
-            .map(|e| e.to_string())
-            .collect::<Vec<_>>()
-            .join("\n")
-    })?;
+    verify_module(&module).map_err(|es| render_verify_errors(&es))?;
     Ok(module)
 }
 
@@ -208,6 +271,215 @@ fn load_inputs(pairs: &[(String, String)]) -> Result<Vec<NamedFile>, String> {
                 .map_err(|e| format!("cannot read input `{path}`: {e}"))
         })
         .collect()
+}
+
+/// One profiling/benchmark run: named input files plus program arguments.
+type RunSpec = (Vec<NamedFile>, Vec<String>);
+
+/// Acquires a profile with graceful degradation: a corrupt `--profile-in`
+/// (or the `profile:parse` fault point), and a trapping profiling run,
+/// both warn and fall back to an unprofiled plan in which every arc
+/// carries exactly the threshold weight — threshold-only inlining —
+/// instead of aborting the compilation.
+fn acquire_profile(
+    module: &Module,
+    runs: &[RunSpec],
+    vm_cfg: &VmConfig,
+    profile_in: Option<&str>,
+    fallback_weight: u64,
+    incidents: &mut Vec<Incident>,
+    out: &mut String,
+) -> Result<Profile, String> {
+    let degraded =
+        |detail: String, subject: String, incidents: &mut Vec<Incident>, out: &mut String| {
+            let _ = writeln!(
+                out,
+                "; warning: {detail}; falling back to unprofiled (threshold-only) inlining"
+            );
+            incidents.push(Incident {
+                stage: IncidentStage::Profile,
+                subject,
+                detail,
+                rolled_back: false,
+            });
+            Profile::assume_hot(module, fallback_weight)
+        };
+    match profile_in {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read profile `{path}`: {e}"))?;
+            let parsed = if vm_cfg.fault.should_fail("profile:parse") {
+                Err("fault injection corrupted the profile read".to_string())
+            } else {
+                Profile::from_text(&text).map_err(|e| e.to_string())
+            };
+            match parsed {
+                Ok(p) => Ok(p),
+                Err(e) => Ok(degraded(
+                    format!("bad profile `{path}`: {e}"),
+                    format!("profile `{path}`"),
+                    incidents,
+                    out,
+                )),
+            }
+        }
+        None => match profile_runs(module, runs, vm_cfg) {
+            Ok((p, _)) => Ok(p),
+            Err(e) => Ok(degraded(
+                format!("profiling run trapped: {e}"),
+                "profiling run".to_string(),
+                incidents,
+                out,
+            )),
+        },
+    }
+}
+
+/// Observable behavior of a module over a run set: per-run stdout and
+/// exit code, or the trap that stopped the first failing run.
+fn behavior(module: &Module, runs: &[RunSpec]) -> Result<Vec<(Vec<u8>, i64)>, String> {
+    let cfg = VmConfig::default(); // differential runs are never faulted
+    let mut results = Vec::with_capacity(runs.len());
+    for (inputs, args) in runs {
+        let out = impact_vm::run(module, inputs.clone(), args.clone(), &cfg)
+            .map_err(|e| e.to_string())?;
+        results.push((out.stdout, out.exit_code));
+    }
+    Ok(results)
+}
+
+/// Replays a subset of expansion records on a pristine pre-expansion
+/// module (plan sites always refer to original-module sites, so any
+/// subset replays cleanly in order).
+fn replay(module0: &Module, records: &[ExpansionRecord], included: &[bool]) -> Module {
+    let mut m = module0.clone();
+    for (r, inc) in records.iter().zip(included) {
+        if *inc {
+            expand_site(&mut m, r.caller, r.site, r.callee);
+        }
+    }
+    m
+}
+
+/// The differential safety net: compares the inlined module's observable
+/// behavior against the pre-inline module on the same runs. On
+/// divergence, bisects the applied expansions to the smallest offending
+/// set, rolls those arcs back (rebuilding the module from the pristine
+/// copy), and records incidents — a miscompile is never shipped.
+///
+/// `promoted` forces the conservative path: promotion rewrites sites the
+/// records may reference, so the whole transformation is rolled back
+/// instead of bisected.
+#[allow(clippy::too_many_arguments)]
+fn differential_guard(
+    module: &mut Module,
+    module0: &Module,
+    records: &[ExpansionRecord],
+    promoted: bool,
+    eliminate: bool,
+    runs: &[RunSpec],
+    incidents: &mut Vec<Incident>,
+    out: &mut String,
+) {
+    let Ok(target) = behavior(module0, runs) else {
+        // The original program itself traps on these runs: there is no
+        // ground truth to compare against.
+        return;
+    };
+    if behavior(module, runs).ok().as_ref() == Some(&target) {
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "; warning: post-inline behavior diverged from the pre-inline run; bisecting"
+    );
+    if promoted || records.is_empty() {
+        *module = module0.clone();
+        incidents.push(Incident {
+            stage: IncidentStage::Divergence,
+            subject: "whole transformation".to_string(),
+            detail: "behavior diverged and the expansion set cannot be bisected; \
+                     reverted to the pre-inline module"
+                .to_string(),
+            rolled_back: true,
+        });
+        return;
+    }
+    let mut included = vec![true; records.len()];
+    for _ in 0..records.len() {
+        let candidate = replay(module0, records, &included);
+        if behavior(&candidate, runs).ok().as_ref() == Some(&target) {
+            break;
+        }
+        // Smallest prefix of still-included arcs that diverges; its last
+        // arc is an offender.
+        let active: Vec<usize> = (0..records.len()).filter(|&i| included[i]).collect();
+        let fails = |k: usize| {
+            let mut subset = vec![false; records.len()];
+            for &i in &active[..k] {
+                subset[i] = true;
+            }
+            behavior(&replay(module0, records, &subset), runs)
+                .ok()
+                .as_ref()
+                != Some(&target)
+        };
+        let (mut lo, mut hi) = (1, active.len());
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if fails(mid) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let offender = active[lo - 1];
+        included[offender] = false;
+        let r = &records[offender];
+        incidents.push(Incident {
+            stage: IncidentStage::Divergence,
+            subject: format!(
+                "`{}` -> `{}` (site {})",
+                module0.function(r.callee).name,
+                module0.function(r.caller).name,
+                r.site.0
+            ),
+            detail: "expansion changed observable behavior; arc rolled back".to_string(),
+            rolled_back: true,
+        });
+    }
+    *module = replay(module0, records, &included);
+    if eliminate {
+        impact_inline::eliminate_unreachable(module);
+    }
+    debug_assert!(behavior(module, runs).ok().as_ref() == Some(&target));
+}
+
+/// Appends per-incident lines and the `; incidents: N (M rolled back)`
+/// summary to the report.
+/// Warns about armed fault points that never fired — a typo'd domain or
+/// an out-of-range hit count would otherwise be silently ignored.
+fn warn_unfired(out: &mut String, fault: &FaultPlan) {
+    for key in fault.unfired() {
+        let _ = writeln!(
+            out,
+            "; warning: fault point `{key}` was armed but never fired; \
+             check the spelling and hit count"
+        );
+    }
+}
+
+fn render_incidents(out: &mut String, incidents: &[Incident]) {
+    for i in incidents {
+        let _ = writeln!(out, "; incident: {i}");
+    }
+    let rolled = incidents.iter().filter(|i| i.rolled_back).count();
+    let _ = writeln!(
+        out,
+        "; incidents: {} ({} rolled back)",
+        incidents.len(),
+        rolled
+    );
 }
 
 /// Executes a parsed command; returns the process exit code and the text
@@ -235,7 +507,11 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
         "run" => {
             let module = compile_sources(&opts.positional)?;
             let inputs = load_inputs(&opts.inputs)?;
-            let result = impact_vm::run(&module, inputs, opts.args.clone(), &VmConfig::default())
+            let vm_cfg = VmConfig {
+                fault: opts.fault_plan()?,
+                ..VmConfig::default()
+            };
+            let result = impact_vm::run(&module, inputs, opts.args.clone(), &vm_cfg)
                 .map_err(|e| e.to_string())?;
             if let Some(path) = &opts.profile_out {
                 std::fs::write(path, result.profile.to_text())
@@ -247,32 +523,75 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
                 "; exit {} after {} ILs ({} calls)",
                 result.exit_code, result.profile.il_executed, result.profile.calls
             );
+            warn_unfired(&mut out, &vm_cfg.fault);
             Ok((result.exit_code as i32, out))
         }
         "inline" => {
+            let cfg = opts.inline_config()?;
+            let fault = cfg.fault.clone();
+            let vm_cfg = VmConfig {
+                fault: fault.clone(),
+                ..VmConfig::default()
+            };
             let mut module = compile_sources(&opts.positional)?;
+            let module0 = module.clone();
             let inputs = load_inputs(&opts.inputs)?;
             let runs = vec![(inputs, opts.args.clone())];
-            let profile = match &opts.profile_in {
-                Some(path) => {
-                    let text = std::fs::read_to_string(path)
-                        .map_err(|e| format!("cannot read profile `{path}`: {e}"))?;
-                    impact_vm::Profile::from_text(&text)
-                        .map_err(|e| format!("bad profile `{path}`: {e}"))?
-                }
-                None => {
-                    let (p, _) = profile_runs(&module, &runs, &VmConfig::default())
-                        .map_err(|e| e.to_string())?;
-                    p
-                }
-            };
+            let mut incidents: Vec<Incident> = Vec::new();
+            let profile = acquire_profile(
+                &module,
+                &runs,
+                &vm_cfg,
+                opts.profile_in.as_deref(),
+                cfg.weight_threshold,
+                &mut incidents,
+                &mut out,
+            )?;
             if let Some(path) = &opts.profile_out {
                 std::fs::write(path, profile.to_text())
                     .map_err(|e| format!("cannot write profile `{path}`: {e}"))?;
             }
-            let cfg = opts.inline_config()?;
             let report = inline_module(&mut module, &profile.averaged(), &cfg);
-            verify_module(&module).map_err(|e| format!("{e:?}"))?;
+            verify_module(&module).map_err(|es| render_verify_errors(&es))?;
+            incidents.extend(report.incidents.iter().cloned());
+            differential_guard(
+                &mut module,
+                &module0,
+                &report.records,
+                !report.promoted.is_empty(),
+                cfg.eliminate_unreachable,
+                &runs,
+                &mut incidents,
+                &mut out,
+            );
+            if opts.opt {
+                let pre_opt = module.clone();
+                let (_, skipped) = optimize_module_isolated(&mut module, &fault);
+                for s in skipped {
+                    incidents.push(Incident {
+                        stage: IncidentStage::OptPass,
+                        subject: format!("pass `{}` on `{}`", s.pass, s.func),
+                        detail: s.reason,
+                        rolled_back: true,
+                    });
+                }
+                // The optimizer gets the same never-ship-a-miscompile
+                // treatment, but wholesale: verify and re-compare, and
+                // revert the whole optimization on any failure.
+                let broken = verify_module(&module).is_err()
+                    || behavior(&module, &runs).ok() != behavior(&pre_opt, &runs).ok();
+                if broken {
+                    module = pre_opt;
+                    incidents.push(Incident {
+                        stage: IncidentStage::Divergence,
+                        subject: "post-inline optimization".to_string(),
+                        detail: "optimized module failed verification or diverged; \
+                                 optimization reverted"
+                            .to_string(),
+                        rolled_back: true,
+                    });
+                }
+            }
             let totals = report.classification.static_totals();
             let _ = writeln!(
                 out,
@@ -283,16 +602,31 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
                 totals.r#unsafe,
                 totals.safe
             );
+            // Summary lines reflect the *final* module: the differential
+            // guard may have rolled expansions back since the report was
+            // built, changing both code size and which functions died.
+            let size_after = module.total_size();
             let _ = writeln!(
                 out,
                 "; expanded {} arcs; code size {} -> {} ({:+.1}%)",
                 report.expanded.len(),
                 report.size_before,
-                report.size_after,
-                report.code_increase_percent()
+                size_after,
+                if report.size_before == 0 {
+                    0.0
+                } else {
+                    100.0 * (size_after as f64 - report.size_before as f64)
+                        / report.size_before as f64
+                }
             );
-            if !report.removed_functions.is_empty() {
-                let _ = writeln!(out, "; removed: {}", report.removed_functions.join(", "));
+            let removed: Vec<&str> = module0
+                .functions
+                .iter()
+                .map(|f| f.name.as_str())
+                .filter(|n| module.functions.iter().all(|f| f.name != *n))
+                .collect();
+            if !removed.is_empty() {
+                let _ = writeln!(out, "; removed: {}", removed.join(", "));
             }
             if !report.promoted.is_empty() {
                 let _ = writeln!(
@@ -301,21 +635,27 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
                     report.promoted.len()
                 );
             }
-            let runs2 = runs.clone();
-            let (after, _) = profile_runs(&module, &runs2, &VmConfig::default())
-                .map_err(|e| e.to_string())?;
-            let _ = writeln!(
-                out,
-                "; dynamic calls {} -> {} ({:.1}% eliminated)",
-                profile.calls,
-                after.calls,
-                if profile.calls == 0 {
-                    0.0
-                } else {
-                    100.0 * profile.calls.saturating_sub(after.calls) as f64
-                        / profile.calls as f64
+            match profile_runs(&module, &runs, &VmConfig::default()) {
+                Ok((after, _)) => {
+                    let _ = writeln!(
+                        out,
+                        "; dynamic calls {} -> {} ({:.1}% eliminated)",
+                        profile.calls,
+                        after.calls,
+                        if profile.calls == 0 {
+                            0.0
+                        } else {
+                            100.0 * profile.calls.saturating_sub(after.calls) as f64
+                                / profile.calls as f64
+                        }
+                    );
                 }
-            );
+                Err(e) => {
+                    let _ = writeln!(out, "; warning: post-inline measurement run trapped: {e}");
+                }
+            }
+            warn_unfired(&mut out, &fault);
+            render_incidents(&mut out, &incidents);
             if !opts.quiet {
                 out.push_str(&module_to_string(&module));
             }
@@ -325,8 +665,8 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
             let module = compile_sources(&opts.positional)?;
             let inputs = load_inputs(&opts.inputs)?;
             let runs = vec![(inputs, opts.args.clone())];
-            let (profile, _) = profile_runs(&module, &runs, &VmConfig::default())
-                .map_err(|e| e.to_string())?;
+            let (profile, _) =
+                profile_runs(&module, &runs, &VmConfig::default()).map_err(|e| e.to_string())?;
             let graph = CallGraph::build(&module, &profile.averaged());
             out.push_str(&graph.to_dot(&module));
             Ok((0, out))
@@ -338,14 +678,38 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
                 .ok_or_else(|| format!("bench needs a benchmark name\n{}", usage()))?;
             let b = impact_workloads::benchmark(name)
                 .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
-            let mut module = b.compile().map_err(|e| e.render(&b.sources()))?;
-            let runs = b.profile_run_set(4);
-            let (profile, _) = profile_runs(&module, &runs, &VmConfig::default())
-                .map_err(|e| e.to_string())?;
             let cfg = opts.inline_config()?;
+            let vm_cfg = VmConfig {
+                fault: cfg.fault.clone(),
+                ..VmConfig::default()
+            };
+            let mut module = b.compile().map_err(|e| e.render(&b.sources()))?;
+            let module0 = module.clone();
+            let runs = b.profile_run_set(4);
+            let mut incidents: Vec<Incident> = Vec::new();
+            let profile = acquire_profile(
+                &module,
+                &runs,
+                &vm_cfg,
+                None,
+                cfg.weight_threshold,
+                &mut incidents,
+                &mut out,
+            )?;
             let report = inline_module(&mut module, &profile.averaged(), &cfg);
-            let (after, _) = profile_runs(&module, &runs, &VmConfig::default())
-                .map_err(|e| e.to_string())?;
+            incidents.extend(report.incidents.iter().cloned());
+            differential_guard(
+                &mut module,
+                &module0,
+                &report.records,
+                !report.promoted.is_empty(),
+                cfg.eliminate_unreachable,
+                &runs,
+                &mut incidents,
+                &mut out,
+            );
+            let (after, _) =
+                profile_runs(&module, &runs, &VmConfig::default()).map_err(|e| e.to_string())?;
             let _ = writeln!(
                 out,
                 "{name}: {} C lines, {} ILs/run, calls {} -> {} ({:.1}% eliminated), code {:+.1}%",
@@ -356,11 +720,14 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
                 if profile.calls == 0 {
                     0.0
                 } else {
-                    100.0 * profile.calls.saturating_sub(after.calls) as f64
-                        / profile.calls as f64
+                    100.0 * profile.calls.saturating_sub(after.calls) as f64 / profile.calls as f64
                 },
                 report.code_increase_percent()
             );
+            warn_unfired(&mut out, &cfg.fault);
+            if !incidents.is_empty() {
+                render_incidents(&mut out, &incidents);
+            }
             Ok((0, out))
         }
         other => Err(format!("unknown command `{other}`\n{}", usage())),
@@ -445,12 +812,7 @@ mod tests {
              int main() { int i; int s; s = 0; for (i = 0; i < 50; i++) s += sq(i); return s & 0xff; }",
         )
         .unwrap();
-        let o = Options::parse(&strs(&[
-            "inline",
-            src.to_str().unwrap(),
-            "--quiet",
-        ]))
-        .unwrap();
+        let o = Options::parse(&strs(&["inline", src.to_str().unwrap(), "--quiet"])).unwrap();
         let (code, out) = execute(&o).unwrap();
         assert_eq!(code, 0);
         assert!(out.contains("expanded 1 arcs"), "{out}");
@@ -462,7 +824,11 @@ mod tests {
         let dir = std::env::temp_dir().join("impactc-test3");
         std::fs::create_dir_all(&dir).unwrap();
         let src = dir.join("g.c");
-        std::fs::write(&src, "int f(int x) { return x; } int main() { return f(1); }").unwrap();
+        std::fs::write(
+            &src,
+            "int f(int x) { return x; } int main() { return f(1); }",
+        )
+        .unwrap();
         let o = Options::parse(&strs(&["callgraph", src.to_str().unwrap()])).unwrap();
         let (_, out) = execute(&o).unwrap();
         assert!(out.starts_with("digraph"));
@@ -530,5 +896,200 @@ mod profile_flag_tests {
     fn promote_indirect_flag_reaches_config() {
         let o = Options::parse(&strs(&["inline", "x.c", "--promote-indirect"])).unwrap();
         assert!(o.inline_config().unwrap().promote_indirect);
+    }
+}
+
+#[cfg(test)]
+mod recovery_tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    const HOT_TWO: &str = "int sq(int x) { return x * x; }\n\
+         int cube(int x) { return x * x * x; }\n\
+         int main() { int i; int s; s = 0;\n\
+           for (i = 0; i < 100; i++) { s += sq(i); s += cube(i); }\n\
+           return s & 0xff; }";
+
+    fn write_src(dir: &str, name: &str, text: &str) -> String {
+        let dir = std::env::temp_dir().join(dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, text).unwrap();
+        path.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn numeric_flag_validation() {
+        for bad in [
+            vec!["inline", "x.c", "--budget", "NaN"],
+            vec!["inline", "x.c", "--budget", "inf"],
+            vec!["inline", "x.c", "--budget", "0.5"],
+            vec!["inline", "x.c", "--stack-bound", "0"],
+        ] {
+            let o = Options::parse(&strs(&bad)).unwrap();
+            let err = o.inline_config().unwrap_err();
+            assert!(
+                err.contains("--budget") || err.contains("--stack-bound"),
+                "unactionable message: {err}"
+            );
+        }
+        // The boundary value 1.0 is allowed.
+        let o = Options::parse(&strs(&["inline", "x.c", "--budget", "1.0"])).unwrap();
+        assert_eq!(o.inline_config().unwrap().code_growth_limit, 1.0);
+    }
+
+    #[test]
+    fn bad_fault_specs_are_rejected() {
+        let o = Options::parse(&strs(&["inline", "x.c", "--fault", "nocolon"])).unwrap();
+        assert!(o.inline_config().unwrap_err().contains("--fault"));
+        let o = Options::parse(&strs(&["inline", "x.c", "--fault", "vm:oom=x"])).unwrap();
+        assert!(o.fault_plan().is_err());
+    }
+
+    #[test]
+    fn expand_fault_rolls_back_one_arc_and_exits_zero() {
+        let src = write_src("impactc-recover1", "hot.c", HOT_TWO);
+        let o = Options::parse(&strs(&[
+            "inline",
+            &src,
+            "--quiet",
+            "--fault",
+            "expand:verify:1",
+        ]))
+        .unwrap();
+        let (code, out) = execute(&o).unwrap();
+        assert_eq!(code, 0);
+        assert!(out.contains("; incidents: 1 (1 rolled back)"), "{out}");
+        assert!(out.contains("[expand]"), "{out}");
+        // The other arc still expanded: half the dynamic calls are gone.
+        assert!(out.contains("50.0% eliminated"), "{out}");
+    }
+
+    #[test]
+    fn corrupt_profile_in_degrades_to_unprofiled_inlining() {
+        let src = write_src("impactc-recover2", "hot.c", HOT_TWO);
+        let prof = write_src("impactc-recover2", "bad.profile", "not a profile at all");
+        let o = Options::parse(&strs(&["inline", &src, "--profile-in", &prof, "--quiet"])).unwrap();
+        let (code, out) = execute(&o).unwrap();
+        assert_eq!(code, 0);
+        assert!(out.contains("warning"), "{out}");
+        assert!(out.contains("falling back to unprofiled"), "{out}");
+        assert!(out.contains("[profile]"), "{out}");
+        // Threshold-only inlining still expands the hot arcs.
+        assert!(out.contains("expanded 2 arcs"), "{out}");
+    }
+
+    #[test]
+    fn profile_parse_fault_degrades_a_good_profile() {
+        let src = write_src("impactc-recover3", "hot.c", HOT_TWO);
+        let prof = std::env::temp_dir()
+            .join("impactc-recover3")
+            .join("good.profile");
+        let o = Options::parse(&strs(&[
+            "run",
+            &src,
+            "--profile-out",
+            prof.to_str().unwrap(),
+        ]))
+        .unwrap();
+        execute(&o).unwrap();
+
+        let o = Options::parse(&strs(&[
+            "inline",
+            &src,
+            "--profile-in",
+            prof.to_str().unwrap(),
+            "--quiet",
+            "--fault",
+            "profile:parse",
+        ]))
+        .unwrap();
+        let (code, out) = execute(&o).unwrap();
+        assert_eq!(code, 0);
+        assert!(
+            out.contains("fault injection corrupted the profile read"),
+            "{out}"
+        );
+        assert!(out.contains("; incidents: 1 (0 rolled back)"), "{out}");
+    }
+
+    #[test]
+    fn trapping_profile_run_degrades_instead_of_erroring() {
+        let src = write_src(
+            "impactc-recover4",
+            "trap.c",
+            "int sq(int x) { return x * x; }\n\
+             int main() { int z; z = 0; return sq(3) / z; }",
+        );
+        let o = Options::parse(&strs(&["inline", &src, "--quiet"])).unwrap();
+        let (code, out) = execute(&o).unwrap();
+        assert_eq!(code, 0);
+        assert!(out.contains("profiling run trapped"), "{out}");
+        assert!(out.contains("falling back to unprofiled"), "{out}");
+    }
+
+    #[test]
+    fn opt_pass_fault_is_isolated_and_reported() {
+        let src = write_src("impactc-recover5", "hot.c", HOT_TWO);
+        let o = Options::parse(&strs(&[
+            "inline",
+            &src,
+            "--quiet",
+            "--opt",
+            "--fault",
+            "opt:pass:1",
+        ]))
+        .unwrap();
+        let (code, out) = execute(&o).unwrap();
+        assert_eq!(code, 0);
+        assert!(out.contains("[opt]"), "{out}");
+        assert!(out.contains("rolled back)"), "{out}");
+    }
+
+    #[test]
+    fn differential_net_bisects_a_real_stack_divergence() {
+        // Inlining `leaf` (2 KiB frame) into `rec` passes the paper's
+        // per-frame stack bound but multiplies the frame across 10 000
+        // recursion levels, overflowing the VM's 4 MiB stack — a genuine
+        // behavior divergence only the differential net can catch. The
+        // bisect must roll back exactly that arc and keep the harmless
+        // `leaf` -> `main` expansion.
+        let src = write_src(
+            "impactc-recover7",
+            "deep.c",
+            "int leaf(int x) { char a[2048]; a[0] = x; a[x & 1023] = 1; return a[0] + a[x & 1023]; }\n\
+             int rec(int n) { if (n <= 0) return 0; return leaf(n) + rec(n - 1); }\n\
+             int main() { int i; int s; s = 0;\n\
+               for (i = 0; i < 20000; i++) s += leaf(i);\n\
+               s += rec(10000);\n\
+               return s & 0xff; }",
+        );
+        let o = Options::parse(&strs(&["inline", &src, "--quiet"])).unwrap();
+        let (code, out) = execute(&o).unwrap();
+        assert_eq!(code, 0);
+        assert!(out.contains("behavior diverged"), "{out}");
+        assert!(out.contains("[differential]"), "{out}");
+        assert!(
+            out.contains("`leaf` -> `rec`"),
+            "bisect should name the offending arc: {out}"
+        );
+        assert!(
+            !out.contains("`leaf` -> `main`"),
+            "the harmless arc must survive: {out}"
+        );
+        assert!(out.contains("(1 rolled back)"), "{out}");
+    }
+
+    #[test]
+    fn clean_run_reports_zero_incidents() {
+        let src = write_src("impactc-recover6", "hot.c", HOT_TWO);
+        let o = Options::parse(&strs(&["inline", &src, "--quiet", "--opt"])).unwrap();
+        let (code, out) = execute(&o).unwrap();
+        assert_eq!(code, 0);
+        assert!(out.contains("; incidents: 0 (0 rolled back)"), "{out}");
+        assert!(out.contains("100.0% eliminated"), "{out}");
     }
 }

@@ -1,7 +1,5 @@
 //! Functions, basic blocks, and frame layout.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{BlockId, CallSiteId, Reg, SlotId};
 use crate::inst::{Callee, Inst, Terminator};
 
@@ -10,7 +8,7 @@ use crate::inst::{Callee, Inst, Terminator};
 /// Slots hold locals that must live in memory: arrays, structs, and any
 /// scalar whose address is taken. Scalars that never have their address
 /// taken live purely in virtual registers.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Slot {
     /// Source-level name, for diagnostics and the IL printer. Inline
     /// expansion qualifies names with the callee's path (paper §5:
@@ -23,7 +21,7 @@ pub struct Slot {
 }
 
 /// A basic block: a straight-line instruction sequence plus a terminator.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Block {
     /// The instructions, executed in order.
     pub insts: Vec<Inst>,
@@ -49,7 +47,7 @@ impl Block {
 pub const CALL_OVERHEAD_BYTES: u64 = 16;
 
 /// A function body in IL form.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Function {
     /// Function name (unique within the module).
     pub name: String,
@@ -87,10 +85,7 @@ impl Function {
     /// and for the "function code sizes estimated in terms of intermediate
     /// code size" bookkeeping (§5).
     pub fn size(&self) -> u64 {
-        self.blocks
-            .iter()
-            .map(|b| b.insts.len() as u64 + 1)
-            .sum()
+        self.blocks.iter().map(|b| b.insts.len() as u64 + 1).sum()
     }
 
     /// Frame size in bytes: all slots laid out in order with their

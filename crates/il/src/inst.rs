@@ -5,8 +5,6 @@
 //! registers, every register holds a 64-bit integer, and memory is accessed
 //! through explicit sized loads and stores.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{BlockId, CallSiteId, ExternId, FuncId, GlobalId, Reg, SlotId};
 
 /// Width of a memory access in bytes.
@@ -14,7 +12,7 @@ use crate::ids::{BlockId, CallSiteId, ExternId, FuncId, GlobalId, Reg, SlotId};
 /// The front end maps C types onto widths: `char` → [`Width::W1`],
 /// `short` → [`Width::W2`], `int` → [`Width::W4`], `long` and pointers →
 /// [`Width::W8`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Width {
     /// One byte.
     W1,
@@ -53,7 +51,7 @@ impl Width {
 }
 
 /// Unary operators.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum UnOp {
     /// Two's-complement negation.
     Neg,
@@ -67,7 +65,7 @@ pub enum UnOp {
 ///
 /// Division and remainder come in signed and unsigned flavours because the
 /// front end lowers C's unsigned arithmetic onto the same 64-bit registers.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// Wrapping addition.
     Add,
@@ -98,7 +96,7 @@ pub enum BinOp {
 }
 
 /// Comparison operators; the result register receives 0 or 1.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     /// Equal.
     Eq,
@@ -123,7 +121,7 @@ pub enum CmpOp {
 }
 
 /// The target of a call instruction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Callee {
     /// Direct call to a user function whose body is in the module.
     Func(FuncId),
@@ -140,7 +138,7 @@ pub enum Callee {
 /// Every instruction counts as one "intermediate instruction" (IL) in the
 /// dynamic counts reported by the profiler, matching the paper's
 /// measurement unit (§4.1).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Inst {
     /// `dst = value`.
     Const {
@@ -321,7 +319,7 @@ impl Inst {
 }
 
 /// Block terminator: every basic block ends in exactly one of these.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Terminator {
     /// Unconditional jump.
     Jump(BlockId),

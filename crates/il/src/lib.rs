@@ -56,4 +56,4 @@ pub use ids::{BlockId, CallSiteId, ExternId, FuncId, GlobalId, Reg, SlotId};
 pub use inst::{BinOp, Callee, CmpOp, Inst, Terminator, UnOp, Width};
 pub use module::{ExternDecl, Global, Module};
 pub use printer::{function_to_string, module_to_string, write_inst, write_terminator};
-pub use verify::{verify_module, VerifyError};
+pub use verify::{verify_function, verify_module, VerifyError};

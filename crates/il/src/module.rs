@@ -2,14 +2,12 @@
 
 use std::collections::{HashMap, HashSet};
 
-use serde::{Deserialize, Serialize};
-
-use crate::ids::{CallSiteId, ExternId, FuncId, GlobalId};
 use crate::function::Function;
+use crate::ids::{CallSiteId, ExternId, FuncId, GlobalId};
 use crate::inst::{Callee, Inst};
 
 /// A global variable with optional initial bytes.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Global {
     /// Source-level name (unique within the module).
     pub name: String,
@@ -55,7 +53,7 @@ impl Global {
 ///
 /// The VM implements these as builtins; the inliner can never expand them
 /// and must assume the worst about what they call.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ExternDecl {
     /// Name, e.g. `__fgetc`.
     pub name: String,
@@ -68,7 +66,7 @@ pub struct ExternDecl {
 /// A whole program in IL form.
 ///
 /// `Module` is the unit the profiler executes and the inliner transforms.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Module {
     /// Function bodies; indexed by [`FuncId`].
     pub functions: Vec<Function>,
@@ -298,7 +296,9 @@ mod tests {
         let f = m.function_mut(FuncId(0));
         let r = f.new_reg();
         let entry = f.entry();
-        f.block_mut(entry).insts.push(Inst::Const { dst: r, value: 65 });
+        f.block_mut(entry)
+            .insts
+            .push(Inst::Const { dst: r, value: 65 });
         f.block_mut(entry).insts.push(Inst::Call {
             site,
             callee: Callee::Ext(x),

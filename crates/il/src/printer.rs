@@ -253,7 +253,9 @@ mod tests {
         let r = f.new_reg();
         let site = m.fresh_call_site();
         let entry = f.entry();
-        f.block_mut(entry).insts.push(Inst::Const { dst: r, value: 7 });
+        f.block_mut(entry)
+            .insts
+            .push(Inst::Const { dst: r, value: 7 });
         f.block_mut(entry).insts.push(Inst::Call {
             site,
             callee: Callee::Func(FuncId(1)),

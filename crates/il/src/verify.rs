@@ -132,20 +132,18 @@ impl<'m> Checker<'m> {
                     self.err(Some(id), Some(bid), format!("use of invalid register {r}"));
                 }
                 match inst {
-                    Inst::AddrOfSlot { slot, .. } => {
-                        if slot.index() >= f.slots.len() {
-                            self.err(Some(id), Some(bid), format!("invalid slot {slot}"));
-                        }
+                    Inst::AddrOfSlot { slot, .. } if slot.index() >= f.slots.len() => {
+                        self.err(Some(id), Some(bid), format!("invalid slot {slot}"));
                     }
-                    Inst::AddrOfGlobal { global, .. } => {
-                        if global.index() >= self.module.globals.len() {
-                            self.err(Some(id), Some(bid), format!("invalid global {global}"));
-                        }
+                    Inst::AddrOfGlobal { global, .. }
+                        if global.index() >= self.module.globals.len() =>
+                    {
+                        self.err(Some(id), Some(bid), format!("invalid global {global}"));
                     }
-                    Inst::AddrOfFunc { func, .. } => {
-                        if func.index() >= self.module.functions.len() {
-                            self.err(Some(id), Some(bid), format!("invalid function {func}"));
-                        }
+                    Inst::AddrOfFunc { func, .. }
+                        if func.index() >= self.module.functions.len() =>
+                    {
+                        self.err(Some(id), Some(bid), format!("invalid function {func}"));
                     }
                     Inst::Call {
                         site,
@@ -237,7 +235,11 @@ impl<'m> Checker<'m> {
                 }
             });
             if let Some(t) = bad_target {
-                self.err(Some(id), Some(bid), format!("terminator targets invalid {t}"));
+                self.err(
+                    Some(id),
+                    Some(bid),
+                    format!("terminator targets invalid {t}"),
+                );
             }
             if let Terminator::Branch { cond, .. } = &b.term {
                 if !check_reg(*cond) {
@@ -284,6 +286,31 @@ pub fn verify_module(module: &Module) -> Result<(), Vec<VerifyError>> {
     }
 }
 
+/// Verifies a single function of `module` — the per-transaction check of
+/// the recovery layer: after one arc is expanded into a caller, only that
+/// caller needs re-verification, not the whole module.
+///
+/// Call-site *uniqueness across functions* is a whole-module property and
+/// is not checked here; in-range site ids, register/slot/global/callee
+/// bounds, arities, and extern signatures all are.
+///
+/// # Errors
+///
+/// Returns every problem found in the function.
+pub fn verify_function(module: &Module, func: FuncId) -> Result<(), Vec<VerifyError>> {
+    let mut c = Checker {
+        module,
+        errors: Vec::new(),
+    };
+    let mut seen_sites = std::collections::HashSet::new();
+    c.check_function(func, &mut seen_sites, module.call_site_limit());
+    if c.errors.is_empty() {
+        Ok(())
+    } else {
+        Err(c.errors)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,7 +325,9 @@ mod tests {
         let site = m.fresh_call_site();
         let r = main.new_reg();
         let entry = main.entry();
-        main.block_mut(entry).insts.push(Inst::Const { dst: r, value: 1 });
+        main.block_mut(entry)
+            .insts
+            .push(Inst::Const { dst: r, value: 1 });
         main.block_mut(entry).insts.push(Inst::Call {
             site,
             callee: Callee::Func(helper_id),
@@ -364,12 +393,15 @@ mod tests {
         let mut m = ok_module();
         let entry = m.function(FuncId(1)).entry();
         let r = Reg(0);
-        m.function_mut(FuncId(1)).block_mut(entry).insts.push(Inst::Call {
-            site: crate::ids::CallSiteId(999),
-            callee: Callee::Func(FuncId(0)),
-            args: vec![],
-            dst: Some(r),
-        });
+        m.function_mut(FuncId(1))
+            .block_mut(entry)
+            .insts
+            .push(Inst::Call {
+                site: crate::ids::CallSiteId(999),
+                callee: Callee::Func(FuncId(0)),
+                args: vec![],
+                dst: Some(r),
+            });
         let errs = verify_module(&m).unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("never allocated")));
     }
@@ -379,7 +411,9 @@ mod tests {
         let mut m = ok_module();
         m.add_function(Function::new("helper", 0));
         let errs = verify_module(&m).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("duplicate function name")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("duplicate function name")));
     }
 
     #[test]

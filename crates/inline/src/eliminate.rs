@@ -42,7 +42,10 @@ pub fn eliminate_unreachable(module: &mut Module) -> Vec<String> {
     let mut kept = Vec::with_capacity(module.functions.len() - doomed.len());
     let mut removed_names = Vec::with_capacity(doomed.len());
     let mut doomed_iter = doomed.iter().peekable();
-    for (i, f) in std::mem::take(&mut module.functions).into_iter().enumerate() {
+    for (i, f) in std::mem::take(&mut module.functions)
+        .into_iter()
+        .enumerate()
+    {
         let old = FuncId::from_index(i);
         if doomed_iter.peek() == Some(&&old) {
             doomed_iter.next();
@@ -62,10 +65,11 @@ pub fn eliminate_unreachable(module: &mut Module) -> Vec<String> {
                     Inst::AddrOfFunc { func, .. } => {
                         *func = remap[func];
                     }
-                    Inst::Call { callee, .. } => {
-                        if let Callee::Func(target) = callee {
-                            *target = remap[target];
-                        }
+                    Inst::Call {
+                        callee: Callee::Func(target),
+                        ..
+                    } => {
+                        *target = remap[target];
                     }
                     _ => {}
                 }

@@ -55,7 +55,7 @@ impl DefCacheStats {
 }
 
 /// LRU cache simulation over function definitions.
-struct DefCache {
+pub(crate) struct DefCache {
     capacity: usize,
     /// Most recently used first; the flag marks dirty (modified) entries.
     entries: Vec<(FuncId, bool)>,
@@ -63,7 +63,7 @@ struct DefCache {
 }
 
 impl DefCache {
-    fn new(capacity: usize) -> Self {
+    pub(crate) fn new(capacity: usize) -> Self {
         DefCache {
             capacity: capacity.max(1),
             entries: Vec::new(),
@@ -76,7 +76,7 @@ impl DefCache {
         }
     }
 
-    fn touch(&mut self, f: FuncId, write: bool) {
+    pub(crate) fn touch(&mut self, f: FuncId, write: bool) {
         if let Some(pos) = self.entries.iter().position(|(g, _)| *g == f) {
             self.stats.hits += 1;
             let (_, dirty) = self.entries.remove(pos);
@@ -93,7 +93,7 @@ impl DefCache {
         self.entries.insert(0, (f, write));
     }
 
-    fn finish(mut self) -> DefCacheStats {
+    pub(crate) fn finish(mut self) -> DefCacheStats {
         self.stats.writebacks += self.entries.iter().filter(|(_, d)| *d).count() as u64;
         self.stats
     }
@@ -133,26 +133,13 @@ pub fn expand_plan_with_cache(
     plan: &InlinePlan,
     cache_capacity: usize,
 ) -> (Vec<ExpansionRecord>, DefCacheStats) {
-    let mut by_caller: HashMap<FuncId, Vec<&crate::plan::PlannedExpansion>> = HashMap::new();
-    for e in &plan.expansions {
-        by_caller.entry(e.caller).or_default().push(e);
-    }
     let mut cache = DefCache::new(cache_capacity.min(1 << 20));
     let mut records = Vec::with_capacity(plan.expansions.len());
-    // Linear order: every callee is complete before any caller absorbs it.
-    for &func in &plan.order {
-        let Some(expansions) = by_caller.get(&func) else {
-            continue;
-        };
-        // Heaviest arc first within the caller, matching selection order.
-        let mut sorted = expansions.clone();
-        sorted.sort_by(|a, b| b.weight.cmp(&a.weight).then(a.site.cmp(&b.site)));
-        for e in sorted {
-            cache.touch(e.callee, false);
-            cache.touch(e.caller, true);
-            let record = expand_site(module, e.caller, e.site, e.callee);
-            records.push(record);
-        }
+    for e in plan.execution_order() {
+        cache.touch(e.callee, false);
+        cache.touch(e.caller, true);
+        let record = expand_site(module, e.caller, e.site, e.callee);
+        records.push(record);
     }
     (records, cache.finish())
 }
@@ -215,16 +202,12 @@ pub fn expand_site(
     // Buffer actual parameters into the renamed formals.
     for (i, arg) in args.iter().enumerate() {
         let formal = Reg(reg_off + i as u32);
-        caller_fn
-            .block_mut(head)
-            .insts
-            .push(Inst::Mov {
-                dst: formal,
-                src: *arg,
-            });
+        caller_fn.block_mut(head).insts.push(Inst::Mov {
+            dst: formal,
+            src: *arg,
+        });
     }
-    caller_fn.block_mut(head).term =
-        Terminator::Jump(BlockId::from_index(clone_base));
+    caller_fn.block_mut(head).term = Terminator::Jump(BlockId::from_index(clone_base));
 
     // Continuation block receives the tail of the split block.
     caller_fn.blocks.push(Block {
@@ -250,9 +233,7 @@ pub fn expand_site(
             insts.push(rename_inst(inst, reg_off, slot_off, &fresh_ids));
         }
         let term = match &cb.term {
-            Terminator::Jump(b) => {
-                Terminator::Jump(BlockId::from_index(clone_base + b.index()))
-            }
+            Terminator::Jump(b) => Terminator::Jump(BlockId::from_index(clone_base + b.index())),
             Terminator::Branch {
                 cond,
                 then_to,

@@ -56,17 +56,25 @@ mod expand;
 mod linearize;
 mod plan;
 mod promote;
+mod recover;
 
-pub use classify::{classify, ClassTotals, Classification, ClassifiedSite, SiteClass, UnsafeReason};
+pub use classify::{
+    classify, ClassTotals, Classification, ClassifiedSite, SiteClass, UnsafeReason,
+};
 pub use eliminate::eliminate_unreachable;
-pub use expand::{expand_plan, expand_plan_with_cache, expand_site, DefCacheStats, ExpansionRecord};
+pub use expand::{
+    expand_plan, expand_plan_with_cache, expand_site, DefCacheStats, ExpansionRecord,
+};
 pub use linearize::{linearize, positions_of, Linearization};
 pub use plan::{plan, InlinePlan, PlannedExpansion, RejectReason};
 pub use promote::{promote_indirect_calls, PromotedSite};
+pub use recover::{
+    expand_plan_transactional, promote_indirect_calls_transactional, Incident, IncidentStage,
+};
 
 use impact_callgraph::CallGraph;
 use impact_il::Module;
-use impact_vm::Profile;
+use impact_vm::{FaultPlan, Profile};
 
 /// Tuning parameters of the expander.
 #[derive(Clone, Debug)]
@@ -94,6 +102,11 @@ pub struct InlineConfig {
     /// Capacity of the simulated function-definition cache (§3.3's
     /// write-back cache of "the most recent definitions of functions").
     pub body_cache_capacity: usize,
+    /// Deterministic fault-injection plan (robustness testing). Armed
+    /// points such as `expand:verify` or `promote:verify` force the
+    /// corresponding transaction to fail and roll back; the default plan
+    /// is empty and never fires.
+    pub fault: FaultPlan,
 }
 
 impl Default for InlineConfig {
@@ -106,6 +119,7 @@ impl Default for InlineConfig {
             eliminate_unreachable: true,
             promote_indirect: false,
             body_cache_capacity: 16,
+            fault: FaultPlan::new(),
         }
     }
 }
@@ -135,6 +149,9 @@ pub struct InlineReport {
     pub promoted: Vec<PromotedSite>,
     /// Simulated definition-cache statistics (§3.3).
     pub def_cache: DefCacheStats,
+    /// Failures recovered from during this run (rolled-back expansions
+    /// and promotions). Empty on a clean run.
+    pub incidents: Vec<Incident>,
 }
 
 impl InlineReport {
@@ -160,11 +177,18 @@ pub fn inline_module(
     config: &InlineConfig,
 ) -> InlineReport {
     let size_before = module.total_size();
+    let mut incidents = Vec::new();
     let mut profile_owned;
     let (profile, promoted) = if config.promote_indirect {
         profile_owned = profile.clone();
-        let promoted =
-            promote_indirect_calls(module, &mut profile_owned, config.weight_threshold, 0.5);
+        let (promoted, promote_incidents) = promote_indirect_calls_transactional(
+            module,
+            &mut profile_owned,
+            config.weight_threshold,
+            0.5,
+            &config.fault,
+        );
+        incidents.extend(promote_incidents);
         (&profile_owned, promoted)
     } else {
         (profile, Vec::new())
@@ -173,7 +197,9 @@ pub fn inline_module(
     let classification = classify(module, &graph, config);
     let order = linearize(module, profile, config.linearization);
     let plan = plan(module, &classification, &order, config);
-    let (records, def_cache) = expand_plan_with_cache(module, &plan, config.body_cache_capacity);
+    let (records, def_cache, expand_incidents) =
+        expand_plan_transactional(module, &plan, config.body_cache_capacity, &config.fault);
+    incidents.extend(expand_incidents);
     let removed_functions = if config.eliminate_unreachable {
         eliminate_unreachable(module)
     } else {
@@ -191,6 +217,7 @@ pub fn inline_module(
         removed_functions,
         promoted,
         def_cache,
+        incidents,
     }
 }
 

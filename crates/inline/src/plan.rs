@@ -123,6 +123,27 @@ impl InlinePlan {
     pub fn planned_dynamic_calls(&self) -> u64 {
         self.expansions.iter().map(|e| e.weight).sum()
     }
+
+    /// Flattens the plan into execution order: callers in linear order
+    /// (every callee is complete before any caller absorbs it), and
+    /// within a caller heaviest arc first, matching selection order.
+    pub fn execution_order(&self) -> Vec<&PlannedExpansion> {
+        let mut by_caller: std::collections::HashMap<FuncId, Vec<&PlannedExpansion>> =
+            std::collections::HashMap::new();
+        for e in &self.expansions {
+            by_caller.entry(e.caller).or_default().push(e);
+        }
+        let mut out = Vec::with_capacity(self.expansions.len());
+        for &func in &self.order {
+            let Some(expansions) = by_caller.get(&func) else {
+                continue;
+            };
+            let mut sorted = expansions.clone();
+            sorted.sort_by(|a, b| b.weight.cmp(&a.weight).then(a.site.cmp(&b.site)));
+            out.extend(sorted);
+        }
+        out
+    }
 }
 
 #[cfg(test)]

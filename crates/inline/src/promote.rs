@@ -18,9 +18,7 @@
 //! modern PGO compilers call indirect-call promotion / speculative
 //! devirtualization.
 
-use impact_il::{
-    Block, BlockId, CallSiteId, Callee, CmpOp, FuncId, Inst, Module, Terminator,
-};
+use impact_il::{Block, BlockId, CallSiteId, Callee, CmpOp, FuncId, Inst, Module, Terminator};
 use impact_vm::{ProfTarget, Profile};
 
 /// Record of one promoted site.
@@ -52,7 +50,32 @@ pub fn promote_indirect_calls(
     min_weight: u64,
     min_fraction: f64,
 ) -> Vec<PromotedSite> {
-    // Collect qualifying sites first (site → dominant target + weights).
+    let candidates = promote_candidates(module, profile, min_weight, min_fraction);
+    let mut promoted = Vec::new();
+    for (caller, site, target, hits, residual) in candidates {
+        if let Some(p) = promote_one(module, caller, site, target, hits, residual) {
+            // Seed the profile: the fresh direct site inherits the
+            // dominant hits; the original (indirect) site keeps the rest.
+            let limit = module.call_site_limit() as usize;
+            if profile.site_counts.len() < limit {
+                profile.site_counts.resize(limit, 0);
+            }
+            profile.site_counts[p.direct_site.0 as usize] = hits;
+            profile.site_counts[p.site.0 as usize] = residual;
+            promoted.push(p);
+        }
+    }
+    promoted
+}
+
+/// Collects qualifying sites (caller, site, dominant target, target hits,
+/// residual hits) without mutating anything.
+pub(crate) fn promote_candidates(
+    module: &Module,
+    profile: &Profile,
+    min_weight: u64,
+    min_fraction: f64,
+) -> Vec<(FuncId, CallSiteId, FuncId, u64, u64)> {
     let mut candidates: Vec<(FuncId, CallSiteId, FuncId, u64, u64)> = Vec::new();
     for (caller, site, callee) in module.all_call_sites() {
         if !matches!(callee, Callee::Reg(_)) {
@@ -74,25 +97,10 @@ pub fn promote_indirect_calls(
         }
         candidates.push((caller, site, dominant, hits, total - hits));
     }
-
-    let mut promoted = Vec::new();
-    for (caller, site, target, hits, residual) in candidates {
-        if let Some(p) = promote_one(module, caller, site, target, hits, residual) {
-            // Seed the profile: the fresh direct site inherits the
-            // dominant hits; the original (indirect) site keeps the rest.
-            let limit = module.call_site_limit() as usize;
-            if profile.site_counts.len() < limit {
-                profile.site_counts.resize(limit, 0);
-            }
-            profile.site_counts[p.direct_site.0 as usize] = hits;
-            profile.site_counts[p.site.0 as usize] = residual;
-            promoted.push(p);
-        }
-    }
-    promoted
+    candidates
 }
 
-fn promote_one(
+pub(crate) fn promote_one(
     module: &mut Module,
     caller: FuncId,
     site: CallSiteId,

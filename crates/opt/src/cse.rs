@@ -70,8 +70,13 @@ pub fn local_cse(func: &mut Function) -> usize {
             let dst = inst.def();
             if let (Some(key), Some(d)) = (key, dst) {
                 match available.get(&key) {
-                    Some(&(holder, at_version)) if version[holder.index()] == at_version && holder != d => {
-                        *inst = Inst::Mov { dst: d, src: holder };
+                    Some(&(holder, at_version))
+                        if version[holder.index()] == at_version && holder != d =>
+                    {
+                        *inst = Inst::Mov {
+                            dst: d,
+                            src: holder,
+                        };
                         changed += 1;
                     }
                     _ => {

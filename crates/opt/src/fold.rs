@@ -22,15 +22,11 @@ pub fn constant_fold(func: &mut Function) -> usize {
         for inst in &mut block.insts {
             let rewritten = match *inst {
                 Inst::Mov { dst, src } => known.get(&src).map(|&v| (dst, v)),
-                Inst::Un { op, dst, src } => {
-                    known.get(&src).map(|&v| (dst, eval_un_const(op, v)))
-                }
-                Inst::Bin { op, dst, lhs, rhs } => {
-                    match (known.get(&lhs), known.get(&rhs)) {
-                        (Some(&a), Some(&b)) => eval_bin_const(op, a, b).map(|v| (dst, v)),
-                        _ => None,
-                    }
-                }
+                Inst::Un { op, dst, src } => known.get(&src).map(|&v| (dst, eval_un_const(op, v))),
+                Inst::Bin { op, dst, lhs, rhs } => match (known.get(&lhs), known.get(&rhs)) {
+                    (Some(&a), Some(&b)) => eval_bin_const(op, a, b).map(|v| (dst, v)),
+                    _ => None,
+                },
                 Inst::Cmp { op, dst, lhs, rhs } => match (known.get(&lhs), known.get(&rhs)) {
                     (Some(&a), Some(&b)) => Some((dst, eval_cmp_const(op, a, b))),
                     _ => None,
@@ -166,9 +162,18 @@ mod tests {
             fb.terminate(Terminator::Return(Some(c)));
             let _ = e;
         });
-        assert!(matches!(f.block(BlockId(0)).insts[1], Inst::Const { value: -300, .. }));
-        assert!(matches!(f.block(BlockId(0)).insts[2], Inst::Const { value: 1, .. }));
-        assert!(matches!(f.block(BlockId(0)).insts[3], Inst::Const { value: 44, .. }));
+        assert!(matches!(
+            f.block(BlockId(0)).insts[1],
+            Inst::Const { value: -300, .. }
+        ));
+        assert!(matches!(
+            f.block(BlockId(0)).insts[2],
+            Inst::Const { value: 1, .. }
+        ));
+        assert!(matches!(
+            f.block(BlockId(0)).insts[3],
+            Inst::Const { value: 44, .. }
+        ));
     }
 
     #[test]

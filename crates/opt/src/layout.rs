@@ -86,8 +86,10 @@ pub fn reorder_blocks(func: &mut Function, block_counts: &[u64], branch_taken: &
     for (new_idx, &old_idx) in order.iter().enumerate() {
         remap.insert(BlockId::from_index(old_idx), BlockId::from_index(new_idx));
     }
-    let mut old_blocks: Vec<Option<impact_il::Block>> =
-        std::mem::take(&mut func.blocks).into_iter().map(Some).collect();
+    let mut old_blocks: Vec<Option<impact_il::Block>> = std::mem::take(&mut func.blocks)
+        .into_iter()
+        .map(Some)
+        .collect();
     func.blocks = order
         .iter()
         .map(|&i| old_blocks[i].take().expect("each block moved once"))
@@ -141,14 +143,12 @@ mod tests {
         assert!(changed);
         // New order: entry(0), hot(old 2), exit(old 3), cold(old 1).
         // Check by looking at the hot block's payload.
-        assert!(matches!(
-            f.blocks[1].insts[0],
-            Inst::Const { value: 2, .. }
-        ));
+        assert!(matches!(f.blocks[1].insts[0], Inst::Const { value: 2, .. }));
         // Entry still first, and the CFG still verifies structurally:
         // every successor in range.
         for b in &f.blocks {
-            b.term.for_each_successor(|s| assert!(s.index() < f.blocks.len()));
+            b.term
+                .for_each_successor(|s| assert!(s.index() < f.blocks.len()));
         }
     }
 

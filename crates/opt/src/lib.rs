@@ -16,6 +16,7 @@
 use std::collections::HashMap;
 
 use impact_il::{BinOp, BlockId, CmpOp, Function, Inst, Module, Reg, Terminator, UnOp, Width};
+use impact_vm::FaultPlan;
 
 mod cse;
 mod fold;
@@ -24,9 +25,9 @@ mod layout;
 mod peephole;
 
 pub use cse::local_cse;
-pub use layout::reorder_blocks;
 pub use fold::{constant_fold, copy_propagation};
 pub use jump::jump_optimization;
+pub use layout::reorder_blocks;
 pub use peephole::strength_reduce;
 
 /// Removes instructions whose results are never used and that have no side
@@ -99,6 +100,118 @@ pub fn optimize_module(module: &mut Module) -> usize {
         total += optimize_function(f);
     }
     total
+}
+
+/// One optimization pass skipped by the isolation layer of
+/// [`optimize_function_isolated`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SkippedPass {
+    /// The function the pass was skipped for.
+    pub func: String,
+    /// Name of the skipped pass.
+    pub pass: &'static str,
+    /// The panic message (or injected-fault note) that caused the skip.
+    pub reason: String,
+}
+
+/// The fixpoint pass pipeline of [`optimize_function`], named for the
+/// isolation layer's incident reports.
+type PassFn = fn(&mut Function) -> usize;
+
+const PASSES: [(&str, PassFn); 6] = [
+    ("constant-fold", constant_fold),
+    ("strength-reduce", strength_reduce),
+    ("local-cse", local_cse),
+    ("copy-propagation", copy_propagation),
+    ("dead-code-elimination", dead_code_elimination),
+    ("jump-optimization", jump_optimization),
+];
+
+/// Like [`optimize_function`], but each pass runs isolated: it operates
+/// on a scratch clone of the function inside `catch_unwind`, so a
+/// panicking pass is discarded (the function keeps its pre-pass body)
+/// and that pass is disabled for this function's remaining rounds
+/// instead of taking the compilation down.
+///
+/// The `opt:pass` fault point deterministically forces the Nth pass
+/// invocation to panic, exercising the recovery path.
+///
+/// Returns the total change count and one [`SkippedPass`] per disabled
+/// pass.
+pub fn optimize_function_isolated(
+    func: &mut Function,
+    fault: &FaultPlan,
+) -> (usize, Vec<SkippedPass>) {
+    let mut total = 0;
+    let mut skipped = Vec::new();
+    let mut disabled = [false; PASSES.len()];
+    for _ in 0..8 {
+        let mut changed = 0;
+        for (i, (name, pass)) in PASSES.iter().enumerate() {
+            if disabled[i] {
+                continue;
+            }
+            let inject = fault.should_fail("opt:pass");
+            let mut scratch = func.clone();
+            // Silence the default panic hook while the pass runs: the
+            // unwind is caught and surfaced as a SkippedPass, so the
+            // backtrace spew would misread as a crash.
+            let prev_hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if inject {
+                    panic!("fault injection forced an optimizer pass panic");
+                }
+                pass(&mut scratch)
+            }));
+            std::panic::set_hook(prev_hook);
+            match outcome {
+                Ok(n) => {
+                    *func = scratch;
+                    changed += n;
+                }
+                Err(payload) => {
+                    disabled[i] = true;
+                    skipped.push(SkippedPass {
+                        func: func.name.clone(),
+                        pass: name,
+                        reason: panic_message(payload.as_ref()),
+                    });
+                }
+            }
+        }
+        total += changed;
+        if changed == 0 {
+            break;
+        }
+    }
+    (total, skipped)
+}
+
+/// Like [`optimize_module`], but with per-pass isolation (see
+/// [`optimize_function_isolated`]).
+pub fn optimize_module_isolated(
+    module: &mut Module,
+    fault: &FaultPlan,
+) -> (usize, Vec<SkippedPass>) {
+    let mut total = 0;
+    let mut skipped = Vec::new();
+    for f in &mut module.functions {
+        let (n, s) = optimize_function_isolated(f, fault);
+        total += n;
+        skipped.extend(s);
+    }
+    (total, skipped)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "pass panicked with a non-string payload".to_string()
+    }
 }
 
 /// Shared helper: evaluate a binary op over two constants, mirroring VM
@@ -247,11 +360,8 @@ mod tests {
 
     #[test]
     fn folding_shrinks_constant_expressions() {
-        let module = compile(&[Source::new(
-            "t.c",
-            "int main() { return (2 + 3) * 4 - 6; }",
-        )])
-        .unwrap();
+        let module =
+            compile(&[Source::new("t.c", "int main() { return (2 + 3) * 4 - 6; }")]).unwrap();
         let mut m = module.clone();
         optimize_module(&mut m);
         assert!(m.total_size() < module.total_size());
@@ -261,7 +371,9 @@ mod tests {
 
     #[test]
     fn optimization_preserves_various_programs() {
-        check_preserves("int main() { int i; int s; s = 0; for (i = 0; i < 9; i++) s += i * i; return s; }");
+        check_preserves(
+            "int main() { int i; int s; s = 0; for (i = 0; i < 9; i++) s += i * i; return s; }",
+        );
         check_preserves(
             "int fib(int n) { return n < 2 ? n : fib(n-1) + fib(n-2); }\n\
              int main() { return fib(10); }",
@@ -342,5 +454,46 @@ mod tests {
         optimize_module(&mut m);
         let second = optimize_module(&mut m);
         assert_eq!(second, 0);
+    }
+
+    #[test]
+    fn isolated_matches_plain_optimization_without_faults() {
+        let src = "int fib(int n) { return n < 2 ? n : fib(n-1) + fib(n-2); }\n\
+             int main() { return fib(10) + (2 + 3) * 4; }";
+        let module = compile(&[Source::new("t.c", src)]).unwrap();
+        let mut plain = module.clone();
+        let mut isolated = module.clone();
+        let n_plain = optimize_module(&mut plain);
+        let (n_iso, skipped) = optimize_module_isolated(&mut isolated, &FaultPlan::new());
+        assert!(skipped.is_empty());
+        assert_eq!(n_plain, n_iso);
+        assert_eq!(
+            impact_il::module_to_string(&plain),
+            impact_il::module_to_string(&isolated)
+        );
+    }
+
+    #[test]
+    fn injected_pass_panic_is_contained_and_reported() {
+        let src = "int sq(int x) { return x * x; }\n\
+             int main() { int i; int s; s = 0; for (i = 0; i < 5; i++) s += sq(i); return s; }";
+        let module = compile(&[Source::new("t.c", src)]).unwrap();
+        let baseline = run(&module, vec![], vec![], &VmConfig::default())
+            .unwrap()
+            .exit_code;
+
+        let fault = FaultPlan::new();
+        fault.arm("opt:pass", 1);
+        let mut m = module.clone();
+        let (_, skipped) = optimize_module_isolated(&mut m, &fault);
+        assert_eq!(skipped.len(), 1, "exactly one pass invocation panicked");
+        assert_eq!(skipped[0].pass, "constant-fold");
+        assert!(skipped[0].reason.contains("fault injection"));
+
+        // The module survived the panic, still verifies, and behaves the
+        // same: the panicking pass's scratch clone was discarded.
+        impact_il::verify_module(&m).expect("still verifies");
+        let after = run(&m, vec![], vec![], &VmConfig::default()).unwrap();
+        assert_eq!(after.exit_code, baseline);
     }
 }

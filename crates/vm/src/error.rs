@@ -43,11 +43,16 @@ pub enum VmError {
     StepLimitExceeded {
         /// The budget that was exceeded.
         limit: u64,
+        /// Function executing when the budget ran out.
+        func: String,
     },
     /// An `extern` declaration has no matching VM builtin.
     UnknownExtern {
         /// The undeclared name.
         name: String,
+        /// Function whose call reached the unresolved extern (empty when
+        /// the failure predates execution, e.g. signature checking).
+        func: String,
     },
     /// A builtin was called with an invalid argument (bad fd, bad pointer).
     BadBuiltinCall {
@@ -55,6 +60,8 @@ pub enum VmError {
         name: String,
         /// What was wrong.
         reason: String,
+        /// Function executing at the time (empty before execution).
+        func: String,
     },
     /// The module has no `main` function.
     NoMain,
@@ -62,9 +69,58 @@ pub enum VmError {
     OutOfMemory {
         /// Requested allocation size.
         requested: u64,
+        /// Function executing at the time (empty when raised below the
+        /// builtin layer, which attributes before surfacing).
+        func: String,
     },
     /// The program called `__abort`.
-    Abort,
+    Abort {
+        /// Function that called `__abort`.
+        func: String,
+    },
+}
+
+impl VmError {
+    /// Fills an empty `func` attribution with `fname` — used when an error
+    /// constructed outside the interpreter loop (extern resolution, the
+    /// allocator) surfaces at a point where the executing function is
+    /// known.
+    #[must_use]
+    pub fn attributed_to(mut self, fname: &str) -> VmError {
+        match &mut self {
+            VmError::UnknownExtern { func, .. }
+            | VmError::BadBuiltinCall { func, .. }
+            | VmError::OutOfMemory { func, .. }
+                if func.is_empty() =>
+            {
+                *func = fname.to_owned();
+            }
+            _ => {}
+        }
+        self
+    }
+
+    /// The function this trap is attributed to, when known.
+    pub fn func(&self) -> Option<&str> {
+        let func = match self {
+            VmError::OutOfBounds { func, .. }
+            | VmError::DivisionByZero { func }
+            | VmError::BadFunctionPointer { func, .. }
+            | VmError::StackOverflow { func }
+            | VmError::StepLimitExceeded { func, .. }
+            | VmError::UnknownExtern { func, .. }
+            | VmError::BadBuiltinCall { func, .. }
+            | VmError::OutOfMemory { func, .. }
+            | VmError::Abort { func } => func,
+            VmError::IndirectArityMismatch { callee, .. } => callee,
+            VmError::NoMain => return None,
+        };
+        if func.is_empty() {
+            None
+        } else {
+            Some(func)
+        }
+    }
 }
 
 impl fmt::Display for VmError {
@@ -75,7 +131,10 @@ impl fmt::Display for VmError {
             }
             VmError::DivisionByZero { func } => write!(f, "division by zero in `{func}`"),
             VmError::BadFunctionPointer { value, func } => {
-                write!(f, "call through bad function pointer {value:#x} in `{func}`")
+                write!(
+                    f,
+                    "call through bad function pointer {value:#x} in `{func}`"
+                )
             }
             VmError::IndirectArityMismatch {
                 callee,
@@ -86,20 +145,32 @@ impl fmt::Display for VmError {
                 "indirect call to `{callee}` passed {passed} args, expected {expected}"
             ),
             VmError::StackOverflow { func } => write!(f, "stack overflow entering `{func}`"),
-            VmError::StepLimitExceeded { limit } => {
-                write!(f, "instruction budget of {limit} exhausted")
+            VmError::StepLimitExceeded { limit, func } => {
+                write!(f, "instruction budget of {limit} exhausted in `{func}`")
             }
-            VmError::UnknownExtern { name } => {
-                write!(f, "extern `{name}` has no VM builtin")
+            VmError::UnknownExtern { name, func } => {
+                write!(f, "extern `{name}` has no VM builtin")?;
+                if !func.is_empty() {
+                    write!(f, " (called from `{func}`)")?;
+                }
+                Ok(())
             }
-            VmError::BadBuiltinCall { name, reason } => {
-                write!(f, "bad call to builtin `{name}`: {reason}")
+            VmError::BadBuiltinCall { name, reason, func } => {
+                write!(f, "bad call to builtin `{name}`: {reason}")?;
+                if !func.is_empty() {
+                    write!(f, " (in `{func}`)")?;
+                }
+                Ok(())
             }
             VmError::NoMain => write!(f, "module has no `main` function"),
-            VmError::OutOfMemory { requested } => {
-                write!(f, "heap exhausted allocating {requested} bytes")
+            VmError::OutOfMemory { requested, func } => {
+                write!(f, "heap exhausted allocating {requested} bytes")?;
+                if !func.is_empty() {
+                    write!(f, " (in `{func}`)")?;
+                }
+                Ok(())
             }
-            VmError::Abort => write!(f, "program aborted"),
+            VmError::Abort { func } => write!(f, "program aborted in `{func}`"),
         }
     }
 }

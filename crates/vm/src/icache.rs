@@ -12,10 +12,8 @@
 //! 4-byte slot per IL instruction, functions placed back to back in
 //! [`impact_il::FuncId`] order.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry of the simulated instruction cache.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct IcacheConfig {
     /// Total capacity in bytes (must be a multiple of `line_bytes *
     /// assoc`).
@@ -39,7 +37,7 @@ impl IcacheConfig {
 }
 
 /// Hit/miss counts from one run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct IcacheStats {
     /// Instruction fetches issued.
     pub accesses: u64,
@@ -82,7 +80,7 @@ impl IcacheSim {
         assert!(cfg.assoc >= 1, "associativity must be at least 1");
         let lines = cfg.size_bytes / cfg.line_bytes;
         assert!(
-            lines % cfg.assoc as u64 == 0 && lines > 0,
+            lines.is_multiple_of(cfg.assoc as u64) && lines > 0,
             "capacity must hold a whole number of sets"
         );
         let num_sets = lines / cfg.assoc as u64;

@@ -9,6 +9,7 @@
 use impact_il::{BinOp, Callee, CmpOp, FuncId, Inst, Module, Reg, Terminator, UnOp, Width};
 
 use crate::error::VmError;
+use crate::fault::FaultPlan;
 use crate::icache::{IcacheConfig, IcacheSim, IcacheStats};
 use crate::memory::Memory;
 use crate::os::{BuiltinOutcome, NamedFile, Os};
@@ -27,6 +28,10 @@ pub struct VmConfig {
     /// simulated instruction cache (see [`crate::IcacheSim`]); adds
     /// roughly 2x interpretation overhead.
     pub icache: Option<IcacheConfig>,
+    /// Armed failpoints (`vm:oom`, ...); empty by default. Shared with
+    /// the rest of the pipeline so hit counts are global (see
+    /// [`FaultPlan`]).
+    pub fault: FaultPlan,
 }
 
 impl Default for VmConfig {
@@ -36,6 +41,7 @@ impl Default for VmConfig {
             heap_size: 32 << 20,
             stack_size: 4 << 20,
             icache: None,
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -94,9 +100,17 @@ pub fn run(
         return Err(VmError::BadBuiltinCall {
             name: "main".into(),
             reason: "main must take no parameters".into(),
+            func: "main".into(),
         });
     }
-    let builtins = Os::resolve_externs(module)?;
+    // Externs resolve lazily, per call: a declared-but-never-called
+    // unknown extern must not kill the run, and a failure that does fire
+    // can then name the calling function.
+    let builtins: Vec<Result<crate::os::Builtin, VmError>> = module
+        .externs
+        .iter()
+        .map(crate::os::Builtin::resolve)
+        .collect();
     let mut code_cursor = 0u64;
     let metas: Vec<FuncMeta> = module
         .functions
@@ -120,7 +134,7 @@ pub fn run(
         .collect();
     let mut icache = config.icache.as_ref().map(IcacheSim::new);
     let mut mem = Memory::new(module, config.heap_size, config.stack_size);
-    let mut os = Os::new(inputs, args);
+    let mut os = Os::new(inputs, args).with_fault(config.fault.clone());
     let mut profile = Profile::for_module(module);
     profile.runs = 1;
 
@@ -142,6 +156,10 @@ pub fn run(
         if profile.il_executed >= config.max_steps {
             return Err(VmError::StepLimitExceeded {
                 limit: config.max_steps,
+                func: frames
+                    .last()
+                    .map(|fr| module.function(fr.func).name.clone())
+                    .unwrap_or_default(),
             });
         }
         let fr = frames.last_mut().expect("at least one frame");
@@ -227,12 +245,22 @@ pub fn run(
                             let f = *f;
                             let sp = fr.sp;
                             push_frame(
-                                module, &metas, &mut mem, &mut profile, &mut frames, f, &argv,
-                                dst, sp,
+                                module,
+                                &metas,
+                                &mut mem,
+                                &mut profile,
+                                &mut frames,
+                                f,
+                                &argv,
+                                dst,
+                                sp,
                             )?;
                         }
                         Callee::Ext(x) => {
-                            let b = builtins[x.index()];
+                            let b = match &builtins[x.index()] {
+                                Ok(b) => *b,
+                                Err(e) => return Err(e.clone().attributed_to(fname)),
+                            };
                             match os.call(b, &argv, &mut mem, fname)? {
                                 BuiltinOutcome::Value(v) => {
                                     if let Some(d) = dst {
@@ -244,11 +272,8 @@ pub fn run(
                         }
                         Callee::Reg(r) => {
                             let raw = fr.regs[r.index()];
-                            let target = Memory::decode_func_ptr(
-                                raw,
-                                module.functions.len(),
-                                fname,
-                            )?;
+                            let target =
+                                Memory::decode_func_ptr(raw, module.functions.len(), fname)?;
                             let callee_fn = module.function(target);
                             if callee_fn.num_params as usize != argv.len() {
                                 return Err(VmError::IndirectArityMismatch {
@@ -266,8 +291,15 @@ pub fn run(
                                 .or_insert(1);
                             let sp = fr.sp;
                             push_frame(
-                                module, &metas, &mut mem, &mut profile, &mut frames, target,
-                                &argv, dst, sp,
+                                module,
+                                &metas,
+                                &mut mem,
+                                &mut profile,
+                                &mut frames,
+                                target,
+                                &argv,
+                                dst,
+                                sp,
                             )?;
                         }
                     }

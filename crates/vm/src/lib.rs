@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod fault;
 mod icache;
 mod interp;
 mod memory;
@@ -50,6 +51,7 @@ mod os;
 mod profile;
 
 pub use error::VmError;
+pub use fault::FaultPlan;
 pub use icache::{IcacheConfig, IcacheSim, IcacheStats};
 pub use interp::{run, RunOutcome, VmConfig};
 pub use memory::{Memory, FUNC_BASE};

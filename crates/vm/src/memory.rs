@@ -139,7 +139,13 @@ impl Memory {
     }
 
     /// Stores the low `width` bytes of `value` at `addr`.
-    pub fn store(&mut self, addr: u64, value: i64, width: Width, func: &str) -> Result<(), VmError> {
+    pub fn store(
+        &mut self,
+        addr: u64,
+        value: i64,
+        width: Width,
+        func: &str,
+    ) -> Result<(), VmError> {
         let a = self.check(addr, width.bytes(), func)?;
         let le = value.to_le_bytes();
         self.bytes[a..a + width.bytes() as usize].copy_from_slice(&le[..width.bytes() as usize]);
@@ -158,7 +164,10 @@ impl Memory {
             }
             out.push(b);
             if out.len() > 1 << 20 {
-                return Err(VmError::OutOfBounds { addr: a, func: func.to_owned() });
+                return Err(VmError::OutOfBounds {
+                    addr: a,
+                    func: func.to_owned(),
+                });
             }
             a += 1;
         }
@@ -177,7 +186,11 @@ impl Memory {
     pub fn malloc(&mut self, size: u64) -> Result<u64, VmError> {
         let size = size.max(1).next_multiple_of(16);
         if self.heap_ptr + size > self.heap_end {
-            return Err(VmError::OutOfMemory { requested: size });
+            return Err(VmError::OutOfMemory {
+                requested: size,
+                // Attributed by the builtin layer, which knows the caller.
+                func: String::new(),
+            });
         }
         let addr = self.heap_ptr;
         self.heap_ptr += size;

@@ -9,6 +9,7 @@
 use impact_il::{ExternDecl, Module};
 
 use crate::error::VmError;
+use crate::fault::FaultPlan;
 use crate::memory::Memory;
 
 /// An in-memory input file handed to a program run (the "representative
@@ -96,6 +97,7 @@ impl Builtin {
             _ => {
                 return Err(VmError::UnknownExtern {
                     name: decl.name.clone(),
+                    func: String::new(),
                 })
             }
         };
@@ -106,6 +108,7 @@ impl Builtin {
                     "declaration has {} params (ret: {}), builtin wants {} (ret: {})",
                     decl.num_params, decl.has_ret, params, has_ret
                 ),
+                func: String::new(),
             });
         }
         Ok(b)
@@ -139,6 +142,8 @@ pub struct Os {
     /// Contents of written files whose fds were closed (a close must not
     /// lose the data).
     completed: Vec<(String, Vec<u8>)>,
+    /// Armed failpoints (`vm:oom`, ...); empty by default.
+    fault: FaultPlan,
 }
 
 impl Os {
@@ -167,7 +172,16 @@ impl Os {
             stdout: Vec::new(),
             stderr: Vec::new(),
             completed: Vec::new(),
+            fault: FaultPlan::default(),
         }
+    }
+
+    /// Arms this OS layer with a fault plan (see [`FaultPlan`]); the
+    /// interpreter threads [`crate::VmConfig::fault`] through here.
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
     }
 
     /// Appends finished write-file contents to the completed list,
@@ -231,15 +245,13 @@ impl Os {
                 let fd = args[0] as usize;
                 let inputs = &self.inputs;
                 let v = match self.fds.get_mut(fd) {
-                    Some(OpenFile::Read { input, pos }) => {
-                        match inputs[*input].bytes.get(*pos) {
-                            Some(&b) => {
-                                *pos += 1;
-                                b as i64
-                            }
-                            None => -1,
+                    Some(OpenFile::Read { input, pos }) => match inputs[*input].bytes.get(*pos) {
+                        Some(&b) => {
+                            *pos += 1;
+                            b as i64
                         }
-                    }
+                        None => -1,
+                    },
                     _ => -1,
                 };
                 Value(Some(v))
@@ -328,6 +340,12 @@ impl Os {
             }
             Builtin::Malloc => {
                 let size = args[0].max(0) as u64;
+                if self.fault.should_fail("vm:oom") {
+                    return Err(VmError::OutOfMemory {
+                        requested: size,
+                        func: func.to_owned(),
+                    });
+                }
                 match mem.malloc(size) {
                     Ok(addr) => Value(Some(addr as i64)),
                     // C convention: allocation failure returns NULL.
@@ -340,7 +358,11 @@ impl Os {
                 Value(None)
             }
             Builtin::Exit => BuiltinOutcome::Exit(args[0]),
-            Builtin::Abort => return Err(VmError::Abort),
+            Builtin::Abort => {
+                return Err(VmError::Abort {
+                    func: func.to_owned(),
+                })
+            }
             Builtin::Putn => {
                 let s = args[0].to_string();
                 self.stdout.extend_from_slice(s.as_bytes());
@@ -374,6 +396,7 @@ impl Os {
     /// Consumes the OS state, returning `(stdout, stderr, named files
     /// written via __creat)` — both files closed during the run and files
     /// still open at exit.
+    #[allow(clippy::type_complexity)]
     pub fn into_outputs(mut self) -> (Vec<u8>, Vec<u8>, Vec<(String, Vec<u8>)>) {
         let open_writes: Vec<(String, Vec<u8>)> = std::mem::take(&mut self.fds)
             .into_iter()
@@ -516,7 +539,7 @@ mod tests {
         );
         assert_eq!(
             os.call(Builtin::Abort, &[], &mut memory, "t"),
-            Err(VmError::Abort)
+            Err(VmError::Abort { func: "t".into() })
         );
     }
 

@@ -9,10 +9,9 @@
 use std::collections::HashMap;
 
 use impact_il::{CallSiteId, ExternId, FuncId, Module};
-use serde::{Deserialize, Serialize};
 
 /// A call target as recorded by the profiler (the callee side of an arc).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ProfTarget {
     /// A user function.
     Func(FuncId),
@@ -21,7 +20,7 @@ pub enum ProfTarget {
 }
 
 /// Aggregated execution statistics for one or more runs of a module.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Profile {
     /// Number of runs merged into this profile.
     pub runs: u32,
@@ -77,6 +76,24 @@ impl Profile {
                 .map(|f| vec![0; f.blocks.len()])
                 .collect(),
         }
+    }
+
+    /// A synthetic "assume everything is hot" profile: every function
+    /// entry and every call site gets `weight`, with one recorded run so
+    /// averaging is a no-op. This is the graceful-degradation fallback
+    /// when real profiling is unavailable (corrupt `--profile-in`, a
+    /// trapping profiling run): threshold-based inlining still proceeds,
+    /// it just cannot rank sites by measured frequency.
+    pub fn assume_hot(module: &Module, weight: u64) -> Self {
+        let mut p = Profile::for_module(module);
+        p.runs = 1;
+        for w in &mut p.func_entries {
+            *w = weight;
+        }
+        for w in &mut p.site_counts {
+            *w = weight;
+        }
+        p
     }
 
     /// Taken/not-taken counts for the branch terminating `block` of
@@ -181,21 +198,17 @@ impl Profile {
     /// Average executed IL instructions between dynamic calls — the
     /// paper's `IL's per call` metric (Table 4).
     pub fn ils_per_call(&self) -> u64 {
-        if self.calls == 0 {
-            self.il_executed
-        } else {
-            self.il_executed / self.calls
-        }
+        self.il_executed
+            .checked_div(self.calls)
+            .unwrap_or(self.il_executed)
     }
 
     /// Average control transfers between dynamic calls — the paper's
     /// `CT's per call` metric (Table 4).
     pub fn cts_per_call(&self) -> u64 {
-        if self.calls == 0 {
-            self.control_transfers
-        } else {
-            self.control_transfers / self.calls
-        }
+        self.control_transfers
+            .checked_div(self.calls)
+            .unwrap_or(self.control_transfers)
     }
 }
 
@@ -432,9 +445,7 @@ impl Profile {
                     let target = match rest[1] {
                         "func" => ProfTarget::Func(FuncId(id)),
                         "ext" => ProfTarget::Ext(ExternId(id)),
-                        other => {
-                            return Err(format!("line {}: bad target kind `{other}`", ln + 1))
-                        }
+                        other => return Err(format!("line {}: bad target kind `{other}`", ln + 1)),
                     };
                     p.site_targets.entry(site).or_default().insert(target, n);
                 }
@@ -502,5 +513,74 @@ mod text_tests {
         assert!(text.contains("runs 3"));
         assert!(text.contains("func_entries 1 54"));
         assert!(text.contains("site_target 0 func 1 54"));
+    }
+}
+
+#[cfg(test)]
+mod fuzz_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A valid profile text to mangle: exercises every record kind.
+    fn seed_text() -> String {
+        let mut p = Profile::default();
+        p.runs = 2;
+        p.il_executed = 999;
+        p.calls = 54;
+        p.control_transfers = 7;
+        p.returns = 3;
+        p.max_stack_bytes = 4096;
+        p.func_entries = vec![12, 34];
+        p.site_counts = vec![5, 6, 7];
+        p.block_counts = vec![vec![1, 2], vec![3]];
+        p.branch_taken = vec![vec![0], vec![9, 9]];
+        p.site_targets
+            .entry(impact_il::CallSiteId(1))
+            .or_default()
+            .insert(ProfTarget::Func(impact_il::FuncId(0)), 5);
+        p.to_text()
+    }
+
+    proptest! {
+        #[test]
+        fn from_text_never_panics_on_arbitrary_input(s in any::<String>()) {
+            // Any outcome is fine except a panic.
+            let _ = Profile::from_text(&s);
+        }
+
+        #[test]
+        fn from_text_never_panics_on_truncations(cut in 0usize..4096) {
+            let text = seed_text();
+            let cut = cut.min(text.len());
+            // Truncate at an arbitrary byte (snap to a char boundary —
+            // the format is ASCII, so every byte is one).
+            let _ = Profile::from_text(&text[..cut]);
+        }
+
+        #[test]
+        fn from_text_never_panics_on_byte_mangling(
+            pos in 0usize..4096,
+            byte in any::<u8>(),
+        ) {
+            let mut bytes = seed_text().into_bytes();
+            let pos = pos % bytes.len();
+            bytes[pos] = byte;
+            let mangled = String::from_utf8_lossy(&bytes).into_owned();
+            // Must parse, reject, or mis-parse — never panic.
+            let _ = Profile::from_text(&mangled);
+        }
+
+        #[test]
+        fn round_trip_of_parsed_mangles_is_stable(pos in 0usize..4096, byte in any::<u8>()) {
+            let mut bytes = seed_text().into_bytes();
+            let pos = pos % bytes.len();
+            bytes[pos] = byte;
+            let mangled = String::from_utf8_lossy(&bytes).into_owned();
+            if let Ok(p) = Profile::from_text(&mangled) {
+                // Whatever parsed must round-trip losslessly.
+                let q = Profile::from_text(&p.to_text()).expect("re-parses");
+                prop_assert_eq!(p, q);
+            }
+        }
     }
 }

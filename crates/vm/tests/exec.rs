@@ -13,7 +13,10 @@ fn exec_io(src: &str, inputs: Vec<NamedFile>, args: Vec<String>) -> (i64, String
     let module = compile(&[Source::new("t.c", src)]).expect("compiles");
     impact_il::verify_module(&module).expect("verifies");
     let out = run(&module, inputs, args, &VmConfig::default()).expect("runs");
-    (out.exit_code, String::from_utf8_lossy(&out.stdout).into_owned())
+    (
+        out.exit_code,
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
 }
 
 fn exec_err(src: &str) -> VmError {
@@ -177,10 +180,7 @@ fn strings_and_char_ops() {
         ),
         11
     );
-    assert_eq!(
-        exec("int main() { char c; c = 'A'; return c + 2; }"),
-        67
-    );
+    assert_eq!(exec("int main() { char c; c = 'A'; return c + 2; }"), 67);
 }
 
 #[test]
@@ -255,10 +255,7 @@ fn unsigned_semantics() {
         exec("int main() { unsigned char c; c = 255; c = c + 1; return c; }"),
         0
     );
-    assert_eq!(
-        exec("int main() { return (unsigned char)-1; }"),
-        255
-    );
+    assert_eq!(exec("int main() { return (unsigned char)-1; }"), 255);
 }
 
 #[test]
@@ -291,9 +288,7 @@ fn inc_dec_semantics() {
         66
     );
     assert_eq!(
-        exec(
-            "int main() { int a[3]; int *p; a[0]=1; a[1]=2; a[2]=3; p = a; return *p++ + *p; }"
-        ),
+        exec("int main() { int a[3]; int *p; a[0]=1; a[1]=2; a[2]=3; p = a; return *p++ + *p; }"),
         3
     );
 }
@@ -382,9 +377,7 @@ fn traps_on_step_limit() {
 
 #[test]
 fn traps_on_bad_function_pointer() {
-    let e = exec_err(
-        "int main() { int (*f)(int); f = (int (*)(int))1234; return f(1); }",
-    );
+    let e = exec_err("int main() { int (*f)(int); f = (int (*)(int))1234; return f(1); }");
     assert!(matches!(e, VmError::BadFunctionPointer { .. }), "{e}");
 }
 
@@ -408,8 +401,8 @@ fn profile_counts_calls_and_sites() {
     // 10 calls to mid + 20 calls to leaf.
     assert_eq!(p.calls, 30);
     assert_eq!(p.returns, 31); // including main's return
-    // Each of the three static sites fired: mid's two sites 10x each,
-    // main's site 10x.
+                               // Each of the three static sites fired: mid's two sites 10x each,
+                               // main's site 10x.
     let sites = module.all_call_sites();
     assert_eq!(sites.len(), 3);
     for (_, site, _) in &sites {
@@ -579,10 +572,160 @@ fn branch_direction_frequencies_are_recorded() {
     let main = module.main_id().unwrap();
     // Find the block whose branch split 3/7.
     let p = &out.profile;
-    let found = (0..module.function(main).blocks.len() as u32).any(|b| {
-        matches!(p.branch_directions(main, b), Some((3, 7)))
-    });
-    assert!(found, "no 3/7 branch found: {:?}", p.branch_taken[main.index()]);
+    let found = (0..module.function(main).blocks.len() as u32)
+        .any(|b| matches!(p.branch_directions(main, b), Some((3, 7))));
+    assert!(
+        found,
+        "no 3/7 branch found: {:?}",
+        p.branch_taken[main.index()]
+    );
     // Out-of-range queries are None.
     assert!(p.branch_directions(main, 999).is_none());
+}
+
+// ---------------------------------------------------------------------------
+// Trap matrix: one program per `VmError` variant, checking both the
+// variant and that the Display message names the faulting function.
+// ---------------------------------------------------------------------------
+
+fn exec_err_cfg(src: &str, cfg: &VmConfig) -> VmError {
+    let module = compile(&[Source::new("t.c", src)]).expect("compiles");
+    run(&module, vec![], vec![], cfg).expect_err("should trap")
+}
+
+#[test]
+fn trap_matrix_out_of_bounds() {
+    let e = exec_err(
+        "int poke() { int *p; p = 0; return *p; }\n\
+         int main() { return poke(); }",
+    );
+    assert!(matches!(e, VmError::OutOfBounds { .. }), "{e}");
+    assert!(e.to_string().contains("`poke`"), "{e}");
+}
+
+#[test]
+fn trap_matrix_division_by_zero() {
+    let e = exec_err(
+        "int halve(int z) { return 10 / z; }\n\
+         int main() { return halve(0); }",
+    );
+    assert!(matches!(e, VmError::DivisionByZero { .. }), "{e}");
+    assert!(e.to_string().contains("`halve`"), "{e}");
+}
+
+#[test]
+fn trap_matrix_bad_function_pointer() {
+    let e = exec_err(
+        "int jump() { int (*f)(int); f = (int (*)(int))1234; return f(1); }\n\
+         int main() { return jump(); }",
+    );
+    assert!(matches!(e, VmError::BadFunctionPointer { .. }), "{e}");
+    assert!(e.to_string().contains("`jump`"), "{e}");
+}
+
+#[test]
+fn trap_matrix_indirect_arity_mismatch() {
+    let e = exec_err(
+        "int two(int a, int b) { return a + b; }\n\
+         int main() { int (*f)(int); f = (int (*)(int))two; return f(1); }",
+    );
+    assert!(matches!(e, VmError::IndirectArityMismatch { .. }), "{e}");
+    // Names the callee that was reached with the wrong arity.
+    assert!(e.to_string().contains("`two`"), "{e}");
+}
+
+#[test]
+fn trap_matrix_stack_overflow() {
+    let e = exec_err(
+        "int dive(int n) { return dive(n + 1); }\n\
+         int main() { return dive(0); }",
+    );
+    assert!(matches!(e, VmError::StackOverflow { .. }), "{e}");
+    assert!(e.to_string().contains("`dive`"), "{e}");
+}
+
+#[test]
+fn trap_matrix_step_limit_exceeded() {
+    let cfg = VmConfig {
+        max_steps: 5_000,
+        ..VmConfig::default()
+    };
+    let e = exec_err_cfg(
+        "int spin() { while (1) {} return 0; }\n\
+         int main() { return spin(); }",
+        &cfg,
+    );
+    assert!(matches!(e, VmError::StepLimitExceeded { .. }), "{e}");
+    assert!(e.to_string().contains("`spin`"), "{e}");
+}
+
+#[test]
+fn trap_matrix_unknown_extern() {
+    // Extern resolution is lazy: the trap fires at the call and is
+    // attributed to the calling function.
+    let e = exec_err(
+        "extern int __nosuch(int x);\n\
+         int probe() { return __nosuch(1); }\n\
+         int main() { return probe(); }",
+    );
+    assert!(matches!(e, VmError::UnknownExtern { .. }), "{e}");
+    assert!(e.to_string().contains("`probe`"), "{e}");
+}
+
+#[test]
+fn trap_matrix_bad_builtin_call() {
+    // `__fgetc` takes one parameter; a two-parameter declaration is a
+    // signature mismatch caught when the call resolves the builtin.
+    let e = exec_err(
+        "extern int __fgetc(int fd, int extra);\n\
+         int fetch() { return __fgetc(0, 1); }\n\
+         int main() { return fetch(); }",
+    );
+    assert!(matches!(e, VmError::BadBuiltinCall { .. }), "{e}");
+    assert!(e.to_string().contains("`fetch`"), "{e}");
+}
+
+#[test]
+fn trap_matrix_out_of_memory() {
+    // Natural exhaustion returns NULL per C convention, so the error
+    // path is driven by the `vm:oom` fault point.
+    let fault = impact_vm::FaultPlan::new();
+    fault.arm("vm:oom", 1);
+    let cfg = VmConfig {
+        fault,
+        ..VmConfig::default()
+    };
+    let e = exec_err_cfg(
+        "extern long __malloc(long n);\n\
+         int grab() { long p; p = __malloc(64); return p != 0; }\n\
+         int main() { return grab(); }",
+        &cfg,
+    );
+    assert!(
+        matches!(e, VmError::OutOfMemory { requested: 64, .. }),
+        "{e}"
+    );
+    assert!(e.to_string().contains("`grab`"), "{e}");
+}
+
+#[test]
+fn trap_matrix_abort() {
+    let e = exec_err(
+        "extern void __abort();\n\
+         int bail() { __abort(); return 0; }\n\
+         int main() { return bail(); }",
+    );
+    assert!(matches!(e, VmError::Abort { .. }), "{e}");
+    assert!(e.to_string().contains("`bail`"), "{e}");
+}
+
+#[test]
+fn natural_heap_exhaustion_returns_null_not_a_trap() {
+    let (code, _) = exec_io(
+        "extern long __malloc(long n);\n\
+         int main() { long p; p = __malloc(1 << 30); return p == 0; }",
+        vec![],
+        vec![],
+    );
+    assert_eq!(code, 1, "oversized malloc should yield NULL");
 }

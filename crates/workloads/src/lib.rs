@@ -168,8 +168,8 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "cccp", "cmp", "compress", "eqn", "espresso", "grep", "lex", "make", "tar",
-                "tee", "wc", "yacc"
+                "cccp", "cmp", "compress", "eqn", "espresso", "grep", "lex", "make", "tar", "tee",
+                "wc", "yacc"
             ]
         );
     }

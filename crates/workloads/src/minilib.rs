@@ -262,7 +262,12 @@ int main() {
             &VmConfig::default(),
         )
         .expect("runs");
-        assert_eq!(out.exit_code, 0, "stdout: {:?}", String::from_utf8_lossy(&out.stdout));
+        assert_eq!(
+            out.exit_code,
+            0,
+            "stdout: {:?}",
+            String::from_utf8_lossy(&out.stdout)
+        );
         assert_eq!(out.stdout, b"12345|ok\n".to_vec());
     }
 }

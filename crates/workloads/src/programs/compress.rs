@@ -140,7 +140,7 @@ int main() {
 /// Generates one run: a compressible text on stdin.
 pub fn gen(run: u64) -> RunInput {
     let mut rng = rng_for("compress", run);
-    let data = if run % 2 == 0 {
+    let data = if run.is_multiple_of(2) {
         english_text(&mut rng, 2500 + (run as usize % 6) * 700)
     } else {
         c_like_source(&mut rng, 350 + (run as usize % 6) * 120)

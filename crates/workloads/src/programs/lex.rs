@@ -165,12 +165,18 @@ pub fn gen(run: u64) -> RunInput {
     let mut rng = rng_for("lex", run);
     let spec: &[&str] = match run % 4 {
         0 => &[
-            "if", "else", "while", "for", "return", "int", "char", "break", "continue",
-            "switch", "case", "struct",
+            "if", "else", "while", "for", "return", "int", "char", "break", "continue", "switch",
+            "case", "struct",
         ],
-        1 => &["defun", "lambda", "setq", "cond", "car", "cdr", "cons", "let", "quote"],
-        2 => &["begin", "end", "print", "next", "getline", "function", "delete", "in"],
-        _ => &["line", "box", "circle", "arrow", "move", "left", "right", "up", "down"],
+        1 => &[
+            "defun", "lambda", "setq", "cond", "car", "cdr", "cons", "let", "quote",
+        ],
+        2 => &[
+            "begin", "end", "print", "next", "getline", "function", "delete", "in",
+        ],
+        _ => &[
+            "line", "box", "circle", "arrow", "move", "left", "right", "up", "down",
+        ],
     };
     let spec_text: Vec<u8> = spec.join("\n").into_bytes();
     let tokens = 18_000 + (run as usize % 4) * 9_000;

@@ -145,7 +145,7 @@ pub fn gen(run: u64) -> RunInput {
         };
         files.push((format!("f{i}.txt"), data));
     }
-    if run % 2 == 0 {
+    if run.is_multiple_of(2) {
         // Create mode: hand the files over directly.
         RunInput {
             inputs: files

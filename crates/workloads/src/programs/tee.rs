@@ -56,7 +56,7 @@ pub fn gen(run: u64) -> RunInput {
     let mut rng = rng_for("tee", run);
     let data = c_like_source(&mut rng, 1500 + (run as usize % 10) * 400);
     let mut args = vec!["copy1.txt".to_string()];
-    if run % 3 == 0 {
+    if run.is_multiple_of(3) {
         args.push("copy2.txt".to_string());
     }
     RunInput {

@@ -84,11 +84,17 @@ int main() {
 pub fn gen(run: u64) -> RunInput {
     let mut rng = rng_for("wc", run);
     let mut inputs = vec![
-        NamedFile::new("a.c", c_like_source(&mut rng, 200 + (run as usize % 8) * 80)),
-        NamedFile::new("b.txt", english_text(&mut rng, 1500 + (run as usize % 5) * 400)),
+        NamedFile::new(
+            "a.c",
+            c_like_source(&mut rng, 200 + (run as usize % 8) * 80),
+        ),
+        NamedFile::new(
+            "b.txt",
+            english_text(&mut rng, 1500 + (run as usize % 5) * 400),
+        ),
     ];
     let mut args = vec!["a.c".to_string(), "b.txt".to_string()];
-    if run % 2 == 0 {
+    if run.is_multiple_of(2) {
         inputs.push(NamedFile::new(
             "c.txt",
             english_text(&mut rng, 800 + (run as usize % 7) * 300),

@@ -15,18 +15,67 @@ pub fn rng_for(benchmark: &str, run: u64) -> StdRng {
 }
 
 const WORDS: &[&str] = &[
-    "the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog", "compiler", "inline",
-    "function", "expansion", "profile", "weight", "graph", "stack", "register", "window",
-    "buffer", "system", "call", "return", "branch", "loop", "table", "index", "value", "token",
-    "parse", "scan", "emit", "node", "arc", "cycle", "main", "static", "dynamic", "code",
-    "size", "cost", "bound", "hazard", "expand", "caller", "callee", "linear", "order",
-    "sequence", "cache", "memory", "access", "pipeline", "optimize", "transfer", "control",
+    "the",
+    "quick",
+    "brown",
+    "fox",
+    "jumps",
+    "over",
+    "lazy",
+    "dog",
+    "compiler",
+    "inline",
+    "function",
+    "expansion",
+    "profile",
+    "weight",
+    "graph",
+    "stack",
+    "register",
+    "window",
+    "buffer",
+    "system",
+    "call",
+    "return",
+    "branch",
+    "loop",
+    "table",
+    "index",
+    "value",
+    "token",
+    "parse",
+    "scan",
+    "emit",
+    "node",
+    "arc",
+    "cycle",
+    "main",
+    "static",
+    "dynamic",
+    "code",
+    "size",
+    "cost",
+    "bound",
+    "hazard",
+    "expand",
+    "caller",
+    "callee",
+    "linear",
+    "order",
+    "sequence",
+    "cache",
+    "memory",
+    "access",
+    "pipeline",
+    "optimize",
+    "transfer",
+    "control",
 ];
 
 const IDENTS: &[&str] = &[
-    "count", "total", "buf", "ptr", "len", "idx", "tmp", "state", "flags", "mode", "head",
-    "tail", "next", "prev", "size", "data", "line", "word", "ch", "fd", "ret", "val", "pos",
-    "lim", "mask", "key", "hash", "node", "item", "left", "right",
+    "count", "total", "buf", "ptr", "len", "idx", "tmp", "state", "flags", "mode", "head", "tail",
+    "next", "prev", "size", "data", "line", "word", "ch", "fd", "ret", "val", "pos", "lim", "mask",
+    "key", "hash", "node", "item", "left", "right",
 ];
 
 /// A random word from the lexicon.
@@ -66,8 +115,14 @@ pub fn c_like_source(rng: &mut StdRng, lines: usize) -> Vec<u8> {
     while line < lines {
         let roll = rng.gen_range(0..100);
         if roll < 10 {
-            let name = format!("CFG_{}{}", IDENTS[rng.gen_range(0..IDENTS.len())].to_uppercase(), defined.len());
-            out.extend_from_slice(format!("#define {} {}\n", name, rng.gen_range(0..256)).as_bytes());
+            let name = format!(
+                "CFG_{}{}",
+                IDENTS[rng.gen_range(0..IDENTS.len())].to_uppercase(),
+                defined.len()
+            );
+            out.extend_from_slice(
+                format!("#define {} {}\n", name, rng.gen_range(0..256)).as_bytes(),
+            );
             defined.push(name);
         } else if roll < 14 && !defined.is_empty() {
             let name = &defined[rng.gen_range(0..defined.len())];
@@ -77,9 +132,7 @@ pub fn c_like_source(rng: &mut StdRng, lines: usize) -> Vec<u8> {
             out.extend_from_slice(b"#endif\n");
             depth -= 1;
         } else if roll < 22 {
-            out.extend_from_slice(
-                format!("/* {} {} */\n", word(rng), word(rng)).as_bytes(),
-            );
+            out.extend_from_slice(format!("/* {} {} */\n", word(rng), word(rng)).as_bytes());
         } else if roll < 30 {
             let f = IDENTS[rng.gen_range(0..IDENTS.len())];
             out.extend_from_slice(format!("int {f}_{line}(int a, int b) {{\n").as_bytes());
@@ -179,7 +232,10 @@ pub fn eqn_document(rng: &mut StdRng, blocks: usize) -> Vec<u8> {
             match rng.gen_range(0..4) {
                 0 => eq.push_str(&format!("{v} sup {}", rng.gen_range(2..5))),
                 1 => eq.push_str(&format!("{v} sub {}", rng.gen_range(1..4))),
-                2 => eq.push_str(&format!("{{ {v} over {} }}", vars[rng.gen_range(0..vars.len())])),
+                2 => eq.push_str(&format!(
+                    "{{ {v} over {} }}",
+                    vars[rng.gen_range(0..vars.len())]
+                )),
                 _ => eq.push_str(v),
             }
         }
@@ -220,7 +276,9 @@ pub fn grammar(rng: &mut StdRng, nonterms: usize) -> Vec<u8> {
 
 /// A token-heavy program-like input for the generated lexer in `lex`.
 pub fn lexer_input(rng: &mut StdRng, tokens: usize) -> Vec<u8> {
-    let kw = ["if", "else", "while", "for", "return", "int", "char", "break"];
+    let kw = [
+        "if", "else", "while", "for", "return", "int", "char", "break",
+    ];
     let mut out = Vec::new();
     let mut col = 0;
     for _ in 0..tokens {
@@ -228,10 +286,15 @@ pub fn lexer_input(rng: &mut StdRng, tokens: usize) -> Vec<u8> {
             0 => kw[rng.gen_range(0..kw.len())].to_string(),
             1 => IDENTS[rng.gen_range(0..IDENTS.len())].to_string(),
             2 => rng.gen_range(0..10000).to_string(),
-            3 => ["+", "-", "*", "/", "=", "==", "<=", ">=", "(", ")", "{", "}", ";"]
-                [rng.gen_range(0..13)]
+            3 => [
+                "+", "-", "*", "/", "=", "==", "<=", ">=", "(", ")", "{", "}", ";",
+            ][rng.gen_range(0..13)]
             .to_string(),
-            _ => format!("{}{}", IDENTS[rng.gen_range(0..IDENTS.len())], rng.gen_range(0..100)),
+            _ => format!(
+                "{}{}",
+                IDENTS[rng.gen_range(0..IDENTS.len())],
+                rng.gen_range(0..100)
+            ),
         };
         out.extend_from_slice(s.as_bytes());
         col += s.len() + 1;

@@ -34,18 +34,18 @@ fn fingerprint(name: &str) -> u64 {
 fn benchmark_outputs_match_recorded_fingerprints() {
     let expected: &[(&str, u64)] = &[
         // REGENERATE: cargo test -p impact-workloads --test golden -- --nocapture
-        ("cccp", 0x9d6b7f8546def189),
+        ("cccp", 0x0907b91e96c8bc69),
         ("cmp", 0xe6cd38a7f123aa2e),
-        ("compress", 0x2315111af6b294fd),
-        ("eqn", 0x3a2d5ec2f625a448),
-        ("espresso", 0xfd438b5f6645514a),
-        ("grep", 0xd4aa329fd319c138),
-        ("lex", 0xad53f96b43e1320c),
-        ("make", 0xbfdebb25e78ae2cd),
-        ("tar", 0x16ef09711bdb2b17),
-        ("tee", 0x0d5e5c7b8a70f3cc),
-        ("wc", 0x9acbf9adbd69fbf3),
-        ("yacc", 0xe26804c953b7308a),
+        ("compress", 0x12b8caf2e141c4bc),
+        ("eqn", 0x00019d5041c09104),
+        ("espresso", 0x6f0492251735b42e),
+        ("grep", 0xcfd8abb21324eaed),
+        ("lex", 0x10b36e64f694eec0),
+        ("make", 0x442725bb9e16456e),
+        ("tar", 0x49837b99ac9c1b5e),
+        ("tee", 0xd32306d5c2a12769),
+        ("wc", 0xaf5d0f6b8c4bed1b),
+        ("yacc", 0x8e5c819bb58272ae),
     ];
     let mut failures = Vec::new();
     for (name, want) in expected {

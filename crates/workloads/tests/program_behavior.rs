@@ -155,10 +155,7 @@ fn eqn_braces_and_over() {
     let doc = b".EQ\n{ alpha over beta }\n.EN\n".to_vec();
     let out = exec("eqn", vec![NamedFile::new("stdin", doc)], vec![]);
     let text = stdout(&out);
-    assert!(
-        text.contains("(VAR<alpha> / VAR<beta>)"),
-        "{text}"
-    );
+    assert!(text.contains("(VAR<alpha> / VAR<beta>)"), "{text}");
 }
 
 #[test]
@@ -190,30 +187,62 @@ fn espresso_removes_covered_cubes() {
 fn grep_literal_anchors_classes_and_star() {
     let corpus = b"the cat sat\ncatalog entry\nconcatenate\ndog only\ncat\n".to_vec();
     // Literal.
-    let out = exec("grep", vec![NamedFile::new("stdin", corpus.clone())], vec!["cat"]);
+    let out = exec(
+        "grep",
+        vec![NamedFile::new("stdin", corpus.clone())],
+        vec!["cat"],
+    );
     assert_eq!(stdout(&out).lines().count(), 4);
     // Anchored start: "catalog entry" and "cat".
-    let out = exec("grep", vec![NamedFile::new("stdin", corpus.clone())], vec!["^cat"]);
+    let out = exec(
+        "grep",
+        vec![NamedFile::new("stdin", corpus.clone())],
+        vec!["^cat"],
+    );
     assert_eq!(stdout(&out).lines().count(), 2);
     // Anchored both ends.
-    let out = exec("grep", vec![NamedFile::new("stdin", corpus.clone())], vec!["^cat$"]);
+    let out = exec(
+        "grep",
+        vec![NamedFile::new("stdin", corpus.clone())],
+        vec!["^cat$"],
+    );
     assert_eq!(stdout(&out), "cat\n");
     // Class + star: "c.*e" matches catalog entry & concatenate.
-    let out = exec("grep", vec![NamedFile::new("stdin", corpus.clone())], vec!["c.*e"]);
+    let out = exec(
+        "grep",
+        vec![NamedFile::new("stdin", corpus.clone())],
+        vec!["c.*e"],
+    );
     assert_eq!(stdout(&out).lines().count(), 2);
     // Negated class: lines with a vowel after 'd'.
-    let out = exec("grep", vec![NamedFile::new("stdin", corpus)], vec!["d[aeiou]g"]);
+    let out = exec(
+        "grep",
+        vec![NamedFile::new("stdin", corpus)],
+        vec!["d[aeiou]g"],
+    );
     assert_eq!(stdout(&out), "dog only\n");
 }
 
 #[test]
 fn grep_options_count_number_invert() {
     let corpus = b"alpha\nbeta\ngamma\n".to_vec();
-    let out = exec("grep", vec![NamedFile::new("stdin", corpus.clone())], vec!["-c", "a"]);
+    let out = exec(
+        "grep",
+        vec![NamedFile::new("stdin", corpus.clone())],
+        vec!["-c", "a"],
+    );
     assert_eq!(stdout(&out), "3\n");
-    let out = exec("grep", vec![NamedFile::new("stdin", corpus.clone())], vec!["-n", "beta"]);
+    let out = exec(
+        "grep",
+        vec![NamedFile::new("stdin", corpus.clone())],
+        vec!["-n", "beta"],
+    );
     assert_eq!(stdout(&out), "2:beta\n");
-    let out = exec("grep", vec![NamedFile::new("stdin", corpus)], vec!["-v", "a"]);
+    let out = exec(
+        "grep",
+        vec![NamedFile::new("stdin", corpus)],
+        vec!["-v", "a"],
+    );
     assert_eq!(out.exit_code, 1, "nothing survives inversion");
 }
 

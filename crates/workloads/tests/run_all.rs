@@ -37,7 +37,10 @@ fn every_benchmark_runs_on_two_inputs() {
                 "{} run {idx} exited with {} (stdout: {:?})",
                 b.name,
                 out.exit_code,
-                String::from_utf8_lossy(&out.stdout).chars().take(200).collect::<String>()
+                String::from_utf8_lossy(&out.stdout)
+                    .chars()
+                    .take(200)
+                    .collect::<String>()
             );
         }
     }
@@ -50,8 +53,13 @@ fn inlining_preserves_output_on_all_benchmarks() {
         // Profile on run 0, check semantics on runs 0 and 1 (one seen by
         // the profile, one unseen).
         let train = b.run_input(0);
-        let base0 = run(&module, train.inputs.clone(), train.args.clone(), &vm_config())
-            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let base0 = run(
+            &module,
+            train.inputs.clone(),
+            train.args.clone(),
+            &vm_config(),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", b.name));
         let mut inlined = module.clone();
         let report = inline_module(
             &mut inlined,
@@ -62,8 +70,13 @@ fn inlining_preserves_output_on_all_benchmarks() {
             .unwrap_or_else(|e| panic!("{} inlined IL invalid: {:?}", b.name, e));
         for idx in 0..2u32 {
             let input = b.run_input(idx);
-            let before = run(&module, input.inputs.clone(), input.args.clone(), &vm_config())
-                .unwrap_or_else(|e| panic!("{} base run {idx}: {e}", b.name));
+            let before = run(
+                &module,
+                input.inputs.clone(),
+                input.args.clone(),
+                &vm_config(),
+            )
+            .unwrap_or_else(|e| panic!("{} base run {idx}: {e}", b.name));
             let after = run(&inlined, input.inputs, input.args, &vm_config())
                 .unwrap_or_else(|e| panic!("{} inlined run {idx}: {e}", b.name));
             assert_eq!(
@@ -97,8 +110,13 @@ fn call_heavy_benchmarks_lose_most_calls() {
     for b in all_benchmarks() {
         let module = b.compile().expect(b.name);
         let train = b.run_input(0);
-        let base = run(&module, train.inputs.clone(), train.args.clone(), &vm_config())
-            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let base = run(
+            &module,
+            train.inputs.clone(),
+            train.args.clone(),
+            &vm_config(),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", b.name));
         let mut inlined = module.clone();
         let _ = inline_module(
             &mut inlined,
@@ -114,7 +132,13 @@ fn call_heavy_benchmarks_lose_most_calls() {
                 / base.profile.calls as f64
         };
         let after_ipc = after.profile.ils_per_call();
-        eliminated.push((b.name, dec, base.profile.calls, after.profile.calls, after_ipc));
+        eliminated.push((
+            b.name,
+            dec,
+            base.profile.calls,
+            after.profile.calls,
+            after_ipc,
+        ));
     }
     eprintln!("call elimination: {eliminated:?}");
     let entry = |name: &str| {
@@ -125,7 +149,9 @@ fn call_heavy_benchmarks_lose_most_calls() {
             .unwrap()
     };
     // Call-intensive programs: large elimination (paper: 55-99%).
-    for heavy in ["grep", "compress", "eqn", "lex", "espresso", "cccp", "make", "yacc", "tar", "cmp"] {
+    for heavy in [
+        "grep", "compress", "eqn", "lex", "espresso", "cccp", "make", "yacc", "tar", "cmp",
+    ] {
         let (_, dec, ..) = entry(heavy);
         assert!(dec > 40.0, "{heavy} eliminated only {dec:.1}%");
     }
@@ -133,11 +159,17 @@ fn call_heavy_benchmarks_lose_most_calls() {
     // (paper: 0% dec, 15 ILs per call; ours lands within one IL of that).
     let (_, tee_dec, _, _, tee_ipc) = entry("tee");
     assert!(tee_dec < 5.0, "tee eliminated {tee_dec:.1}%");
-    assert!(tee_ipc < 100, "tee ILs/call {tee_ipc} — should stay call-frequent");
+    assert!(
+        tee_ipc < 100,
+        "tee ILs/call {tee_ipc} — should stay call-frequent"
+    );
     // wc: calls are so rare they are irrelevant either way (paper: 18310
     // ILs per call).
     let (_, _, _, _, wc_ipc) = entry("wc");
-    assert!(wc_ipc > 1_000, "wc ILs/call {wc_ipc} — calls should be rare");
+    assert!(
+        wc_ipc > 1_000,
+        "wc ILs/call {wc_ipc} — calls should be rare"
+    );
     // Suite average in the ballpark of the paper's 59% (ours is higher
     // because the miniatures have no cold option-parsing tail).
     let avg: f64 = eliminated.iter().map(|(_, d, ..)| d).sum::<f64>() / eliminated.len() as f64;

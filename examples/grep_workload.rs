@@ -53,7 +53,7 @@ fn main() {
 
     // The ten hottest arcs, by profile weight.
     let mut sites = classification.sites.clone();
-    sites.sort_by(|a, b| b.weight.cmp(&a.weight));
+    sites.sort_by_key(|s| std::cmp::Reverse(s.weight));
     println!("\nhottest arcs:");
     for s in sites.iter().take(10) {
         let caller = &module.function(s.caller).name;

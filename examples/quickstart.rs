@@ -30,10 +30,8 @@ int main() { return checksum() & 0x7f; }
 "#;
 
 fn main() {
-    let stdin = impact::vm::NamedFile::new(
-        "stdin",
-        b"profile-guided inline expansion, 1989".to_vec(),
-    );
+    let stdin =
+        impact::vm::NamedFile::new("stdin", b"profile-guided inline expansion, 1989".to_vec());
     let report = compile_profile_inline(
         &[Source::new("checksum.c", PROGRAM)],
         vec![stdin],

@@ -19,7 +19,10 @@ fn main() {
     let averaged = profile.averaged();
 
     println!("{name}: sweeping weight_threshold (paper: 10)");
-    println!("{:>10}  {:>9}  {:>9}  {:>6}", "threshold", "call dec", "code inc", "arcs");
+    println!(
+        "{:>10}  {:>9}  {:>9}  {:>6}",
+        "threshold", "call dec", "code inc", "arcs"
+    );
     for threshold in [1u64, 3, 10, 30, 100, 1000, 10_000, 100_000] {
         let cfg = InlineConfig {
             weight_threshold: threshold,
@@ -29,8 +32,8 @@ fn main() {
         let mut inlined = module.clone();
         let report = inline_module(&mut inlined, &averaged, &cfg);
         let (after, _) = profile_runs(&inlined, &runs, &vm_cfg).expect("re-profiles");
-        let dec = 100.0 * profile.calls.saturating_sub(after.calls) as f64
-            / profile.calls.max(1) as f64;
+        let dec =
+            100.0 * profile.calls.saturating_sub(after.calls) as f64 / profile.calls.max(1) as f64;
         println!(
             "{threshold:>10}  {dec:>8.1}%  {:>8.1}%  {:>6}",
             report.code_increase_percent(),

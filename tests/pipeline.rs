@@ -35,7 +35,9 @@ fn node_weight_equals_incoming_arc_weights() {
     let out = run(&module, vec![], vec![], &VmConfig::default()).unwrap();
     let graph = CallGraph::build(&module, &out.profile);
     for node in graph.nodes() {
-        let NodeKind::Func(f) = node.kind else { continue };
+        let NodeKind::Func(f) = node.kind else {
+            continue;
+        };
         if Some(f) == module.main_id() {
             assert_eq!(node.weight, 1, "main runs once");
             continue;
@@ -95,10 +97,18 @@ fn full_pipeline_preserves_exit_code() {
 fn second_inline_pass_converges() {
     let mut module = compile_one(CALC);
     let p1 = run(&module, vec![], vec![], &VmConfig::default()).unwrap();
-    inline_module(&mut module, &p1.profile.averaged(), &InlineConfig::default());
+    inline_module(
+        &mut module,
+        &p1.profile.averaged(),
+        &InlineConfig::default(),
+    );
     let p2 = run(&module, vec![], vec![], &VmConfig::default()).unwrap();
     assert_eq!(p1.exit_code, p2.exit_code);
-    let report2 = inline_module(&mut module, &p2.profile.averaged(), &InlineConfig::default());
+    let report2 = inline_module(
+        &mut module,
+        &p2.profile.averaged(),
+        &InlineConfig::default(),
+    );
     assert!(
         report2.expanded.is_empty(),
         "second pass re-expanded {:?}",
@@ -127,7 +137,8 @@ fn code_growth_budget_is_respected() {
         };
         let report = inline_module(&mut inlined, &profile.averaged(), &config);
         let budget = (before as f64 * limit) as u64;
-        let overhead = 4 * report.expanded.len() as u64 + report.expanded.iter().map(|_| 2).sum::<u64>();
+        let overhead =
+            4 * report.expanded.len() as u64 + report.expanded.iter().map(|_| 2).sum::<u64>();
         assert!(
             report.size_after <= budget + overhead,
             "limit {limit}: size {} > budget {budget} + overhead {overhead}",

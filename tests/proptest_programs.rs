@@ -57,22 +57,20 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| Expr::Add(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| Expr::Sub(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| Expr::Mul(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| Expr::Xor(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| Expr::And(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Add(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Sub(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Mul(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Xor(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::And(Box::new(l), Box::new(r))),
             (inner.clone(), 0u8..14).prop_map(|(l, k)| Expr::Shl(Box::new(l), k)),
             (inner.clone(), 0u8..14).prop_map(|(l, k)| Expr::Shr(Box::new(l), k)),
             (inner.clone(), inner.clone())
                 .prop_map(|(l, r)| Expr::SafeDiv(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, e)| Expr::Cond(Box::new(c), Box::new(t), Box::new(e))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| Expr::Cond(
+                Box::new(c),
+                Box::new(t),
+                Box::new(e)
+            )),
         ]
     })
 }
@@ -119,8 +117,7 @@ impl ProgramSpec {
              \x20   return (int)(s & 0x7f);\n\
              }}\n",
             self.loop_n, self.seed_a, self.seed_b
-        ))
-            ;
+        ));
         src
     }
 }
@@ -129,10 +126,7 @@ fn program_strategy() -> impl Strategy<Value = ProgramSpec> {
     let func = |max_callee: usize| {
         (
             expr_strategy(),
-            proptest::collection::vec(
-                (0..max_callee, expr_strategy(), expr_strategy()),
-                0..=2,
-            ),
+            proptest::collection::vec((0..max_callee, expr_strategy(), expr_strategy()), 0..=2),
         )
             .prop_map(|(body, calls)| FuncSpec { body, calls })
     };
