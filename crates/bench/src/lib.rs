@@ -198,6 +198,31 @@ pub fn evaluate_all(cfg: &HarnessConfig) -> Result<Vec<Evaluation>, VmError> {
         .collect()
 }
 
+/// Evaluates every benchmark with per-benchmark isolation, the batch
+/// supervisor's contract applied to the harness: one benchmark trapping
+/// or panicking no longer sinks the whole table. Returns the successful
+/// evaluations plus `(name, error)` pairs for the isolated failures.
+pub fn evaluate_all_supervised(cfg: &HarnessConfig) -> (Vec<Evaluation>, Vec<(String, String)>) {
+    let mut evaluations = Vec::new();
+    let mut failures = Vec::new();
+    for b in impact_workloads::all_benchmarks() {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| evaluate(&b, cfg)));
+        match outcome {
+            Ok(Ok(e)) => evaluations.push(e),
+            Ok(Err(e)) => failures.push((b.name.to_string(), e.to_string())),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                failures.push((b.name.to_string(), format!("panicked: {msg}")));
+            }
+        }
+    }
+    (evaluations, failures)
+}
+
 /// Mean and (population) standard deviation, as the paper's Table 4
 /// AVG/SD rows.
 pub fn mean_sd(values: &[f64]) -> (f64, f64) {
@@ -253,6 +278,20 @@ mod tests {
         // Percentages sum to ~100.
         let sum: f64 = e.post_mix.iter().sum();
         assert!((sum - 100.0).abs() < 0.5, "post mix sums to {sum}");
+    }
+
+    #[test]
+    fn supervised_evaluation_isolates_failures() {
+        let cfg = HarnessConfig {
+            max_runs: 1,
+            ..HarnessConfig::default()
+        };
+        let (evaluations, failures) = evaluate_all_supervised(&cfg);
+        assert!(
+            failures.is_empty(),
+            "bundled benchmarks should all evaluate: {failures:?}"
+        );
+        assert_eq!(evaluations.len(), impact_workloads::all_benchmarks().len());
     }
 
     #[test]

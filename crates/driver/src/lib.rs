@@ -19,6 +19,12 @@ use impact_inline::{
 use impact_opt::optimize_module_isolated;
 use impact_vm::{profile_runs, FaultPlan, NamedFile, Profile, VmConfig};
 
+pub mod minimize;
+pub mod report;
+pub mod supervise;
+
+use report::PipelineFailure;
+
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Options {
@@ -55,6 +61,25 @@ pub struct Options {
     pub faults: Vec<String>,
     /// `--quiet` (suppress IL dumps).
     pub quiet: bool,
+    /// `--fuel N`: VM instruction budget per run (resource governor).
+    pub fuel: Option<u64>,
+    /// `--mem-limit N`: VM heap allocation quota in bytes (resource
+    /// governor); see [`impact_vm::Memory::set_quota`].
+    pub mem_limit: Option<u64>,
+    /// `--time-limit-ms N` (batch): per-attempt wall-clock deadline.
+    pub time_limit_ms: Option<u64>,
+    /// `--retries N` (batch): re-attempts for transient failures.
+    pub retries: Option<u32>,
+    /// `--retry-base-ms N` (batch): base delay of the exponential backoff.
+    pub retry_base_ms: Option<u64>,
+    /// `--report-dir DIR` (batch): where crash reports and minimized
+    /// reproducers are persisted.
+    pub report_dir: Option<String>,
+    /// `--fault-unit NAME` (batch): arm the `--fault` specs for this unit
+    /// only; every other unit runs fault-free.
+    pub fault_unit: Option<String>,
+    /// `--workloads` (batch): add the twelve bundled benchmarks as units.
+    pub workloads: bool,
 }
 
 impl Options {
@@ -81,6 +106,14 @@ impl Options {
             opt: false,
             faults: Vec::new(),
             quiet: false,
+            fuel: None,
+            mem_limit: None,
+            time_limit_ms: None,
+            retries: None,
+            retry_base_ms: None,
+            report_dir: None,
+            fault_unit: None,
+            workloads: false,
         };
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -130,6 +163,39 @@ impl Options {
                     opts.faults.push(v.clone());
                 }
                 "--quiet" => opts.quiet = true,
+                "--fuel" => {
+                    let v = it.next().ok_or("--fuel needs a number".to_string())?;
+                    opts.fuel = Some(v.parse().map_err(|_| "bad --fuel")?);
+                }
+                "--mem-limit" => {
+                    let v = it.next().ok_or("--mem-limit needs a number".to_string())?;
+                    opts.mem_limit = Some(v.parse().map_err(|_| "bad --mem-limit")?);
+                }
+                "--time-limit-ms" => {
+                    let v = it
+                        .next()
+                        .ok_or("--time-limit-ms needs a number".to_string())?;
+                    opts.time_limit_ms = Some(v.parse().map_err(|_| "bad --time-limit-ms")?);
+                }
+                "--retries" => {
+                    let v = it.next().ok_or("--retries needs a number".to_string())?;
+                    opts.retries = Some(v.parse().map_err(|_| "bad --retries")?);
+                }
+                "--retry-base-ms" => {
+                    let v = it
+                        .next()
+                        .ok_or("--retry-base-ms needs a number".to_string())?;
+                    opts.retry_base_ms = Some(v.parse().map_err(|_| "bad --retry-base-ms")?);
+                }
+                "--report-dir" => {
+                    let v = it.next().ok_or("--report-dir needs a path".to_string())?;
+                    opts.report_dir = Some(v.clone());
+                }
+                "--fault-unit" => {
+                    let v = it.next().ok_or("--fault-unit needs a name".to_string())?;
+                    opts.fault_unit = Some(v.clone());
+                }
+                "--workloads" => opts.workloads = true,
                 other if other.starts_with("--") => {
                     return Err(format!("unknown option `{other}`\n{}", usage()));
                 }
@@ -151,6 +217,39 @@ impl Options {
                 .map_err(|e| format!("bad --fault `{spec}`: {e}"))?;
         }
         Ok(plan)
+    }
+
+    /// Builds the VM configuration from the resource-governor flags,
+    /// threading `fault` through it. Validates `--fuel` and
+    /// `--mem-limit` the same way `--budget`/`--stack-bound` are.
+    ///
+    /// # Errors
+    ///
+    /// Returns an actionable message for out-of-range values.
+    pub fn vm_config(&self, fault: FaultPlan) -> Result<VmConfig, String> {
+        let mut cfg = VmConfig {
+            fault,
+            ..VmConfig::default()
+        };
+        if let Some(fuel) = self.fuel {
+            if fuel == 0 {
+                return Err("--fuel 0 would stop the VM before its first instruction; \
+                     use a positive instruction budget (default 2000000000)"
+                    .to_string());
+            }
+            cfg.max_steps = fuel;
+        }
+        if let Some(limit) = self.mem_limit {
+            if limit == 0 {
+                return Err(
+                    "--mem-limit 0 would reject the program's first allocation; \
+                     use a positive heap quota in bytes"
+                        .to_string(),
+                );
+            }
+            cfg.mem_limit = Some(limit);
+        }
+        Ok(cfg)
     }
 
     /// Builds the inline configuration from the flags.
@@ -213,6 +312,11 @@ pub fn usage() -> String {
      \x20 inline <files.c...>             profile, inline-expand, report, re-run\n\
      \x20 callgraph <files.c...>          print the weighted call graph (DOT)\n\
      \x20 bench <name>                    run one bundled benchmark end to end\n\
+     \x20 batch <dirs|files|bench:N...>   supervised batch compilation: every unit\n\
+     \x20                                 runs isolated under the resource governor;\n\
+     \x20                                 failures are retried, then quarantined with\n\
+     \x20                                 a crash report (exit 0 all ok, 10 partial,\n\
+     \x20                                 11 none succeeded)\n\
      \n\
      options:\n\
      \x20 --input name=path               make a file visible to the program (repeatable)\n\
@@ -227,7 +331,19 @@ pub fn usage() -> String {
      \x20 --opt                           run classical optimizations after expansion\n\
      \x20 --fault KEY[=N]                 arm a deterministic fault point (repeatable),\n\
      \x20                                 e.g. expand:verify:1, vm:oom=3, profile:parse\n\
-     \x20 --quiet                         suppress IL dumps\n"
+     \x20 --quiet                         suppress IL dumps\n\
+     \n\
+     resource governor (run/inline/bench/batch):\n\
+     \x20 --fuel N                        VM instruction budget per run\n\
+     \x20 --mem-limit N                   VM heap allocation quota in bytes\n\
+     \n\
+     batch supervision:\n\
+     \x20 --time-limit-ms N               per-attempt wall-clock deadline (default 10000)\n\
+     \x20 --retries N                     re-attempts for transient failures (default 2)\n\
+     \x20 --retry-base-ms N               backoff base delay (default 25)\n\
+     \x20 --report-dir DIR                persist JSON crash reports + reproducers\n\
+     \x20 --fault-unit NAME               arm --fault specs for this unit only\n\
+     \x20 --workloads                     add the twelve bundled benchmarks as units\n"
         .to_string()
 }
 
@@ -274,7 +390,7 @@ fn load_inputs(pairs: &[(String, String)]) -> Result<Vec<NamedFile>, String> {
 }
 
 /// One profiling/benchmark run: named input files plus program arguments.
-type RunSpec = (Vec<NamedFile>, Vec<String>);
+pub type RunSpec = (Vec<NamedFile>, Vec<String>);
 
 /// Acquires a profile with graceful degradation: a corrupt `--profile-in`
 /// (or the `profile:parse` fault point), and a trapping profiling run,
@@ -482,6 +598,193 @@ fn render_incidents(out: &mut String, incidents: &[Incident]) {
     );
 }
 
+/// The full profile → inline → verify → guard → optimize pipeline over
+/// already-loaded sources, with every hard failure classified as a
+/// [`PipelineFailure`] so the batch supervisor (and the `inline` command)
+/// can make retry/quarantine decisions and match failure signatures.
+///
+/// The post-inline verification step doubles as the pipeline's one
+/// *unrecovered* failure point: the `inline:verify` fault key injects a
+/// verification failure here, modeling the class of hard failures that
+/// the recovery layer of PR 1 cannot absorb.
+///
+/// # Errors
+///
+/// Returns the classified failure; `Ok` carries `(exit_code, report)`.
+pub fn inline_pipeline(
+    sources: &[Source],
+    runs: &[RunSpec],
+    opts: &Options,
+) -> Result<(i32, String), PipelineFailure> {
+    let mut out = String::new();
+    let config_err = |e: String| PipelineFailure::new("config", "bad-flag", e);
+    let cfg = opts.inline_config().map_err(config_err)?;
+    let fault = cfg.fault.clone();
+    let vm_cfg = opts.vm_config(fault.clone()).map_err(config_err)?;
+    let mut module = compile(sources)
+        .map_err(|e| PipelineFailure::new("compile", e.message.clone(), e.render(sources)))?;
+    verify_module(&module).map_err(|es| {
+        PipelineFailure::new(
+            "verify",
+            "post-compile-verify-failed",
+            render_verify_errors(&es),
+        )
+    })?;
+    let module0 = module.clone();
+    let mut incidents: Vec<Incident> = Vec::new();
+    let profile = acquire_profile(
+        &module,
+        runs,
+        &vm_cfg,
+        opts.profile_in.as_deref(),
+        cfg.weight_threshold,
+        &mut incidents,
+        &mut out,
+    )
+    .map_err(|e| PipelineFailure::new("io", "profile-read-failed", e))?;
+    if let Some(path) = &opts.profile_out {
+        std::fs::write(path, profile.to_text()).map_err(|e| {
+            PipelineFailure::new(
+                "io",
+                "profile-write-failed",
+                format!("cannot write profile `{path}`: {e}"),
+            )
+        })?;
+    }
+    let report = inline_module(&mut module, &profile.averaged(), &cfg);
+    incidents.extend(report.incidents.iter().cloned());
+    // The one unrecovered failure point: a module that fails verification
+    // *after* inlining has no safe fallback short of abandoning the unit,
+    // so it surfaces as a hard `inline:verify-failed` error (and the
+    // `inline:verify` fault key injects exactly this failure).
+    let verified = if fault.should_fail("inline:verify") {
+        Err("fault injection: post-inline verification rejected the module".to_string())
+    } else {
+        verify_module(&module).map_err(|es| render_verify_errors(&es))
+    };
+    if let Err(detail) = verified {
+        let mut f = PipelineFailure::new(
+            "inline",
+            "verify-failed",
+            format!("post-inline verification failed: {detail}"),
+        );
+        f.incidents = incidents.iter().map(|i| i.to_string()).collect();
+        return Err(f);
+    }
+    differential_guard(
+        &mut module,
+        &module0,
+        &report.records,
+        !report.promoted.is_empty(),
+        cfg.eliminate_unreachable,
+        runs,
+        &mut incidents,
+        &mut out,
+    );
+    if opts.opt {
+        let pre_opt = module.clone();
+        let (_, skipped, fixpoints) = optimize_module_isolated(&mut module, &fault);
+        for s in skipped {
+            incidents.push(Incident {
+                stage: IncidentStage::OptPass,
+                subject: format!("pass `{}` on `{}`", s.pass, s.func),
+                detail: s.reason,
+                rolled_back: true,
+            });
+        }
+        for fx in fixpoints {
+            incidents.push(Incident {
+                stage: IncidentStage::OptFixpoint,
+                detail: fx.to_string(),
+                subject: format!("optimizer fixpoint in `{}`", fx.func),
+                rolled_back: false,
+            });
+        }
+        // The optimizer gets the same never-ship-a-miscompile
+        // treatment, but wholesale: verify and re-compare, and
+        // revert the whole optimization on any failure.
+        let broken = verify_module(&module).is_err()
+            || behavior(&module, runs).ok() != behavior(&pre_opt, runs).ok();
+        if broken {
+            module = pre_opt;
+            incidents.push(Incident {
+                stage: IncidentStage::Divergence,
+                subject: "post-inline optimization".to_string(),
+                detail: "optimized module failed verification or diverged; \
+                         optimization reverted"
+                    .to_string(),
+                rolled_back: true,
+            });
+        }
+    }
+    let totals = report.classification.static_totals();
+    let _ = writeln!(
+        out,
+        "; sites: {} total / {} external / {} pointer / {} unsafe / {} safe",
+        totals.total(),
+        totals.external,
+        totals.pointer,
+        totals.r#unsafe,
+        totals.safe
+    );
+    // Summary lines reflect the *final* module: the differential
+    // guard may have rolled expansions back since the report was
+    // built, changing both code size and which functions died.
+    let size_after = module.total_size();
+    let _ = writeln!(
+        out,
+        "; expanded {} arcs; code size {} -> {} ({:+.1}%)",
+        report.expanded.len(),
+        report.size_before,
+        size_after,
+        if report.size_before == 0 {
+            0.0
+        } else {
+            100.0 * (size_after as f64 - report.size_before as f64) / report.size_before as f64
+        }
+    );
+    let removed: Vec<&str> = module0
+        .functions
+        .iter()
+        .map(|f| f.name.as_str())
+        .filter(|n| module.functions.iter().all(|f| f.name != *n))
+        .collect();
+    if !removed.is_empty() {
+        let _ = writeln!(out, "; removed: {}", removed.join(", "));
+    }
+    if !report.promoted.is_empty() {
+        let _ = writeln!(
+            out,
+            "; promoted {} indirect site(s) to guarded direct calls",
+            report.promoted.len()
+        );
+    }
+    match profile_runs(&module, runs, &VmConfig::default()) {
+        Ok((after, _)) => {
+            let _ = writeln!(
+                out,
+                "; dynamic calls {} -> {} ({:.1}% eliminated)",
+                profile.calls,
+                after.calls,
+                if profile.calls == 0 {
+                    0.0
+                } else {
+                    100.0 * profile.calls.saturating_sub(after.calls) as f64 / profile.calls as f64
+                }
+            );
+        }
+        Err(e) => {
+            let _ = writeln!(out, "; warning: post-inline measurement run trapped: {e}");
+        }
+    }
+    warn_unfired(&mut out, &fault);
+    render_incidents(&mut out, &incidents);
+    if !opts.quiet {
+        out.push_str(&module_to_string(&module));
+    }
+    Ok((0, out))
+}
+
 /// Executes a parsed command; returns the process exit code and the text
 /// to print.
 ///
@@ -507,10 +810,7 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
         "run" => {
             let module = compile_sources(&opts.positional)?;
             let inputs = load_inputs(&opts.inputs)?;
-            let vm_cfg = VmConfig {
-                fault: opts.fault_plan()?,
-                ..VmConfig::default()
-            };
+            let vm_cfg = opts.vm_config(opts.fault_plan()?)?;
             let result = impact_vm::run(&module, inputs, opts.args.clone(), &vm_cfg)
                 .map_err(|e| e.to_string())?;
             if let Some(path) = &opts.profile_out {
@@ -527,139 +827,10 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
             Ok((result.exit_code as i32, out))
         }
         "inline" => {
-            let cfg = opts.inline_config()?;
-            let fault = cfg.fault.clone();
-            let vm_cfg = VmConfig {
-                fault: fault.clone(),
-                ..VmConfig::default()
-            };
-            let mut module = compile_sources(&opts.positional)?;
-            let module0 = module.clone();
+            let sources = read_sources(&opts.positional)?;
             let inputs = load_inputs(&opts.inputs)?;
             let runs = vec![(inputs, opts.args.clone())];
-            let mut incidents: Vec<Incident> = Vec::new();
-            let profile = acquire_profile(
-                &module,
-                &runs,
-                &vm_cfg,
-                opts.profile_in.as_deref(),
-                cfg.weight_threshold,
-                &mut incidents,
-                &mut out,
-            )?;
-            if let Some(path) = &opts.profile_out {
-                std::fs::write(path, profile.to_text())
-                    .map_err(|e| format!("cannot write profile `{path}`: {e}"))?;
-            }
-            let report = inline_module(&mut module, &profile.averaged(), &cfg);
-            verify_module(&module).map_err(|es| render_verify_errors(&es))?;
-            incidents.extend(report.incidents.iter().cloned());
-            differential_guard(
-                &mut module,
-                &module0,
-                &report.records,
-                !report.promoted.is_empty(),
-                cfg.eliminate_unreachable,
-                &runs,
-                &mut incidents,
-                &mut out,
-            );
-            if opts.opt {
-                let pre_opt = module.clone();
-                let (_, skipped) = optimize_module_isolated(&mut module, &fault);
-                for s in skipped {
-                    incidents.push(Incident {
-                        stage: IncidentStage::OptPass,
-                        subject: format!("pass `{}` on `{}`", s.pass, s.func),
-                        detail: s.reason,
-                        rolled_back: true,
-                    });
-                }
-                // The optimizer gets the same never-ship-a-miscompile
-                // treatment, but wholesale: verify and re-compare, and
-                // revert the whole optimization on any failure.
-                let broken = verify_module(&module).is_err()
-                    || behavior(&module, &runs).ok() != behavior(&pre_opt, &runs).ok();
-                if broken {
-                    module = pre_opt;
-                    incidents.push(Incident {
-                        stage: IncidentStage::Divergence,
-                        subject: "post-inline optimization".to_string(),
-                        detail: "optimized module failed verification or diverged; \
-                                 optimization reverted"
-                            .to_string(),
-                        rolled_back: true,
-                    });
-                }
-            }
-            let totals = report.classification.static_totals();
-            let _ = writeln!(
-                out,
-                "; sites: {} total / {} external / {} pointer / {} unsafe / {} safe",
-                totals.total(),
-                totals.external,
-                totals.pointer,
-                totals.r#unsafe,
-                totals.safe
-            );
-            // Summary lines reflect the *final* module: the differential
-            // guard may have rolled expansions back since the report was
-            // built, changing both code size and which functions died.
-            let size_after = module.total_size();
-            let _ = writeln!(
-                out,
-                "; expanded {} arcs; code size {} -> {} ({:+.1}%)",
-                report.expanded.len(),
-                report.size_before,
-                size_after,
-                if report.size_before == 0 {
-                    0.0
-                } else {
-                    100.0 * (size_after as f64 - report.size_before as f64)
-                        / report.size_before as f64
-                }
-            );
-            let removed: Vec<&str> = module0
-                .functions
-                .iter()
-                .map(|f| f.name.as_str())
-                .filter(|n| module.functions.iter().all(|f| f.name != *n))
-                .collect();
-            if !removed.is_empty() {
-                let _ = writeln!(out, "; removed: {}", removed.join(", "));
-            }
-            if !report.promoted.is_empty() {
-                let _ = writeln!(
-                    out,
-                    "; promoted {} indirect site(s) to guarded direct calls",
-                    report.promoted.len()
-                );
-            }
-            match profile_runs(&module, &runs, &VmConfig::default()) {
-                Ok((after, _)) => {
-                    let _ = writeln!(
-                        out,
-                        "; dynamic calls {} -> {} ({:.1}% eliminated)",
-                        profile.calls,
-                        after.calls,
-                        if profile.calls == 0 {
-                            0.0
-                        } else {
-                            100.0 * profile.calls.saturating_sub(after.calls) as f64
-                                / profile.calls as f64
-                        }
-                    );
-                }
-                Err(e) => {
-                    let _ = writeln!(out, "; warning: post-inline measurement run trapped: {e}");
-                }
-            }
-            warn_unfired(&mut out, &fault);
-            render_incidents(&mut out, &incidents);
-            if !opts.quiet {
-                out.push_str(&module_to_string(&module));
-            }
-            Ok((0, out))
+            inline_pipeline(&sources, &runs, opts).map_err(|f| f.render())
         }
         "callgraph" => {
             let module = compile_sources(&opts.positional)?;
@@ -679,10 +850,7 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
             let b = impact_workloads::benchmark(name)
                 .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
             let cfg = opts.inline_config()?;
-            let vm_cfg = VmConfig {
-                fault: cfg.fault.clone(),
-                ..VmConfig::default()
-            };
+            let vm_cfg = opts.vm_config(cfg.fault.clone())?;
             let mut module = b.compile().map_err(|e| e.render(&b.sources()))?;
             let module0 = module.clone();
             let runs = b.profile_run_set(4);
@@ -730,6 +898,7 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
             }
             Ok((0, out))
         }
+        "batch" => supervise::run_batch(opts),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
 }
@@ -939,6 +1108,58 @@ mod recovery_tests {
         // The boundary value 1.0 is allowed.
         let o = Options::parse(&strs(&["inline", "x.c", "--budget", "1.0"])).unwrap();
         assert_eq!(o.inline_config().unwrap().code_growth_limit, 1.0);
+    }
+
+    #[test]
+    fn governor_flag_validation() {
+        let o = Options::parse(&strs(&["run", "x.c", "--fuel", "0"])).unwrap();
+        let err = o.vm_config(FaultPlan::new()).unwrap_err();
+        assert!(err.contains("--fuel"), "unactionable message: {err}");
+        let o = Options::parse(&strs(&["run", "x.c", "--mem-limit", "0"])).unwrap();
+        let err = o.vm_config(FaultPlan::new()).unwrap_err();
+        assert!(err.contains("--mem-limit"), "unactionable message: {err}");
+        let o = Options::parse(&strs(&[
+            "run",
+            "x.c",
+            "--fuel",
+            "500",
+            "--mem-limit",
+            "4096",
+        ]))
+        .unwrap();
+        let cfg = o.vm_config(FaultPlan::new()).unwrap();
+        assert_eq!(cfg.max_steps, 500);
+        assert_eq!(cfg.mem_limit, Some(4096));
+    }
+
+    #[test]
+    fn fuel_flag_bounds_a_run() {
+        let src = write_src(
+            "impactc-governor1",
+            "spin.c",
+            "int main() { int i; int s; s = 0; for (i = 0; i < 100000; i++) s += i; return s & 1; }",
+        );
+        let o = Options::parse(&strs(&["run", &src, "--fuel", "50"])).unwrap();
+        let err = execute(&o).unwrap_err();
+        assert!(err.contains("instruction budget"), "{err}");
+    }
+
+    #[test]
+    fn mem_limit_flag_bounds_a_run() {
+        let src = write_src(
+            "impactc-governor2",
+            "alloc.c",
+            "extern long __malloc(long n);\n\
+             int main() { long p; p = __malloc(100000); if (p == 0) return 1; return 0; }",
+        );
+        // Without a quota the allocation succeeds...
+        let o = Options::parse(&strs(&["run", &src])).unwrap();
+        let (code, _) = execute(&o).unwrap();
+        assert_eq!(code, 0);
+        // ...and the governor's quota makes the program observe NULL.
+        let o = Options::parse(&strs(&["run", &src, "--mem-limit", "1024"])).unwrap();
+        let (code, _) = execute(&o).unwrap();
+        assert_eq!(code, 1);
     }
 
     #[test]

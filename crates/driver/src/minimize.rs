@@ -1,0 +1,267 @@
+//! Source-level delta-debugging reproducer minimization.
+//!
+//! PR 1's differential safety net bisects *arcs* to isolate one offending
+//! expansion. This module generalizes the idea to the *source* level: when
+//! the batch supervisor quarantines a unit, it greedily shrinks the unit's
+//! C source while a caller-supplied predicate confirms that the failure
+//! signature is preserved, producing the smallest reproducer the budget
+//! allows. The result is embedded in the crash report and written as a
+//! `.repro.c` file that replays with `impactc inline`.
+//!
+//! Two greedy phases, coarse to fine:
+//!
+//! 1. **top-level chunks** — whole functions and global declarations,
+//!    found by brace/semicolon scanning at nesting depth zero (string,
+//!    character, and comment syntax is respected so a `{` in a literal
+//!    never confuses the chunker);
+//! 2. **lines** — repeated single-line removal sweeps until a sweep
+//!    removes nothing or the evaluation budget is exhausted.
+//!
+//! Every candidate is validated with the predicate before it is kept, so
+//! the output is *always* a true reproducer; the phases only affect how
+//! small it gets.
+
+/// The outcome of a minimization run.
+#[derive(Clone, Debug)]
+pub struct ShrinkResult {
+    /// The minimized source text (still triggers the original signature).
+    pub source: String,
+    /// Byte length of the original source.
+    pub original_bytes: usize,
+    /// Byte length of the minimized source.
+    pub reduced_bytes: usize,
+    /// Candidate evaluations spent.
+    pub evals: usize,
+}
+
+/// Splits C source into top-level chunks: every byte of the input lands in
+/// exactly one chunk, and chunk boundaries fall after a `}` or `;` at
+/// brace depth zero (plus any trailing whitespace up to and including the
+/// newline). Comments and string/char literals are skipped, so braces
+/// inside them do not affect the depth.
+pub fn top_level_chunks(text: &str) -> Vec<String> {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment,
+        Str,
+        Chr,
+    }
+    let bytes = text.as_bytes();
+    let mut chunks = Vec::new();
+    let mut depth: i64 = 0;
+    let mut start = 0usize;
+    let mut st = St::Code;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match st {
+            St::Code => match b {
+                b'/' if bytes.get(i + 1) == Some(&b'/') => st = St::LineComment,
+                b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                    st = St::BlockComment;
+                    i += 1;
+                }
+                b'"' => st = St::Str,
+                b'\'' => st = St::Chr,
+                b'{' => depth += 1,
+                b'}' | b';' => {
+                    if b == b'}' {
+                        depth -= 1;
+                    }
+                    if depth <= 0 {
+                        // Extend through trailing horizontal space and one
+                        // newline so removing a chunk removes its line.
+                        let mut end = i + 1;
+                        while end < bytes.len() && (bytes[end] == b' ' || bytes[end] == b'\t') {
+                            end += 1;
+                        }
+                        if end < bytes.len() && bytes[end] == b'\r' {
+                            end += 1;
+                        }
+                        if end < bytes.len() && bytes[end] == b'\n' {
+                            end += 1;
+                        }
+                        chunks.push(text[start..end].to_string());
+                        start = end;
+                        i = end;
+                        continue;
+                    }
+                }
+                _ => {}
+            },
+            St::LineComment => {
+                if b == b'\n' {
+                    st = St::Code;
+                }
+            }
+            St::BlockComment => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    st = St::Code;
+                    i += 1;
+                }
+            }
+            St::Str => match b {
+                b'\\' => i += 1,
+                b'"' => st = St::Code,
+                _ => {}
+            },
+            St::Chr => match b {
+                b'\\' => i += 1,
+                b'\'' => st = St::Code,
+                _ => {}
+            },
+        }
+        i += 1;
+    }
+    if start < bytes.len() {
+        chunks.push(text[start..].to_string());
+    }
+    chunks
+}
+
+/// Greedily minimizes `original` under `check` (which must return `true`
+/// when a candidate still triggers the original failure signature).
+/// `check` is never called on the original text — the caller has already
+/// established that it fails. At most `max_evals` candidates are tried.
+pub fn shrink(
+    original: &str,
+    check: &mut dyn FnMut(&str) -> bool,
+    max_evals: usize,
+) -> ShrinkResult {
+    let mut evals = 0usize;
+    let budget = |evals: &mut usize| {
+        *evals += 1;
+        *evals <= max_evals
+    };
+
+    // Phase 1: drop whole top-level chunks, scanning from the end so that
+    // helpers defined above their callers tend to be removed after the
+    // callers that reference them are gone.
+    let mut chunks = top_level_chunks(original);
+    let mut i = chunks.len();
+    while i > 0 {
+        i -= 1;
+        if chunks.len() <= 1 {
+            break;
+        }
+        if !budget(&mut evals) {
+            break;
+        }
+        let removed = chunks.remove(i);
+        let candidate: String = chunks.concat();
+        if !check(&candidate) {
+            chunks.insert(i, removed);
+        }
+    }
+    let mut current: String = chunks.concat();
+
+    // Phase 2: repeated single-line removal sweeps.
+    loop {
+        let mut lines: Vec<&str> = current.split_inclusive('\n').collect();
+        let mut changed = false;
+        let mut j = lines.len();
+        let mut out_of_budget = false;
+        while j > 0 {
+            j -= 1;
+            if lines.len() <= 1 {
+                break;
+            }
+            // Blank lines never affect a failure signature: drop them for
+            // free (this also guarantees progress on padded sources).
+            if lines[j].trim().is_empty() {
+                lines.remove(j);
+                changed = true;
+                continue;
+            }
+            if !budget(&mut evals) {
+                out_of_budget = true;
+                break;
+            }
+            let removed = lines.remove(j);
+            let candidate: String = lines.concat();
+            if check(&candidate) {
+                changed = true;
+            } else {
+                lines.insert(j, removed);
+            }
+        }
+        current = lines.concat();
+        if !changed || out_of_budget {
+            break;
+        }
+    }
+
+    ShrinkResult {
+        original_bytes: original.len(),
+        reduced_bytes: current.len(),
+        evals: evals.min(max_evals),
+        source: current,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROG: &str = "int helper(int x) { return x + 1; }\n\
+        int unused(int y) { char s[4]; s[0] = '{'; return y; }\n\
+        /* a { comment } */\n\
+        int main() { return helper(41); }\n";
+
+    #[test]
+    fn chunker_covers_the_whole_text() {
+        let chunks = top_level_chunks(PROG);
+        assert_eq!(chunks.concat(), PROG, "chunks partition the input");
+        assert!(
+            chunks.len() >= 3,
+            "one chunk per top-level item: {chunks:?}"
+        );
+    }
+
+    #[test]
+    fn chunker_ignores_braces_in_literals_and_comments() {
+        let chunks = top_level_chunks(PROG);
+        // `unused` ends at its real closing brace despite '{' in a char
+        // literal; the comment is glued to the following chunk or its own.
+        assert!(chunks.iter().any(|c| c.contains("unused")));
+        let unused = chunks.iter().find(|c| c.contains("unused")).unwrap();
+        assert!(unused.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn shrink_drops_everything_the_predicate_allows() {
+        // Failure "signature": source still defines main.
+        let mut check = |s: &str| s.contains("int main");
+        let r = shrink(PROG, &mut check, 100);
+        assert!(r.source.contains("int main"));
+        assert!(!r.source.contains("unused"), "{}", r.source);
+        assert!(!r.source.contains("helper(int"), "{}", r.source);
+        assert!(r.reduced_bytes < r.original_bytes);
+        assert!(r.evals > 0);
+    }
+
+    #[test]
+    fn shrink_respects_the_eval_budget() {
+        let mut calls = 0usize;
+        let mut check = |_: &str| {
+            calls += 1;
+            false
+        };
+        let r = shrink(PROG, &mut check, 3);
+        assert!(calls <= 3);
+        assert_eq!(r.evals, 3);
+        // Nothing could be dropped except blank lines; text survives.
+        assert!(r.source.contains("unused"));
+    }
+
+    #[test]
+    fn shrink_keeps_semantically_required_lines() {
+        // The predicate requires both main and helper to survive.
+        let mut check = |s: &str| s.contains("main") && s.contains("helper(41)");
+        let r = shrink(PROG, &mut check, 200);
+        assert!(r.source.contains("helper(41)"));
+        assert!(!r.source.contains("unused"));
+    }
+}

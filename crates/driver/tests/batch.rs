@@ -1,0 +1,189 @@
+//! End-to-end batch supervision tests: the partial-success exit
+//! contract, quarantine isolation, crash-report persistence, and
+//! reproducer minimization + replay.
+
+use impact_driver::supervise::{EXIT_ALL_FAILED, EXIT_ALL_OK, EXIT_PARTIAL};
+use impact_driver::{execute, Options};
+
+fn strs(v: &[&str]) -> Vec<String> {
+    v.iter().map(|s| s.to_string()).collect()
+}
+
+/// A fresh temp directory of compilable units.
+fn unit_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("impactc-batch-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("alpha.c"),
+        "int twice(int x) { return x + x; }\n\
+         int main() { int i; int s; s = 0; for (i = 0; i < 40; i++) s += twice(i); return s & 0xff; }\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("beta.c"),
+        "int inc(int x) { return x + 1; }\n\
+         int main() { int i; int s; s = 0; for (i = 0; i < 30; i++) s = inc(s); return s; }\n",
+    )
+    .unwrap();
+    std::fs::write(dir.join("gamma.c"), "int main() { return 7; }\n").unwrap();
+    dir
+}
+
+#[test]
+fn all_units_succeed_exits_zero() {
+    let dir = unit_dir("ok");
+    let o = Options::parse(&strs(&["batch", dir.to_str().unwrap()])).unwrap();
+    let (code, out) = execute(&o).unwrap();
+    assert_eq!(code, EXIT_ALL_OK, "{out}");
+    assert!(out.contains("3 units, 3 ok, 0 quarantined"), "{out}");
+}
+
+#[test]
+fn faulted_unit_quarantines_alone_and_leaves_a_minimized_replayable_report() {
+    let dir = unit_dir("fault");
+    let report_dir = dir.join("reports");
+    let beta = dir.join("beta.c");
+    let o = Options::parse(&strs(&[
+        "batch",
+        dir.to_str().unwrap(),
+        "--fault",
+        "inline:verify",
+        "--fault-unit",
+        beta.to_str().unwrap(),
+        "--retries",
+        "1",
+        "--retry-base-ms",
+        "1",
+        "--report-dir",
+        report_dir.to_str().unwrap(),
+    ]))
+    .unwrap();
+    let (code, out) = execute(&o).unwrap();
+
+    // Exactly one unit quarantined; the others still compiled.
+    assert_eq!(code, EXIT_PARTIAL, "{out}");
+    assert!(out.contains("3 units, 2 ok, 1 quarantined"), "{out}");
+    assert!(out.contains("inline:verify-failed"), "{out}");
+
+    // Exactly one crash report, for beta.
+    let jsons: Vec<_> = std::fs::read_dir(&report_dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    assert_eq!(jsons.len(), 1, "one crash report expected: {jsons:?}");
+    let json = std::fs::read_to_string(&jsons[0]).unwrap();
+    assert!(
+        json.contains("\"signature\": \"inline:verify-failed\""),
+        "{json}"
+    );
+    assert!(
+        json.contains("\"taxonomy\": \"persistent-after-retries\""),
+        "{json}"
+    );
+    // Retried once before quarantine: two attempts in the history.
+    assert_eq!(json.matches("\"attempt\":").count(), 2, "{json}");
+
+    // The reproducer is strictly smaller than the original unit...
+    let repro: Vec<_> = std::fs::read_dir(&report_dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.to_str().is_some_and(|s| s.ends_with(".repro.c")))
+        .collect();
+    assert_eq!(repro.len(), 1, "one reproducer expected");
+    let repro_src = std::fs::read_to_string(&repro[0]).unwrap();
+    let original = std::fs::read_to_string(&beta).unwrap();
+    assert!(
+        repro_src.len() < original.len(),
+        "reproducer ({} bytes) must be strictly smaller than the unit ({} bytes)",
+        repro_src.len(),
+        original.len()
+    );
+
+    // ...and replays the same failure signature under `impactc inline`.
+    let o = Options::parse(&strs(&[
+        "inline",
+        repro[0].to_str().unwrap(),
+        "--quiet",
+        "--fault",
+        "inline:verify",
+    ]))
+    .unwrap();
+    let err = execute(&o).unwrap_err();
+    assert!(
+        err.contains("[signature: inline:verify-failed]"),
+        "replay must hit the recorded signature: {err}"
+    );
+}
+
+#[test]
+fn every_unit_failing_exits_all_failed() {
+    let dir = unit_dir("allfail");
+    // Arm the fault for every unit (no --fault-unit gate).
+    let o = Options::parse(&strs(&[
+        "batch",
+        dir.to_str().unwrap(),
+        "--fault",
+        "inline:verify",
+        "--retries",
+        "0",
+    ]))
+    .unwrap();
+    let (code, out) = execute(&o).unwrap();
+    assert_eq!(code, EXIT_ALL_FAILED, "{out}");
+    assert!(out.contains("3 units, 0 ok, 3 quarantined"), "{out}");
+}
+
+#[test]
+fn compile_errors_are_persistent_and_not_retried() {
+    let dir = unit_dir("syntax");
+    std::fs::write(dir.join("broken.c"), "int main( { return; }\n").unwrap();
+    let report_dir = dir.join("reports");
+    let o = Options::parse(&strs(&[
+        "batch",
+        dir.to_str().unwrap(),
+        "--retries",
+        "3",
+        "--retry-base-ms",
+        "1",
+        "--report-dir",
+        report_dir.to_str().unwrap(),
+    ]))
+    .unwrap();
+    let (code, out) = execute(&o).unwrap();
+    assert_eq!(code, EXIT_PARTIAL, "{out}");
+    assert!(out.contains("4 units, 3 ok, 1 quarantined"), "{out}");
+    let json_path = std::fs::read_dir(&report_dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| p.extension().is_some_and(|x| x == "json"))
+        .expect("crash report written");
+    let json = std::fs::read_to_string(json_path).unwrap();
+    assert!(json.contains("\"taxonomy\": \"persistent\""), "{json}");
+    assert!(json.contains("\"stage\": \"compile\""), "{json}");
+    // Deterministic failure: one attempt despite --retries 3.
+    assert_eq!(json.matches("\"attempt\":").count(), 1, "{json}");
+}
+
+#[test]
+fn bench_units_run_alongside_files() {
+    let dir = unit_dir("mixed");
+    let o = Options::parse(&strs(&[
+        "batch",
+        dir.join("gamma.c").to_str().unwrap(),
+        "bench:wc",
+    ]))
+    .unwrap();
+    let (code, out) = execute(&o).unwrap();
+    assert_eq!(code, EXIT_ALL_OK, "{out}");
+    assert!(out.contains("2 units, 2 ok, 0 quarantined"), "{out}");
+    assert!(out.contains("bench:wc"), "{out}");
+}
+
+#[test]
+fn batch_with_no_units_is_a_usage_error() {
+    let o = Options::parse(&strs(&["batch"])).unwrap();
+    let err = execute(&o).unwrap_err();
+    assert!(err.contains("batch needs at least one unit"), "{err}");
+}

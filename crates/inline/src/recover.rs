@@ -39,6 +39,9 @@ pub enum IncidentStage {
     Promote,
     /// An optimization pass on one function.
     OptPass,
+    /// The optimizer's fixpoint loop hit its round cap while passes were
+    /// still reporting changes (pass oscillation).
+    OptFixpoint,
     /// Profile acquisition (corrupt file or trapping profiling run).
     Profile,
     /// The differential safety net observed a behavior divergence.
@@ -51,6 +54,7 @@ impl fmt::Display for IncidentStage {
             IncidentStage::Expand => "expand",
             IncidentStage::Promote => "promote",
             IncidentStage::OptPass => "opt",
+            IncidentStage::OptFixpoint => "opt:fixpoint",
             IncidentStage::Profile => "profile",
             IncidentStage::Divergence => "differential",
         })

@@ -30,13 +30,20 @@ pub use jump::jump_optimization;
 pub use layout::reorder_blocks;
 pub use peephole::strength_reduce;
 
+/// Hard cap on optimizer fixpoint iterations (both the per-function pass
+/// pipeline and pass-internal loops). Passes that keep reporting changes
+/// past this many rounds are oscillating — e.g. two rewrites that undo
+/// each other — and the loop must stop and report rather than spin.
+pub const MAX_FIXPOINT_ROUNDS: usize = 8;
+
 /// Removes instructions whose results are never used and that have no side
-/// effects. Iterates to a fixpoint within the function.
+/// effects. Iterates to a fixpoint within the function (bounded by
+/// [`MAX_FIXPOINT_ROUNDS`] so a buggy rewrite cannot spin forever).
 ///
 /// Returns the number of instructions removed.
 pub fn dead_code_elimination(func: &mut Function) -> usize {
     let mut removed_total = 0;
-    loop {
+    for _ in 0..MAX_FIXPOINT_ROUNDS {
         let mut used = vec![false; func.num_regs as usize];
         for b in &func.blocks {
             for inst in &b.insts {
@@ -65,19 +72,26 @@ pub fn dead_code_elimination(func: &mut Function) -> usize {
         }
         removed_total += removed;
         if removed == 0 {
-            return removed_total;
+            break;
         }
     }
+    removed_total
 }
 
 /// Runs constant folding, local CSE, copy propagation, dead code
 /// elimination, and jump optimization on one function until nothing
-/// changes (bounded at 8 rounds as a safety valve).
+/// changes (bounded at [`MAX_FIXPOINT_ROUNDS`] as a safety valve; use
+/// [`optimize_function_isolated`] to also *observe* non-convergence).
 ///
 /// Returns the total number of changes.
 pub fn optimize_function(func: &mut Function) -> usize {
     let mut total = 0;
-    for _ in 0..8 {
+    for _ in 0..MAX_FIXPOINT_ROUNDS {
+        // Convergence is structural (the IR stopped changing), not count
+        // based: some passes report work they re-derive every round even
+        // at a stable point, and trusting their counts would spin the
+        // loop to the cap on already-converged functions.
+        let before = func.clone();
         let mut changed = 0;
         changed += constant_fold(func);
         changed += strength_reduce(func);
@@ -86,7 +100,7 @@ pub fn optimize_function(func: &mut Function) -> usize {
         changed += dead_code_elimination(func);
         changed += jump_optimization(func);
         total += changed;
-        if changed == 0 {
+        if changed == 0 || *func == before {
             break;
         }
     }
@@ -114,6 +128,37 @@ pub struct SkippedPass {
     pub reason: String,
 }
 
+/// Diagnosis of an optimizer fixpoint loop that hit
+/// [`MAX_FIXPOINT_ROUNDS`] while passes were still reporting changes —
+/// a pass oscillation. The per-pass change counts of the final round
+/// identify which rewrites are fighting each other.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FixpointDiagnostic {
+    /// The function whose pipeline did not converge.
+    pub func: String,
+    /// Rounds executed before the cap stopped the loop.
+    pub rounds: usize,
+    /// `(pass name, changes it reported in the final round)`, for every
+    /// pass that was still changing the function.
+    pub last_round: Vec<(&'static str, usize)>,
+}
+
+impl std::fmt::Display for FixpointDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let passes = self
+            .last_round
+            .iter()
+            .map(|(name, n)| format!("{name}={n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        write!(
+            f,
+            "fixpoint not reached after {} rounds in `{}`; still changing: {passes}",
+            self.rounds, self.func
+        )
+    }
+}
+
 /// The fixpoint pass pipeline of [`optimize_function`], named for the
 /// isolation layer's incident reports.
 type PassFn = fn(&mut Function) -> usize;
@@ -134,19 +179,32 @@ const PASSES: [(&str, PassFn); 6] = [
 /// instead of taking the compilation down.
 ///
 /// The `opt:pass` fault point deterministically forces the Nth pass
-/// invocation to panic, exercising the recovery path.
+/// invocation to panic, and `opt:fixpoint` forces the Nth function's
+/// pipeline to report non-convergence, exercising both recovery paths.
 ///
-/// Returns the total change count and one [`SkippedPass`] per disabled
-/// pass.
+/// Returns the total change count, one [`SkippedPass`] per disabled
+/// pass, and a [`FixpointDiagnostic`] when the round cap was reached
+/// while passes were still reporting changes (an oscillation — the
+/// function is left in its last, still-verified state rather than
+/// looping forever).
 pub fn optimize_function_isolated(
     func: &mut Function,
     fault: &FaultPlan,
-) -> (usize, Vec<SkippedPass>) {
+) -> (usize, Vec<SkippedPass>, Option<FixpointDiagnostic>) {
     let mut total = 0;
     let mut skipped = Vec::new();
     let mut disabled = [false; PASSES.len()];
-    for _ in 0..8 {
+    // When `opt:fixpoint` fires for this function, the loop behaves as if
+    // every round kept changing: it runs to the cap and reports.
+    let force_oscillation = fault.should_fail("opt:fixpoint");
+    let mut rounds = 0;
+    let mut last_round: Vec<(&'static str, usize)> = Vec::new();
+    let mut converged = false;
+    for _ in 0..MAX_FIXPOINT_ROUNDS {
+        rounds += 1;
+        let before = func.clone();
         let mut changed = 0;
+        last_round.clear();
         for (i, (name, pass)) in PASSES.iter().enumerate() {
             if disabled[i] {
                 continue;
@@ -169,6 +227,9 @@ pub fn optimize_function_isolated(
                 Ok(n) => {
                     *func = scratch;
                     changed += n;
+                    if n > 0 || (force_oscillation && rounds == MAX_FIXPOINT_ROUNDS) {
+                        last_round.push((name, n));
+                    }
                 }
                 Err(payload) => {
                     disabled[i] = true;
@@ -181,27 +242,42 @@ pub fn optimize_function_isolated(
             }
         }
         total += changed;
-        if changed == 0 {
+        // Structural convergence check, as in [`optimize_function`]:
+        // pass change counts over-report at stable points, so the loop
+        // compares the IR itself round over round.
+        if (changed == 0 || *func == before) && !force_oscillation {
+            converged = true;
             break;
         }
     }
-    (total, skipped)
+    let fixpoint = if converged {
+        None
+    } else {
+        Some(FixpointDiagnostic {
+            func: func.name.clone(),
+            rounds,
+            last_round: last_round.clone(),
+        })
+    };
+    (total, skipped, fixpoint)
 }
 
-/// Like [`optimize_module`], but with per-pass isolation (see
-/// [`optimize_function_isolated`]).
+/// Like [`optimize_module`], but with per-pass isolation and fixpoint
+/// oscillation detection (see [`optimize_function_isolated`]).
 pub fn optimize_module_isolated(
     module: &mut Module,
     fault: &FaultPlan,
-) -> (usize, Vec<SkippedPass>) {
+) -> (usize, Vec<SkippedPass>, Vec<FixpointDiagnostic>) {
     let mut total = 0;
     let mut skipped = Vec::new();
+    let mut fixpoints = Vec::new();
     for f in &mut module.functions {
-        let (n, s) = optimize_function_isolated(f, fault);
+        let (n, s, fx) = optimize_function_isolated(f, fault);
         total += n;
         skipped.extend(s);
+        fixpoints.extend(fx);
     }
-    (total, skipped)
+    (total, skipped, fixpoints)
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -464,8 +540,10 @@ mod tests {
         let mut plain = module.clone();
         let mut isolated = module.clone();
         let n_plain = optimize_module(&mut plain);
-        let (n_iso, skipped) = optimize_module_isolated(&mut isolated, &FaultPlan::new());
+        let (n_iso, skipped, fixpoints) =
+            optimize_module_isolated(&mut isolated, &FaultPlan::new());
         assert!(skipped.is_empty());
+        assert!(fixpoints.is_empty(), "healthy pipelines converge");
         assert_eq!(n_plain, n_iso);
         assert_eq!(
             impact_il::module_to_string(&plain),
@@ -485,7 +563,7 @@ mod tests {
         let fault = FaultPlan::new();
         fault.arm("opt:pass", 1);
         let mut m = module.clone();
-        let (_, skipped) = optimize_module_isolated(&mut m, &fault);
+        let (_, skipped, _) = optimize_module_isolated(&mut m, &fault);
         assert_eq!(skipped.len(), 1, "exactly one pass invocation panicked");
         assert_eq!(skipped[0].pass, "constant-fold");
         assert!(skipped[0].reason.contains("fault injection"));
@@ -495,5 +573,51 @@ mod tests {
         impact_il::verify_module(&m).expect("still verifies");
         let after = run(&m, vec![], vec![], &VmConfig::default()).unwrap();
         assert_eq!(after.exit_code, baseline);
+    }
+
+    #[test]
+    fn forced_fixpoint_oscillation_is_capped_and_diagnosed() {
+        let src = "int sq(int x) { return x * x; }\n\
+             int main() { int i; int s; s = 0; for (i = 0; i < 5; i++) s += sq(i); return s; }";
+        let module = compile(&[Source::new("t.c", src)]).unwrap();
+        let baseline = run(&module, vec![], vec![], &VmConfig::default())
+            .unwrap()
+            .exit_code;
+
+        let fault = FaultPlan::new();
+        fault.arm("opt:fixpoint", 1);
+        let mut m = module.clone();
+        let (_, skipped, fixpoints) = optimize_module_isolated(&mut m, &fault);
+        assert!(skipped.is_empty());
+        assert_eq!(fixpoints.len(), 1, "exactly one function 'oscillated'");
+        let fx = &fixpoints[0];
+        assert_eq!(fx.rounds, MAX_FIXPOINT_ROUNDS, "loop ran to the cap");
+        assert!(
+            !fx.last_round.is_empty(),
+            "per-pass change counts are reported"
+        );
+        let rendered = fx.to_string();
+        assert!(rendered.contains("fixpoint not reached"), "{rendered}");
+        assert!(rendered.contains("constant-fold"), "{rendered}");
+
+        // Capping instead of looping leaves a valid, equivalent module.
+        impact_il::verify_module(&m).expect("still verifies");
+        let after = run(&m, vec![], vec![], &VmConfig::default()).unwrap();
+        assert_eq!(after.exit_code, baseline);
+    }
+
+    #[test]
+    fn dce_fixpoint_is_bounded() {
+        // A function with a long chain of dead copies needs several DCE
+        // rounds; the bounded loop must still remove them all.
+        let mut src = String::from("int main() { int a; int b; int c; a = 1; b = a; c = b;");
+        src.push_str(" return 0; }");
+        let module = compile(&[Source::new("t.c", &src)]).unwrap();
+        let mut m = module.clone();
+        let main = m.main_id().unwrap();
+        let removed = dead_code_elimination(m.function_mut(main));
+        assert!(removed > 0);
+        let again = dead_code_elimination(m.function_mut(main));
+        assert_eq!(again, 0, "bounded DCE still reaches its fixpoint");
     }
 }

@@ -15,8 +15,15 @@
 //! | `expand:verify`  | Nth inlined arc fails post-expansion verification   |
 //! | `promote:verify` | Nth promoted call site fails verification           |
 //! | `opt:pass`       | Nth optimization pass application panics            |
+//! | `opt:fixpoint`   | Nth function's optimizer fixpoint loop "oscillates" |
 //! | `vm:oom`         | Nth VM heap allocation traps with `OutOfMemory`     |
 //! | `profile:parse`  | Nth profile-text parse fails as corrupt             |
+//! | `inline:verify`  | Nth post-inline module verification fails *hard*    |
+//!
+//! Unlike the others, `inline:verify` is deliberately not recovered by the
+//! driver: it models the unrecoverable class of failure (a miscompile the
+//! robustness layer could not repair) that the batch supervisor must
+//! quarantine, report, and minimize.
 //!
 //! Counters live behind an `Arc`, so clones of a plan share hit counts:
 //! "the 3rd expansion overall", not "the 3rd per clone". Every trigger is

@@ -24,6 +24,10 @@ pub struct VmConfig {
     pub heap_size: u64,
     /// Stack segment size in bytes.
     pub stack_size: u64,
+    /// Heap allocation quota in bytes (the `--mem-limit` governor knob):
+    /// total `__malloc`'d bytes may not exceed this, independent of the
+    /// segment size. `None` leaves only the segment bound.
+    pub mem_limit: Option<u64>,
     /// When set, replay the dynamic instruction stream through a
     /// simulated instruction cache (see [`crate::IcacheSim`]); adds
     /// roughly 2x interpretation overhead.
@@ -40,6 +44,7 @@ impl Default for VmConfig {
             max_steps: 2_000_000_000,
             heap_size: 32 << 20,
             stack_size: 4 << 20,
+            mem_limit: None,
             icache: None,
             fault: FaultPlan::default(),
         }
@@ -134,6 +139,9 @@ pub fn run(
         .collect();
     let mut icache = config.icache.as_ref().map(IcacheSim::new);
     let mut mem = Memory::new(module, config.heap_size, config.stack_size);
+    if let Some(limit) = config.mem_limit {
+        mem.set_quota(limit);
+    }
     let mut os = Os::new(inputs, args).with_fault(config.fault.clone());
     let mut profile = Profile::for_module(module);
     profile.runs = 1;

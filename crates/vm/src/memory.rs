@@ -26,6 +26,13 @@ pub struct Memory {
     heap_ptr: u64,
     heap_end: u64,
     stack_top: u64,
+    /// Total bytes handed out by `malloc` (after rounding).
+    allocated: u64,
+    /// Optional allocation quota, independent of the segment size: total
+    /// `malloc`'d bytes may not exceed this even when the segment itself
+    /// still has room. Lets a supervisor bound a job's heap without
+    /// re-laying-out (or shrinking the backing store of) the segment.
+    quota: Option<u64>,
 }
 
 impl Memory {
@@ -53,6 +60,8 @@ impl Memory {
             heap_ptr: heap_base,
             heap_end,
             stack_top,
+            allocated: 0,
+            quota: None,
         };
         for (g, &addr) in module.globals.iter().zip(&mem.global_addrs.clone()) {
             mem.bytes[addr as usize..addr as usize + g.init.len()].copy_from_slice(&g.init);
@@ -181,11 +190,29 @@ impl Memory {
         Ok(())
     }
 
+    /// Caps total `malloc`'d bytes at `bytes` (the resource governor's
+    /// `--mem-limit`). Allocations beyond the quota trap with
+    /// [`VmError::OutOfMemory`] exactly like segment exhaustion, so the
+    /// out-of-memory path is reachable organically, not only via the
+    /// `vm:oom` fault point.
+    pub fn set_quota(&mut self, bytes: u64) {
+        self.quota = Some(bytes);
+    }
+
+    /// Total bytes handed out by `malloc` so far (after the allocator's
+    /// 16-byte rounding) — a resource counter for crash reports.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
     /// Bump-allocates `size` bytes (16-byte aligned). A `size` of zero
     /// allocates 16 bytes so every allocation has a distinct address.
     pub fn malloc(&mut self, size: u64) -> Result<u64, VmError> {
         let size = size.max(1).next_multiple_of(16);
-        if self.heap_ptr + size > self.heap_end {
+        let over_quota = self
+            .quota
+            .is_some_and(|q| self.allocated.saturating_add(size) > q);
+        if over_quota || self.heap_ptr + size > self.heap_end {
             return Err(VmError::OutOfMemory {
                 requested: size,
                 // Attributed by the builtin layer, which knows the caller.
@@ -194,6 +221,7 @@ impl Memory {
         }
         let addr = self.heap_ptr;
         self.heap_ptr += size;
+        self.allocated += size;
         Ok(addr)
     }
 
@@ -296,6 +324,23 @@ mod tests {
             Err(VmError::OutOfMemory { .. })
         ));
         mem.free(a); // no-op, must not panic
+    }
+
+    #[test]
+    fn quota_traps_before_segment_exhaustion() {
+        let m = module_with_globals();
+        let mut mem = Memory::new(&m, 1 << 16, 1024);
+        mem.set_quota(64);
+        let a = mem.malloc(48).unwrap();
+        assert_ne!(a, 0);
+        assert_eq!(mem.allocated(), 48);
+        // 48 + 32 > 64: the quota fires even though the 64 KiB segment
+        // has plenty of room left.
+        assert!(matches!(mem.malloc(32), Err(VmError::OutOfMemory { .. })));
+        // Exactly up to the quota is still fine.
+        assert_eq!(mem.malloc(16).unwrap() % 16, 0);
+        assert_eq!(mem.allocated(), 64);
+        assert!(mem.malloc(1).is_err());
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Resource-governor boundary tests and profile round-trip properties.
+//!
+//! The batch supervisor's governor leans on three VM limits — instruction
+//! fuel, the heap quota, and the stack segment — so each limit is pinned
+//! down *at* its boundary here: a program that uses exactly the limit
+//! must pass, and one unit less must trip. The proptest half checks that
+//! profile serialization commutes with merging, the property crash-report
+//! replay relies on when it re-merges persisted profiles.
+
+use impact_cfront::{compile, Source};
+use impact_il::{CallSiteId, FuncId};
+use impact_vm::{run, ProfTarget, Profile, VmConfig, VmError};
+use proptest::prelude::*;
+
+fn module_for(src: &str) -> impact_il::Module {
+    let module = compile(&[Source::new("t.c", src)]).expect("compiles");
+    impact_il::verify_module(&module).expect("verifies");
+    module
+}
+
+const COUNTER: &str = "int add(int a, int b) { return a + b; }\n\
+     int main() { int i; int s; s = 0; for (i = 0; i < 10; i++) s = add(s, i); return s; }";
+
+#[test]
+fn step_limit_boundary_is_exact() {
+    let module = module_for(COUNTER);
+    // Measure exactly how many ILs one run executes.
+    let baseline = run(&module, vec![], vec![], &VmConfig::default()).expect("runs");
+    let exact = baseline.profile.il_executed;
+    assert!(exact > 0);
+
+    // A budget of exactly that many instructions completes the run...
+    let cfg = VmConfig {
+        max_steps: exact,
+        ..VmConfig::default()
+    };
+    let out = run(&module, vec![], vec![], &cfg).expect("exact budget suffices");
+    assert_eq!(out.exit_code, baseline.exit_code);
+    assert_eq!(out.profile.il_executed, exact);
+
+    // ...and one instruction less trips the governor.
+    let cfg = VmConfig {
+        max_steps: exact - 1,
+        ..VmConfig::default()
+    };
+    match run(&module, vec![], vec![], &cfg) {
+        Err(VmError::StepLimitExceeded { limit, .. }) => assert_eq!(limit, exact - 1),
+        other => panic!("expected StepLimitExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn stack_limit_boundary_is_exact() {
+    // Nested calls with real frames, so the high-water mark is several
+    // frames deep.
+    let module = module_for(
+        "int leaf(int x) { char pad[64]; pad[0] = x; return pad[0]; }\n\
+         int mid(int x) { char pad[32]; pad[1] = x; return leaf(x) + pad[1]; }\n\
+         int main() { return mid(3) & 0xff; }",
+    );
+    let baseline = run(&module, vec![], vec![], &VmConfig::default()).expect("runs");
+    let peak = baseline.profile.max_stack_bytes;
+    assert!(peak > 64, "frames should actually use the stack: {peak}");
+
+    // A stack segment of exactly the high-water mark fits...
+    let cfg = VmConfig {
+        stack_size: peak,
+        ..VmConfig::default()
+    };
+    let out = run(&module, vec![], vec![], &cfg).expect("exact stack fits");
+    assert_eq!(out.exit_code, baseline.exit_code);
+
+    // ...and one byte less overflows.
+    let cfg = VmConfig {
+        stack_size: peak - 1,
+        ..VmConfig::default()
+    };
+    match run(&module, vec![], vec![], &cfg) {
+        Err(VmError::StackOverflow { .. }) => {}
+        other => panic!("expected StackOverflow, got {other:?}"),
+    }
+}
+
+#[test]
+fn heap_quota_is_organic_not_injected() {
+    // The quota makes `__malloc` return NULL (C convention) with no
+    // fault plan armed — the governor's limit is a real allocator
+    // boundary, not a failpoint.
+    let module = module_for(
+        "extern long __malloc(long n);\n\
+         int main() {\n\
+           long a; long b;\n\
+           a = __malloc(400);\n\
+           b = __malloc(400);\n\
+           if (a == 0) return 1;\n\
+           if (b == 0) return 2;\n\
+           return 0;\n\
+         }",
+    );
+    let out = run(&module, vec![], vec![], &VmConfig::default()).expect("runs");
+    assert_eq!(out.exit_code, 0, "no quota: both allocations succeed");
+
+    let cfg = VmConfig {
+        mem_limit: Some(512),
+        ..VmConfig::default()
+    };
+    let out = run(&module, vec![], vec![], &cfg).expect("quota is observable, not a trap");
+    assert_eq!(out.exit_code, 2, "second allocation exceeds the quota");
+}
+
+/// A profile with the given shape and the given fill seed, exercising
+/// every serialized record kind (including pointer-site targets).
+fn profile_with(shape: &[usize], sites: usize, fill: &[u64]) -> Profile {
+    let mut f = fill.iter().copied().cycle();
+    let mut next = move || f.next().unwrap() % (1 << 30);
+    let mut p = Profile {
+        runs: (next() % 7 + 1) as u32,
+        il_executed: next(),
+        control_transfers: next(),
+        calls: next(),
+        returns: next(),
+        max_stack_bytes: next(),
+        ..Profile::default()
+    };
+    p.func_entries = (0..shape.len()).map(|_| next()).collect();
+    p.site_counts = (0..sites).map(|_| next()).collect();
+    p.block_counts = shape
+        .iter()
+        .map(|&blocks| (0..blocks).map(|_| next()).collect())
+        .collect();
+    // taken <= executed so the derived not-taken count stays meaningful.
+    p.branch_taken = p
+        .block_counts
+        .iter()
+        .map(|counts| {
+            counts
+                .iter()
+                .map(|&c| if c == 0 { 0 } else { next() % c })
+                .collect()
+        })
+        .collect();
+    for s in 0..sites {
+        if next() % 2 == 0 {
+            p.site_targets
+                .entry(CallSiteId(s as u32))
+                .or_default()
+                .insert(
+                    ProfTarget::Func(FuncId(next() as u32 % shape.len() as u32)),
+                    next() + 1,
+                );
+        }
+    }
+    p
+}
+
+proptest! {
+    /// Serialization commutes with merging: merging two profiles that
+    /// each made a disk round-trip equals round-tripping the merge of
+    /// the originals.
+    #[test]
+    fn merge_commutes_with_text_round_trip(
+        shape in proptest::collection::vec(1usize..4, 1..4),
+        sites in 0usize..5,
+        fill_a in proptest::collection::vec(any::<u64>(), 8..32),
+        fill_b in proptest::collection::vec(any::<u64>(), 8..32),
+    ) {
+        let a = profile_with(&shape, sites, &fill_a);
+        let b = profile_with(&shape, sites, &fill_b);
+
+        // Lossless round trip of each.
+        let a2 = Profile::from_text(&a.to_text()).expect("a re-parses");
+        let b2 = Profile::from_text(&b.to_text()).expect("b re-parses");
+        prop_assert_eq!(&a2, &a);
+        prop_assert_eq!(&b2, &b);
+
+        // merge(parse(text(a)), parse(text(b))) == merge(a, b), and the
+        // merge itself survives one more round trip.
+        let mut direct = a.clone();
+        direct.merge(&b);
+        let mut via_text = a2;
+        via_text.merge(&b2);
+        prop_assert_eq!(&via_text, &direct);
+        let direct2 = Profile::from_text(&direct.to_text()).expect("merge re-parses");
+        prop_assert_eq!(&direct2, &direct);
+    }
+
+    /// Averaging a round-tripped profile equals averaging the original.
+    #[test]
+    fn averaged_is_stable_under_round_trip(
+        shape in proptest::collection::vec(1usize..4, 1..4),
+        sites in 0usize..5,
+        fill in proptest::collection::vec(any::<u64>(), 8..32),
+    ) {
+        let p = profile_with(&shape, sites, &fill);
+        let q = Profile::from_text(&p.to_text()).expect("re-parses");
+        prop_assert_eq!(q.averaged(), p.averaged());
+    }
+}

@@ -158,6 +158,12 @@ pub fn benchmark(name: &str) -> Option<Benchmark> {
     all_benchmarks().into_iter().find(|b| b.name == name)
 }
 
+/// The benchmark names in table order — the unit set `impactc batch
+/// --workloads` supervises.
+pub fn benchmark_names() -> Vec<&'static str> {
+    all_benchmarks().iter().map(|b| b.name).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

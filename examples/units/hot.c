@@ -1,0 +1,15 @@
+/* A hot leaf call in a counted loop: the canonical profitable
+ * inline-expansion shape. CI's batch smoke arms fault points against
+ * this unit (`--fault-unit examples/units/hot.c`). */
+int sq(int x) { return x * x; }
+int cube(int x) { return x * x * x; }
+int main() {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < 100; i++) {
+    s += sq(i);
+    s += cube(i);
+  }
+  return s & 0xff;
+}

@@ -1,0 +1,12 @@
+/* Mixed hot/cold arcs: `bump` dominates the profile while `rare` runs
+ * once, so threshold-based inlining should split them. */
+int bump(int x) { return x + 3; }
+int rare(int x) { return x * x - 1; }
+int main() {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < 200; i++) s = bump(s) & 0x3ff;
+  s += rare(s & 7);
+  return s & 0xff;
+}

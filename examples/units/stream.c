@@ -1,0 +1,25 @@
+/* Byte-buffer processing through small helpers: call-heavy code where
+ * most dynamic calls sit on safe-to-inline arcs. */
+int classify(int c) {
+  if (c >= 'a' && c <= 'z') return 1;
+  if (c >= '0' && c <= '9') return 2;
+  return 0;
+}
+int main() {
+  char buf[26];
+  int i;
+  int letters;
+  int digits;
+  for (i = 0; i < 26; i++) buf[i] = 'a' + i;
+  buf[3] = '7';
+  buf[9] = '0';
+  letters = 0;
+  digits = 0;
+  for (i = 0; i < 26; i++) {
+    int k;
+    k = classify(buf[i]);
+    if (k == 1) letters++;
+    if (k == 2) digits++;
+  }
+  return letters * 10 + digits;
+}
