@@ -1,0 +1,300 @@
+//! The `impactc fuzz` subcommand: a differential-oracle fuzzing campaign
+//! with automatic reproducer shrinking.
+//!
+//! The heavy lifting lives in the `impact-fuzz` library (seeded program
+//! generation, the configuration lattice, the metamorphic invariants);
+//! this module adds the operational shell: flag handling through the
+//! shared [`Options::validate_flags`] path, a campaign summary with the
+//! per-class site counts of the paper's Tables 2–3, and — for every
+//! diverging program — delta-debugged `*.repro.c` plus a JSON oracle
+//! report under `--report-dir`, mirroring the batch supervisor's crash
+//! artifacts.
+//!
+//! Exit codes: `0` clean campaign, `12` divergences found (distinct from
+//! batch's `10`/`11` so CI can tell the failure families apart).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use impact_fuzz::{check_source, run_campaign, CampaignConfig, Finding, OracleConfig};
+
+use crate::minimize::{shrink, ShrinkResult};
+use crate::report::{json_str, json_str_list};
+use crate::{usage, Options};
+
+/// Exit code when the oracle found divergences.
+pub const EXIT_DIVERGENCE: i32 = 12;
+
+/// Findings that get the (comparatively expensive) shrink + report
+/// treatment; the rest are summarized in text only.
+const MAX_SHRUNK: usize = 3;
+
+/// Evaluation budget per shrink (each evaluation replays the whole
+/// configuration lattice on a candidate program).
+const SHRINK_EVALS: usize = 120;
+
+/// Runs a fuzzing campaign described by `opts`.
+///
+/// # Errors
+///
+/// Returns a usage-style message for malformed flags; oracle findings are
+/// *not* errors — they are reported in the text and via the exit code.
+pub fn run_fuzz(opts: &Options) -> Result<(i32, String), String> {
+    if !opts.positional.is_empty() {
+        return Err(format!(
+            "fuzz takes no positional arguments (got `{}`)\n{}",
+            opts.positional.join(" "),
+            usage()
+        ));
+    }
+    // Shared flag validation (fault specs, threshold, governor flags all
+    // get the same messages as inline/bench/batch)...
+    let flags = opts.validate_flags()?;
+    // ...except --budget, which for fuzz is the *program count*, not a
+    // code-growth multiplier: it must be a whole number.
+    let budget = match opts.budget {
+        None => 100,
+        Some(b) if b.fract() == 0.0 && (1.0..=1e9).contains(&b) => b as u64,
+        Some(b) => {
+            return Err(format!(
+                "--budget {b} is not a valid program count; fuzz interprets \
+                 --budget as the number of programs to check (default 100)"
+            ));
+        }
+    };
+    let config = CampaignConfig {
+        seed: opts.seed.unwrap_or(42),
+        budget,
+        weight_threshold: flags.inline.weight_threshold,
+        fault_specs: opts.faults.clone(),
+    };
+    let outcome = run_campaign(&config, |_, _| {});
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fuzz: seed {}, {} programs, {} skipped, {} diverging",
+        config.seed,
+        outcome.programs,
+        outcome.skipped,
+        outcome.findings.len()
+    );
+    let st = &outcome.static_classes;
+    let dy = &outcome.dynamic_classes;
+    let _ = writeln!(
+        out,
+        "; sites:         {} external / {} pointer / {} unsafe / {} safe",
+        st.external, st.pointer, st.r#unsafe, st.safe
+    );
+    let _ = writeln!(
+        out,
+        "; dynamic calls: {} external / {} pointer / {} unsafe / {} safe",
+        dy.external, dy.pointer, dy.r#unsafe, dy.safe
+    );
+
+    if outcome.findings.is_empty() {
+        let _ = writeln!(
+            out,
+            "; no divergences: every config agreed on every program"
+        );
+        return Ok((0, out));
+    }
+
+    let report_dir = PathBuf::from(opts.report_dir.as_deref().unwrap_or("fuzz-reports"));
+    std::fs::create_dir_all(&report_dir)
+        .map_err(|e| format!("cannot create report dir `{}`: {e}", report_dir.display()))?;
+    let oc = OracleConfig {
+        weight_threshold: config.weight_threshold,
+        fault_specs: config.fault_specs.clone(),
+    };
+    for (i, finding) in outcome.findings.iter().enumerate() {
+        let sigs: Vec<String> = finding.divergences.iter().map(|d| d.signature()).collect();
+        let _ = writeln!(
+            out,
+            "; finding p{} (program seed {:#018x}): {}",
+            finding.index,
+            finding.program_seed,
+            sigs.join(", ")
+        );
+        if i >= MAX_SHRUNK {
+            continue;
+        }
+        let reduced = shrink_finding(finding, &oc);
+        let stem = format!("fuzz-seed{}-p{}", config.seed, finding.index);
+        let c_path = report_dir.join(format!("{stem}.repro.c"));
+        let json_path = report_dir.join(format!("{stem}.json"));
+        std::fs::write(&c_path, &reduced.source)
+            .map_err(|e| format!("cannot write `{}`: {e}", c_path.display()))?;
+        std::fs::write(&json_path, oracle_report_json(&config, finding, &reduced))
+            .map_err(|e| format!("cannot write `{}`: {e}", json_path.display()))?;
+        let _ = writeln!(
+            out,
+            ";   reproducer: {} ({} -> {} bytes, {} evals), report: {}",
+            c_path.display(),
+            reduced.original_bytes,
+            reduced.reduced_bytes,
+            reduced.evals,
+            json_path.display()
+        );
+    }
+    if outcome.findings.len() > MAX_SHRUNK {
+        let _ = writeln!(
+            out,
+            "; {} further finding(s) not shrunk (cap {MAX_SHRUNK}); rerun with a \
+             narrower --budget window to isolate them",
+            outcome.findings.len() - MAX_SHRUNK
+        );
+    }
+    Ok((EXIT_DIVERGENCE, out))
+}
+
+/// Delta-debugs one finding's source: a candidate counts as a reproducer
+/// when it still triggers the finding's *primary* oracle signature
+/// (kind@config of the first divergence).
+fn shrink_finding(finding: &Finding, oc: &OracleConfig) -> ShrinkResult {
+    let primary = finding.divergences[0].signature();
+    let mut check = |candidate: &str| {
+        check_source(candidate, oc)
+            .divergences
+            .iter()
+            .any(|d| d.signature() == primary)
+    };
+    shrink(&finding.source, &mut check, SHRINK_EVALS)
+}
+
+/// Renders the JSON oracle report for one finding — same dialect as the
+/// batch supervisor's crash reports (hand-rendered, schema-versioned).
+fn oracle_report_json(
+    config: &CampaignConfig,
+    finding: &Finding,
+    reduced: &ShrinkResult,
+) -> String {
+    let mut divs = String::new();
+    for (i, d) in finding.divergences.iter().enumerate() {
+        if i > 0 {
+            divs.push_str(", ");
+        }
+        let _ = write!(
+            divs,
+            "{{\"kind\": {}, \"config\": {}, \"detail\": {}}}",
+            json_str(&d.kind.to_string()),
+            json_str(&d.config),
+            json_str(&d.detail)
+        );
+    }
+    format!(
+        "{{\n  \"version\": 1,\n  \"kind\": \"fuzz-oracle-report\",\n  \
+         \"campaign_seed\": {},\n  \"program_index\": {},\n  \
+         \"program_seed\": {},\n  \"weight_threshold\": {},\n  \
+         \"fault_plan\": {},\n  \"divergences\": [{}],\n  \
+         \"reproducer\": {{\"original_bytes\": {}, \"reduced_bytes\": {}, \
+         \"evals\": {}}}\n}}\n",
+        config.seed,
+        finding.index,
+        finding.program_seed,
+        config.weight_threshold,
+        json_str_list(&config.fault_specs),
+        divs,
+        reduced.original_bytes,
+        reduced.reduced_bytes,
+        reduced.evals
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tmp_dir(name: &str) -> String {
+        let dir = std::env::temp_dir().join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn clean_campaign_exits_zero_with_all_classes_populated() {
+        let o = Options::parse(&strs(&["fuzz", "--seed", "7", "--budget", "4"])).unwrap();
+        let (code, out) = crate::execute(&o).unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("4 programs"), "{out}");
+        assert!(out.contains("no divergences"), "{out}");
+        // All four classification columns are nonzero.
+        for line in out.lines().filter(|l| l.starts_with("; sites:")) {
+            assert!(!line.contains(" 0 "), "a class column is zero: {line}");
+        }
+    }
+
+    #[test]
+    fn campaigns_are_deterministic_end_to_end() {
+        let o = Options::parse(&strs(&["fuzz", "--seed", "9", "--budget", "3"])).unwrap();
+        let a = crate::execute(&o).unwrap();
+        let b = crate::execute(&o).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn injected_fault_writes_repro_and_json_report() {
+        let dir = tmp_dir("impactc-fuzz-repro");
+        let o = Options::parse(&strs(&[
+            "fuzz",
+            "--seed",
+            "42",
+            "--budget",
+            "2",
+            "--fault",
+            "expand:verify",
+            "--report-dir",
+            &dir,
+        ]))
+        .unwrap();
+        let (code, out) = crate::execute(&o).unwrap();
+        assert_eq!(code, EXIT_DIVERGENCE, "{out}");
+        assert!(out.contains("incident@"), "{out}");
+        let entries: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            entries.iter().any(|n| n.ends_with(".repro.c")),
+            "{entries:?}"
+        );
+        let json_name = entries
+            .iter()
+            .find(|n| n.ends_with(".json"))
+            .unwrap_or_else(|| panic!("no JSON report in {entries:?}"));
+        let json = std::fs::read_to_string(std::path::Path::new(&dir).join(json_name)).unwrap();
+        assert!(json.contains("\"fuzz-oracle-report\""), "{json}");
+        assert!(json.contains("\"campaign_seed\": 42"), "{json}");
+        assert!(json.contains("expand:verify"), "{json}");
+        // The shrunken reproducer still reproduces by construction; it
+        // must also still be a compilable program (shrink validates every
+        // candidate against the oracle, which compiles first).
+        let repro = entries.iter().find(|n| n.ends_with(".repro.c")).unwrap();
+        let src = std::fs::read_to_string(std::path::Path::new(&dir).join(repro)).unwrap();
+        assert!(src.contains("main"), "{src}");
+    }
+
+    #[test]
+    fn fuzz_budget_must_be_a_whole_count() {
+        let o = Options::parse(&strs(&["fuzz", "--budget", "1.5"])).unwrap();
+        let err = run_fuzz(&o).unwrap_err();
+        assert!(err.contains("program count"), "{err}");
+    }
+
+    #[test]
+    fn bad_fault_specs_fail_via_the_shared_path() {
+        let o = Options::parse(&strs(&["fuzz", "--fault", "nocolon"])).unwrap();
+        let err = run_fuzz(&o).unwrap_err();
+        assert!(err.contains("--fault"), "{err}");
+    }
+
+    #[test]
+    fn fuzz_rejects_positionals() {
+        let o = Options::parse(&strs(&["fuzz", "x.c"])).unwrap();
+        assert!(run_fuzz(&o).is_err());
+    }
+}

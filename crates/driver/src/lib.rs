@@ -19,6 +19,7 @@ use impact_inline::{
 use impact_opt::optimize_module_isolated;
 use impact_vm::{profile_runs, FaultPlan, NamedFile, Profile, VmConfig};
 
+pub mod fuzz;
 pub mod minimize;
 pub mod report;
 pub mod supervise;
@@ -80,6 +81,8 @@ pub struct Options {
     pub fault_unit: Option<String>,
     /// `--workloads` (batch): add the twelve bundled benchmarks as units.
     pub workloads: bool,
+    /// `--seed N` (fuzz): campaign seed fixing the whole corpus.
+    pub seed: Option<u64>,
 }
 
 impl Options {
@@ -114,6 +117,7 @@ impl Options {
             report_dir: None,
             fault_unit: None,
             workloads: false,
+            seed: None,
         };
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -196,6 +200,10 @@ impl Options {
                     opts.fault_unit = Some(v.clone());
                 }
                 "--workloads" => opts.workloads = true,
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a number".to_string())?;
+                    opts.seed = Some(v.parse().map_err(|_| "bad --seed")?);
+                }
                 other if other.starts_with("--") => {
                     return Err(format!("unknown option `{other}`\n{}", usage()));
                 }
@@ -300,6 +308,32 @@ impl Options {
         }
         Ok(cfg)
     }
+
+    /// Validates the inline *and* VM flag sets in one shot, threading the
+    /// shared fault plan through both — the single flag-validation path
+    /// used by `inline`, `bench`, `batch`, and `fuzz` (previously each
+    /// call site combined [`Options::inline_config`] and
+    /// [`Options::vm_config`] by hand).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first actionable flag error, exactly as the underlying
+    /// validators produce it.
+    pub fn validate_flags(&self) -> Result<ValidatedFlags, String> {
+        let inline = self.inline_config()?;
+        let vm = self.vm_config(inline.fault.clone())?;
+        Ok(ValidatedFlags { inline, vm })
+    }
+}
+
+/// The result of [`Options::validate_flags`]: both configurations, built
+/// from one validation pass and sharing one fault plan.
+#[derive(Clone, Debug)]
+pub struct ValidatedFlags {
+    /// The inline-expander configuration.
+    pub inline: InlineConfig,
+    /// The VM configuration (resource governor + the same fault plan).
+    pub vm: VmConfig,
 }
 
 /// The usage text.
@@ -317,6 +351,11 @@ pub fn usage() -> String {
      \x20                                 failures are retried, then quarantined with\n\
      \x20                                 a crash report (exit 0 all ok, 10 partial,\n\
      \x20                                 11 none succeeded)\n\
+     \x20 fuzz                            differential oracle fuzzing: generate seeded\n\
+     \x20                                 C programs, check behavioral equivalence and\n\
+     \x20                                 profile invariants across a config lattice,\n\
+     \x20                                 shrink failures into repro files (exit 0 clean,\n\
+     \x20                                 12 divergences found)\n\
      \n\
      options:\n\
      \x20 --input name=path               make a file visible to the program (repeatable)\n\
@@ -343,7 +382,16 @@ pub fn usage() -> String {
      \x20 --retry-base-ms N               backoff base delay (default 25)\n\
      \x20 --report-dir DIR                persist JSON crash reports + reproducers\n\
      \x20 --fault-unit NAME               arm --fault specs for this unit only\n\
-     \x20 --workloads                     add the twelve bundled benchmarks as units\n"
+     \x20 --workloads                     add the twelve bundled benchmarks as units\n\
+     \n\
+     fuzzing:\n\
+     \x20 --seed N                        campaign seed (default 42)\n\
+     \x20 --budget N                      number of programs to check (default 100)\n\
+     \x20 --threshold N                   arc-weight threshold for the oracle's configs\n\
+     \x20 --fault KEY[=N]                 arm fault points in every config (the positive\n\
+     \x20                                 control: armed faults must surface as findings)\n\
+     \x20 --report-dir DIR                where shrunken *.repro.c + JSON oracle reports\n\
+     \x20                                 are written (default fuzz-reports)\n"
         .to_string()
 }
 
@@ -618,9 +666,11 @@ pub fn inline_pipeline(
 ) -> Result<(i32, String), PipelineFailure> {
     let mut out = String::new();
     let config_err = |e: String| PipelineFailure::new("config", "bad-flag", e);
-    let cfg = opts.inline_config().map_err(config_err)?;
+    let ValidatedFlags {
+        inline: cfg,
+        vm: vm_cfg,
+    } = opts.validate_flags().map_err(config_err)?;
     let fault = cfg.fault.clone();
-    let vm_cfg = opts.vm_config(fault.clone()).map_err(config_err)?;
     let mut module = compile(sources)
         .map_err(|e| PipelineFailure::new("compile", e.message.clone(), e.render(sources)))?;
     verify_module(&module).map_err(|es| {
@@ -849,8 +899,10 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
                 .ok_or_else(|| format!("bench needs a benchmark name\n{}", usage()))?;
             let b = impact_workloads::benchmark(name)
                 .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
-            let cfg = opts.inline_config()?;
-            let vm_cfg = opts.vm_config(cfg.fault.clone())?;
+            let ValidatedFlags {
+                inline: cfg,
+                vm: vm_cfg,
+            } = opts.validate_flags()?;
             let mut module = b.compile().map_err(|e| e.render(&b.sources()))?;
             let module0 = module.clone();
             let runs = b.profile_run_set(4);
@@ -899,6 +951,7 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
             Ok((0, out))
         }
         "batch" => supervise::run_batch(opts),
+        "fuzz" => fuzz::run_fuzz(opts),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
 }

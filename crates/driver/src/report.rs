@@ -104,7 +104,7 @@ pub struct CrashReport {
 }
 
 /// Escapes a string for inclusion in a JSON document.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -122,11 +122,11 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     format!("\"{}\"", json_escape(s))
 }
 
-fn json_str_list(items: &[String]) -> String {
+pub(crate) fn json_str_list(items: &[String]) -> String {
     let inner = items
         .iter()
         .map(|s| json_str(s))

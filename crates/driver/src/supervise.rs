@@ -38,7 +38,6 @@ use std::sync::Once;
 use std::time::{Duration, Instant};
 
 use impact_cfront::Source;
-use impact_vm::FaultPlan;
 
 use crate::minimize::{shrink, ShrinkResult};
 use crate::report::{write_crash_report, AttemptRecord, CrashReport, PipelineFailure};
@@ -419,7 +418,7 @@ pub fn run_batch(opts: &Options) -> Result<(i32, String), String> {
                 ));
                 if let Some(dir) = &report_dir {
                     let unit_opts = unit_options(opts, &unit.name);
-                    let governor = unit_opts.vm_config(FaultPlan::new()).unwrap_or_default();
+                    let governor = unit_opts.validate_flags().map(|f| f.vm).unwrap_or_default();
                     let report = CrashReport {
                         unit: unit.name.clone(),
                         taxonomy,

@@ -1,0 +1,252 @@
+//! Seeded generation of well-formed, trap-free C programs that populate
+//! every row of the paper's call-site classification.
+//!
+//! Every generated program contains, by construction:
+//!
+//! * **external** sites — calls to the `__fputc` builtin;
+//! * **pointer** sites — calls through a function-pointer variable whose
+//!   value is (re)assigned from address-taken leaf functions;
+//! * **unsafe** sites — a cold helper called exactly once (below the
+//!   paper's weight threshold) and, probabilistically, direct
+//!   self-recursion and a big-frame function on a recursive path (the
+//!   control-stack hazard of §2.3.2);
+//! * **safe** sites — leaf and mid-level helpers called from
+//!   weight-skewed loops, with multi-call-site fan-out.
+//!
+//! Programs are trap-free by construction: divisors are masked to be
+//! nonzero, shift amounts are literal and small, recursion depths are
+//! bounded, and array indices are masked to the array size. Generation is
+//! a pure function of the seed, so a corpus is reproducible everywhere.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Generates one C program from `seed`. Deterministic: equal seeds yield
+/// byte-identical programs.
+pub fn generate(seed: u64) -> String {
+    Gen {
+        rng: StdRng::seed_from_u64(seed),
+    }
+    .program()
+}
+
+struct Gen {
+    rng: StdRng,
+}
+
+impl Gen {
+    /// A trap-free integer expression over the parameters `a` and `b`.
+    fn expr(&mut self, depth: u32) -> String {
+        if depth == 0 || self.rng.gen_bool(0.3) {
+            return match self.rng.gen_range(0..4) {
+                0 => "a".to_string(),
+                1 => "b".to_string(),
+                _ => self.rng.gen_range(1..64).to_string(),
+            };
+        }
+        let l = self.expr(depth - 1);
+        let r = self.expr(depth - 1);
+        match self.rng.gen_range(0..10) {
+            0 => format!("({l} + {r})"),
+            1 => format!("({l} - {r})"),
+            2 => format!("(({l} * {r}) & 0xffff)"),
+            3 => format!("({l} ^ {r})"),
+            4 => format!("({l} | {r})"),
+            5 => format!("({l} & {r})"),
+            6 => {
+                let k = self.rng.gen_range(1..5);
+                format!("(({l} & 0xff) << {k})")
+            }
+            7 => {
+                let k = self.rng.gen_range(1..5);
+                format!("(({l} & 0xffff) >> {k})")
+            }
+            // Masked divisor: always in 1..=8, so never a division trap.
+            8 => format!("({l} / (({r} & 7) + 1))"),
+            _ => {
+                let t = self.expr(depth - 1);
+                format!("({l} < {r} ? {t} : {r})")
+            }
+        }
+    }
+
+    fn program(&mut self) -> String {
+        let n_leaf = self.rng.gen_range(2..5usize);
+        let n_mid = self.rng.gen_range(1..4usize);
+        let with_srec = self.rng.gen_bool(0.7);
+        let with_mutual = self.rng.gen_bool(0.7);
+        let with_bigframe = self.rng.gen_bool(0.35);
+        let with_hot_extern = self.rng.gen_bool(0.5);
+        let fp_alternates = self.rng.gen_bool(0.5);
+        let loop_n = self.rng.gen_range(24..81);
+
+        let mut s = String::new();
+        let w = &mut s;
+        let _ = writeln!(w, "extern int __fputc(int c, int fd);");
+        let _ = writeln!(w, "int gv0;");
+        let _ = writeln!(w, "int garr[8];");
+
+        // Leaves: pure arithmetic, the hot inlining fodder.
+        for i in 0..n_leaf {
+            let body = self.expr(3);
+            let _ = writeln!(w, "int leaf{i}(int a, int b) {{ return {body}; }}");
+        }
+
+        // Mids: multi-call-site fan-out over the leaves.
+        for i in 0..n_mid {
+            let fan = self.rng.gen_range(2..4usize);
+            let mut terms = Vec::new();
+            for _ in 0..fan {
+                let callee = self.rng.gen_range(0..n_leaf);
+                let c = self.rng.gen_range(1..32);
+                terms.push(format!("leaf{callee}((a + {c}), b)"));
+            }
+            let _ = writeln!(
+                w,
+                "int mid{i}(int a, int b) {{ int t; t = ({}) & 0xffffff; return t; }}",
+                terms.join(" ^ ")
+            );
+        }
+
+        // A cold helper, called exactly once from main: its arc weight of
+        // 1 sits far below the paper's threshold of 10.
+        {
+            let callee = self.rng.gen_range(0..n_leaf);
+            let c = self.rng.gen_range(1..64);
+            let _ = writeln!(
+                w,
+                "int cold0(int a, int b) {{ return (leaf{callee}((a + b), 3) + {c}) & 0xffff; }}"
+            );
+        }
+
+        if with_srec {
+            let _ = writeln!(
+                w,
+                "int srec(int n) {{ if (n <= 1) return 1; return (n * srec(n - 1)) & 0x7fff; }}"
+            );
+        }
+        if with_mutual {
+            let c1 = self.rng.gen_range(1..16);
+            let c2 = self.rng.gen_range(1..16);
+            let _ = writeln!(w, "int mr_b(int n);");
+            let _ = writeln!(
+                w,
+                "int mr_a(int n) {{ if (n <= 0) return 0; return (mr_b(n - 1) ^ {c1}) & 0x7fff; }}"
+            );
+            let _ = writeln!(
+                w,
+                "int mr_b(int n) {{ if (n <= 0) return 1; return (mr_a(n - 1) + {c2}) & 0x7fff; }}"
+            );
+        }
+        if with_bigframe {
+            // Frame > the default 4096-byte stack bound, on a recursive
+            // path: the RecursiveStack hazard row.
+            let frame = self.rng.gen_range(5000..8000);
+            let last = frame - 1;
+            let _ = writeln!(
+                w,
+                "int bigleaf(int n) {{ char big[{frame}]; big[0] = n; big[{last}] = 3; \
+                 return big[0] + big[{last}]; }}"
+            );
+            let _ = writeln!(
+                w,
+                "int brec(int n) {{ if (n <= 0) return 0; return (bigleaf(n) + brec(n - 1)) & 0xffff; }}"
+            );
+        }
+
+        // main: the weight-skewed hot loop plus one-shot cold calls.
+        let _ = writeln!(w, "int main() {{");
+        let _ = writeln!(w, "  int i; int s; int (*fp)(int, int);");
+        let fp0 = self.rng.gen_range(0..n_leaf);
+        let fp1 = self.rng.gen_range(0..n_leaf);
+        let _ = writeln!(w, "  s = 0;");
+        let _ = writeln!(w, "  fp = leaf{fp0};");
+        let _ = writeln!(w, "  for (i = 0; i < {loop_n}; i++) {{");
+        for m in 0..n_mid {
+            let c = self.rng.gen_range(1..32);
+            let _ = writeln!(w, "    s = (s + mid{m}(i, (i + {c}))) & 0xffffff;");
+        }
+        if fp_alternates {
+            let _ = writeln!(
+                w,
+                "    if ((i & 1) == 0) fp = leaf{fp1}; else fp = leaf{fp0};"
+            );
+        }
+        let c = self.rng.gen_range(1..32);
+        let _ = writeln!(w, "    s = (s ^ fp(i, {c})) & 0xffffff;");
+        let _ = writeln!(w, "    gv0 = (gv0 + i) & 0xff;");
+        let lz = self.rng.gen_range(0..n_leaf);
+        let _ = writeln!(
+            w,
+            "    garr[i & 7] = (garr[i & 7] + leaf{lz}(i, gv0)) & 0xffff;"
+        );
+        if with_hot_extern {
+            let _ = writeln!(w, "    if ((i & 15) == 0) __fputc('.', 1);");
+        }
+        let _ = writeln!(w, "  }}");
+        if with_srec {
+            let d = self.rng.gen_range(6..13);
+            let _ = writeln!(w, "  s = (s + srec({d})) & 0xffffff;");
+        }
+        if with_mutual {
+            let d = self.rng.gen_range(24..41);
+            let _ = writeln!(w, "  s = (s + mr_a({d})) & 0xffffff;");
+        }
+        if with_bigframe {
+            let d = self.rng.gen_range(4..9);
+            let _ = writeln!(w, "  s = (s + brec({d})) & 0xffffff;");
+        }
+        let c = self.rng.gen_range(1..64);
+        let _ = writeln!(w, "  s = (s + cold0(3, {c})) & 0xffffff;");
+        let _ = writeln!(w, "  for (i = 0; i < 8; i++) s = (s + garr[i]) & 0xffffff;");
+        let _ = writeln!(w, "  __fputc('A' + s % 26, 1);");
+        let _ = writeln!(w, "  __fputc(10, 1);");
+        let _ = writeln!(w, "  return s & 0x7f;");
+        let _ = writeln!(w, "}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impact_cfront::{compile, Source};
+    use impact_vm::{run, VmConfig};
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in [0u64, 1, 42, 0xdead_beef] {
+            assert_eq!(generate(seed), generate(seed));
+        }
+        assert_ne!(generate(1), generate(2));
+    }
+
+    #[test]
+    fn generated_programs_compile_verify_and_run() {
+        for seed in 0..25u64 {
+            let src = generate(seed);
+            let module = compile(&[Source::new("fuzz.c", &src)])
+                .unwrap_or_else(|e| panic!("seed {seed} failed to compile: {e:?}\n{src}"));
+            impact_il::verify_module(&module)
+                .unwrap_or_else(|e| panic!("seed {seed} failed to verify: {e:?}\n{src}"));
+            let out = run(&module, vec![], vec![], &VmConfig::default())
+                .unwrap_or_else(|e| panic!("seed {seed} trapped: {e}\n{src}"));
+            assert!(
+                !out.stdout.is_empty(),
+                "seed {seed} produced no observable output"
+            );
+        }
+    }
+
+    #[test]
+    fn every_program_contains_all_classification_ingredients() {
+        for seed in 0..10u64 {
+            let src = generate(seed);
+            assert!(src.contains("__fputc"), "external: {src}");
+            assert!(src.contains("(*fp)"), "pointer: {src}");
+            assert!(src.contains("cold0"), "unsafe (cold): {src}");
+            assert!(src.contains("mid0"), "safe fan-out: {src}");
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! # impact-fuzz — differential oracle fuzzing for the inline expander
+//!
+//! A seeded, deterministic fuzzer for the whole compilation pipeline:
+//!
+//! * [`generator`] produces well-formed, trap-free C programs that
+//!   populate every row of the paper's call-site classification —
+//!   external calls, function-pointer calls, unsafe sites (cold arcs,
+//!   recursion, big frames on recursive paths), and hot safe sites with
+//!   multi-call-site fan-out under weight-skewed loops.
+//! * [`oracle`] runs each program under a lattice of configurations
+//!   (no-inline baseline; inlining with default/tight budgets, a tight
+//!   stack bound, an adversarial linear order; optimizer on/off) and
+//!   checks behavioral equivalence plus four metamorphic profile
+//!   invariants (flow conservation, exact size accounting, linear-order
+//!   compliance, and call-overhead-bounded instruction attribution).
+//! * [`run_campaign`] drives a whole corpus from one campaign seed and
+//!   aggregates findings; the `impactc fuzz` subcommand wraps it with
+//!   repro-file shrinking and JSON reports.
+//!
+//! Everything is a pure function of the campaign seed: the same seed and
+//! budget reproduce the same corpus, byte for byte, on any machine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod oracle;
+
+pub use generator::generate;
+pub use oracle::{
+    check_source, config_names, Divergence, DivergenceKind, OracleConfig, OracleReport,
+};
+
+use impact_inline::ClassTotals;
+
+/// Derives the per-program seed for program `index` of a campaign — a
+/// splitmix64 step, so neighboring indices yield decorrelated streams.
+pub fn program_seed(campaign_seed: u64, index: u64) -> u64 {
+    let mut z =
+        campaign_seed.wrapping_add(0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Knobs of one fuzzing campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Campaign seed: fixes the entire corpus.
+    pub seed: u64,
+    /// Number of programs to generate and check.
+    pub budget: u64,
+    /// Arc-weight threshold handed to the oracle's inline configs.
+    pub weight_threshold: u64,
+    /// Fault specs armed (freshly) for every configuration of every
+    /// program — the positive control that proves the oracle alarms.
+    pub fault_specs: Vec<String>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 42,
+            budget: 100,
+            weight_threshold: 10,
+            fault_specs: Vec::new(),
+        }
+    }
+}
+
+/// One diverging program, with everything needed to reproduce it.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Position in the campaign (0-based).
+    pub index: u64,
+    /// The per-program generator seed ([`program_seed`]).
+    pub program_seed: u64,
+    /// The generated C source.
+    pub source: String,
+    /// Every oracle check that failed on it.
+    pub divergences: Vec<Divergence>,
+}
+
+/// Aggregate outcome of a campaign.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignOutcome {
+    /// Programs checked.
+    pub programs: u64,
+    /// Programs skipped because the baseline itself trapped (a generator
+    /// bug if ever nonzero — the generator is trap-free by construction).
+    pub skipped: u64,
+    /// Summed static classification over the corpus (Table 2 shape).
+    pub static_classes: ClassTotals,
+    /// Summed dynamic classification over the corpus (Table 3 shape).
+    pub dynamic_classes: ClassTotals,
+    /// The diverging programs.
+    pub findings: Vec<Finding>,
+}
+
+/// Runs a whole campaign: generate, check, aggregate.
+///
+/// `progress` is called after each program with `(index, divergences so
+/// far)` — the driver uses it for a heartbeat line; pass a no-op closure
+/// otherwise.
+pub fn run_campaign(
+    config: &CampaignConfig,
+    mut progress: impl FnMut(u64, usize),
+) -> CampaignOutcome {
+    let oc = OracleConfig {
+        weight_threshold: config.weight_threshold,
+        fault_specs: config.fault_specs.clone(),
+    };
+    let mut out = CampaignOutcome::default();
+    for index in 0..config.budget {
+        let pseed = program_seed(config.seed, index);
+        let source = generate(pseed);
+        let report = check_source(&source, &oc);
+        out.programs += 1;
+        if report.skipped {
+            out.skipped += 1;
+        }
+        add_totals(&mut out.static_classes, &report.static_classes);
+        add_totals(&mut out.dynamic_classes, &report.dynamic_classes);
+        if !report.divergences.is_empty() {
+            out.findings.push(Finding {
+                index,
+                program_seed: pseed,
+                source,
+                divergences: report.divergences,
+            });
+        }
+        progress(index, out.findings.len());
+    }
+    out
+}
+
+fn add_totals(acc: &mut ClassTotals, inc: &ClassTotals) {
+    acc.external += inc.external;
+    acc.pointer += inc.pointer;
+    acc.r#unsafe += inc.r#unsafe;
+    acc.safe += inc.safe;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_seeds_are_decorrelated_and_deterministic() {
+        let a: Vec<u64> = (0..16).map(|i| program_seed(42, i)).collect();
+        let b: Vec<u64> = (0..16).map(|i| program_seed(42, i)).collect();
+        assert_eq!(a, b);
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), a.len(), "collisions in {a:?}");
+        assert_ne!(program_seed(42, 0), program_seed(43, 0));
+    }
+
+    #[test]
+    fn small_campaign_is_clean_and_covers_every_class() {
+        let config = CampaignConfig {
+            budget: 6,
+            ..CampaignConfig::default()
+        };
+        let out = run_campaign(&config, |_, _| {});
+        assert_eq!(out.programs, 6);
+        assert_eq!(out.skipped, 0);
+        assert!(
+            out.findings.is_empty(),
+            "clean campaign diverged: {:?}",
+            out.findings
+                .iter()
+                .flat_map(|f| &f.divergences)
+                .collect::<Vec<_>>()
+        );
+        assert!(out.static_classes.external > 0, "{:?}", out.static_classes);
+        assert!(out.static_classes.pointer > 0, "{:?}", out.static_classes);
+        assert!(out.static_classes.r#unsafe > 0, "{:?}", out.static_classes);
+        assert!(out.static_classes.safe > 0, "{:?}", out.static_classes);
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let config = CampaignConfig {
+            budget: 3,
+            ..CampaignConfig::default()
+        };
+        let a = run_campaign(&config, |_, _| {});
+        let b = run_campaign(&config, |_, _| {});
+        assert_eq!(a.static_classes, b.static_classes);
+        assert_eq!(a.dynamic_classes, b.dynamic_classes);
+        assert_eq!(a.findings.len(), b.findings.len());
+    }
+
+    #[test]
+    fn injected_fault_produces_findings() {
+        let config = CampaignConfig {
+            budget: 2,
+            fault_specs: vec!["expand:verify".to_string()],
+            ..CampaignConfig::default()
+        };
+        let out = run_campaign(&config, |_, _| {});
+        assert!(
+            !out.findings.is_empty(),
+            "an armed expand fault must surface as a finding"
+        );
+        let f = &out.findings[0];
+        assert!(f
+            .divergences
+            .iter()
+            .any(|d| d.kind == DivergenceKind::Incident));
+        assert!(!f.source.is_empty());
+    }
+}

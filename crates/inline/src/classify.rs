@@ -240,6 +240,48 @@ mod tests {
     }
 
     #[test]
+    fn weight_exactly_at_threshold_is_safe() {
+        // The paper's rule (§4.2) excludes sites with "estimated execution
+        // count less than 10": the comparison is strict, so a site whose
+        // weight is *exactly* the threshold lands on the safe side. This
+        // pins the boundary — a future `<=` regression flips this test.
+        let (_, c) = classified(
+            "int f(int x) { return x; }\n\
+             int main() { int i; int s; s = 0; for (i = 0; i < 10; i++) s += f(i); return s & 0xff; }",
+        );
+        assert_eq!(c.sites[0].weight, 10);
+        assert_eq!(c.sites[0].class, SiteClass::Safe);
+        assert_eq!(c.sites[0].unsafe_reason, None);
+    }
+
+    #[test]
+    fn weight_one_below_threshold_is_unsafe() {
+        let (_, c) = classified(
+            "int f(int x) { return x; }\n\
+             int main() { int i; int s; s = 0; for (i = 0; i < 9; i++) s += f(i); return s & 0xff; }",
+        );
+        assert_eq!(c.sites[0].weight, 9);
+        assert_eq!(c.sites[0].class, SiteClass::Unsafe);
+        assert_eq!(c.sites[0].unsafe_reason, Some(UnsafeReason::LowWeight));
+    }
+
+    #[test]
+    fn boundary_site_is_actually_expanded() {
+        // End to end: the weight-10 site is not just classified safe, the
+        // planner accepts it under default budgets.
+        let module = compile(&[Source::new(
+            "t.c",
+            "int f(int x) { return x * 3; }\n\
+             int main() { int i; int s; s = 0; for (i = 0; i < 10; i++) s += f(i); return s & 0xff; }",
+        )])
+        .unwrap();
+        let out = run(&module, vec![], vec![], &VmConfig::default()).unwrap();
+        let mut m = module.clone();
+        let report = crate::inline_module(&mut m, &out.profile, &InlineConfig::default());
+        assert_eq!(report.expanded.len(), 1);
+    }
+
+    #[test]
     fn totals_are_consistent_with_sites() {
         let (_, c) = classified(
             "extern int __fgetc(int fd);\n\

@@ -140,6 +140,14 @@ pub struct InlineReport {
     pub records: Vec<ExpansionRecord>,
     /// Static size before expansion (IL instructions).
     pub size_before: u64,
+    /// The plan's exact size prediction
+    /// ([`InlinePlan::predicted_final_size`]), computed before any
+    /// physical expansion ran.
+    pub predicted_size: u64,
+    /// Measured size right after physical expansion, before unreachable
+    /// elimination. Equals `predicted_size` whenever every planned arc
+    /// expanded without rollback — the fuzzer's size-accounting invariant.
+    pub size_expanded: u64,
     /// Static size after expansion (and elimination, if enabled).
     pub size_after: u64,
     /// Names of functions removed by unreachable elimination.
@@ -197,9 +205,11 @@ pub fn inline_module(
     let classification = classify(module, &graph, config);
     let order = linearize(module, profile, config.linearization);
     let plan = plan(module, &classification, &order, config);
+    let predicted_size = plan.predicted_final_size(module);
     let (records, def_cache, expand_incidents) =
         expand_plan_transactional(module, &plan, config.body_cache_capacity, &config.fault);
     incidents.extend(expand_incidents);
+    let size_expanded = module.total_size();
     let removed_functions = if config.eliminate_unreachable {
         eliminate_unreachable(module)
     } else {
@@ -213,6 +223,8 @@ pub fn inline_module(
         rejected: plan.rejected,
         records,
         size_before,
+        predicted_size,
+        size_expanded,
         size_after,
         removed_functions,
         promoted,
@@ -538,6 +550,47 @@ mod tests {
         // The absorbed slot is path-qualified.
         let main = inlined.function(inlined.main_id().unwrap());
         assert!(main.slots.iter().any(|s| s.name == "sum_digits.buf"));
+    }
+
+    #[test]
+    fn size_prediction_matches_physical_growth() {
+        for src in [HOT_LEAF, CHAIN_FOR_PREDICTION] {
+            let (_, _, report, _, _) = pipeline(src);
+            assert!(!report.expanded.is_empty());
+            assert_eq!(
+                report.predicted_size, report.size_expanded,
+                "exact prediction must match the measured post-expansion size"
+            );
+            // Elimination can only shrink from there.
+            assert!(report.size_after <= report.size_expanded);
+        }
+    }
+
+    const CHAIN_FOR_PREDICTION: &str = "int leaf(int x) { return x + 1; }\n\
+         int mid(int x) { return leaf(x) + leaf(x + 1); }\n\
+         int main() { int i; int s; s = 0; for (i = 0; i < 40; i++) s += mid(i); return s & 0xff; }";
+
+    #[test]
+    fn rolled_back_expansion_breaks_the_size_prediction() {
+        // A rollback leaves the plan partially executed: the prediction
+        // (computed for the full plan) must now overshoot the measured
+        // size — exactly the mismatch the fuzzer's oracle alarms on.
+        let fault = impact_vm::FaultPlan::new();
+        fault.arm_spec("expand:verify").unwrap();
+        let config = InlineConfig {
+            fault,
+            eliminate_unreachable: false,
+            ..InlineConfig::default()
+        };
+        let (_, _, report, before, after) = pipeline_with(HOT_LEAF, &config, vec![]);
+        assert_eq!(before, after, "rollback preserves behavior");
+        assert!(!report.incidents.is_empty());
+        assert!(
+            report.predicted_size > report.size_expanded,
+            "predicted {} vs expanded {}",
+            report.predicted_size,
+            report.size_expanded
+        );
     }
 
     #[test]

@@ -138,3 +138,117 @@ mod tests {
         assert_eq!(order, vec![FuncId(0), FuncId(1), FuncId(2)]);
     }
 }
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use impact_il::Function;
+    use proptest::prelude::*;
+
+    fn module_and_profile(weights: &[u64]) -> (Module, Profile) {
+        let mut m = Module::new();
+        for (i, _) in weights.iter().enumerate() {
+            m.add_function(Function::new(format!("f{i}"), 0));
+        }
+        let mut p = Profile::for_module(&m);
+        p.func_entries.copy_from_slice(weights);
+        (m, p)
+    }
+
+    proptest! {
+        #[test]
+        fn node_weight_order_is_a_sorted_permutation(
+            weights in proptest::collection::vec(0u64..64, 1..16),
+        ) {
+            let (m, p) = module_and_profile(&weights);
+            let order = linearize(&m, &p, Linearization::NodeWeight);
+            // Permutation: every function exactly once.
+            let mut seen = order.clone();
+            seen.sort();
+            prop_assert_eq!(
+                seen,
+                (0..weights.len()).map(FuncId::from_index).collect::<Vec<_>>()
+            );
+            // Sorted by descending node weight, ties broken by ascending
+            // function id — a strict total order, hence deterministic.
+            for w in order.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                let (wa, wb) = (p.func_weight(a), p.func_weight(b));
+                prop_assert!(
+                    wa > wb || (wa == wb && a < b),
+                    "order violation: {a:?}(w={wa}) before {b:?}(w={wb})"
+                );
+            }
+        }
+
+        #[test]
+        fn node_weight_order_is_deterministic(
+            weights in proptest::collection::vec(0u64..8, 1..16),
+        ) {
+            // Heavy on ties (weights drawn from a tiny range): two
+            // computations must still agree exactly.
+            let (m, p) = module_and_profile(&weights);
+            let a = linearize(&m, &p, Linearization::NodeWeight);
+            let b = linearize(&m, &p, Linearization::NodeWeight);
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn positions_of_inverts_every_strategy(
+            weights in proptest::collection::vec(0u64..64, 1..16),
+            seed in 0u64..32,
+        ) {
+            let (m, p) = module_and_profile(&weights);
+            for strategy in [
+                Linearization::NodeWeight,
+                Linearization::ReverseNodeWeight,
+                Linearization::Random(seed),
+                Linearization::SourceOrder,
+            ] {
+                let order = linearize(&m, &p, strategy);
+                let pos = positions_of(&order, weights.len());
+                for (i, f) in order.iter().enumerate() {
+                    prop_assert_eq!(pos[f.index()], i);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod expanded_arc_tests {
+    use super::*;
+    use crate::{inline_module, InlineConfig};
+    use impact_cfront::{compile, Source};
+    use impact_vm::{run, VmConfig};
+
+    #[test]
+    fn no_expanded_arc_violates_the_linear_order() {
+        // A call-heavy program with a transitive chain, fan-out, and
+        // recursion: every physically expanded arc must point from an
+        // earlier (callee) to a later (caller) position in the order.
+        let src = "int l1(int x) { return x + 1; }\n\
+             int l2(int x) { return l1(x) * 2; }\n\
+             int l3(int x) { return l2(x) + l1(x + 2); }\n\
+             int fact(int n) { return n < 2 ? 1 : n * fact(n - 1); }\n\
+             int main() { int i; int s; s = 0;\n\
+               for (i = 0; i < 50; i++) { s += l3(i); s += l2(i); }\n\
+               s += fact(12);\n\
+               return s & 0xff; }";
+        let module = compile(&[Source::new("t.c", src)]).unwrap();
+        let out = run(&module, vec![], vec![], &VmConfig::default()).unwrap();
+        let mut m = module.clone();
+        let report = inline_module(&mut m, &out.profile, &InlineConfig::default());
+        assert!(report.records.len() >= 3, "expected a real expansion set");
+        let pos = positions_of(&report.order, module.functions.len());
+        for r in &report.records {
+            assert!(
+                pos[r.callee.index()] < pos[r.caller.index()],
+                "expanded arc {:?} -> {:?} violates the linear order {:?}",
+                r.callee,
+                r.caller,
+                report.order
+            );
+        }
+    }
+}

@@ -8,7 +8,7 @@
 //! exactly as §3.4 requires ("the code size of each function body must be
 //! re-evaluated as new function calls are considered for expansion").
 
-use impact_il::{CallSiteId, FuncId, Module};
+use impact_il::{CallSiteId, FuncId, Inst, Module, Terminator};
 
 use crate::classify::{Classification, SiteClass};
 use crate::linearize::positions_of;
@@ -144,6 +144,66 @@ impl InlinePlan {
         }
         out
     }
+
+    /// The *exact* module size (IL instructions) after this plan is
+    /// physically executed by [`crate::expand_plan`], computed by
+    /// simulating [`InlinePlan::execution_order`] with the expander's real
+    /// arithmetic. Absorbing a callee grows the caller by the callee's
+    /// *current* simulated size, plus one parameter-buffering `Mov` per
+    /// actual argument, plus — when the call reads a result — one
+    /// value-funneling instruction per `Return`-terminated block of the
+    /// callee; the removed `Call` instruction and the continuation
+    /// block's new terminator cancel exactly. `Return`-block counts are
+    /// invariant under expansion (cloned returns become jumps), so the
+    /// original module's counts stay valid throughout the simulation.
+    ///
+    /// This is the oracle the fuzzer's size-accounting invariant checks
+    /// against: it must equal `Module::total_size()` after a rollback-free
+    /// expansion, *before* unreachable elimination. (`projected_size` is
+    /// the coarser budget-time estimate, which ignores the per-site mov
+    /// overhead.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan refers to sites absent from `module` — plans
+    /// are only valid for the module they were computed from.
+    pub fn predicted_final_size(&self, module: &Module) -> u64 {
+        let mut sizes: Vec<u64> = module.functions.iter().map(|f| f.size()).collect();
+        let ret_blocks: Vec<u64> = module
+            .functions
+            .iter()
+            .map(|f| {
+                f.blocks
+                    .iter()
+                    .filter(|b| matches!(b.term, Terminator::Return(_)))
+                    .count() as u64
+            })
+            .collect();
+        let mut site_shape: std::collections::HashMap<CallSiteId, (u64, bool)> =
+            std::collections::HashMap::new();
+        for f in &module.functions {
+            for b in &f.blocks {
+                for inst in &b.insts {
+                    if let Inst::Call {
+                        site, args, dst, ..
+                    } = inst
+                    {
+                        site_shape.insert(*site, (args.len() as u64, dst.is_some()));
+                    }
+                }
+            }
+        }
+        for e in self.execution_order() {
+            let (nargs, has_dst) = site_shape[&e.site];
+            let retfix = if has_dst {
+                ret_blocks[e.callee.index()]
+            } else {
+                0
+            };
+            sizes[e.caller.index()] += sizes[e.callee.index()] + nargs + retfix;
+        }
+        sizes.iter().sum()
+    }
 }
 
 #[cfg(test)]
@@ -224,5 +284,33 @@ mod tests {
     fn planned_dynamic_calls_sums_weights() {
         let (_, p) = plan_for(TWO_HOT, &InlineConfig::default());
         assert_eq!(p.planned_dynamic_calls(), 100);
+    }
+
+    #[test]
+    fn predicted_final_size_matches_physical_expansion() {
+        // Transitive chains, multi-return callees, and result-free calls:
+        // every term of the growth formula gets exercised.
+        let cases = [
+            TWO_HOT,
+            "int leaf(int x) { return x + 1; }\n\
+             int mid(int x) { return leaf(x) + leaf(x + 1); }\n\
+             int main() { int i; int s; s = 0; for (i = 0; i < 40; i++) s += mid(i); return s & 0xff; }",
+            "int abs2(int x) { if (x < 0) return 0 - x; return x; }\n\
+             int main() { int i; int s; s = 0; for (i = 0; i < 30; i++) s += abs2(15 - i); return s & 0xff; }",
+            "int gsink;\n\
+             int poke(int x) { gsink = gsink + x; return 0; }\n\
+             int main() { int i; for (i = 0; i < 25; i++) poke(i); return gsink & 0x7f; }",
+        ];
+        for src in cases {
+            let (module, p) = plan_for(src, &InlineConfig::default());
+            assert!(!p.expansions.is_empty(), "no expansions for {src}");
+            let mut m = module.clone();
+            crate::expand::expand_plan(&mut m, &p);
+            assert_eq!(
+                p.predicted_final_size(&module),
+                m.total_size(),
+                "prediction diverged for {src}"
+            );
+        }
     }
 }

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use impact_il::{CallSiteId, ExternId, FuncId, Module};
+use impact_il::{CallSiteId, Callee, ExternId, FuncId, Module};
 
 /// A call target as recorded by the profiler (the callee side of an arc).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -212,6 +212,81 @@ impl Profile {
     }
 }
 
+// ----- flow-conservation introspection ------------------------------------
+
+/// One violation of profile flow conservation: a function whose recorded
+/// entry count (node weight) disagrees with the arc evidence feeding it.
+/// See [`Profile::flow_residuals`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowResidual {
+    /// The function whose counts disagree.
+    pub func: FuncId,
+    /// Recorded entry count (node weight).
+    pub entries: u64,
+    /// What the arcs predict: the sum of incoming recorded arc weights,
+    /// plus one OS entry per run for `main`.
+    pub expected: u64,
+}
+
+impl Profile {
+    /// Sum of recorded incoming arc weights per function: direct sites
+    /// contribute their [`Profile::site_weight`], pointer sites contribute
+    /// their recorded per-target counts from `site_targets`. External
+    /// callees receive nothing (they are not functions of the module).
+    pub fn incoming_arc_weights(&self, module: &Module) -> Vec<u64> {
+        let mut incoming = vec![0u64; module.functions.len()];
+        for (_, site, callee) in module.all_call_sites() {
+            match callee {
+                Callee::Func(f) => incoming[f.index()] += self.site_weight(site),
+                Callee::Reg(_) => {
+                    if let Some(targets) = self.site_targets.get(&site) {
+                        for (t, n) in targets {
+                            if let ProfTarget::Func(f) = t {
+                                incoming[f.index()] += n;
+                            }
+                        }
+                    }
+                }
+                Callee::Ext(_) => {}
+            }
+        }
+        incoming
+    }
+
+    /// The profiler's flow-conservation law: every entry of a function is
+    /// either an incoming call recorded at some site or — for `main`
+    /// only — the OS entry that starts a run. Returns every function
+    /// where the law fails (empty on a conserving profile).
+    ///
+    /// Exact only on *merged* (unaveraged) profiles of completed runs:
+    /// [`Profile::averaged`] integer-divides each counter independently,
+    /// and a run that trapped mid-call may have recorded the site but not
+    /// the entry.
+    pub fn flow_residuals(&self, module: &Module) -> Vec<FlowResidual> {
+        let incoming = self.incoming_arc_weights(module);
+        let main = module.main_id();
+        let mut out = Vec::new();
+        for (i, &inc) in incoming.iter().enumerate() {
+            let func = FuncId::from_index(i);
+            let os_entries = if Some(func) == main {
+                u64::from(self.runs)
+            } else {
+                0
+            };
+            let expected = inc + os_entries;
+            let entries = self.func_weight(func);
+            if entries != expected {
+                out.push(FlowResidual {
+                    func,
+                    entries,
+                    expected,
+                });
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +378,73 @@ mod tests {
         m2.add_function(Function::new("main", 0));
         let b = Profile::for_module(&m2);
         a.merge(&b);
+    }
+}
+
+#[cfg(test)]
+mod flow_tests {
+    use super::*;
+    use crate::{run, VmConfig};
+    use impact_cfront::{compile, Source};
+
+    /// Direct, pointer, and external call sites in one program, plus
+    /// recursion — every arc kind the conservation law must account for.
+    const MIXED: &str = "extern int __fputc(int c, int fd);\n\
+         int leaf(int a) { return a + 3; }\n\
+         int twice(int a) { return leaf(a) + leaf(a + 1); }\n\
+         int fact(int n) { return n < 2 ? 1 : n * fact(n - 1); }\n\
+         int main() {\n\
+           int i; int s; int (*fp)(int);\n\
+           s = 0; fp = leaf;\n\
+           for (i = 0; i < 20; i++) { s += twice(i); s += fp(i); }\n\
+           s += fact(6);\n\
+           __fputc('0' + (s & 7), 1);\n\
+           return s & 0x7f;\n\
+         }";
+
+    fn mixed_profile() -> (Module, Profile) {
+        let module = compile(&[Source::new("t.c", MIXED)]).expect("compiles");
+        let out = run(&module, vec![], vec![], &VmConfig::default()).expect("runs");
+        (module, out.profile)
+    }
+
+    #[test]
+    fn real_profiles_conserve_flow() {
+        let (module, profile) = mixed_profile();
+        assert!(profile.calls > 0);
+        let residuals = profile.flow_residuals(&module);
+        assert!(residuals.is_empty(), "residuals: {residuals:?}");
+    }
+
+    #[test]
+    fn incoming_weights_count_pointer_targets() {
+        let (module, profile) = mixed_profile();
+        let leaf = module.func_by_name("leaf").unwrap();
+        let incoming = profile.incoming_arc_weights(&module);
+        // 20 loop iterations * (2 direct from twice + 1 via pointer).
+        assert_eq!(incoming[leaf.index()], 60);
+        assert_eq!(profile.func_weight(leaf), 60);
+    }
+
+    #[test]
+    fn tampered_entry_count_is_flagged() {
+        let (module, mut profile) = mixed_profile();
+        let leaf = module.func_by_name("leaf").unwrap();
+        profile.func_entries[leaf.index()] += 1;
+        let residuals = profile.flow_residuals(&module);
+        assert_eq!(residuals.len(), 1);
+        assert_eq!(residuals[0].func, leaf);
+        assert_eq!(residuals[0].entries, residuals[0].expected + 1);
+    }
+
+    #[test]
+    fn main_is_credited_one_os_entry_per_run() {
+        let (module, profile) = mixed_profile();
+        let main = module.main_id().unwrap();
+        // Nothing calls main, yet the law holds because the OS entry is
+        // accounted separately.
+        assert_eq!(profile.incoming_arc_weights(&module)[main.index()], 0);
+        assert_eq!(profile.func_weight(main), u64::from(profile.runs));
     }
 }
 

@@ -36,6 +36,7 @@
 
 pub use impact_callgraph as callgraph;
 pub use impact_cfront as cfront;
+pub use impact_fuzz as fuzz;
 pub use impact_il as il;
 pub use impact_inline as inline;
 pub use impact_opt as opt;

@@ -1,0 +1,75 @@
+//! Tier-1 fuzz smoke: a bounded differential-oracle campaign runs clean,
+//! deterministically, and covers every call-site class — and an injected
+//! fault is provably caught. The full-budget campaign runs in CI's
+//! dedicated `fuzz-smoke` job; this keeps a small always-on slice in the
+//! default test suite.
+
+use impact::fuzz::{program_seed, run_campaign, CampaignConfig, DivergenceKind};
+
+#[test]
+fn bounded_campaign_is_clean_and_covers_every_class() {
+    let config = CampaignConfig {
+        seed: 42,
+        budget: 24,
+        ..CampaignConfig::default()
+    };
+    let out = run_campaign(&config, |_, _| {});
+    assert_eq!(out.programs, 24);
+    assert_eq!(out.skipped, 0, "the generator is trap-free by construction");
+    assert!(
+        out.findings.is_empty(),
+        "oracle divergences on the pinned seed: {:?}",
+        out.findings
+            .iter()
+            .map(|f| (f.index, &f.divergences))
+            .collect::<Vec<_>>()
+    );
+    // Every row of the paper's classification is populated (Tables 2–3).
+    let st = out.static_classes;
+    assert!(st.external > 0, "{st:?}");
+    assert!(st.pointer > 0, "{st:?}");
+    assert!(st.r#unsafe > 0, "{st:?}");
+    assert!(st.safe > 0, "{st:?}");
+    let dy = out.dynamic_classes;
+    assert!(
+        dy.external > 0 && dy.pointer > 0 && dy.r#unsafe > 0 && dy.safe > 0,
+        "{dy:?}"
+    );
+}
+
+#[test]
+fn campaigns_are_reproducible() {
+    let config = CampaignConfig {
+        seed: 7,
+        budget: 4,
+        ..CampaignConfig::default()
+    };
+    let a = run_campaign(&config, |_, _| {});
+    let b = run_campaign(&config, |_, _| {});
+    assert_eq!(a.static_classes, b.static_classes);
+    assert_eq!(a.dynamic_classes, b.dynamic_classes);
+    assert_eq!(a.findings.len(), b.findings.len());
+    // Per-program seeds are a pure function of (campaign seed, index).
+    assert_eq!(program_seed(7, 3), program_seed(7, 3));
+    assert_ne!(program_seed(7, 3), program_seed(8, 3));
+}
+
+#[test]
+fn oracle_catches_an_injected_expansion_fault() {
+    let config = CampaignConfig {
+        seed: 42,
+        budget: 2,
+        fault_specs: vec!["expand:verify".to_string()],
+        ..CampaignConfig::default()
+    };
+    let out = run_campaign(&config, |_, _| {});
+    assert!(
+        !out.findings.is_empty(),
+        "an armed expand:verify fault must surface as a finding"
+    );
+    assert!(out
+        .findings
+        .iter()
+        .flat_map(|f| &f.divergences)
+        .any(|d| d.kind == DivergenceKind::Incident));
+}
