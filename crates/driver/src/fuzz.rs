@@ -16,10 +16,16 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use impact_fuzz::{check_source, run_campaign, CampaignConfig, Finding, OracleConfig};
+use impact_fuzz::{
+    check_source, generate, program_seed, CampaignConfig, CampaignOutcome, Finding, OracleConfig,
+};
+use impact_inline::ClassTotals;
 
+use crate::journal::{
+    campaign_fingerprint, is_journal_fault, open_for, prepare_report_dir, Event, UnitRecord,
+};
 use crate::minimize::{shrink, ShrinkResult};
-use crate::report::{json_str, json_str_list};
+use crate::report::{atomic_write_in, json_str, json_str_list};
 use crate::{usage, Options};
 
 /// Exit code when the oracle found divergences.
@@ -66,11 +72,130 @@ pub fn run_fuzz(opts: &Options) -> Result<(i32, String), String> {
         seed: opts.seed.unwrap_or(42),
         budget,
         weight_threshold: flags.inline.weight_threshold,
-        fault_specs: opts.faults.clone(),
+        // `journal:*` specs drive the campaign journal's kill points, not
+        // the oracle's configuration lattice.
+        fault_specs: opts
+            .faults
+            .iter()
+            .filter(|f| !is_journal_fault(f))
+            .cloned()
+            .collect(),
     };
-    let outcome = run_campaign(&config, |_, _| {});
-
+    let fingerprint = campaign_fingerprint("fuzz", opts, &[]);
     let mut out = String::new();
+    let journal = open_for(opts, "fuzz", fingerprint, &mut out)?;
+    let (mut journal, completed) = match journal {
+        Some((j, c)) => (Some(j), c),
+        None => (None, std::collections::HashMap::new()),
+    };
+    let report_dir = PathBuf::from(opts.report_dir.as_deref().unwrap_or("fuzz-reports"));
+    if opts.report_dir.is_some() {
+        prepare_report_dir(&report_dir, "fuzz", fingerprint, opts.force_resume)?;
+    }
+    let oc = OracleConfig {
+        weight_threshold: config.weight_threshold,
+        fault_specs: config.fault_specs.clone(),
+    };
+    // The campaign loop, journaled per program. Completed programs are
+    // reconstructed from their `unit-done` counts — findings re-derive
+    // from the seed (generation and the oracle are pure functions of it),
+    // so a resume converges on the exact outcome of an unbroken run.
+    let mut outcome = CampaignOutcome::default();
+    let add = |acc: &mut ClassTotals, e: u64, p: u64, u: u64, s: u64| {
+        acc.external += e;
+        acc.pointer += p;
+        acc.r#unsafe += u;
+        acc.safe += s;
+    };
+    for index in 0..config.budget {
+        let unit = format!("p{index}");
+        if let Some(rec) = completed.get(&unit) {
+            let c = &rec.counts;
+            if c.len() != 10 {
+                return Err(format!(
+                    "journal record for `{unit}` carries {} counters, expected 10; \
+                     the journal was written by an incompatible impactc",
+                    c.len()
+                ));
+            }
+            outcome.programs += 1;
+            outcome.skipped += c[0];
+            add(&mut outcome.static_classes, c[1], c[2], c[3], c[4]);
+            add(&mut outcome.dynamic_classes, c[5], c[6], c[7], c[8]);
+            if c[9] != 0 {
+                let pseed = program_seed(config.seed, index);
+                let source = generate(pseed);
+                let report = check_source(&source, &oc);
+                outcome.findings.push(Finding {
+                    index,
+                    program_seed: pseed,
+                    source,
+                    divergences: report.divergences,
+                });
+            }
+            continue;
+        }
+        if let Some(j) = journal.as_mut() {
+            j.append(&Event::UnitStart { unit: unit.clone() })?;
+        }
+        let pseed = program_seed(config.seed, index);
+        let source = generate(pseed);
+        let report = check_source(&source, &oc);
+        outcome.programs += 1;
+        if report.skipped {
+            outcome.skipped += 1;
+        }
+        let st = &report.static_classes;
+        let dy = &report.dynamic_classes;
+        add(
+            &mut outcome.static_classes,
+            st.external,
+            st.pointer,
+            st.r#unsafe,
+            st.safe,
+        );
+        add(
+            &mut outcome.dynamic_classes,
+            dy.external,
+            dy.pointer,
+            dy.r#unsafe,
+            dy.safe,
+        );
+        let diverged = !report.divergences.is_empty();
+        if let Some(j) = journal.as_mut() {
+            if diverged {
+                j.append(&Event::Finding { id: unit.clone() })?;
+            }
+            j.append(&Event::UnitDone(UnitRecord {
+                unit,
+                status: "checked".to_string(),
+                attempts: 1,
+                signature: "-".to_string(),
+                report: "-".to_string(),
+                counts: vec![
+                    u64::from(report.skipped),
+                    st.external,
+                    st.pointer,
+                    st.r#unsafe,
+                    st.safe,
+                    dy.external,
+                    dy.pointer,
+                    dy.r#unsafe,
+                    dy.safe,
+                    u64::from(diverged),
+                ],
+            }))?;
+        }
+        if diverged {
+            outcome.findings.push(Finding {
+                index,
+                program_seed: pseed,
+                source,
+                divergences: report.divergences,
+            });
+        }
+    }
+
     let _ = writeln!(
         out,
         "fuzz: seed {}, {} programs, {} skipped, {} diverging",
@@ -97,16 +222,20 @@ pub fn run_fuzz(opts: &Options) -> Result<(i32, String), String> {
             out,
             "; no divergences: every config agreed on every program"
         );
+        if let Some(j) = journal.as_mut() {
+            j.append(&Event::CampaignEnd {
+                ok: outcome.programs,
+                failed: 0,
+            })?;
+        }
         return Ok((0, out));
     }
 
-    let report_dir = PathBuf::from(opts.report_dir.as_deref().unwrap_or("fuzz-reports"));
-    std::fs::create_dir_all(&report_dir)
-        .map_err(|e| format!("cannot create report dir `{}`: {e}", report_dir.display()))?;
-    let oc = OracleConfig {
-        weight_threshold: config.weight_threshold,
-        fault_specs: config.fault_specs.clone(),
-    };
+    if opts.report_dir.is_none() {
+        // The default report dir is only claimed once there is something
+        // to write into it.
+        prepare_report_dir(&report_dir, "fuzz", fingerprint, opts.force_resume)?;
+    }
     for (i, finding) in outcome.findings.iter().enumerate() {
         let sigs: Vec<String> = finding.divergences.iter().map(|d| d.signature()).collect();
         let _ = writeln!(
@@ -121,12 +250,18 @@ pub fn run_fuzz(opts: &Options) -> Result<(i32, String), String> {
         }
         let reduced = shrink_finding(finding, &oc);
         let stem = format!("fuzz-seed{}-p{}", config.seed, finding.index);
-        let c_path = report_dir.join(format!("{stem}.repro.c"));
-        let json_path = report_dir.join(format!("{stem}.json"));
-        std::fs::write(&c_path, &reduced.source)
-            .map_err(|e| format!("cannot write `{}`: {e}", c_path.display()))?;
-        std::fs::write(&json_path, oracle_report_json(&config, finding, &reduced))
-            .map_err(|e| format!("cannot write `{}`: {e}", json_path.display()))?;
+        // Stable names + atomic replace: re-emitting after a resume
+        // converges on the same artifact set instead of duplicating it.
+        let c_path = atomic_write_in(
+            &report_dir,
+            &format!("{stem}.repro.c"),
+            reduced.source.as_bytes(),
+        )?;
+        let json_path = atomic_write_in(
+            &report_dir,
+            &format!("{stem}.json"),
+            oracle_report_json(&config, finding, &reduced).as_bytes(),
+        )?;
         let _ = writeln!(
             out,
             ";   reproducer: {} ({} -> {} bytes, {} evals), report: {}",
@@ -144,6 +279,12 @@ pub fn run_fuzz(opts: &Options) -> Result<(i32, String), String> {
              narrower --budget window to isolate them",
             outcome.findings.len() - MAX_SHRUNK
         );
+    }
+    if let Some(j) = journal.as_mut() {
+        j.append(&Event::CampaignEnd {
+            ok: outcome.programs - outcome.findings.len() as u64,
+            failed: outcome.findings.len() as u64,
+        })?;
     }
     Ok((EXIT_DIVERGENCE, out))
 }

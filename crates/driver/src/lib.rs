@@ -20,6 +20,7 @@ use impact_opt::optimize_module_isolated;
 use impact_vm::{profile_runs, FaultPlan, NamedFile, Profile, VmConfig};
 
 pub mod fuzz;
+pub mod journal;
 pub mod minimize;
 pub mod report;
 pub mod supervise;
@@ -83,6 +84,15 @@ pub struct Options {
     pub workloads: bool,
     /// `--seed N` (fuzz): campaign seed fixing the whole corpus.
     pub seed: Option<u64>,
+    /// `--journal PATH` (batch/fuzz): record campaign progress to a
+    /// crash-consistent journal at this path.
+    pub journal: Option<String>,
+    /// `--resume` (batch/fuzz): continue the campaign recorded in
+    /// `--journal`, skipping completed units.
+    pub resume: bool,
+    /// `--force-resume`: resume even when the journal (or the report-dir
+    /// manifest) records a different config fingerprint.
+    pub force_resume: bool,
 }
 
 impl Options {
@@ -118,6 +128,9 @@ impl Options {
             fault_unit: None,
             workloads: false,
             seed: None,
+            journal: None,
+            resume: false,
+            force_resume: false,
         };
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -200,6 +213,12 @@ impl Options {
                     opts.fault_unit = Some(v.clone());
                 }
                 "--workloads" => opts.workloads = true,
+                "--journal" => {
+                    let v = it.next().ok_or("--journal needs a path".to_string())?;
+                    opts.journal = Some(v.clone());
+                }
+                "--resume" => opts.resume = true,
+                "--force-resume" => opts.force_resume = true,
                 "--seed" => {
                     let v = it.next().ok_or("--seed needs a number".to_string())?;
                     opts.seed = Some(v.parse().map_err(|_| "bad --seed")?);
@@ -391,7 +410,16 @@ pub fn usage() -> String {
      \x20 --fault KEY[=N]                 arm fault points in every config (the positive\n\
      \x20                                 control: armed faults must surface as findings)\n\
      \x20 --report-dir DIR                where shrunken *.repro.c + JSON oracle reports\n\
-     \x20                                 are written (default fuzz-reports)\n"
+     \x20                                 are written (default fuzz-reports)\n\
+     \n\
+     crash consistency (batch/fuzz):\n\
+     \x20 --journal PATH                  record campaign progress to a checksummed\n\
+     \x20                                 write-ahead journal (fsync'd per event)\n\
+     \x20 --resume                        continue the campaign in --journal: completed\n\
+     \x20                                 units are skipped, in-flight ones re-run, and\n\
+     \x20                                 reports are re-emitted idempotently\n\
+     \x20 --force-resume                  resume even if the journal or report-dir\n\
+     \x20                                 manifest records different campaign flags\n"
         .to_string()
 }
 
@@ -693,13 +721,8 @@ pub fn inline_pipeline(
     )
     .map_err(|e| PipelineFailure::new("io", "profile-read-failed", e))?;
     if let Some(path) = &opts.profile_out {
-        std::fs::write(path, profile.to_text()).map_err(|e| {
-            PipelineFailure::new(
-                "io",
-                "profile-write-failed",
-                format!("cannot write profile `{path}`: {e}"),
-            )
-        })?;
+        report::atomic_write_path(std::path::Path::new(path), profile.to_text().as_bytes())
+            .map_err(|e| PipelineFailure::new("io", "profile-write-failed", e))?;
     }
     let report = inline_module(&mut module, &profile.averaged(), &cfg);
     incidents.extend(report.incidents.iter().cloned());
@@ -843,6 +866,15 @@ pub fn inline_pipeline(
 /// Returns a human-readable error message.
 pub fn execute(opts: &Options) -> Result<(i32, String), String> {
     let mut out = String::new();
+    if !matches!(opts.command.as_str(), "batch" | "fuzz")
+        && (opts.journal.is_some() || opts.resume || opts.force_resume)
+    {
+        return Err(format!(
+            "--journal/--resume/--force-resume only apply to campaign commands \
+             (batch, fuzz), not `{}`",
+            opts.command
+        ));
+    }
     match opts.command.as_str() {
         "compile" => {
             let module = compile_sources(&opts.positional)?;
@@ -864,8 +896,10 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
             let result = impact_vm::run(&module, inputs, opts.args.clone(), &vm_cfg)
                 .map_err(|e| e.to_string())?;
             if let Some(path) = &opts.profile_out {
-                std::fs::write(path, result.profile.to_text())
-                    .map_err(|e| format!("cannot write profile `{path}`: {e}"))?;
+                report::atomic_write_path(
+                    std::path::Path::new(path),
+                    result.profile.to_text().as_bytes(),
+                )?;
             }
             out.push_str(&String::from_utf8_lossy(&result.stdout));
             let _ = writeln!(

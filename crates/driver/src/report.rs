@@ -9,10 +9,67 @@
 //! replayed directly with `impactc inline`).
 
 use std::fmt::Write as _;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use crate::minimize::ShrinkResult;
 use crate::Options;
+
+/// Hidden staging subdirectory used by [`atomic_write_in`]: in-flight
+/// bytes live here (as `<name>.tmp`) until the final rename, so a crash
+/// can never leave a partially-written file among the observable reports.
+pub const STAGING_DIR: &str = ".staging";
+
+/// Atomically publishes `bytes` as `dir/name`: write to
+/// `dir/.staging/name.tmp`, fsync, rename into place, fsync the
+/// directory. Readers (and a post-crash scan of `dir`) either see the
+/// complete file or no file — never a torn one. Re-emitting the same
+/// report is idempotent: the rename replaces the old copy whole.
+///
+/// # Errors
+///
+/// Returns a message on filesystem errors.
+pub fn atomic_write_in(dir: &Path, name: &str, bytes: &[u8]) -> Result<PathBuf, String> {
+    let staging = dir.join(STAGING_DIR);
+    std::fs::create_dir_all(&staging)
+        .map_err(|e| format!("cannot create staging dir `{}`: {e}", staging.display()))?;
+    let tmp = staging.join(format!("{name}.tmp"));
+    let dest = dir.join(name);
+    let mut f = std::fs::File::create(&tmp)
+        .map_err(|e| format!("cannot create `{}`: {e}", tmp.display()))?;
+    f.write_all(bytes)
+        .and_then(|()| f.sync_all())
+        .map_err(|e| format!("cannot write `{}`: {e}", tmp.display()))?;
+    drop(f);
+    std::fs::rename(&tmp, &dest).map_err(|e| {
+        format!(
+            "cannot publish `{}` -> `{}`: {e}",
+            tmp.display(),
+            dest.display()
+        )
+    })?;
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(dest)
+}
+
+/// Atomic write for a caller-chosen file path outside a report directory
+/// (e.g. `--profile-out`): write to a `<path>.tmp` sibling, fsync, rename.
+///
+/// # Errors
+///
+/// Returns a message on filesystem errors.
+pub fn atomic_write_path(path: &Path, bytes: &[u8]) -> Result<(), String> {
+    let tmp = PathBuf::from(format!("{}.tmp", path.display()));
+    let mut f = std::fs::File::create(&tmp)
+        .map_err(|e| format!("cannot create `{}`: {e}", tmp.display()))?;
+    f.write_all(bytes)
+        .and_then(|()| f.sync_all())
+        .map_err(|e| format!("cannot write `{}`: {e}", tmp.display()))?;
+    drop(f);
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot publish `{}`: {e}", path.display()))
+}
 
 /// A hard pipeline failure, classified for retry/quarantine decisions and
 /// for signature comparison during reproducer minimization.
@@ -237,6 +294,10 @@ pub fn sanitize_unit_name(unit: &str) -> String {
 /// Writes the crash report (and, when a reproducer was minimized, a
 /// sibling `<unit>.repro.c` replayable with `impactc inline`) into `dir`.
 ///
+/// Both files are emitted through [`atomic_write_in`] under stable,
+/// unit-keyed names, so emission is idempotent and a crash mid-write can
+/// never leave a torn report among the observable files.
+///
 /// # Errors
 ///
 /// Returns a message on filesystem errors.
@@ -244,13 +305,13 @@ pub fn write_crash_report(dir: &Path, r: &CrashReport, opts: &Options) -> Result
     std::fs::create_dir_all(dir)
         .map_err(|e| format!("cannot create report dir `{}`: {e}", dir.display()))?;
     let stem = sanitize_unit_name(&r.unit);
-    let json_path = dir.join(format!("{stem}.json"));
-    std::fs::write(&json_path, render_crash_report(r, opts))
-        .map_err(|e| format!("cannot write crash report `{}`: {e}", json_path.display()))?;
+    let json_path = atomic_write_in(
+        dir,
+        &format!("{stem}.json"),
+        render_crash_report(r, opts).as_bytes(),
+    )?;
     if let Some(rep) = &r.reproducer {
-        let src_path = dir.join(format!("{stem}.repro.c"));
-        std::fs::write(&src_path, &rep.source)
-            .map_err(|e| format!("cannot write reproducer `{}`: {e}", src_path.display()))?;
+        atomic_write_in(dir, &format!("{stem}.repro.c"), rep.source.as_bytes())?;
     }
     Ok(json_path)
 }
@@ -326,5 +387,25 @@ mod tests {
     fn unit_names_sanitize_to_file_stems() {
         assert_eq!(sanitize_unit_name("bench:wc"), "bench_wc");
         assert_eq!(sanitize_unit_name("dir/unit-1.c"), "dir_unit_1_c");
+    }
+
+    #[test]
+    fn atomic_write_publishes_whole_files_and_is_idempotent() {
+        let dir = std::env::temp_dir().join("impactc-atomic-write");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = atomic_write_in(&dir, "r.json", b"{\"v\": 1}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "{\"v\": 1}\n");
+        // Re-emission replaces the file whole.
+        let p2 = atomic_write_in(&dir, "r.json", b"{\"v\": 2}\n").unwrap();
+        assert_eq!(p, p2);
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "{\"v\": 2}\n");
+        // Nothing in-flight remains observable next to the report.
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(stray.is_empty(), "{stray:?}");
     }
 }

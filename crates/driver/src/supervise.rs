@@ -39,6 +39,9 @@ use std::time::{Duration, Instant};
 
 use impact_cfront::Source;
 
+use crate::journal::{
+    campaign_fingerprint, is_journal_fault, open_for, prepare_report_dir, Event, UnitRecord,
+};
 use crate::minimize::{shrink, ShrinkResult};
 use crate::report::{write_crash_report, AttemptRecord, CrashReport, PipelineFailure};
 use crate::{inline_pipeline, load_inputs, usage, Options, RunSpec};
@@ -145,14 +148,17 @@ fn enumerate_units(opts: &Options) -> Result<Vec<Unit>, String> {
 }
 
 /// The per-unit options: IL dumps off, per-unit profile I/O off (units
-/// would clobber each other's files), and `--fault` specs cleared unless
-/// `--fault-unit` matches this unit (or no target was named, in which
-/// case faults arm everywhere, matching single-unit semantics).
+/// would clobber each other's files), `journal:*` fault specs stripped
+/// (they belong to the campaign journal, not the pipeline), and the
+/// remaining `--fault` specs cleared unless `--fault-unit` matches this
+/// unit (or no target was named, in which case faults arm everywhere,
+/// matching single-unit semantics).
 fn unit_options(opts: &Options, unit_name: &str) -> Options {
     let mut o = opts.clone();
     o.quiet = true;
     o.profile_out = None;
     o.profile_in = None;
+    o.faults.retain(|f| !is_journal_fault(f));
     if let Some(target) = &opts.fault_unit {
         if target != unit_name {
             o.faults.clear();
@@ -391,31 +397,67 @@ pub fn run_batch(opts: &Options) -> Result<(i32, String), String> {
             usage()
         ));
     }
-    let report_dir = opts.report_dir.as_ref().map(std::path::PathBuf::from);
+    let unit_names: Vec<String> = units.iter().map(|u| u.name.clone()).collect();
+    let fingerprint = campaign_fingerprint("batch", opts, &unit_names);
     let mut out = String::new();
-    let mut rows: Vec<(String, String, usize, String)> = Vec::new();
+    let journal = open_for(opts, "batch", fingerprint, &mut out)?;
+    let (mut journal, completed) = match journal {
+        Some((j, c)) => (Some(j), c),
+        None => (None, std::collections::HashMap::new()),
+    };
+    let report_dir = opts.report_dir.as_ref().map(std::path::PathBuf::from);
+    if let Some(dir) = &report_dir {
+        prepare_report_dir(dir, "batch", fingerprint, opts.force_resume)?;
+    }
+    let mut rows: Vec<(String, String, u64, String)> = Vec::new();
     let mut ok = 0usize;
     let mut quarantined = 0usize;
+    // Applies a finished unit to the summary state — the one code path
+    // shared by freshly-run units and units replayed from the journal, so
+    // a resumed campaign renders byte-identically to an uninterrupted one.
+    let apply = |rec: &UnitRecord,
+                 rows: &mut Vec<(String, String, u64, String)>,
+                 out: &mut String,
+                 ok: &mut usize,
+                 quarantined: &mut usize| {
+        if rec.status == "ok" {
+            *ok += 1;
+        } else {
+            *quarantined += 1;
+        }
+        rows.push((
+            rec.unit.clone(),
+            rec.status.clone(),
+            rec.attempts,
+            rec.signature.clone(),
+        ));
+        if rec.report != "-" {
+            let _ = writeln!(out, "; crash report: {}", rec.report);
+        }
+    };
     for unit in &units {
+        if let Some(rec) = completed.get(&unit.name) {
+            apply(rec, &mut rows, &mut out, &mut ok, &mut quarantined);
+            continue;
+        }
+        if let Some(j) = journal.as_mut() {
+            j.append(&Event::UnitStart {
+                unit: unit.name.clone(),
+            })?;
+        }
         let outcome = run_unit(unit, opts);
-        match outcome.result {
-            Ok(_) => {
-                ok += 1;
-                rows.push((
-                    unit.name.clone(),
-                    "ok".to_string(),
-                    outcome.attempts.len() + 1,
-                    "-".to_string(),
-                ));
-            }
+        let rec = match outcome.result {
+            Ok(_) => UnitRecord {
+                unit: unit.name.clone(),
+                status: "ok".to_string(),
+                attempts: outcome.attempts.len() as u64 + 1,
+                signature: "-".to_string(),
+                report: "-".to_string(),
+                counts: vec![],
+            },
             Err((taxonomy, failure)) => {
-                quarantined += 1;
-                rows.push((
-                    unit.name.clone(),
-                    "quarantined".to_string(),
-                    outcome.attempts.len(),
-                    failure.signature(),
-                ));
+                let mut report_path = "-".to_string();
+                let signature = failure.signature();
                 if let Some(dir) = &report_dir {
                     let unit_opts = unit_options(opts, &unit.name);
                     let governor = unit_opts.validate_flags().map(|f| f.vm).unwrap_or_default();
@@ -424,22 +466,35 @@ pub fn run_batch(opts: &Options) -> Result<(i32, String), String> {
                         taxonomy,
                         reproducer: minimize_failure(unit, opts, &failure),
                         failure,
-                        attempts: outcome.attempts,
+                        attempts: outcome.attempts.clone(),
                         time_limit_ms: opts.time_limit_ms.unwrap_or(DEFAULT_TIME_LIMIT_MS),
                         fuel: governor.max_steps,
                         mem_limit: governor.mem_limit,
                     };
                     match write_crash_report(dir, &report, &unit_opts) {
-                        Ok(path) => {
-                            let _ = writeln!(out, "; crash report: {}", path.display());
-                        }
+                        Ok(path) => report_path = path.display().to_string(),
                         Err(e) => {
                             let _ = writeln!(out, "; warning: {e}");
                         }
                     }
                 }
+                UnitRecord {
+                    unit: unit.name.clone(),
+                    status: "quarantined".to_string(),
+                    attempts: outcome.attempts.len() as u64,
+                    signature,
+                    report: report_path,
+                    counts: vec![],
+                }
             }
+        };
+        // The unit's artifacts are durable before its completion record —
+        // a `unit-done` in the journal therefore implies nothing of this
+        // unit needs redoing on resume.
+        if let Some(j) = journal.as_mut() {
+            j.append(&Event::UnitDone(rec.clone()))?;
         }
+        apply(&rec, &mut rows, &mut out, &mut ok, &mut quarantined);
     }
     // Summary table.
     let name_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(4).max(4);
@@ -456,6 +511,12 @@ pub fn run_batch(opts: &Options) -> Result<(i32, String), String> {
         "; batch: {} units, {ok} ok, {quarantined} quarantined\n",
         units.len()
     ));
+    if let Some(j) = journal.as_mut() {
+        j.append(&Event::CampaignEnd {
+            ok: ok as u64,
+            failed: quarantined as u64,
+        })?;
+    }
     let code = if quarantined == 0 {
         EXIT_ALL_OK
     } else if ok == 0 {

@@ -187,3 +187,58 @@ fn batch_with_no_units_is_a_usage_error() {
     let err = execute(&o).unwrap_err();
     assert!(err.contains("batch needs at least one unit"), "{err}");
 }
+
+#[test]
+fn reusing_a_report_dir_for_a_different_campaign_is_refused() {
+    let dir = unit_dir("collision");
+    let report_dir = dir.join("reports");
+    let report = report_dir.to_str().unwrap();
+    let alpha = dir.join("alpha.c");
+    let alpha = alpha.to_str().unwrap();
+
+    // First campaign claims the directory via its manifest fingerprint.
+    let o = Options::parse(&strs(&["batch", alpha, "--report-dir", report])).unwrap();
+    let (code, out) = execute(&o).unwrap();
+    assert_eq!(code, EXIT_ALL_OK, "{out}");
+
+    // Re-running the *same* campaign into the same directory is fine —
+    // report emission is idempotent.
+    let (code, _) = execute(&o).unwrap();
+    assert_eq!(code, EXIT_ALL_OK);
+
+    // A campaign with different flags must not silently mix its
+    // artifacts into the directory.
+    let o2 = Options::parse(&strs(&[
+        "batch",
+        alpha,
+        "--threshold",
+        "5",
+        "--report-dir",
+        report,
+    ]))
+    .unwrap();
+    let err = execute(&o2).unwrap_err();
+    assert!(err.contains("different campaign"), "{err}");
+    assert!(err.contains("fingerprint"), "{err}");
+    assert!(err.contains("--force-resume"), "{err}");
+
+    // --force-resume takes the directory over and rewrites the manifest,
+    // so the takeover campaign re-runs cleanly afterwards...
+    let forced = Options::parse(&strs(&[
+        "batch",
+        alpha,
+        "--threshold",
+        "5",
+        "--report-dir",
+        report,
+        "--force-resume",
+    ]))
+    .unwrap();
+    let (code, _) = execute(&forced).unwrap();
+    assert_eq!(code, EXIT_ALL_OK);
+    let (code, _) = execute(&o2).unwrap();
+    assert_eq!(code, EXIT_ALL_OK);
+
+    // ...and the *original* campaign is now the refused one.
+    assert!(execute(&o).is_err());
+}

@@ -19,11 +19,17 @@
 //! | `vm:oom`         | Nth VM heap allocation traps with `OutOfMemory`     |
 //! | `profile:parse`  | Nth profile-text parse fails as corrupt             |
 //! | `inline:verify`  | Nth post-inline module verification fails *hard*    |
+//! | `journal:crash`  | process aborts *before* the Nth journal append      |
+//! | `journal:torn`   | Nth journal append writes a torn half-record, aborts |
+//! | `journal:crash-after` | process aborts right *after* the Nth append    |
 //!
 //! Unlike the others, `inline:verify` is deliberately not recovered by the
 //! driver: it models the unrecoverable class of failure (a miscompile the
 //! robustness layer could not repair) that the batch supervisor must
-//! quarantine, report, and minimize.
+//! quarantine, report, and minimize. The `journal:*` keys are harsher
+//! still: they kill the whole *process* (SIGABRT) at a chosen campaign
+//! journal event, so the crash→resume recovery tests can prove that no
+//! completed work is lost and no torn artifact survives a resume.
 //!
 //! Counters live behind an `Arc`, so clones of a plan share hit counts:
 //! "the 3rd expansion overall", not "the 3rd per clone". Every trigger is

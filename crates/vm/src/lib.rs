@@ -56,7 +56,7 @@ pub use icache::{IcacheConfig, IcacheSim, IcacheStats};
 pub use interp::{run, RunOutcome, VmConfig};
 pub use memory::{Memory, FUNC_BASE};
 pub use os::{Builtin, BuiltinOutcome, NamedFile, Os};
-pub use profile::{FlowResidual, ProfTarget, Profile};
+pub use profile::{fnv1a64, FlowResidual, ProfTarget, Profile};
 
 use impact_il::Module;
 

@@ -450,6 +450,19 @@ mod flow_tests {
 
 // ----- on-disk text format -----------------------------------------------
 
+/// 64-bit FNV-1a over `bytes` — the checksum behind the profile footer
+/// and (via the `impact_vm` re-export) the campaign journal's per-record
+/// CRCs. Not cryptographic; it detects truncation and accidental
+/// corruption, which is all the crash-consistency layer needs.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 impl Profile {
     /// Serializes the profile to a line-oriented text format — the
     /// "Profiler to C Compiler interface" (§1.2): the paper's profiler
@@ -466,7 +479,13 @@ impl Profile {
     /// site_counts 500 500 0
     /// block_counts 0 1 500
     /// site_target 7 func 2 480
+    /// checksum 0123456789abcdef
     /// ```
+    ///
+    /// The final `checksum` line is an FNV-1a 64 over every preceding
+    /// byte: a profile cut at a line boundary used to parse "cleanly"
+    /// with silently missing counters, and the footer turns that into a
+    /// hard, diagnosable rejection.
     pub fn to_text(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
@@ -507,6 +526,7 @@ impl Profile {
                 }
             }
         }
+        let _ = writeln!(s, "checksum {:016x}", fnv1a64(s.as_bytes()));
         s
     }
 
@@ -514,9 +534,38 @@ impl Profile {
     ///
     /// # Errors
     ///
-    /// Returns a line-anchored message on malformed input.
+    /// Returns a line-anchored message on malformed input, and a
+    /// truncation/corruption diagnostic when the `checksum` footer is
+    /// missing or does not match the body.
     pub fn from_text(text: &str) -> Result<Profile, String> {
-        let mut lines = text.lines().enumerate();
+        let Some(pos) = text.rfind("\nchecksum ") else {
+            return Err(
+                "profile has no `checksum` footer: the file is truncated or corrupt".to_string(),
+            );
+        };
+        let body = &text[..pos + 1];
+        let footer_region = &text[pos + 1..];
+        let (footer_line, rest) = match footer_region.split_once('\n') {
+            Some((line, rest)) => (line, rest),
+            None => (footer_region, ""),
+        };
+        if !rest.trim().is_empty() {
+            return Err("trailing data after the profile `checksum` footer".to_string());
+        }
+        let hex = footer_line
+            .strip_prefix("checksum ")
+            .expect("region starts with the footer key")
+            .trim();
+        let expected = u64::from_str_radix(hex, 16)
+            .map_err(|_| format!("bad profile checksum footer `{footer_line}`"))?;
+        let actual = fnv1a64(body.as_bytes());
+        if actual != expected {
+            return Err(format!(
+                "profile checksum mismatch (footer {expected:016x}, computed {actual:016x}): \
+                 the file is truncated or corrupt"
+            ));
+        }
+        let mut lines = body.lines().enumerate();
         let (_, header) = lines.next().ok_or("empty profile")?;
         if header.trim() != "impact-profile v1" {
             return Err(format!("bad header `{header}`"));
@@ -655,6 +704,44 @@ mod text_tests {
         assert!(text.contains("runs 3"));
         assert!(text.contains("func_entries 1 54"));
         assert!(text.contains("site_target 0 func 1 54"));
+        assert!(
+            text.lines().last().unwrap().starts_with("checksum "),
+            "checksum footer must be the last line: {text}"
+        );
+    }
+
+    #[test]
+    fn truncation_at_a_line_boundary_is_rejected() {
+        // Before the checksum footer, a profile cut at a *line boundary*
+        // parsed successfully with silently-zero counters — the latent
+        // degradation bug. It must now be rejected with a diagnostic.
+        let text = sample_profile().to_text();
+        let cut = text.find("max_stack_bytes").expect("key present");
+        let err = Profile::from_text(&text[..cut]).unwrap_err();
+        assert!(
+            err.contains("truncated or corrupt"),
+            "unactionable message: {err}"
+        );
+    }
+
+    #[test]
+    fn tampered_body_fails_the_checksum() {
+        let text = sample_profile().to_text();
+        let tampered = text.replacen("runs 3", "runs 4", 1);
+        let err = Profile::from_text(&tampered).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+        // Junk after the footer is also rejected.
+        let trailing = format!("{text}stray line\n");
+        let err = Profile::from_text(&trailing).unwrap_err();
+        assert!(err.contains("trailing data"), "{err}");
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
     }
 }
 
@@ -665,17 +752,19 @@ mod fuzz_tests {
 
     /// A valid profile text to mangle: exercises every record kind.
     fn seed_text() -> String {
-        let mut p = Profile::default();
-        p.runs = 2;
-        p.il_executed = 999;
-        p.calls = 54;
-        p.control_transfers = 7;
-        p.returns = 3;
-        p.max_stack_bytes = 4096;
-        p.func_entries = vec![12, 34];
-        p.site_counts = vec![5, 6, 7];
-        p.block_counts = vec![vec![1, 2], vec![3]];
-        p.branch_taken = vec![vec![0], vec![9, 9]];
+        let mut p = Profile {
+            runs: 2,
+            il_executed: 999,
+            calls: 54,
+            control_transfers: 7,
+            returns: 3,
+            max_stack_bytes: 4096,
+            func_entries: vec![12, 34],
+            site_counts: vec![5, 6, 7],
+            block_counts: vec![vec![1, 2], vec![3]],
+            branch_taken: vec![vec![0], vec![9, 9]],
+            ..Profile::default()
+        };
         p.site_targets
             .entry(impact_il::CallSiteId(1))
             .or_default()

@@ -442,14 +442,14 @@ fn profile_stack_high_water_tracks_recursion() {
         )
     };
     let shallow = {
-        let m = compile(&[Source::new("t.c", &src(2))]).unwrap();
+        let m = compile(&[Source::new("t.c", src(2))]).unwrap();
         run(&m, vec![], vec![], &VmConfig::default())
             .unwrap()
             .profile
             .max_stack_bytes
     };
     let deep = {
-        let m = compile(&[Source::new("t.c", &src(20))]).unwrap();
+        let m = compile(&[Source::new("t.c", src(20))]).unwrap();
         run(&m, vec![], vec![], &VmConfig::default())
             .unwrap()
             .profile
