@@ -157,6 +157,21 @@ impl CallGraph {
         g
     }
 
+    /// [`CallGraph::build`] with pipeline telemetry: records a
+    /// `callgraph:build` span plus node/arc counters on `obs`. With a
+    /// disabled handle this is exactly [`CallGraph::build`].
+    pub fn build_with(
+        module: &Module,
+        profile: &Profile,
+        obs: &impact_obs::Telemetry,
+    ) -> CallGraph {
+        let _s = obs.span("callgraph:build");
+        let g = CallGraph::build(module, profile);
+        obs.count("callgraph:nodes", g.nodes.len() as u64);
+        obs.count("callgraph:arcs", g.arcs.len() as u64);
+        g
+    }
+
     fn add_node(&mut self, kind: NodeKind) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node {

@@ -93,10 +93,34 @@ impl Source {
 /// [`CompileError::render`] with the same `sources` to get a
 /// `file:line:col`-formatted message.
 pub fn compile(sources: &[Source]) -> Result<impact_il::Module, CompileError> {
+    compile_with(sources, &impact_obs::Telemetry::disabled())
+}
+
+/// [`compile`] with pipeline telemetry: records `cfront:lex`,
+/// `cfront:parse`, and `cfront:lower` spans plus source/function counters
+/// on `obs`. With a disabled handle this is exactly [`compile`].
+///
+/// # Errors
+///
+/// Same as [`compile`].
+pub fn compile_with(
+    sources: &[Source],
+    obs: &impact_obs::Telemetry,
+) -> Result<impact_il::Module, CompileError> {
     let mut ctx = ParseContext::new();
     for (i, src) in sources.iter().enumerate() {
-        let tokens = lexer::lex(i as u32, &src.text)?;
+        let tokens = {
+            let _s = obs.span("cfront:lex");
+            lexer::lex(i as u32, &src.text)?
+        };
+        let _s = obs.span("cfront:parse");
         parser::parse_into(&mut ctx, &tokens)?;
     }
-    lower::lower(&ctx)
+    obs.count("cfront:sources", sources.len() as u64);
+    let module = {
+        let _s = obs.span("cfront:lower");
+        lower::lower(&ctx)?
+    };
+    obs.count("cfront:functions", module.functions.len() as u64);
+    Ok(module)
 }

@@ -15,6 +15,7 @@
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::time::Instant;
 
 use impact_fuzz::{
     check_source, generate, program_seed, CampaignConfig, CampaignOutcome, Finding, OracleConfig,
@@ -26,7 +27,7 @@ use crate::journal::{
 };
 use crate::minimize::{shrink, ShrinkResult};
 use crate::report::{atomic_write_in, json_str, json_str_list};
-use crate::{usage, Options};
+use crate::{telemetry, usage, Options};
 
 /// Exit code when the oracle found divergences.
 pub const EXIT_DIVERGENCE: i32 = 12;
@@ -100,6 +101,9 @@ pub fn run_fuzz(opts: &Options) -> Result<(i32, String), String> {
     // reconstructed from their `unit-done` counts — findings re-derive
     // from the seed (generation and the oracle are pure functions of it),
     // so a resume converges on the exact outcome of an unbroken run.
+    let obs = telemetry::handle_for(opts);
+    let started = Instant::now();
+    let campaign_span = obs.span("fuzz:campaign");
     let mut outcome = CampaignOutcome::default();
     let add = |acc: &mut ClassTotals, e: u64, p: u64, u: u64, s: u64| {
         acc.external += e;
@@ -196,9 +200,11 @@ pub fn run_fuzz(opts: &Options) -> Result<(i32, String), String> {
         }
     }
 
+    drop(campaign_span);
+    let elapsed_ms = started.elapsed().as_millis();
     let _ = writeln!(
         out,
-        "fuzz: seed {}, {} programs, {} skipped, {} diverging",
+        "fuzz: seed {}, {} programs, {} skipped, {} diverging in {elapsed_ms}ms",
         config.seed,
         outcome.programs,
         outcome.skipped,
@@ -206,6 +212,17 @@ pub fn run_fuzz(opts: &Options) -> Result<(i32, String), String> {
     );
     let st = &outcome.static_classes;
     let dy = &outcome.dynamic_classes;
+    obs.count("fuzz:programs", outcome.programs);
+    obs.count("fuzz:skipped", outcome.skipped);
+    obs.count("fuzz:findings", outcome.findings.len() as u64);
+    obs.count("fuzz:sites:external", st.external);
+    obs.count("fuzz:sites:pointer", st.pointer);
+    obs.count("fuzz:sites:unsafe", st.r#unsafe);
+    obs.count("fuzz:sites:safe", st.safe);
+    obs.count("fuzz:dynamic:external", dy.external);
+    obs.count("fuzz:dynamic:pointer", dy.pointer);
+    obs.count("fuzz:dynamic:unsafe", dy.r#unsafe);
+    obs.count("fuzz:dynamic:safe", dy.safe);
     let _ = writeln!(
         out,
         "; sites:         {} external / {} pointer / {} unsafe / {} safe",
@@ -228,6 +245,7 @@ pub fn run_fuzz(opts: &Options) -> Result<(i32, String), String> {
                 failed: 0,
             })?;
         }
+        telemetry::write_artifacts(opts, &obs, None)?;
         return Ok((0, out));
     }
 
@@ -286,6 +304,7 @@ pub fn run_fuzz(opts: &Options) -> Result<(i32, String), String> {
             failed: outcome.findings.len() as u64,
         })?;
     }
+    telemetry::write_artifacts(opts, &obs, None)?;
     Ok((EXIT_DIVERGENCE, out))
 }
 
@@ -369,12 +388,36 @@ mod tests {
         }
     }
 
+    /// Replaces every `<digits>ms` token with `<N>ms` so outputs can be
+    /// compared across runs with different wall-clock timings.
+    fn normalize_ms(s: &str) -> String {
+        let pieces: Vec<&str> = s.split("ms").collect();
+        let mut outp = String::with_capacity(s.len());
+        for (i, piece) in pieces.iter().enumerate() {
+            if i > 0 {
+                outp.push_str("ms");
+            }
+            // Only pieces that precede an `ms` separator had digits
+            // stripped from a timing token.
+            let head = piece.trim_end_matches(|c: char| c.is_ascii_digit());
+            if i + 1 < pieces.len() && head.len() < piece.len() {
+                outp.push_str(head);
+                outp.push_str("<N>");
+            } else {
+                outp.push_str(piece);
+            }
+        }
+        outp
+    }
+
     #[test]
     fn campaigns_are_deterministic_end_to_end() {
         let o = Options::parse(&strs(&["fuzz", "--seed", "9", "--budget", "3"])).unwrap();
-        let a = crate::execute(&o).unwrap();
-        let b = crate::execute(&o).unwrap();
-        assert_eq!(a, b);
+        let (code_a, out_a) = crate::execute(&o).unwrap();
+        let (code_b, out_b) = crate::execute(&o).unwrap();
+        assert_eq!(code_a, code_b);
+        // Only the campaign wall-clock may differ between runs.
+        assert_eq!(normalize_ms(&out_a), normalize_ms(&out_b));
     }
 
     #[test]

@@ -568,6 +568,12 @@ pub fn journal_fault_plan(opts: &Options) -> Result<FaultPlan, String> {
 /// every behavior-affecting flag plus the unit list (batch) — the
 /// identity `--resume` checks before trusting a journal, and the value
 /// recorded in the report-dir manifest.
+///
+/// Telemetry flags (`--explain`, `--decisions-out`, `--trace-out`,
+/// `--metrics-out`) are deliberately *excluded* (by omission from the
+/// dump): observability never changes pipeline behavior, so an
+/// instrumented rerun may resume an uninstrumented campaign's journal
+/// and vice versa.
 pub fn campaign_fingerprint(kind: &str, opts: &Options, units: &[String]) -> u64 {
     let mut s = String::new();
     let _ = writeln!(s, "kind {kind}");
@@ -899,6 +905,36 @@ mod tests {
         assert_ne!(
             campaign_fingerprint("batch", &base, &units),
             campaign_fingerprint("fuzz", &base, &units)
+        );
+    }
+
+    #[test]
+    fn fingerprint_ignores_telemetry_flags() {
+        let base = Options::parse(&strs(&["batch", "a.c", "--threshold", "5"])).unwrap();
+        let instrumented = Options::parse(&strs(&[
+            "batch",
+            "a.c",
+            "--threshold",
+            "5",
+            "--trace-out",
+            "trace.json",
+            "--metrics-out",
+            "metrics.json",
+        ]))
+        .unwrap();
+        let units = strs(&["a.c"]);
+        assert_eq!(
+            campaign_fingerprint("batch", &base, &units),
+            campaign_fingerprint("batch", &instrumented, &units),
+            "telemetry flags must not change the campaign identity"
+        );
+        let mut audited = base.clone();
+        audited.explain = true;
+        audited.decisions_out = Some("decisions.json".to_string());
+        assert_eq!(
+            campaign_fingerprint("batch", &base, &units),
+            campaign_fingerprint("batch", &audited, &units),
+            "audit flags must not change the campaign identity"
         );
     }
 

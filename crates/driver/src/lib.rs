@@ -10,13 +10,13 @@
 use std::fmt::Write as _;
 
 use impact_callgraph::CallGraph;
-use impact_cfront::{compile, Source};
+use impact_cfront::{compile, compile_with, Source};
 use impact_il::{module_to_string, verify_module, Module, VerifyError};
 use impact_inline::{
     expand_site, inline_module, ExpansionRecord, Incident, IncidentStage, InlineConfig,
-    Linearization,
+    Linearization, SiteDecision,
 };
-use impact_opt::optimize_module_isolated;
+use impact_opt::optimize_module_observed;
 use impact_vm::{profile_runs, FaultPlan, NamedFile, Profile, VmConfig};
 
 pub mod fuzz;
@@ -24,6 +24,7 @@ pub mod journal;
 pub mod minimize;
 pub mod report;
 pub mod supervise;
+pub mod telemetry;
 
 use report::PipelineFailure;
 
@@ -93,6 +94,17 @@ pub struct Options {
     /// `--force-resume`: resume even when the journal (or the report-dir
     /// manifest) records a different config fingerprint.
     pub force_resume: bool,
+    /// `--explain` (inline): print the per-call-site inline-decision
+    /// audit table.
+    pub explain: bool,
+    /// `--decisions-out PATH` (inline): write the audit trail as
+    /// schema-versioned JSON.
+    pub decisions_out: Option<String>,
+    /// `--trace-out PATH`: write Chrome trace-event JSON for the run.
+    pub trace_out: Option<String>,
+    /// `--metrics-out PATH`: write per-stage counters and timings as
+    /// schema-versioned JSON.
+    pub metrics_out: Option<String>,
 }
 
 impl Options {
@@ -131,6 +143,10 @@ impl Options {
             journal: None,
             resume: false,
             force_resume: false,
+            explain: false,
+            decisions_out: None,
+            trace_out: None,
+            metrics_out: None,
         };
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -219,6 +235,21 @@ impl Options {
                 }
                 "--resume" => opts.resume = true,
                 "--force-resume" => opts.force_resume = true,
+                "--explain" => opts.explain = true,
+                "--decisions-out" => {
+                    let v = it
+                        .next()
+                        .ok_or("--decisions-out needs a path".to_string())?;
+                    opts.decisions_out = Some(v.clone());
+                }
+                "--trace-out" => {
+                    let v = it.next().ok_or("--trace-out needs a path".to_string())?;
+                    opts.trace_out = Some(v.clone());
+                }
+                "--metrics-out" => {
+                    let v = it.next().ok_or("--metrics-out needs a path".to_string())?;
+                    opts.metrics_out = Some(v.clone());
+                }
                 "--seed" => {
                     let v = it.next().ok_or("--seed needs a number".to_string())?;
                     opts.seed = Some(v.parse().map_err(|_| "bad --seed")?);
@@ -364,7 +395,9 @@ pub fn usage() -> String {
      \x20 run <files.c...>                compile and execute main()\n\
      \x20 inline <files.c...>             profile, inline-expand, report, re-run\n\
      \x20 callgraph <files.c...>          print the weighted call graph (DOT)\n\
-     \x20 bench <name>                    run one bundled benchmark end to end\n\
+     \x20 bench [name]                    run one bundled benchmark end to end; with no\n\
+     \x20                                 name, evaluate the whole suite and write the\n\
+     \x20                                 paper-style metrics to BENCH_inline.json\n\
      \x20 batch <dirs|files|bench:N...>   supervised batch compilation: every unit\n\
      \x20                                 runs isolated under the resource governor;\n\
      \x20                                 failures are retried, then quarantined with\n\
@@ -411,6 +444,18 @@ pub fn usage() -> String {
      \x20                                 control: armed faults must surface as findings)\n\
      \x20 --report-dir DIR                where shrunken *.repro.c + JSON oracle reports\n\
      \x20                                 are written (default fuzz-reports)\n\
+     \n\
+     telemetry (zero-cost unless a flag below is set):\n\
+     \x20 --explain                       (inline) print the per-call-site decision\n\
+     \x20                                 audit table: class, weight, budget state,\n\
+     \x20                                 and the accept/reject reason\n\
+     \x20 --decisions-out PATH            (inline) write the same audit trail as\n\
+     \x20                                 schema-versioned JSON\n\
+     \x20 --trace-out PATH                write Chrome trace-event JSON (load it at\n\
+     \x20                                 chrome://tracing or ui.perfetto.dev)\n\
+     \x20 --metrics-out PATH              write per-stage counters and timings as\n\
+     \x20                                 schema-versioned JSON; batch/fuzz aggregate\n\
+     \x20                                 across all units into campaign-level metrics\n\
      \n\
      crash consistency (batch/fuzz):\n\
      \x20 --journal PATH                  record campaign progress to a checksummed\n\
@@ -692,34 +737,63 @@ pub fn inline_pipeline(
     runs: &[RunSpec],
     opts: &Options,
 ) -> Result<(i32, String), PipelineFailure> {
+    let obs = telemetry::handle_for(opts);
+    inline_pipeline_observed(sources, runs, opts, &obs).map(|(code, out, _)| (code, out))
+}
+
+/// [`inline_pipeline`] with an externally-owned telemetry handle (so a
+/// campaign can aggregate across units into one collector) and the
+/// inline-decision audit trail in the result. Spans cover every stage:
+/// the front end (per-source lex/parse, lower), both verifier runs, the
+/// profiling VM runs, each inline sub-phase, and each optimization pass.
+///
+/// # Errors
+///
+/// Returns the classified failure; `Ok` carries
+/// `(exit_code, report, decisions)`.
+pub fn inline_pipeline_observed(
+    sources: &[Source],
+    runs: &[RunSpec],
+    opts: &Options,
+    obs: &impact_obs::Telemetry,
+) -> Result<(i32, String, Vec<SiteDecision>), PipelineFailure> {
     let mut out = String::new();
     let config_err = |e: String| PipelineFailure::new("config", "bad-flag", e);
     let ValidatedFlags {
-        inline: cfg,
-        vm: vm_cfg,
+        inline: mut cfg,
+        vm: mut vm_cfg,
     } = opts.validate_flags().map_err(config_err)?;
+    cfg.obs = obs.clone();
+    cfg.audit = telemetry::audit_requested(opts);
+    vm_cfg.obs = obs.clone();
     let fault = cfg.fault.clone();
-    let mut module = compile(sources)
+    let mut module = compile_with(sources, obs)
         .map_err(|e| PipelineFailure::new("compile", e.message.clone(), e.render(sources)))?;
-    verify_module(&module).map_err(|es| {
-        PipelineFailure::new(
-            "verify",
-            "post-compile-verify-failed",
-            render_verify_errors(&es),
-        )
-    })?;
+    {
+        let _verify_span = obs.span("il:verify");
+        verify_module(&module).map_err(|es| {
+            PipelineFailure::new(
+                "verify",
+                "post-compile-verify-failed",
+                render_verify_errors(&es),
+            )
+        })?;
+    }
     let module0 = module.clone();
     let mut incidents: Vec<Incident> = Vec::new();
-    let profile = acquire_profile(
-        &module,
-        runs,
-        &vm_cfg,
-        opts.profile_in.as_deref(),
-        cfg.weight_threshold,
-        &mut incidents,
-        &mut out,
-    )
-    .map_err(|e| PipelineFailure::new("io", "profile-read-failed", e))?;
+    let profile = {
+        let _profile_span = obs.span("profile:acquire");
+        acquire_profile(
+            &module,
+            runs,
+            &vm_cfg,
+            opts.profile_in.as_deref(),
+            cfg.weight_threshold,
+            &mut incidents,
+            &mut out,
+        )
+        .map_err(|e| PipelineFailure::new("io", "profile-read-failed", e))?
+    };
     if let Some(path) = &opts.profile_out {
         report::atomic_write_path(std::path::Path::new(path), profile.to_text().as_bytes())
             .map_err(|e| PipelineFailure::new("io", "profile-write-failed", e))?;
@@ -730,10 +804,13 @@ pub fn inline_pipeline(
     // *after* inlining has no safe fallback short of abandoning the unit,
     // so it surfaces as a hard `inline:verify-failed` error (and the
     // `inline:verify` fault key injects exactly this failure).
-    let verified = if fault.should_fail("inline:verify") {
-        Err("fault injection: post-inline verification rejected the module".to_string())
-    } else {
-        verify_module(&module).map_err(|es| render_verify_errors(&es))
+    let verified = {
+        let _verify_span = obs.span("il:verify");
+        if fault.should_fail("inline:verify") {
+            Err("fault injection: post-inline verification rejected the module".to_string())
+        } else {
+            verify_module(&module).map_err(|es| render_verify_errors(&es))
+        }
     };
     if let Err(detail) = verified {
         let mut f = PipelineFailure::new(
@@ -756,7 +833,7 @@ pub fn inline_pipeline(
     );
     if opts.opt {
         let pre_opt = module.clone();
-        let (_, skipped, fixpoints) = optimize_module_isolated(&mut module, &fault);
+        let (_, skipped, fixpoints) = optimize_module_observed(&mut module, &fault, obs);
         for s in skipped {
             incidents.push(Incident {
                 stage: IncidentStage::OptPass,
@@ -852,10 +929,13 @@ pub fn inline_pipeline(
     }
     warn_unfired(&mut out, &fault);
     render_incidents(&mut out, &incidents);
+    if opts.explain {
+        out.push_str(&telemetry::explain_table(&report.decisions));
+    }
     if !opts.quiet {
         out.push_str(&module_to_string(&module));
     }
-    Ok((0, out))
+    Ok((0, out, report.decisions))
 }
 
 /// Executes a parsed command; returns the process exit code and the text
@@ -872,6 +952,22 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
         return Err(format!(
             "--journal/--resume/--force-resume only apply to campaign commands \
              (batch, fuzz), not `{}`",
+            opts.command
+        ));
+    }
+    if opts.command != "inline" && (opts.explain || opts.decisions_out.is_some()) {
+        return Err(format!(
+            "--explain/--decisions-out only apply to `inline` (the command that \
+             plans inline expansion), not `{}`",
+            opts.command
+        ));
+    }
+    if !matches!(opts.command.as_str(), "inline" | "bench" | "batch" | "fuzz")
+        && (opts.trace_out.is_some() || opts.metrics_out.is_some())
+    {
+        return Err(format!(
+            "--trace-out/--metrics-out only apply to pipeline commands \
+             (inline, bench, batch, fuzz), not `{}`",
             opts.command
         ));
     }
@@ -914,7 +1010,11 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
             let sources = read_sources(&opts.positional)?;
             let inputs = load_inputs(&opts.inputs)?;
             let runs = vec![(inputs, opts.args.clone())];
-            inline_pipeline(&sources, &runs, opts).map_err(|f| f.render())
+            let obs = telemetry::handle_for(opts);
+            let (code, text, decisions) =
+                inline_pipeline_observed(&sources, &runs, opts, &obs).map_err(|f| f.render())?;
+            telemetry::write_artifacts(opts, &obs, Some(&decisions))?;
+            Ok((code, text))
         }
         "callgraph" => {
             let module = compile_sources(&opts.positional)?;
@@ -927,17 +1027,23 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
             Ok((0, out))
         }
         "bench" => {
-            let name = opts
-                .positional
-                .first()
-                .ok_or_else(|| format!("bench needs a benchmark name\n{}", usage()))?;
+            let obs = telemetry::handle_for(opts);
+            let Some(name) = opts.positional.first() else {
+                let (code, text) = telemetry::run_bench_suite(opts, &obs)?;
+                telemetry::write_artifacts(opts, &obs, None)?;
+                out.push_str(&text);
+                return Ok((code, out));
+            };
             let b = impact_workloads::benchmark(name)
                 .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
             let ValidatedFlags {
-                inline: cfg,
-                vm: vm_cfg,
+                inline: mut cfg,
+                vm: mut vm_cfg,
             } = opts.validate_flags()?;
-            let mut module = b.compile().map_err(|e| e.render(&b.sources()))?;
+            cfg.obs = obs.clone();
+            vm_cfg.obs = obs.clone();
+            let mut module =
+                compile_with(&b.sources(), &obs).map_err(|e| e.render(&b.sources()))?;
             let module0 = module.clone();
             let runs = b.profile_run_set(4);
             let mut incidents: Vec<Incident> = Vec::new();
@@ -982,6 +1088,7 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
             if !incidents.is_empty() {
                 render_incidents(&mut out, &incidents);
             }
+            telemetry::write_artifacts(opts, &obs, None)?;
             Ok((0, out))
         }
         "batch" => supervise::run_batch(opts),

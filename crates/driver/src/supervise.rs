@@ -44,7 +44,7 @@ use crate::journal::{
 };
 use crate::minimize::{shrink, ShrinkResult};
 use crate::report::{write_crash_report, AttemptRecord, CrashReport, PipelineFailure};
-use crate::{inline_pipeline, load_inputs, usage, Options, RunSpec};
+use crate::{inline_pipeline_observed, load_inputs, telemetry, usage, Options, RunSpec};
 
 /// Exit code when every unit compiled.
 pub const EXIT_ALL_OK: i32 = 0;
@@ -148,16 +148,22 @@ fn enumerate_units(opts: &Options) -> Result<Vec<Unit>, String> {
 }
 
 /// The per-unit options: IL dumps off, per-unit profile I/O off (units
-/// would clobber each other's files), `journal:*` fault specs stripped
-/// (they belong to the campaign journal, not the pipeline), and the
-/// remaining `--fault` specs cleared unless `--fault-unit` matches this
-/// unit (or no target was named, in which case faults arm everywhere,
-/// matching single-unit semantics).
+/// would clobber each other's files), telemetry output flags off (the
+/// campaign aggregates unit telemetry into one collector and writes the
+/// artifacts once, at the end), `journal:*` fault specs stripped (they
+/// belong to the campaign journal, not the pipeline), and the remaining
+/// `--fault` specs cleared unless `--fault-unit` matches this unit (or
+/// no target was named, in which case faults arm everywhere, matching
+/// single-unit semantics).
 fn unit_options(opts: &Options, unit_name: &str) -> Options {
     let mut o = opts.clone();
     o.quiet = true;
     o.profile_out = None;
     o.profile_in = None;
+    o.explain = false;
+    o.decisions_out = None;
+    o.trace_out = None;
+    o.metrics_out = None;
     o.faults.retain(|f| !is_journal_fault(f));
     if let Some(target) = &opts.fault_unit {
         if target != unit_name {
@@ -220,12 +226,14 @@ fn silence_worker_panics() {
 }
 
 /// Runs one pipeline attempt on a worker thread under the wall-clock
-/// deadline. Returns the classified result and the attempt's wall time.
+/// deadline, recording into `obs` (the campaign's shared collector).
+/// Returns the classified result and the attempt's wall time.
 fn run_attempt(
     sources: Vec<Source>,
     runs: Vec<RunSpec>,
     opts: Options,
     deadline_ms: u64,
+    obs: impact_obs::Telemetry,
 ) -> (Result<(i32, String), PipelineFailure>, u64) {
     silence_worker_panics();
     let start = Instant::now();
@@ -233,14 +241,17 @@ fn run_attempt(
     let spawned = std::thread::Builder::new()
         .name(WORKER_THREAD.to_string())
         .spawn(move || {
-            let r = catch_unwind(AssertUnwindSafe(|| inline_pipeline(&sources, &runs, &opts)))
-                .unwrap_or_else(|payload| {
-                    Err(PipelineFailure::new(
-                        "panic",
-                        "pipeline-panicked",
-                        format!("pipeline panicked: {}", panic_message(payload)),
-                    ))
-                });
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                inline_pipeline_observed(&sources, &runs, &opts, &obs)
+                    .map(|(code, out, _)| (code, out))
+            }))
+            .unwrap_or_else(|payload| {
+                Err(PipelineFailure::new(
+                    "panic",
+                    "pipeline-panicked",
+                    format!("pipeline panicked: {}", panic_message(payload)),
+                ))
+            });
             let _ = tx.send(r);
         });
     let result = match spawned {
@@ -284,23 +295,30 @@ fn jitter_ms(unit: &str, attempt: u32, base: u64) -> u64 {
 /// The outcome of one supervised unit.
 struct UnitOutcome {
     attempts: Vec<AttemptRecord>,
+    /// Total wall time across every attempt, including the successful
+    /// one (backoff sleeps excluded).
+    elapsed_ms: u64,
     /// `Ok(pipeline report)` or `Err((taxonomy, final failure))`.
     result: Result<String, (String, PipelineFailure)>,
 }
 
 /// Runs one unit to completion: attempt, triage, back off, retry,
-/// quarantine.
-fn run_unit(unit: &Unit, opts: &Options) -> UnitOutcome {
+/// quarantine. Telemetry records into `obs`, the campaign's shared
+/// collector.
+fn run_unit(unit: &Unit, opts: &Options, obs: &impact_obs::Telemetry) -> UnitOutcome {
     let unit_opts = unit_options(opts, &unit.name);
     let retries = opts.retries.unwrap_or(DEFAULT_RETRIES);
     let base = opts.retry_base_ms.unwrap_or(DEFAULT_RETRY_BASE_MS);
     let deadline = opts.time_limit_ms.unwrap_or(DEFAULT_TIME_LIMIT_MS);
     let max_attempts = retries.saturating_add(1);
     let mut attempts: Vec<AttemptRecord> = Vec::new();
+    let mut elapsed_ms: u64 = 0;
     for attempt in 1..=max_attempts {
         let staged = match materialize(unit, &unit_opts) {
             Ok((sources, runs)) => {
-                let (r, wall) = run_attempt(sources, runs, unit_opts.clone(), deadline);
+                let (r, wall) =
+                    run_attempt(sources, runs, unit_opts.clone(), deadline, obs.clone());
+                elapsed_ms += wall;
                 match r {
                     Ok((_, out)) => Ok(out),
                     Err(f) => Err((f, wall)),
@@ -313,6 +331,7 @@ fn run_unit(unit: &Unit, opts: &Options) -> UnitOutcome {
             Ok(out) => {
                 return UnitOutcome {
                     attempts,
+                    elapsed_ms,
                     result: Ok(out),
                 }
             }
@@ -340,6 +359,7 @@ fn run_unit(unit: &Unit, opts: &Options) -> UnitOutcome {
             };
             return UnitOutcome {
                 attempts,
+                elapsed_ms,
                 result: Err((taxonomy.to_string(), failure)),
             };
         }
@@ -373,7 +393,13 @@ fn minimize_failure(
     let signature = failure.signature();
     let mut check = |candidate: &str| {
         let candidate_sources = vec![Source::new("repro.c".to_string(), candidate.to_string())];
-        let (r, _) = run_attempt(candidate_sources, runs.clone(), unit_opts.clone(), deadline);
+        let (r, _) = run_attempt(
+            candidate_sources,
+            runs.clone(),
+            unit_opts.clone(),
+            deadline,
+            impact_obs::Telemetry::disabled(),
+        );
         matches!(r, Err(f) if f.signature() == signature)
     };
     if !check(&flat) {
@@ -409,14 +435,18 @@ pub fn run_batch(opts: &Options) -> Result<(i32, String), String> {
     if let Some(dir) = &report_dir {
         prepare_report_dir(dir, "batch", fingerprint, opts.force_resume)?;
     }
-    let mut rows: Vec<(String, String, u64, String)> = Vec::new();
+    let obs = telemetry::handle_for(opts);
+    // (unit, status, attempts, retries, elapsed_ms, signature)
+    let mut rows: Vec<(String, String, u64, u64, u64, String)> = Vec::new();
     let mut ok = 0usize;
     let mut quarantined = 0usize;
     // Applies a finished unit to the summary state — the one code path
     // shared by freshly-run units and units replayed from the journal, so
     // a resumed campaign renders byte-identically to an uninterrupted one.
+    // Elapsed time and retry counts come from the journaled record, never
+    // a fresh clock, so replayed units keep their recorded timings.
     let apply = |rec: &UnitRecord,
-                 rows: &mut Vec<(String, String, u64, String)>,
+                 rows: &mut Vec<(String, String, u64, u64, u64, String)>,
                  out: &mut String,
                  ok: &mut usize,
                  quarantined: &mut usize| {
@@ -425,10 +455,14 @@ pub fn run_batch(opts: &Options) -> Result<(i32, String), String> {
         } else {
             *quarantined += 1;
         }
+        let elapsed_ms = rec.counts.first().copied().unwrap_or(0);
+        let retries = rec.counts.get(1).copied().unwrap_or(0);
         rows.push((
             rec.unit.clone(),
             rec.status.clone(),
             rec.attempts,
+            retries,
+            elapsed_ms,
             rec.signature.clone(),
         ));
         if rec.report != "-" {
@@ -445,7 +479,7 @@ pub fn run_batch(opts: &Options) -> Result<(i32, String), String> {
                 unit: unit.name.clone(),
             })?;
         }
-        let outcome = run_unit(unit, opts);
+        let outcome = run_unit(unit, opts, &obs);
         let rec = match outcome.result {
             Ok(_) => UnitRecord {
                 unit: unit.name.clone(),
@@ -453,7 +487,7 @@ pub fn run_batch(opts: &Options) -> Result<(i32, String), String> {
                 attempts: outcome.attempts.len() as u64 + 1,
                 signature: "-".to_string(),
                 report: "-".to_string(),
-                counts: vec![],
+                counts: vec![outcome.elapsed_ms, outcome.attempts.len() as u64],
             },
             Err((taxonomy, failure)) => {
                 let mut report_path = "-".to_string();
@@ -484,7 +518,10 @@ pub fn run_batch(opts: &Options) -> Result<(i32, String), String> {
                     attempts: outcome.attempts.len() as u64,
                     signature,
                     report: report_path,
-                    counts: vec![],
+                    counts: vec![
+                        outcome.elapsed_ms,
+                        (outcome.attempts.len() as u64).saturating_sub(1),
+                    ],
                 }
             }
         };
@@ -498,19 +535,33 @@ pub fn run_batch(opts: &Options) -> Result<(i32, String), String> {
     }
     // Summary table.
     let name_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(4).max(4);
+    let time_w = rows
+        .iter()
+        .map(|r| format!("{}ms", r.4).len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
     out.push_str(&format!(
-        "{:name_w$}  {:11}  {:8}  {}\n",
-        "unit", "status", "attempts", "signature"
+        "{:name_w$}  {:11}  {:8}  {:7}  {:>time_w$}  {}\n",
+        "unit", "status", "attempts", "retries", "time", "signature"
     ));
-    for (name, status, attempts, signature) in &rows {
+    for (name, status, attempts, retries, elapsed_ms, signature) in &rows {
+        let time = format!("{elapsed_ms}ms");
         out.push_str(&format!(
-            "{name:name_w$}  {status:11}  {attempts:<8}  {signature}\n"
+            "{name:name_w$}  {status:11}  {attempts:<8}  {retries:<7}  {time:>time_w$}  {signature}\n"
         ));
     }
+    // Total elapsed is the sum of journaled per-unit timings, so a
+    // resumed campaign reports the same total as an uninterrupted one.
+    let total_ms: u64 = rows.iter().map(|r| r.4).sum();
     out.push_str(&format!(
-        "; batch: {} units, {ok} ok, {quarantined} quarantined\n",
+        "; batch: {} units, {ok} ok, {quarantined} quarantined in {total_ms}ms\n",
         units.len()
     ));
+    obs.count("batch:units", units.len() as u64);
+    obs.count("batch:ok", ok as u64);
+    obs.count("batch:quarantined", quarantined as u64);
+    telemetry::write_artifacts(opts, &obs, None)?;
     if let Some(j) = journal.as_mut() {
         j.append(&Event::CampaignEnd {
             ok: ok as u64,
@@ -591,7 +642,13 @@ mod tests {
             "int main() { int i; i = 0; while (1) i = i + 1; return i; }".to_string(),
         )];
         let opts = Options::parse(&strs(&["batch", "spin.c", "--fuel", "100000000"])).unwrap();
-        let (r, _) = run_attempt(sources, vec![(vec![], vec![])], opts, 300);
+        let (r, _) = run_attempt(
+            sources,
+            vec![(vec![], vec![])],
+            opts,
+            300,
+            impact_obs::Telemetry::disabled(),
+        );
         let f = r.unwrap_err();
         assert_eq!(f.signature(), "governor:deadline-exceeded");
     }
@@ -603,7 +660,7 @@ mod tests {
             kind: UnitKind::File("no-such-file.c".to_string()),
         };
         let opts = Options::parse(&strs(&["batch", "no-such-file.c"])).unwrap();
-        let outcome = run_unit(&unit, &opts);
+        let outcome = run_unit(&unit, &opts, &impact_obs::Telemetry::disabled());
         let (taxonomy, failure) = outcome.result.unwrap_err();
         assert_eq!(taxonomy, "persistent");
         assert_eq!(failure.signature(), "io:source-read-failed");

@@ -48,12 +48,56 @@ fn tmp_dir(tag: &str) -> PathBuf {
 /// Drops the `; journal:` status lines — the one output difference the
 /// resume contract allows — and rewrites the scenario's report dir to a
 /// placeholder so summaries from different directories compare equal.
+/// Elapsed-time tokens (`<digits>ms`) are nondeterministic between
+/// processes, so they are normalized to `<N>ms`; because the batch table
+/// pads its time column to the widest value, runs of spaces are then
+/// collapsed so column alignment differences cancel out too.
 fn canon(s: &str, report_dir: &Path) -> String {
-    s.lines()
+    let kept = s
+        .lines()
         .filter(|l| !l.starts_with("; journal:"))
         .map(|l| format!("{l}\n"))
         .collect::<String>()
-        .replace(report_dir.to_str().unwrap(), "<REPORT_DIR>")
+        .replace(report_dir.to_str().unwrap(), "<REPORT_DIR>");
+    collapse_spaces(&normalize_ms(&kept))
+}
+
+/// Replaces every `<digits>ms` token with `<N>ms`.
+fn normalize_ms(s: &str) -> String {
+    let pieces: Vec<&str> = s.split("ms").collect();
+    let mut out = String::with_capacity(s.len());
+    for (i, piece) in pieces.iter().enumerate() {
+        if i > 0 {
+            out.push_str("ms");
+        }
+        let head = piece.trim_end_matches(|c: char| c.is_ascii_digit());
+        if i + 1 < pieces.len() && head.len() < piece.len() {
+            out.push_str(head);
+            out.push_str("<N>");
+        } else {
+            out.push_str(piece);
+        }
+    }
+    out
+}
+
+/// Collapses runs of spaces to a single space (padded columns shift when
+/// `normalize_ms` replaces variable-width digits with a fixed token).
+fn collapse_spaces(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut prev_space = false;
+    for c in s.chars() {
+        if c == ' ' {
+            if !prev_space {
+                out.push(c);
+            }
+            prev_space = true;
+        } else {
+            prev_space = false;
+            out.push(c);
+        }
+    }
+    out
 }
 
 /// Zeroes every `"wall_ms": N` in a JSON report — wall time is the one

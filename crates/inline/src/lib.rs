@@ -66,7 +66,7 @@ pub use expand::{
     expand_plan, expand_plan_with_cache, expand_site, DefCacheStats, ExpansionRecord,
 };
 pub use linearize::{linearize, positions_of, Linearization};
-pub use plan::{plan, InlinePlan, PlannedExpansion, RejectReason};
+pub use plan::{plan, InlinePlan, PlanDecision, PlannedExpansion, RejectReason};
 pub use promote::{promote_indirect_calls, PromotedSite};
 pub use recover::{
     expand_plan_transactional, promote_indirect_calls_transactional, Incident, IncidentStage,
@@ -107,6 +107,13 @@ pub struct InlineConfig {
     /// corresponding transaction to fail and roll back; the default plan
     /// is empty and never fires.
     pub fault: FaultPlan,
+    /// Pipeline telemetry sink for sub-phase spans and counters.
+    /// Disabled by default: nothing is recorded and no clock is read.
+    pub obs: impact_obs::Telemetry,
+    /// Record the per-site decision audit trail
+    /// ([`InlineReport::decisions`]). Off by default so the planner
+    /// allocates nothing extra.
+    pub audit: bool,
 }
 
 impl Default for InlineConfig {
@@ -120,6 +127,76 @@ impl Default for InlineConfig {
             promote_indirect: false,
             body_cache_capacity: 16,
             fault: FaultPlan::new(),
+            obs: impact_obs::Telemetry::disabled(),
+            audit: false,
+        }
+    }
+}
+
+/// One fully-resolved audit record: a call site, its classification,
+/// the budget state when the planner ruled on it, and the outcome.
+/// Names are resolved before unreachable elimination, so callers and
+/// callees read correctly even when the callee was later removed.
+#[derive(Clone, Debug)]
+pub struct SiteDecision {
+    /// The call site.
+    pub site: impact_il::CallSiteId,
+    /// Name of the calling function.
+    pub caller: String,
+    /// Name of the called function; `None` for pointer calls, the
+    /// extern's name for external calls.
+    pub callee: Option<String>,
+    /// Classification of the site.
+    pub class: SiteClass,
+    /// Set when `class == Unsafe`.
+    pub unsafe_reason: Option<UnsafeReason>,
+    /// Profile weight (expected execution count) of the site.
+    pub weight: u64,
+    /// Whether the planner accepted the arc for expansion.
+    pub accepted: bool,
+    /// The planner's reject reason; `None` when accepted.
+    pub reject: Option<RejectReason>,
+    /// Projected module size (IL instructions) when the site was ruled
+    /// on.
+    pub size_at_decision: u64,
+    /// Callee body size acceptance would add (0 for non-safe sites).
+    pub growth: u64,
+    /// The code-size budget in force.
+    pub budget: u64,
+    /// The frame-size bound for recursive regions in force.
+    pub stack_bound: u64,
+}
+
+impl SiteDecision {
+    /// Canonical accept/reject reason string, shared verbatim by the
+    /// `--explain` table and the `--decisions-out` JSON so the two views
+    /// agree record-for-record.
+    pub fn reason(&self) -> &'static str {
+        if self.accepted {
+            return "expanded";
+        }
+        match self.reject {
+            Some(RejectReason::NotSafe(SiteClass::External)) => "external: body unavailable",
+            Some(RejectReason::NotSafe(SiteClass::Pointer)) => "pointer: indirect target",
+            Some(RejectReason::NotSafe(SiteClass::Unsafe)) => match self.unsafe_reason {
+                Some(UnsafeReason::LowWeight) => "unsafe: low-weight",
+                Some(UnsafeReason::SelfRecursive) => "unsafe: self-recursive",
+                Some(UnsafeReason::RecursiveStack) => "unsafe: recursive-stack",
+                None => "unsafe",
+            },
+            Some(RejectReason::NotSafe(SiteClass::Safe)) | None => "not planned",
+            Some(RejectReason::ViolatesLinearOrder) => "violates-linear-order",
+            Some(RejectReason::OverBudget) => "over-budget",
+        }
+    }
+
+    /// The class as the lower-case token used in reports.
+    pub fn class_str(&self) -> &'static str {
+        match self.class {
+            SiteClass::External => "external",
+            SiteClass::Pointer => "pointer",
+            SiteClass::Unsafe => "unsafe",
+            SiteClass::Safe => "safe",
         }
     }
 }
@@ -160,6 +237,9 @@ pub struct InlineReport {
     /// Failures recovered from during this run (rolled-back expansions
     /// and promotions). Empty on a clean run.
     pub incidents: Vec<Incident>,
+    /// The per-site decision audit trail, sorted by call-site id; empty
+    /// unless [`InlineConfig::audit`] was set.
+    pub decisions: Vec<SiteDecision>,
 }
 
 impl InlineReport {
@@ -188,6 +268,7 @@ pub fn inline_module(
     let mut incidents = Vec::new();
     let mut profile_owned;
     let (profile, promoted) = if config.promote_indirect {
+        let _s = config.obs.span("inline:promote");
         profile_owned = profile.clone();
         let (promoted, promote_incidents) = promote_indirect_calls_transactional(
             module,
@@ -201,21 +282,58 @@ pub fn inline_module(
     } else {
         (profile, Vec::new())
     };
-    let graph = CallGraph::build(module, profile);
-    let classification = classify(module, &graph, config);
-    let order = linearize(module, profile, config.linearization);
-    let plan = plan(module, &classification, &order, config);
+    let graph = CallGraph::build_with(module, profile, &config.obs);
+    let classification = {
+        let _s = config.obs.span("inline:classify");
+        classify(module, &graph, config)
+    };
+    let order = {
+        let _s = config.obs.span("inline:linearize");
+        linearize(module, profile, config.linearization)
+    };
+    let plan = {
+        let _s = config.obs.span("inline:plan");
+        plan(module, &classification, &order, config)
+    };
+    let decisions = if config.audit {
+        resolve_decisions(module, &classification, &plan, config)
+    } else {
+        Vec::new()
+    };
     let predicted_size = plan.predicted_final_size(module);
-    let (records, def_cache, expand_incidents) =
-        expand_plan_transactional(module, &plan, config.body_cache_capacity, &config.fault);
+    let (records, def_cache, expand_incidents) = {
+        let _s = config.obs.span("inline:expand");
+        expand_plan_transactional(module, &plan, config.body_cache_capacity, &config.fault)
+    };
     incidents.extend(expand_incidents);
     let size_expanded = module.total_size();
     let removed_functions = if config.eliminate_unreachable {
+        let _s = config.obs.span("inline:eliminate");
         eliminate_unreachable(module)
     } else {
         Vec::new()
     };
     let size_after = module.total_size();
+    if config.obs.is_enabled() {
+        let st = classification.static_totals();
+        config.obs.count("inline:sites:external", st.external);
+        config.obs.count("inline:sites:pointer", st.pointer);
+        config.obs.count("inline:sites:unsafe", st.r#unsafe);
+        config.obs.count("inline:sites:safe", st.safe);
+        let dy = classification.dynamic_totals();
+        config.obs.count("inline:dynamic:safe", dy.safe);
+        config
+            .obs
+            .count("inline:expanded_arcs", plan.expansions.len() as u64);
+        config
+            .obs
+            .count("inline:rejected_sites", plan.rejected.len() as u64);
+        config
+            .obs
+            .count("inline:removed_functions", removed_functions.len() as u64);
+        config.obs.count("inline:size_before", size_before);
+        config.obs.count("inline:size_after", size_after);
+    }
     InlineReport {
         classification,
         order: plan.order,
@@ -230,7 +348,57 @@ pub fn inline_module(
         promoted,
         def_cache,
         incidents,
+        decisions,
     }
+}
+
+/// Joins the planner's raw [`PlanDecision`]s with the classification and
+/// the module's symbol table into fully-named [`SiteDecision`]s, sorted
+/// by call-site id. Runs before physical expansion, so names resolve
+/// against the original function set.
+fn resolve_decisions(
+    module: &Module,
+    classification: &Classification,
+    plan: &InlinePlan,
+    config: &InlineConfig,
+) -> Vec<SiteDecision> {
+    use std::collections::HashMap;
+    let by_site: HashMap<_, _> = classification.sites.iter().map(|s| (s.site, s)).collect();
+    let callee_names: HashMap<_, _> = module
+        .all_call_sites()
+        .into_iter()
+        .map(|(_, site, callee)| {
+            let name = match callee {
+                impact_il::Callee::Func(f) => Some(module.function(f).name.clone()),
+                impact_il::Callee::Ext(x) => module.externs.get(x.index()).map(|e| e.name.clone()),
+                impact_il::Callee::Reg(_) => None,
+            };
+            (site, name)
+        })
+        .collect();
+    let mut out: Vec<SiteDecision> = plan
+        .decisions
+        .iter()
+        .filter_map(|d| {
+            let s = by_site.get(&d.site)?;
+            Some(SiteDecision {
+                site: d.site,
+                caller: module.function(s.caller).name.clone(),
+                callee: callee_names.get(&d.site).cloned().flatten(),
+                class: s.class,
+                unsafe_reason: s.unsafe_reason,
+                weight: s.weight,
+                accepted: d.accepted,
+                reject: d.reject,
+                size_at_decision: d.size_at_decision,
+                growth: d.growth,
+                budget: d.budget,
+                stack_bound: config.stack_bound,
+            })
+        })
+        .collect();
+    out.sort_by_key(|d| d.site);
+    out
 }
 
 #[cfg(test)]
@@ -591,6 +759,100 @@ mod tests {
             report.predicted_size,
             report.size_expanded
         );
+    }
+
+    const ALL_CLASSES: &str = "extern int __fgetc(int fd);\n\
+         int hot(int x) { return x + 1; }\n\
+         int rare(int x) { return x - 1; }\n\
+         int main() { int (*p)(int); int i; int s; p = hot; s = __fgetc(0) + rare(1);\n\
+           for (i = 0; i < 40; i++) s += hot(i) + p(i);\n\
+           return s & 0xff; }";
+
+    #[test]
+    fn audit_trail_covers_every_site_with_all_classes() {
+        let config = InlineConfig {
+            audit: true,
+            ..InlineConfig::default()
+        };
+        let (original, _, report, _, _) = pipeline_with(ALL_CLASSES, &config, vec![]);
+        // One decision per static call site, sorted by site id.
+        assert_eq!(report.decisions.len(), original.all_call_sites().len());
+        assert!(report.decisions.windows(2).all(|w| w[0].site < w[1].site));
+        // All four classes appear.
+        for class in ["external", "pointer", "unsafe", "safe"] {
+            assert!(
+                report.decisions.iter().any(|d| d.class_str() == class),
+                "missing class {class}"
+            );
+        }
+        // Accepted decisions match the expansion list exactly.
+        let accepted: Vec<_> = report
+            .decisions
+            .iter()
+            .filter(|d| d.accepted)
+            .map(|d| d.site)
+            .collect();
+        let mut expanded: Vec<_> = report.expanded.iter().map(|e| e.site).collect();
+        expanded.sort();
+        assert_eq!(accepted, expanded);
+        // Reasons are the canonical strings; budget state is populated.
+        for d in &report.decisions {
+            assert!(!d.reason().is_empty());
+            assert!(d.budget > 0);
+            assert!(d.size_at_decision > 0);
+            if d.accepted {
+                assert_eq!(d.reason(), "expanded");
+                assert!(d.growth > 0);
+            }
+        }
+        let unsafe_d = report
+            .decisions
+            .iter()
+            .find(|d| d.class == SiteClass::Unsafe)
+            .unwrap();
+        assert_eq!(unsafe_d.reason(), "unsafe: low-weight");
+        assert_eq!(unsafe_d.callee.as_deref(), Some("rare"));
+        let ext = report
+            .decisions
+            .iter()
+            .find(|d| d.class == SiteClass::External)
+            .unwrap();
+        assert_eq!(ext.callee.as_deref(), Some("__fgetc"));
+        let ptr = report
+            .decisions
+            .iter()
+            .find(|d| d.class == SiteClass::Pointer)
+            .unwrap();
+        assert!(ptr.callee.is_none());
+    }
+
+    #[test]
+    fn audit_off_records_no_decisions() {
+        let (_, _, report, _, _) = pipeline(ALL_CLASSES);
+        assert!(report.decisions.is_empty());
+    }
+
+    #[test]
+    fn telemetry_records_sub_phase_spans_and_counters() {
+        let obs = impact_obs::Telemetry::enabled();
+        let config = InlineConfig {
+            obs: obs.clone(),
+            ..InlineConfig::default()
+        };
+        let (_, _, _, _, _) = pipeline_with(HOT_LEAF, &config, vec![]);
+        let m = obs.snapshot();
+        let names: Vec<_> = m.spans.iter().map(|s| s.name.as_str()).collect();
+        for want in [
+            "callgraph:build",
+            "inline:classify",
+            "inline:linearize",
+            "inline:plan",
+            "inline:expand",
+            "inline:eliminate",
+        ] {
+            assert!(names.contains(&want), "missing span {want}: {names:?}");
+        }
+        assert_eq!(m.counters.get("inline:expanded_arcs"), Some(&1));
     }
 
     #[test]

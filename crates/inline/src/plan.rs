@@ -25,6 +25,28 @@ pub enum RejectReason {
     OverBudget,
 }
 
+/// Budget state captured at the moment the planner ruled on one call
+/// site — the raw material of the inline-decision audit trail
+/// (`impactc inline --explain` / `--decisions-out`). Only recorded when
+/// [`InlineConfig::audit`] is set; the vector stays unallocated
+/// otherwise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanDecision {
+    /// The call site ruled on.
+    pub site: CallSiteId,
+    /// Whether the arc was accepted for expansion.
+    pub accepted: bool,
+    /// The reject reason; `None` when accepted.
+    pub reject: Option<RejectReason>,
+    /// Projected total module size when the site was considered.
+    pub size_at_decision: u64,
+    /// Callee body size acceptance would add (0 for non-safe sites,
+    /// which are rejected before sizing).
+    pub growth: u64,
+    /// The code-size budget in force.
+    pub budget: u64,
+}
+
 /// One accepted arc.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PlannedExpansion {
@@ -52,6 +74,9 @@ pub struct InlinePlan {
     pub projected_size: u64,
     /// The size budget that applied.
     pub budget: u64,
+    /// Per-site audit records in planner consideration order; empty
+    /// unless [`InlineConfig::audit`] is set.
+    pub decisions: Vec<PlanDecision>,
 }
 
 /// Selects the arcs to expand.
@@ -75,20 +100,44 @@ pub fn plan(
 
     let mut expansions = Vec::new();
     let mut rejected = Vec::new();
+    // `Vec::new()` does not allocate; decisions are only pushed (and the
+    // vector only grows) when the audit trail was requested.
+    let mut decisions = Vec::new();
 
     // Non-safe arcs are rejected outright.
     for s in &classification.sites {
         if s.class != SiteClass::Safe {
             rejected.push((s.site, RejectReason::NotSafe(s.class)));
+            if config.audit {
+                decisions.push(PlanDecision {
+                    site: s.site,
+                    accepted: false,
+                    reject: Some(RejectReason::NotSafe(s.class)),
+                    size_at_decision: total,
+                    growth: 0,
+                    budget,
+                });
+            }
         }
     }
 
     // Safe arcs, most frequently executed first.
     for s in classification.safe_sites_by_weight() {
         let callee = s.callee.expect("safe sites have direct callees");
+        let size_at_decision = total;
         // The linear-order constraint: callee strictly before caller.
         if pos[callee.index()] >= pos[s.caller.index()] {
             rejected.push((s.site, RejectReason::ViolatesLinearOrder));
+            if config.audit {
+                decisions.push(PlanDecision {
+                    site: s.site,
+                    accepted: false,
+                    reject: Some(RejectReason::ViolatesLinearOrder),
+                    size_at_decision,
+                    growth: sizes[callee.index()],
+                    budget,
+                });
+            }
             continue;
         }
         // Code-expansion hazard: the caller absorbs a copy of the callee
@@ -96,6 +145,16 @@ pub fn plan(
         let growth = sizes[callee.index()];
         if total + growth > budget {
             rejected.push((s.site, RejectReason::OverBudget));
+            if config.audit {
+                decisions.push(PlanDecision {
+                    site: s.site,
+                    accepted: false,
+                    reject: Some(RejectReason::OverBudget),
+                    size_at_decision,
+                    growth,
+                    budget,
+                });
+            }
             continue;
         }
         sizes[s.caller.index()] += growth;
@@ -106,6 +165,16 @@ pub fn plan(
             callee,
             weight: s.weight,
         });
+        if config.audit {
+            decisions.push(PlanDecision {
+                site: s.site,
+                accepted: true,
+                reject: None,
+                size_at_decision,
+                growth,
+                budget,
+            });
+        }
     }
 
     InlinePlan {
@@ -114,6 +183,7 @@ pub fn plan(
         rejected,
         projected_size: total,
         budget,
+        decisions,
     }
 }
 

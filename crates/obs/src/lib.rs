@@ -1,0 +1,412 @@
+//! # impact-obs — pipeline telemetry core
+//!
+//! A deliberately small span/counter recorder threaded through every stage
+//! of the compilation pipeline (front end, verifier, call graph, inline
+//! sub-phases, optimization passes, VM execution). Two properties shape
+//! the design:
+//!
+//! * **Zero cost when disabled.** A disabled [`Telemetry`] handle is a
+//!   `None` — [`Telemetry::span`] and [`Telemetry::count`] neither
+//!   allocate nor read the clock, so instrumented code paths behave
+//!   identically whether or not anyone is listening. This is the
+//!   "minimum coverage instrumentation" discipline: observation must not
+//!   perturb the thing observed.
+//! * **No wall-clock in durable payloads.** Timings live only in
+//!   clearly-marked `*_us` fields of the exported JSON, so consumers
+//!   (tests, the campaign journal's byte-identical resume contract) can
+//!   strip or avoid them. Counters — instruction counts, cache hits,
+//!   site classes — are fully deterministic.
+//!
+//! Exporters: [`chrome_trace_json`] renders spans as Chrome trace-event
+//! JSON (load it at `chrome://tracing` or <https://ui.perfetto.dev> for a
+//! flamegraph); [`metrics_json`] renders aggregated per-stage counters
+//! and timings as schema-versioned JSON.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One completed span: a named region of pipeline work with its offset
+/// from the telemetry epoch and its duration, both in microseconds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Stage name, e.g. `inline:plan` or `opt:constant-fold`.
+    pub name: String,
+    /// Start offset from the handle's creation, in microseconds.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// Aggregated statistics for one span name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Stage name.
+    pub name: String,
+    /// Number of times the span was entered.
+    pub count: u64,
+    /// Total time across all entries, in microseconds.
+    pub total_us: u64,
+}
+
+#[derive(Default)]
+struct Collector {
+    spans: Vec<SpanEvent>,
+    counters: BTreeMap<String, u64>,
+}
+
+struct Inner {
+    base: Instant,
+    state: Mutex<Collector>,
+}
+
+/// A cheaply-clonable telemetry handle. Disabled by default; every clone
+/// shares the same recording.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// A disabled handle: never allocates, never reads the clock.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled handle recording into a fresh collector.
+    pub fn enabled() -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                base: Instant::now(),
+                state: Mutex::new(Collector::default()),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span; the region is recorded when the returned guard drops.
+    /// On a disabled handle this is a no-op returning an inert guard.
+    pub fn span(&self, name: &str) -> Span {
+        match &self.inner {
+            None => Span { rec: None },
+            Some(inner) => Span {
+                rec: Some(SpanRec {
+                    inner: Arc::clone(inner),
+                    name: name.to_string(),
+                    started: Instant::now(),
+                }),
+            },
+        }
+    }
+
+    /// Adds `n` to the named counter. No-op on a disabled handle.
+    pub fn count(&self, name: &str, n: u64) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner.state.lock().unwrap_or_else(|p| p.into_inner());
+            *st.counters.entry(name.to_string()).or_insert(0) += n;
+        }
+    }
+
+    /// Takes a snapshot of everything recorded so far. A disabled handle
+    /// snapshots as empty.
+    pub fn snapshot(&self) -> Metrics {
+        match &self.inner {
+            None => Metrics::default(),
+            Some(inner) => {
+                let st = inner.state.lock().unwrap_or_else(|p| p.into_inner());
+                Metrics {
+                    spans: st.spans.clone(),
+                    counters: st.counters.clone(),
+                }
+            }
+        }
+    }
+}
+
+struct SpanRec {
+    inner: Arc<Inner>,
+    name: String,
+    started: Instant,
+}
+
+/// RAII guard for an open span; records on drop.
+pub struct Span {
+    rec: Option<SpanRec>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(rec) = self.rec.take() {
+            let dur_us = rec.started.elapsed().as_micros() as u64;
+            let start_us = rec
+                .started
+                .saturating_duration_since(rec.inner.base)
+                .as_micros() as u64;
+            let mut st = rec.inner.state.lock().unwrap_or_else(|p| p.into_inner());
+            st.spans.push(SpanEvent {
+                name: rec.name,
+                start_us,
+                dur_us,
+            });
+        }
+    }
+}
+
+/// A snapshot of recorded telemetry: raw span events plus counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Every recorded span, in completion order.
+    pub spans: Vec<SpanEvent>,
+    /// Counter values, keyed by name (sorted).
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl Metrics {
+    /// Folds another snapshot into this one: spans are appended, counters
+    /// summed. Used by `batch`/`fuzz` to aggregate per-unit metrics into a
+    /// campaign-level summary.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.spans.extend(other.spans.iter().cloned());
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Aggregates spans by name (count + total duration), sorted by name.
+    pub fn span_stats(&self) -> Vec<SpanStat> {
+        let mut by_name: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+        for s in &self.spans {
+            let e = by_name.entry(&s.name).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += s.dur_us;
+        }
+        by_name
+            .into_iter()
+            .map(|(name, (count, total_us))| SpanStat {
+                name: name.to_string(),
+                count,
+                total_us,
+            })
+            .collect()
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a snapshot as Chrome trace-event JSON (the `traceEvents`
+/// array format): one complete (`"ph":"X"`) event per span, microsecond
+/// timestamps. Loads in `chrome://tracing` and Perfetto.
+pub fn chrome_trace_json(m: &Metrics) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, s) in m.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"impact\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":{},\"dur\":{}}}",
+            esc(&s.name),
+            s.start_us,
+            s.dur_us
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Schema version of [`metrics_json`] output.
+pub const METRICS_SCHEMA_VERSION: u32 = 1;
+
+/// Renders a snapshot as schema-versioned metrics JSON. Wall-clock data
+/// is confined to fields named `*_us`; everything else is deterministic
+/// for a given input, so tests can compare two runs after stripping the
+/// `*_us` fields.
+pub fn metrics_json(m: &Metrics) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"version\": {METRICS_SCHEMA_VERSION},\n  \"kind\": \"impact-metrics\",\n  \"spans\": ["
+    ));
+    let stats = m.span_stats();
+    for (i, s) in stats.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"count\": {}, \"total_us\": {}}}",
+            esc(&s.name),
+            s.count,
+            s.total_us
+        ));
+    }
+    if !stats.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"counters\": [");
+    for (i, (k, v)) in m.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"value\": {}}}",
+            esc(k),
+            v
+        ));
+    }
+    if !m.counters.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let t = Telemetry::disabled();
+        {
+            let _s = t.span("stage");
+            t.count("things", 5);
+        }
+        let m = t.snapshot();
+        assert!(m.spans.is_empty());
+        assert!(m.counters.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Telemetry::default().is_enabled());
+    }
+
+    #[test]
+    fn spans_and_counters_record_and_aggregate() {
+        let t = Telemetry::enabled();
+        {
+            let _a = t.span("phase");
+        }
+        {
+            let _b = t.span("phase");
+        }
+        t.count("items", 3);
+        t.count("items", 4);
+        let m = t.snapshot();
+        assert_eq!(m.spans.len(), 2);
+        assert_eq!(m.counters.get("items"), Some(&7));
+        let stats = m.span_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].name, "phase");
+        assert_eq!(stats[0].count, 2);
+    }
+
+    #[test]
+    fn clones_share_one_collector() {
+        let t = Telemetry::enabled();
+        let u = t.clone();
+        u.count("shared", 1);
+        assert_eq!(t.snapshot().counters.get("shared"), Some(&1));
+    }
+
+    #[test]
+    fn merge_appends_spans_and_sums_counters() {
+        let mut a = Metrics::default();
+        a.counters.insert("x".into(), 2);
+        a.spans.push(SpanEvent {
+            name: "s".into(),
+            start_us: 0,
+            dur_us: 10,
+        });
+        let mut b = Metrics::default();
+        b.counters.insert("x".into(), 3);
+        b.counters.insert("y".into(), 1);
+        a.merge(&b);
+        assert_eq!(a.counters.get("x"), Some(&5));
+        assert_eq!(a.counters.get("y"), Some(&1));
+        assert_eq!(a.spans.len(), 1);
+    }
+
+    #[test]
+    fn chrome_trace_is_well_formed() {
+        let t = Telemetry::enabled();
+        {
+            let _s = t.span("a\"b");
+        }
+        let json = chrome_trace_json(&t.snapshot());
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("a\\\"b"));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn metrics_json_shape_and_determinism_without_us_fields() {
+        let t = Telemetry::enabled();
+        {
+            let _s = t.span("stage");
+        }
+        t.count("n", 9);
+        let json = metrics_json(&t.snapshot());
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"kind\": \"impact-metrics\""));
+        assert!(json.contains("\"name\": \"stage\""));
+        assert!(json.contains("\"name\": \"n\", \"value\": 9"));
+        // Stripping the timing fields yields a deterministic document.
+        let strip = |s: &str| -> String {
+            s.lines()
+                .map(|l| match l.find("\"total_us\"") {
+                    Some(i) => format!("{}…", &l[..i]),
+                    None => l.to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let t2 = Telemetry::enabled();
+        {
+            let _s = t2.span("stage");
+        }
+        t2.count("n", 9);
+        assert_eq!(strip(&json), strip(&metrics_json(&t2.snapshot())));
+    }
+
+    #[test]
+    fn empty_metrics_render_empty_arrays() {
+        let json = metrics_json(&Metrics::default());
+        assert!(json.contains("\"spans\": []"));
+        assert!(json.contains("\"counters\": []"));
+        assert_eq!(
+            chrome_trace_json(&Metrics::default()),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n"
+        );
+    }
+}

@@ -172,6 +172,17 @@ const PASSES: [(&str, PassFn); 6] = [
     ("jump-optimization", jump_optimization),
 ];
 
+/// Telemetry span name per pass (static so a disabled handle costs no
+/// allocation); index-aligned with [`PASSES`].
+const SPAN_NAMES: [&str; 6] = [
+    "opt:constant-fold",
+    "opt:strength-reduce",
+    "opt:local-cse",
+    "opt:copy-propagation",
+    "opt:dead-code-elimination",
+    "opt:jump-optimization",
+];
+
 /// Like [`optimize_function`], but each pass runs isolated: it operates
 /// on a scratch clone of the function inside `catch_unwind`, so a
 /// panicking pass is discarded (the function keeps its pre-pass body)
@@ -191,6 +202,18 @@ pub fn optimize_function_isolated(
     func: &mut Function,
     fault: &FaultPlan,
 ) -> (usize, Vec<SkippedPass>, Option<FixpointDiagnostic>) {
+    optimize_function_observed(func, fault, &impact_obs::Telemetry::disabled())
+}
+
+/// [`optimize_function_isolated`] with pipeline telemetry: each pass
+/// invocation is recorded as an `opt:<pass>` span and its change count
+/// accumulated into the `opt:changes` counter. With a disabled handle
+/// this is exactly [`optimize_function_isolated`].
+pub fn optimize_function_observed(
+    func: &mut Function,
+    fault: &FaultPlan,
+    obs: &impact_obs::Telemetry,
+) -> (usize, Vec<SkippedPass>, Option<FixpointDiagnostic>) {
     let mut total = 0;
     let mut skipped = Vec::new();
     let mut disabled = [false; PASSES.len()];
@@ -209,6 +232,7 @@ pub fn optimize_function_isolated(
             if disabled[i] {
                 continue;
             }
+            let _pass_span = obs.span(SPAN_NAMES[i]);
             let inject = fault.should_fail("opt:pass");
             let mut scratch = func.clone();
             // Silence the default panic hook while the pass runs: the
@@ -259,6 +283,10 @@ pub fn optimize_function_isolated(
             last_round: last_round.clone(),
         })
     };
+    if obs.is_enabled() {
+        obs.count("opt:changes", total as u64);
+        obs.count("opt:functions", 1);
+    }
     (total, skipped, fixpoint)
 }
 
@@ -268,11 +296,21 @@ pub fn optimize_module_isolated(
     module: &mut Module,
     fault: &FaultPlan,
 ) -> (usize, Vec<SkippedPass>, Vec<FixpointDiagnostic>) {
+    optimize_module_observed(module, fault, &impact_obs::Telemetry::disabled())
+}
+
+/// [`optimize_module_isolated`] with pipeline telemetry (see
+/// [`optimize_function_observed`]).
+pub fn optimize_module_observed(
+    module: &mut Module,
+    fault: &FaultPlan,
+    obs: &impact_obs::Telemetry,
+) -> (usize, Vec<SkippedPass>, Vec<FixpointDiagnostic>) {
     let mut total = 0;
     let mut skipped = Vec::new();
     let mut fixpoints = Vec::new();
     for f in &mut module.functions {
-        let (n, s, fx) = optimize_function_isolated(f, fault);
+        let (n, s, fx) = optimize_function_observed(f, fault, obs);
         total += n;
         skipped.extend(s);
         fixpoints.extend(fx);

@@ -36,6 +36,9 @@ pub struct VmConfig {
     /// the rest of the pipeline so hit counts are global (see
     /// [`FaultPlan`]).
     pub fault: FaultPlan,
+    /// Pipeline telemetry sink. Disabled by default: the interpreter
+    /// then records nothing and reads no clock.
+    pub obs: impact_obs::Telemetry,
 }
 
 impl Default for VmConfig {
@@ -47,6 +50,7 @@ impl Default for VmConfig {
             mem_limit: None,
             icache: None,
             fault: FaultPlan::default(),
+            obs: impact_obs::Telemetry::disabled(),
         }
     }
 }
@@ -100,6 +104,7 @@ pub fn run(
     args: Vec<String>,
     config: &VmConfig,
 ) -> Result<RunOutcome, VmError> {
+    let _run_span = config.obs.span("vm:run");
     let main = module.main_id().ok_or(VmError::NoMain)?;
     if module.function(main).num_params != 0 {
         return Err(VmError::BadBuiltinCall {
@@ -360,13 +365,26 @@ pub fn run(
     };
 
     let (stdout, stderr, files) = os.into_outputs();
+    let icache = icache.map(|sim| sim.stats());
+    if config.obs.is_enabled() {
+        config.obs.count("vm:il_executed", profile.il_executed);
+        config
+            .obs
+            .count("vm:control_transfers", profile.control_transfers);
+        config.obs.count("vm:calls", profile.calls);
+        config.obs.count("vm:returns", profile.returns);
+        if let Some(stats) = &icache {
+            config.obs.count("vm:icache_accesses", stats.accesses);
+            config.obs.count("vm:icache_misses", stats.misses);
+        }
+    }
     Ok(RunOutcome {
         exit_code,
         stdout,
         stderr,
         files,
         profile,
-        icache: icache.map(|sim| sim.stats()),
+        icache,
     })
 }
 
