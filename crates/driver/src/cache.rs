@@ -1,0 +1,435 @@
+//! Content-addressed artifact cache with corruption quarantine.
+//!
+//! A cache entry maps `hash(sources + inputs + behavior-affecting flags)`
+//! to the pipeline's exit code and rendered report, so a batch or serve
+//! run can skip recompiling a unit whose whole input set is unchanged.
+//! Only *successful* compilations are cached: failures carry retry and
+//! crash-report machinery that must re-run to stay observable.
+//!
+//! Integrity model (the robustness headline):
+//!
+//! - Entries are published through the same atomic staging + fsync +
+//!   rename path as crash reports ([`crate::report::atomic_write_in`]),
+//!   so a torn write can never leave a half-entry under the final name.
+//! - Each entry carries its key and an FNV-1a 64 checksum footer over
+//!   everything before the footer line. A read validates header, key,
+//!   payload length, and checksum.
+//! - Any validation failure — truncation, bit flip, wrong key, missing
+//!   footer — is *quarantined*: the entry is renamed aside to
+//!   `<key>.quarantined`, an incident report is written next to it, and
+//!   the lookup reports a miss so the unit is transparently recompiled.
+//!   A corrupt entry is never served, and never silently deleted (the
+//!   quarantined bytes are evidence).
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use impact_obs::{names, Telemetry};
+use impact_vm::fnv1a64;
+
+use crate::report::{atomic_write_in, json_str};
+use crate::{Options, RunSpec};
+use impact_cfront::Source;
+
+/// First line of every cache entry; version-bumps invalidate old caches.
+pub const CACHE_HEADER: &str = "impact-cache v1";
+
+/// Extension of a live entry (`<key:016x>.entry`).
+const ENTRY_EXT: &str = "entry";
+
+/// Extension an entry is renamed to when it fails validation.
+const QUARANTINE_EXT: &str = "quarantined";
+
+/// A validated cache hit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CachedResult {
+    /// Exit code the original compilation returned.
+    pub exit: i32,
+    /// The rendered pipeline report, byte-for-byte.
+    pub report: String,
+}
+
+/// Outcome of a cache probe.
+#[derive(Debug)]
+pub enum Lookup {
+    /// Entry present and validated.
+    Hit(CachedResult),
+    /// No entry under this key.
+    Miss,
+    /// Entry present but failed validation; it has been renamed aside
+    /// and an incident report written. The caller must recompile.
+    Quarantined {
+        /// File name of the quarantined entry (relative to the cache dir).
+        entry: String,
+        /// Human-readable validation failure.
+        reason: String,
+    },
+}
+
+/// Handle on an open cache directory.
+pub struct Cache {
+    dir: PathBuf,
+    obs: Telemetry,
+}
+
+/// Computes the content address of one unit of work: FNV-1a 64 over a
+/// canonical dump of the sources, the run inputs/args, and every
+/// behavior-affecting flag. Mirrors the field-enumeration style of
+/// [`crate::journal::campaign_fingerprint`], so flags that cannot change
+/// pipeline output (telemetry, journaling, `--jobs`) are excluded by
+/// omission.
+pub fn unit_key(sources: &[Source], runs: &[RunSpec], opts: &Options) -> u64 {
+    let mut s = String::new();
+    let _ = writeln!(s, "{CACHE_HEADER} key");
+    for src in sources {
+        let _ = writeln!(
+            s,
+            "source {} {:016x} {}",
+            src.name.len(),
+            fnv1a64(src.text.as_bytes()),
+            src.name
+        );
+    }
+    for (inputs, args) in runs {
+        for f in inputs {
+            let _ = writeln!(
+                s,
+                "input {} {:016x} {}",
+                f.bytes.len(),
+                fnv1a64(&f.bytes),
+                f.name
+            );
+        }
+        for a in args {
+            let _ = writeln!(s, "arg {} {a}", a.len());
+        }
+        let _ = writeln!(s, "run-end");
+    }
+    let _ = writeln!(s, "threshold {:?}", opts.threshold);
+    let _ = writeln!(s, "budget {:?}", opts.budget);
+    let _ = writeln!(s, "stack_bound {:?}", opts.stack_bound);
+    let _ = writeln!(s, "linearize {:?}", opts.linearization);
+    let _ = writeln!(s, "promote_indirect {}", opts.promote_indirect);
+    let _ = writeln!(s, "opt {}", opts.opt);
+    let _ = writeln!(s, "fuel {:?}", opts.fuel);
+    let _ = writeln!(s, "mem_limit {:?}", opts.mem_limit);
+    let _ = writeln!(s, "profile_in {:?}", opts.profile_in);
+    let _ = writeln!(s, "profile_out {:?}", opts.profile_out);
+    let _ = writeln!(s, "quiet {}", opts.quiet);
+    let mut faults: Vec<&String> = opts
+        .faults
+        .iter()
+        .filter(|f| !crate::journal::is_journal_fault(f) && !f.starts_with("serve:"))
+        .collect();
+    faults.sort();
+    for f in faults {
+        let _ = writeln!(s, "fault {} {f}", f.len());
+    }
+    fnv1a64(s.as_bytes())
+}
+
+/// Renders an entry's on-disk bytes: header, key, exit, payload length,
+/// payload, checksum footer.
+fn render_entry(key: u64, exit: i32, report: &str) -> Vec<u8> {
+    let mut body = String::new();
+    let _ = writeln!(body, "{CACHE_HEADER}");
+    let _ = writeln!(body, "key {key:016x}");
+    let _ = writeln!(body, "exit {exit}");
+    let _ = writeln!(body, "len {}", report.len());
+    body.push_str(report);
+    body.push('\n');
+    let sum = fnv1a64(body.as_bytes());
+    let _ = writeln!(body, "checksum {sum:016x}");
+    body.into_bytes()
+}
+
+/// Parses and validates entry bytes against the expected key.
+///
+/// # Errors
+///
+/// Returns a description of the first validation failure.
+fn parse_entry(key: u64, bytes: &[u8]) -> Result<CachedResult, String> {
+    let text = std::str::from_utf8(bytes).map_err(|_| "entry is not UTF-8".to_string())?;
+    // The checksum footer is the last line; everything before it is the
+    // checksummed body.
+    let trimmed = text
+        .strip_suffix('\n')
+        .ok_or("entry missing final newline")?;
+    let footer_at = trimmed.rfind('\n').ok_or("entry truncated before footer")?;
+    let (body, footer) = trimmed.split_at(footer_at + 1);
+    let sum = footer
+        .strip_prefix("checksum ")
+        .ok_or("entry missing checksum footer")?;
+    let sum = u64::from_str_radix(sum, 16).map_err(|_| "unparseable checksum".to_string())?;
+    let actual = fnv1a64(body.as_bytes());
+    if actual != sum {
+        return Err(format!(
+            "checksum mismatch: footer {sum:016x}, computed {actual:016x}"
+        ));
+    }
+    let mut lines = body.splitn(4, '\n');
+    let header = lines.next().unwrap_or_default();
+    if header != CACHE_HEADER {
+        return Err(format!("bad header `{header}`"));
+    }
+    let key_line = lines.next().unwrap_or_default();
+    let stored = key_line
+        .strip_prefix("key ")
+        .and_then(|k| u64::from_str_radix(k, 16).ok())
+        .ok_or("entry missing key line")?;
+    if stored != key {
+        return Err(format!(
+            "key mismatch: entry {stored:016x}, expected {key:016x}"
+        ));
+    }
+    let exit_line = lines.next().unwrap_or_default();
+    let exit: i32 = exit_line
+        .strip_prefix("exit ")
+        .and_then(|e| e.parse().ok())
+        .ok_or("entry missing exit line")?;
+    let rest = lines.next().ok_or("entry truncated after exit line")?;
+    let (len_line, payload) = rest
+        .split_once('\n')
+        .ok_or("entry truncated after len line")?;
+    let len: usize = len_line
+        .strip_prefix("len ")
+        .and_then(|l| l.parse().ok())
+        .ok_or("entry missing len line")?;
+    // The payload is followed by the newline `render_entry` appended.
+    let payload = payload
+        .strip_suffix('\n')
+        .ok_or("payload missing trailing newline")?;
+    if payload.len() != len {
+        return Err(format!(
+            "payload length mismatch: len line {len}, actual {}",
+            payload.len()
+        ));
+    }
+    Ok(CachedResult {
+        exit,
+        report: payload.to_string(),
+    })
+}
+
+impl Cache {
+    /// Opens (creating if needed) the cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the directory on I/O failure.
+    pub fn open(dir: &Path, obs: &Telemetry) -> Result<Cache, String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("create cache dir {}: {e}", dir.display()))?;
+        Ok(Cache {
+            dir: dir.to_path_buf(),
+            obs: obs.clone(),
+        })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_name(key: u64) -> String {
+        format!("{key:016x}.{ENTRY_EXT}")
+    }
+
+    /// Probes the cache. A corrupt entry is quarantined (renamed aside,
+    /// incident report written) and reported as [`Lookup::Quarantined`];
+    /// the caller recompiles exactly as for a miss.
+    pub fn load(&self, key: u64) -> Lookup {
+        let name = Self::entry_name(key);
+        let path = self.dir.join(&name);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.obs.count(names::CACHE_MISSES, 1);
+                return Lookup::Miss;
+            }
+            Err(e) => {
+                // Unreadable is as untrustworthy as corrupt.
+                return self.quarantine(key, &name, &format!("read failed: {e}"));
+            }
+        };
+        match parse_entry(key, &bytes) {
+            Ok(hit) => {
+                self.obs.count(names::CACHE_HITS, 1);
+                Lookup::Hit(hit)
+            }
+            Err(reason) => self.quarantine(key, &name, &reason),
+        }
+    }
+
+    /// Stores a successful compilation under `key` through the atomic
+    /// publish path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O failure.
+    pub fn store(&self, key: u64, exit: i32, report: &str) -> Result<(), String> {
+        atomic_write_in(
+            &self.dir,
+            &Self::entry_name(key),
+            &render_entry(key, exit, report),
+        )?;
+        self.obs.count(names::CACHE_STORES, 1);
+        Ok(())
+    }
+
+    /// Renames a failed entry aside and writes an incident report; the
+    /// lookup then behaves as a miss (recompile), never serving the bytes.
+    fn quarantine(&self, key: u64, name: &str, reason: &str) -> Lookup {
+        let quarantined = format!("{key:016x}.{QUARANTINE_EXT}");
+        let rename = std::fs::rename(self.dir.join(name), self.dir.join(&quarantined));
+        let mut incident = String::new();
+        let _ = writeln!(incident, "{{");
+        let _ = writeln!(incident, "  \"version\": 1,");
+        let _ = writeln!(incident, "  \"kind\": \"cache-incident\",");
+        let _ = writeln!(incident, "  \"entry\": {},", json_str(name));
+        let _ = writeln!(incident, "  \"reason\": {},", json_str(reason));
+        let _ = writeln!(
+            incident,
+            "  \"quarantined_to\": {}",
+            json_str(if rename.is_ok() { &quarantined } else { "" })
+        );
+        let _ = writeln!(incident, "}}");
+        let _ = atomic_write_in(
+            &self.dir,
+            &format!("{key:016x}.incident.json"),
+            incident.as_bytes(),
+        );
+        self.obs.count(names::CACHE_QUARANTINED, 1);
+        self.obs.count(names::CACHE_MISSES, 1);
+        Lookup::Quarantined {
+            entry: quarantined,
+            reason: reason.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("impactc-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trips_a_stored_entry() {
+        let dir = tmp("roundtrip");
+        let cache = Cache::open(&dir, &Telemetry::disabled()).unwrap();
+        assert!(matches!(cache.load(7), Lookup::Miss));
+        cache.store(7, 0, "; ok\nline two\n").unwrap();
+        match cache.load(7) {
+            Lookup::Hit(hit) => {
+                assert_eq!(hit.exit, 0);
+                assert_eq!(hit.report, "; ok\nline two\n");
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_is_quarantined_and_recompile_path_recovers() {
+        let dir = tmp("bitflip");
+        let obs = Telemetry::enabled();
+        let cache = Cache::open(&dir, &obs).unwrap();
+        cache.store(9, 0, "; report payload\n").unwrap();
+        let entry = dir.join(format!("{:016x}.entry", 9));
+        let mut bytes = std::fs::read(&entry).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&entry, &bytes).unwrap();
+        match cache.load(9) {
+            Lookup::Quarantined { entry: q, reason } => {
+                assert!(dir.join(&q).exists(), "entry renamed aside");
+                assert!(!entry.exists(), "live entry removed");
+                assert!(!reason.is_empty());
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        let incident = dir.join(format!("{:016x}.incident.json", 9));
+        let text = std::fs::read_to_string(&incident).unwrap();
+        assert!(text.contains("cache-incident"), "{text}");
+        // The recompile path stores a fresh entry and subsequent loads hit.
+        cache.store(9, 0, "; report payload\n").unwrap();
+        assert!(matches!(cache.load(9), Lookup::Hit(_)));
+        let metrics = obs.snapshot();
+        let get = |n: &str| metrics.counters.get(n).copied().unwrap_or(0);
+        assert_eq!(get(names::CACHE_QUARANTINED), 1);
+        assert_eq!(get(names::CACHE_HITS), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_and_missing_footer_are_detected() {
+        let dir = tmp("trunc");
+        let cache = Cache::open(&dir, &Telemetry::disabled()).unwrap();
+        cache.store(3, 0, "; payload\n").unwrap();
+        let entry = dir.join(format!("{:016x}.entry", 3));
+        let bytes = std::fs::read(&entry).unwrap();
+        // Truncate mid-payload: the checksum footer disappears entirely.
+        std::fs::write(&entry, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(cache.load(3), Lookup::Quarantined { .. }));
+        // An empty file is also quarantined, not served.
+        cache.store(4, 0, "x\n").unwrap();
+        let entry4 = dir.join(format!("{:016x}.entry", 4));
+        std::fs::write(&entry4, b"").unwrap();
+        assert!(matches!(cache.load(4), Lookup::Quarantined { .. }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_mismatch_is_quarantined() {
+        let dir = tmp("keymismatch");
+        let cache = Cache::open(&dir, &Telemetry::disabled()).unwrap();
+        cache.store(5, 0, "; payload\n").unwrap();
+        // Copy key 5's entry under key 6's name: checksum is valid but the
+        // embedded key is wrong.
+        let bytes = std::fs::read(dir.join(format!("{:016x}.entry", 5))).unwrap();
+        std::fs::write(dir.join(format!("{:016x}.entry", 6)), &bytes).unwrap();
+        match cache.load(6) {
+            Lookup::Quarantined { reason, .. } => {
+                assert!(reason.contains("key mismatch"), "{reason}");
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unit_key_tracks_content_and_flags_but_not_service_knobs() {
+        let strs = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let sources = vec![Source::new("a.c", "int main() { return 0; }")];
+        let runs: Vec<RunSpec> = vec![(Vec::new(), Vec::new())];
+        let base = Options::parse(&strs(&["batch", "u.c"])).unwrap();
+        let k0 = unit_key(&sources, &runs, &base);
+        // Source text changes the key.
+        let other = vec![Source::new("a.c", "int main() { return 1; }")];
+        assert_ne!(k0, unit_key(&other, &runs, &base));
+        // A behavior-affecting flag changes the key.
+        let o = Options::parse(&strs(&["batch", "u.c", "--threshold", "5"])).unwrap();
+        assert_ne!(k0, unit_key(&sources, &runs, &o));
+        // Service/journal/telemetry knobs do not.
+        let o = Options::parse(&strs(&[
+            "batch",
+            "u.c",
+            "--jobs",
+            "4",
+            "--cache-dir",
+            "/tmp/c",
+            "--journal",
+            "/tmp/j",
+            "--trace-out",
+            "/tmp/t",
+        ]))
+        .unwrap();
+        assert_eq!(k0, unit_key(&sources, &runs, &o));
+        let _ = std::fs::remove_dir_all(std::path::Path::new("/tmp/c"));
+    }
+}

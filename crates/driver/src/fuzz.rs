@@ -201,6 +201,11 @@ pub fn run_fuzz(opts: &Options) -> Result<(i32, String), String> {
     }
 
     drop(campaign_span);
+    // Canonical-order guarantee for the findings section: the loop above
+    // pushes in index order today, but the summary contract (resumed ==
+    // uninterrupted, byte-for-byte) must not depend on that incidental
+    // property, so sort defensively before rendering.
+    outcome.findings.sort_by_key(|f| f.index);
     let elapsed_ms = started.elapsed().as_millis();
     let _ = writeln!(
         out,

@@ -574,6 +574,12 @@ pub fn journal_fault_plan(opts: &Options) -> Result<FaultPlan, String> {
 /// dump): observability never changes pipeline behavior, so an
 /// instrumented rerun may resume an uninstrumented campaign's journal
 /// and vice versa.
+///
+/// Service knobs (`--jobs`, `--cache-dir`, `--queue-depth`) are excluded
+/// for the same reason: they tune *how* the campaign executes, never
+/// *what* it computes — parallel, cached, and serial runs of the same
+/// campaign are observationally identical by construction, so a serial
+/// journal may be resumed under `--jobs 4` (and vice versa).
 pub fn campaign_fingerprint(kind: &str, opts: &Options, units: &[String]) -> u64 {
     let mut s = String::new();
     let _ = writeln!(s, "kind {kind}");
@@ -935,6 +941,29 @@ mod tests {
             campaign_fingerprint("batch", &base, &units),
             campaign_fingerprint("batch", &audited, &units),
             "audit flags must not change the campaign identity"
+        );
+    }
+
+    #[test]
+    fn fingerprint_ignores_service_knobs() {
+        let base = Options::parse(&strs(&["batch", "a.c", "--threshold", "5"])).unwrap();
+        let tuned = Options::parse(&strs(&[
+            "batch",
+            "a.c",
+            "--threshold",
+            "5",
+            "--jobs",
+            "4",
+            "--cache-dir",
+            "artifact-cache",
+        ]))
+        .unwrap();
+        let units = strs(&["a.c"]);
+        assert_eq!(
+            campaign_fingerprint("batch", &base, &units),
+            campaign_fingerprint("batch", &tuned, &units),
+            "service knobs tune execution, not campaign identity: a \
+             serial journal must resume under --jobs N and vice versa"
         );
     }
 

@@ -4,7 +4,11 @@
 //! compile → profile → inline → report pipeline over real files, so that
 //! the whole flow is unit-testable without spawning processes.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one scoped exception is the SIGTERM
+// handler installation in `serve::sig`, which binds the C `signal`
+// function directly (no libc crate dependency) under a module-local
+// `#[allow(unsafe_code)]`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
@@ -19,10 +23,13 @@ use impact_inline::{
 use impact_opt::optimize_module_observed;
 use impact_vm::{profile_runs, FaultPlan, NamedFile, Profile, VmConfig};
 
+pub mod cache;
 pub mod fuzz;
 pub mod journal;
 pub mod minimize;
+pub mod pool;
 pub mod report;
+pub mod serve;
 pub mod supervise;
 pub mod telemetry;
 
@@ -105,6 +112,15 @@ pub struct Options {
     /// `--metrics-out PATH`: write per-stage counters and timings as
     /// schema-versioned JSON.
     pub metrics_out: Option<String>,
+    /// `--jobs N` (batch/serve): worker count for the compile pool
+    /// (default: the number of available cores).
+    pub jobs: Option<usize>,
+    /// `--cache-dir DIR` (batch/serve): content-addressed artifact cache
+    /// directory.
+    pub cache_dir: Option<String>,
+    /// `--queue-depth N` (serve): bound of the request queue; a full
+    /// queue sheds new requests with an immediate `busy` response.
+    pub queue_depth: Option<usize>,
 }
 
 impl Options {
@@ -147,6 +163,9 @@ impl Options {
             decisions_out: None,
             trace_out: None,
             metrics_out: None,
+            jobs: None,
+            cache_dir: None,
+            queue_depth: None,
         };
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -254,6 +273,20 @@ impl Options {
                     let v = it.next().ok_or("--seed needs a number".to_string())?;
                     opts.seed = Some(v.parse().map_err(|_| "bad --seed")?);
                 }
+                "--jobs" => {
+                    let v = it.next().ok_or("--jobs needs a number".to_string())?;
+                    opts.jobs = Some(v.parse().map_err(|_| "bad --jobs")?);
+                }
+                "--cache-dir" => {
+                    let v = it.next().ok_or("--cache-dir needs a path".to_string())?;
+                    opts.cache_dir = Some(v.clone());
+                }
+                "--queue-depth" => {
+                    let v = it
+                        .next()
+                        .ok_or("--queue-depth needs a number".to_string())?;
+                    opts.queue_depth = Some(v.parse().map_err(|_| "bad --queue-depth")?);
+                }
                 other if other.starts_with("--") => {
                     return Err(format!("unknown option `{other}`\n{}", usage()));
                 }
@@ -359,11 +392,50 @@ impl Options {
         Ok(cfg)
     }
 
+    /// Builds the service configuration from the parallelism/caching
+    /// flags, validating them the same way the governor flags are.
+    ///
+    /// # Errors
+    ///
+    /// Returns an actionable message for out-of-range values.
+    pub fn service_config(&self) -> Result<ServiceConfig, String> {
+        if self.jobs == Some(0) {
+            return Err(
+                "--jobs 0 would run no compile workers; use a positive worker \
+                 count (default: the number of available cores)"
+                    .to_string(),
+            );
+        }
+        if self.queue_depth == Some(0) {
+            return Err(format!(
+                "--queue-depth 0 would shed every request before a worker could \
+                 accept one; use a positive queue bound (default {DEFAULT_QUEUE_DEPTH})"
+            ));
+        }
+        if self.cache_dir.as_deref() == Some("") {
+            return Err(
+                "--cache-dir needs a non-empty directory path for the artifact cache".to_string(),
+            );
+        }
+        let jobs = match self.jobs {
+            Some(n) => n,
+            None => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        };
+        Ok(ServiceConfig {
+            jobs,
+            queue_depth: self.queue_depth.unwrap_or(DEFAULT_QUEUE_DEPTH),
+            cache_dir: self.cache_dir.as_ref().map(std::path::PathBuf::from),
+        })
+    }
+
     /// Validates the inline *and* VM flag sets in one shot, threading the
     /// shared fault plan through both — the single flag-validation path
     /// used by `inline`, `bench`, `batch`, and `fuzz` (previously each
     /// call site combined [`Options::inline_config`] and
-    /// [`Options::vm_config`] by hand).
+    /// [`Options::vm_config`] by hand). The service flags (`--jobs`,
+    /// `--cache-dir`, `--queue-depth`) validate through the same call.
     ///
     /// # Errors
     ///
@@ -372,11 +444,34 @@ impl Options {
     pub fn validate_flags(&self) -> Result<ValidatedFlags, String> {
         let inline = self.inline_config()?;
         let vm = self.vm_config(inline.fault.clone())?;
-        Ok(ValidatedFlags { inline, vm })
+        let service = self.service_config()?;
+        Ok(ValidatedFlags {
+            inline,
+            vm,
+            service,
+        })
     }
 }
 
-/// The result of [`Options::validate_flags`]: both configurations, built
+/// Default bound of the serve request queue (`--queue-depth`).
+pub const DEFAULT_QUEUE_DEPTH: usize = 8;
+
+/// Service-level settings shared by `batch` and `serve`: pool width,
+/// artifact-cache location, and the serve queue bound. Like the telemetry
+/// flags, none of these change pipeline *behavior*, so they are excluded
+/// from [`journal::campaign_fingerprint`] — a serial campaign's journal
+/// may be resumed with `--jobs 4` and vice versa.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Resolved worker count (`--jobs`, default: available cores).
+    pub jobs: usize,
+    /// Bounded serve queue depth (`--queue-depth`).
+    pub queue_depth: usize,
+    /// Artifact cache directory (`--cache-dir`), when caching is on.
+    pub cache_dir: Option<std::path::PathBuf>,
+}
+
+/// The result of [`Options::validate_flags`]: every configuration, built
 /// from one validation pass and sharing one fault plan.
 #[derive(Clone, Debug)]
 pub struct ValidatedFlags {
@@ -384,6 +479,8 @@ pub struct ValidatedFlags {
     pub inline: InlineConfig,
     /// The VM configuration (resource governor + the same fault plan).
     pub vm: VmConfig,
+    /// The service configuration (pool, cache, queue).
+    pub service: ServiceConfig,
 }
 
 /// The usage text.
@@ -408,6 +505,12 @@ pub fn usage() -> String {
      \x20                                 profile invariants across a config lattice,\n\
      \x20                                 shrink failures into repro files (exit 0 clean,\n\
      \x20                                 12 divergences found)\n\
+     \x20 serve <socket>                  persistent compile daemon on a Unix socket:\n\
+     \x20                                 bounded queue with overload shedding, crash-\n\
+     \x20                                 isolated request workers, SIGTERM graceful\n\
+     \x20                                 drain (finish in-flight work, exit 0)\n\
+     \x20 request <socket> <files.c...>   compile files through a running serve daemon\n\
+     \x20                                 and print the pipeline report\n\
      \n\
      options:\n\
      \x20 --input name=path               make a file visible to the program (repeatable)\n\
@@ -435,6 +538,17 @@ pub fn usage() -> String {
      \x20 --report-dir DIR                persist JSON crash reports + reproducers\n\
      \x20 --fault-unit NAME               arm --fault specs for this unit only\n\
      \x20 --workloads                     add the twelve bundled benchmarks as units\n\
+     \n\
+     parallelism and caching (batch/serve):\n\
+     \x20 --jobs N                        compile-pool worker count (default: the\n\
+     \x20                                 number of available cores)\n\
+     \x20 --cache-dir DIR                 content-addressed artifact cache: hits skip\n\
+     \x20                                 recompilation; corrupt or truncated entries\n\
+     \x20                                 are quarantined with an incident report and\n\
+     \x20                                 recompiled, never served\n\
+     \x20 --queue-depth N                 (serve) request queue bound; a full queue\n\
+     \x20                                 sheds new requests with an immediate busy\n\
+     \x20                                 response (default 8)\n\
      \n\
      fuzzing:\n\
      \x20 --seed N                        campaign seed (default 42)\n\
@@ -762,6 +876,7 @@ pub fn inline_pipeline_observed(
     let ValidatedFlags {
         inline: mut cfg,
         vm: mut vm_cfg,
+        ..
     } = opts.validate_flags().map_err(config_err)?;
     cfg.obs = obs.clone();
     cfg.audit = telemetry::audit_requested(opts);
@@ -962,12 +1077,30 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
             opts.command
         ));
     }
-    if !matches!(opts.command.as_str(), "inline" | "bench" | "batch" | "fuzz")
-        && (opts.trace_out.is_some() || opts.metrics_out.is_some())
+    if !matches!(
+        opts.command.as_str(),
+        "inline" | "bench" | "batch" | "fuzz" | "serve"
+    ) && (opts.trace_out.is_some() || opts.metrics_out.is_some())
     {
         return Err(format!(
             "--trace-out/--metrics-out only apply to pipeline commands \
-             (inline, bench, batch, fuzz), not `{}`",
+             (inline, bench, batch, fuzz, serve), not `{}`",
+            opts.command
+        ));
+    }
+    if !matches!(opts.command.as_str(), "batch" | "serve")
+        && (opts.jobs.is_some() || opts.cache_dir.is_some())
+    {
+        return Err(format!(
+            "--jobs/--cache-dir only apply to service commands (batch, serve), \
+             not `{}`",
+            opts.command
+        ));
+    }
+    if opts.command != "serve" && opts.queue_depth.is_some() {
+        return Err(format!(
+            "--queue-depth only applies to `serve` (the command with a bounded \
+             request queue), not `{}`",
             opts.command
         ));
     }
@@ -1039,6 +1172,7 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
             let ValidatedFlags {
                 inline: mut cfg,
                 vm: mut vm_cfg,
+                ..
             } = opts.validate_flags()?;
             cfg.obs = obs.clone();
             vm_cfg.obs = obs.clone();
@@ -1093,6 +1227,8 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
         }
         "batch" => supervise::run_batch(opts),
         "fuzz" => fuzz::run_fuzz(opts),
+        "serve" => serve::run_serve(opts),
+        "request" => serve::run_request(opts),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
 }
@@ -1324,6 +1460,53 @@ mod recovery_tests {
         let cfg = o.vm_config(FaultPlan::new()).unwrap();
         assert_eq!(cfg.max_steps, 500);
         assert_eq!(cfg.mem_limit, Some(4096));
+    }
+
+    #[test]
+    fn service_flag_validation() {
+        let o = Options::parse(&strs(&["batch", "u.c", "--jobs", "0"])).unwrap();
+        let err = o.service_config().unwrap_err();
+        assert!(err.contains("--jobs"), "unactionable message: {err}");
+        let o = Options::parse(&strs(&["serve", "s.sock", "--queue-depth", "0"])).unwrap();
+        let err = o.service_config().unwrap_err();
+        assert!(err.contains("--queue-depth"), "unactionable message: {err}");
+        let o = Options::parse(&strs(&["batch", "u.c", "--cache-dir", ""])).unwrap();
+        let err = o.service_config().unwrap_err();
+        assert!(err.contains("--cache-dir"), "unactionable message: {err}");
+        // Explicit values round-trip; the default queue bound is applied.
+        let o = Options::parse(&strs(&[
+            "serve",
+            "s.sock",
+            "--jobs",
+            "4",
+            "--cache-dir",
+            "/tmp/c",
+        ]))
+        .unwrap();
+        let svc = o.service_config().unwrap();
+        assert_eq!(svc.jobs, 4);
+        assert_eq!(svc.queue_depth, DEFAULT_QUEUE_DEPTH);
+        assert_eq!(
+            svc.cache_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/c"))
+        );
+        // validate_flags surfaces the same rejection.
+        let o = Options::parse(&strs(&["batch", "u.c", "--jobs", "0"])).unwrap();
+        assert!(o.validate_flags().unwrap_err().contains("--jobs"));
+    }
+
+    #[test]
+    fn service_flags_are_scoped_to_service_commands() {
+        let o = Options::parse(&strs(&["inline", "x.c", "--jobs", "2"])).unwrap();
+        let err = execute(&o).unwrap_err();
+        assert!(err.contains("--jobs"), "unactionable message: {err}");
+        let o = Options::parse(&strs(&["run", "x.c", "--cache-dir", "/tmp/c"])).unwrap();
+        let err = execute(&o).unwrap_err();
+        assert!(err.contains("--cache-dir"), "unactionable message: {err}");
+        // --queue-depth is serve-only: even batch rejects it.
+        let o = Options::parse(&strs(&["batch", "u.c", "--queue-depth", "4"])).unwrap();
+        let err = execute(&o).unwrap_err();
+        assert!(err.contains("--queue-depth"), "unactionable message: {err}");
     }
 
     #[test]

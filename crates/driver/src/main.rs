@@ -1,5 +1,7 @@
 //! `impactc` — command-line driver for the IMPACT inline-expansion
-//! pipeline. See `impactc` with no arguments for usage.
+//! pipeline, including the batch supervisor (`batch --jobs N`) and the
+//! compile daemon (`serve` / `request`). See `impactc` with no
+//! arguments for usage.
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();

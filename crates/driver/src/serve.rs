@@ -1,0 +1,767 @@
+//! `impactc serve` — a persistent compilation daemon on a Unix socket.
+//!
+//! The daemon accepts compile requests (a set of C sources framed by the
+//! length-prefixed protocol below), runs each through the supervised
+//! pipeline, and responds with the pipeline report. The design goals are
+//! the batch supervisor's robustness guarantees, restated for a server:
+//!
+//! - **Bounded queue, explicit shedding.** Accepted connections go into a
+//!   `sync_channel` bounded by `--queue-depth`. When the queue is full the
+//!   accept thread responds `busy` immediately and closes — the daemon
+//!   never buffers unbounded work, and clients learn about overload at
+//!   once rather than timing out.
+//! - **Crash-isolated request workers.** Each request is handled under
+//!   `catch_unwind` (and the compile itself additionally runs on the
+//!   supervised worker thread with the wall-clock deadline from
+//!   `--time-limit-ms`). A panicking request produces a structured
+//!   `error` response; the daemon keeps serving.
+//! - **Graceful drain.** SIGTERM/SIGINT flip an atomic flag (the handler
+//!   does nothing else); the accept loop notices within milliseconds,
+//!   stops accepting, lets the workers finish the queue and in-flight
+//!   requests, publishes telemetry artifacts, removes the socket, and
+//!   exits 0.
+//! - **Per-request deadlines.** Socket I/O carries read/write timeouts,
+//!   and the compile runs under the same deadline machinery as a batch
+//!   attempt, so a hung client or a pathological source cannot wedge a
+//!   worker forever.
+//!
+//! With `--cache-dir`, requests are served from the content-addressed
+//! artifact cache when the whole input set matches ([`crate::cache`]);
+//! responses carry a `cached` flag so clients (and the serve smoke test)
+//! can observe warm hits.
+//!
+//! Fault injection: `serve:stall` (worker sleeps before compiling, for
+//! deterministic overload tests) and `serve:panic` (worker panics, for
+//! isolation tests) arm on the daemon's own fault plan and are stripped
+//! from per-request pipeline options.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use impact_cfront::Source;
+use impact_obs::names;
+use impact_vm::FaultPlan;
+
+use crate::supervise::{panic_message, DEFAULT_TIME_LIMIT_MS};
+use crate::{cache, journal, load_inputs, telemetry, usage, Options, RunSpec};
+
+/// Protocol magic/version, the first token of every request and response.
+pub const PROTOCOL: &str = "impact-serve v1";
+
+/// Cap on sources per request — a framing sanity bound, not a compile
+/// limit (the pipeline already has its own governors).
+const MAX_SOURCES: usize = 64;
+
+/// Cap on a single name or source text, in bytes.
+const MAX_FIELD_BYTES: usize = 1 << 22;
+
+/// Socket read/write timeout: a stalled peer cannot wedge a worker.
+const IO_TIMEOUT_MS: u64 = 10_000;
+
+/// Accept-loop poll interval while the listener has no pending
+/// connection; bounds SIGTERM reaction latency.
+const POLL_MS: u64 = 5;
+
+/// Injected stall duration for `--fault serve:stall` (long enough that a
+/// test can reliably fill the queue behind the stalled worker).
+const STALL_MS: u64 = 1500;
+
+/// A parsed compile request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// The translation unit's sources, in order.
+    pub sources: Vec<Source>,
+}
+
+/// A serve response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// `ok`, `error`, or `busy`.
+    pub status: String,
+    /// Pipeline exit code (`0` for `busy`, `1` for `error`).
+    pub exit: i32,
+    /// True when the payload came from the artifact cache.
+    pub cached: bool,
+    /// Report text (`ok`), error message (`error`/`busy`).
+    pub payload: String,
+}
+
+impl Response {
+    fn ok(exit: i32, cached: bool, payload: String) -> Response {
+        Response {
+            status: "ok".to_string(),
+            exit,
+            cached,
+            payload,
+        }
+    }
+
+    fn error(message: String) -> Response {
+        Response {
+            status: "error".to_string(),
+            exit: 1,
+            cached: false,
+            payload: message,
+        }
+    }
+
+    fn busy() -> Response {
+        Response {
+            status: "busy".to_string(),
+            exit: 0,
+            cached: false,
+            payload: "request queue is full; retry later".to_string(),
+        }
+    }
+}
+
+// ----- wire protocol -------------------------------------------------------
+//
+// Request:   `impact-serve v1 compile <nsources>\n`
+//            then per source: `<name_len> <text_len>\n<name><text>`
+// Response:  `impact-serve v1 <status> <exit> <cached 0|1> <len>\n<payload>`
+//
+// Length-prefixed framing keeps parsing allocation-bounded and makes
+// truncation detectable (read_exact fails instead of blocking forever,
+// thanks to the socket timeouts).
+
+/// Writes a compile request for `sources`.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn write_request<W: Write>(w: &mut W, sources: &[Source]) -> std::io::Result<()> {
+    writeln!(w, "{PROTOCOL} compile {}", sources.len())?;
+    for s in sources {
+        writeln!(w, "{} {}", s.name.len(), s.text.len())?;
+        w.write_all(s.name.as_bytes())?;
+        w.write_all(s.text.as_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads and validates a compile request.
+///
+/// # Errors
+///
+/// Returns a human-readable framing/validation error.
+pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, String> {
+    let header = read_line(r)?;
+    let rest = header
+        .strip_prefix(PROTOCOL)
+        .ok_or_else(|| format!("bad protocol header `{header}`"))?;
+    let rest = rest
+        .strip_prefix(" compile ")
+        .ok_or_else(|| format!("unknown request verb in `{header}`"))?;
+    let n: usize = rest
+        .parse()
+        .map_err(|_| format!("bad source count in `{header}`"))?;
+    if n == 0 || n > MAX_SOURCES {
+        return Err(format!("source count {n} outside 1..={MAX_SOURCES}"));
+    }
+    let mut sources = Vec::with_capacity(n);
+    for _ in 0..n {
+        let frame = read_line(r)?;
+        let (name_len, text_len) = frame
+            .split_once(' ')
+            .ok_or_else(|| format!("bad source frame `{frame}`"))?;
+        let name_len: usize = name_len
+            .parse()
+            .map_err(|_| format!("bad name length in `{frame}`"))?;
+        let text_len: usize = text_len
+            .parse()
+            .map_err(|_| format!("bad text length in `{frame}`"))?;
+        if name_len > MAX_FIELD_BYTES || text_len > MAX_FIELD_BYTES {
+            return Err(format!(
+                "source frame `{frame}` exceeds the {MAX_FIELD_BYTES}-byte field cap"
+            ));
+        }
+        let name = read_exact_utf8(r, name_len, "source name")?;
+        let text = read_exact_utf8(r, text_len, "source text")?;
+        sources.push(Source::new(name, text));
+    }
+    Ok(Request { sources })
+}
+
+/// Writes a response.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> std::io::Result<()> {
+    writeln!(
+        w,
+        "{PROTOCOL} {} {} {} {}",
+        resp.status,
+        resp.exit,
+        u8::from(resp.cached),
+        resp.payload.len()
+    )?;
+    w.write_all(resp.payload.as_bytes())?;
+    w.flush()
+}
+
+/// Reads and validates a response.
+///
+/// # Errors
+///
+/// Returns a human-readable framing/validation error.
+pub fn read_response<R: BufRead>(r: &mut R) -> Result<Response, String> {
+    let header = read_line(r)?;
+    let rest = header
+        .strip_prefix(PROTOCOL)
+        .ok_or_else(|| format!("bad protocol header `{header}`"))?;
+    let mut tok = rest.split_whitespace();
+    let status = tok.next().ok_or("response missing status")?.to_string();
+    if !matches!(status.as_str(), "ok" | "error" | "busy") {
+        return Err(format!("unknown response status `{status}`"));
+    }
+    let exit: i32 = tok
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or("response missing exit code")?;
+    let cached = match tok.next() {
+        Some("0") => false,
+        Some("1") => true,
+        _ => return Err("response missing cached flag".to_string()),
+    };
+    let len: usize = tok
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or("response missing payload length")?;
+    if len > MAX_FIELD_BYTES {
+        return Err(format!(
+            "response payload length {len} exceeds the {MAX_FIELD_BYTES}-byte cap"
+        ));
+    }
+    let payload = read_exact_utf8(r, len, "response payload")?;
+    Ok(Response {
+        status,
+        exit,
+        cached,
+        payload,
+    })
+}
+
+fn read_line<R: BufRead>(r: &mut R) -> Result<String, String> {
+    let mut buf = Vec::new();
+    r.read_until(b'\n', &mut buf)
+        .map_err(|e| format!("read failed: {e}"))?;
+    if buf.last() != Some(&b'\n') {
+        return Err("truncated line (peer closed or timed out)".to_string());
+    }
+    buf.pop();
+    String::from_utf8(buf).map_err(|_| "non-UTF-8 header line".to_string())
+}
+
+fn read_exact_utf8<R: Read>(r: &mut R, len: usize, what: &str) -> Result<String, String> {
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)
+        .map_err(|e| format!("truncated {what}: {e}"))?;
+    String::from_utf8(buf).map_err(|_| format!("non-UTF-8 {what}"))
+}
+
+// ----- fault plumbing ------------------------------------------------------
+
+/// True for fault specs that target the serve daemon itself; they arm on
+/// the daemon's plan and are stripped from per-request pipeline options
+/// (mirroring `journal:*` handling).
+pub fn is_serve_fault(spec: &str) -> bool {
+    spec.starts_with("serve:")
+}
+
+/// Builds the daemon's fault plan from the `serve:*` subset of `--fault`.
+///
+/// # Errors
+///
+/// Returns a message naming the malformed spec.
+fn serve_fault_plan(opts: &Options) -> Result<FaultPlan, String> {
+    let plan = FaultPlan::new();
+    for spec in opts.faults.iter().filter(|s| is_serve_fault(s)) {
+        plan.arm_spec(spec)
+            .map_err(|e| format!("bad --fault `{spec}`: {e}"))?;
+    }
+    Ok(plan)
+}
+
+/// Per-request pipeline options: quiet, no artifact/telemetry output
+/// flags (the daemon aggregates telemetry and writes artifacts once, at
+/// drain), no journaling, and daemon-level fault specs stripped.
+fn request_options(opts: &Options) -> Options {
+    let mut o = opts.clone();
+    o.quiet = true;
+    o.positional.clear();
+    o.profile_in = None;
+    o.profile_out = None;
+    o.explain = false;
+    o.decisions_out = None;
+    o.trace_out = None;
+    o.metrics_out = None;
+    o.journal = None;
+    o.resume = false;
+    o.force_resume = false;
+    o.faults
+        .retain(|f| !journal::is_journal_fault(f) && !is_serve_fault(f));
+    o
+}
+
+// ----- the daemon ----------------------------------------------------------
+
+#[cfg(unix)]
+mod daemon {
+    use super::*;
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::mpsc::{self, TrySendError};
+    use std::sync::{Arc, Mutex};
+
+    /// Drain-visible request totals, independent of whether telemetry is
+    /// enabled (the summary line must always be accurate).
+    #[derive(Default)]
+    struct Totals {
+        requests: AtomicU64,
+        ok: AtomicU64,
+        errors: AtomicU64,
+        shed: AtomicU64,
+    }
+
+    fn bump(c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Runs the daemon until SIGTERM/SIGINT, then drains and returns the
+    /// serve summary with exit code 0.
+    pub fn run_serve(opts: &Options) -> Result<(i32, String), String> {
+        let service = opts.service_config()?;
+        // Pipeline flags are validated once at startup so a bad config
+        // fails the daemon immediately instead of every request.
+        opts.validate_flags()?;
+        let plan = serve_fault_plan(opts)?;
+        if opts.positional.len() != 1 {
+            return Err(format!(
+                "serve needs exactly one socket path (got {})\n{}",
+                opts.positional.len(),
+                usage()
+            ));
+        }
+        let socket = PathBuf::from(&opts.positional[0]);
+        if socket.exists() {
+            // A previous daemon's stale socket; binding requires the name
+            // to be free.
+            std::fs::remove_file(&socket)
+                .map_err(|e| format!("cannot remove stale socket `{}`: {e}", socket.display()))?;
+        }
+        let obs = telemetry::handle_for(opts);
+        let artifact_cache = match &service.cache_dir {
+            Some(dir) => Some(cache::Cache::open(dir, &obs)?),
+            None => None,
+        };
+        crate::supervise::silence_worker_panics();
+        super::sig::install();
+        let listener = UnixListener::bind(&socket)
+            .map_err(|e| format!("cannot bind serve socket `{}`: {e}", socket.display()))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot configure serve socket: {e}"))?;
+        let (tx, rx) = mpsc::sync_channel::<UnixStream>(service.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let req_opts = request_options(opts);
+        let deadline = opts.time_limit_ms.unwrap_or(DEFAULT_TIME_LIMIT_MS);
+        let totals = Totals::default();
+
+        std::thread::scope(|scope| {
+            for w in 0..service.jobs {
+                let rx = Arc::clone(&rx);
+                let req_opts = &req_opts;
+                let artifact_cache = artifact_cache.as_ref();
+                let obs = &obs;
+                let plan = &plan;
+                let totals = &totals;
+                std::thread::Builder::new()
+                    .name(format!("{}-serve{w}", crate::supervise::WORKER_THREAD))
+                    .spawn_scoped(scope, move || loop {
+                        // Take the stream with the receiver lock scoped
+                        // tightly: handling must not serialize workers.
+                        let stream = {
+                            let guard =
+                                rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                            guard.recv()
+                        };
+                        let Ok(stream) = stream else { break };
+                        handle_connection(
+                            stream,
+                            req_opts,
+                            deadline,
+                            artifact_cache,
+                            obs,
+                            plan,
+                            totals,
+                        );
+                    })
+                    .expect("spawn serve worker");
+            }
+            // Accept loop, on this thread. SIGTERM flips the flag; the
+            // loop notices within POLL_MS and falls through to the drain.
+            loop {
+                if super::sig::requested() {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        bump(&totals.requests);
+                        obs.count(names::SERVE_REQUESTS, 1);
+                        match tx.try_send(stream) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(stream)) => {
+                                // Explicit overload shedding: an immediate
+                                // `busy` beats an unbounded queue.
+                                bump(&totals.shed);
+                                obs.count(names::SERVE_SHED, 1);
+                                respond_busy(stream);
+                            }
+                            Err(TrySendError::Disconnected(_)) => break,
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(POLL_MS));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        // Transient accept failure; back off briefly and
+                        // keep serving.
+                        std::thread::sleep(Duration::from_millis(POLL_MS));
+                    }
+                }
+            }
+            // Drain: closing the channel lets each worker finish its
+            // in-flight request plus whatever is queued, then exit.
+            drop(tx);
+        });
+        let _ = std::fs::remove_file(&socket);
+        telemetry::write_artifacts(opts, &obs, None)?;
+        let mut out = String::new();
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                "; serve: drained after {} requests, {} ok, {} errors, {} shed\n",
+                totals.requests.load(Ordering::Relaxed),
+                totals.ok.load(Ordering::Relaxed),
+                totals.errors.load(Ordering::Relaxed),
+                totals.shed.load(Ordering::Relaxed),
+            ),
+        );
+        Ok((0, out))
+    }
+
+    /// Best-effort `busy` response on the accept thread; a short write
+    /// timeout keeps a stalled client from wedging the accept loop.
+    fn respond_busy(stream: UnixStream) {
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+        let mut stream = stream;
+        let _ = write_response(&mut stream, &Response::busy());
+    }
+
+    /// Handles one connection end to end: read, compile (panic-isolated),
+    /// respond. Never propagates errors — a broken peer only loses its
+    /// own response.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_connection(
+        stream: UnixStream,
+        opts: &Options,
+        deadline: u64,
+        artifact_cache: Option<&cache::Cache>,
+        obs: &impact_obs::Telemetry,
+        plan: &FaultPlan,
+        totals: &Totals,
+    ) {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(IO_TIMEOUT_MS)));
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(IO_TIMEOUT_MS)));
+        let reader = match stream.try_clone() {
+            Ok(r) => r,
+            Err(_) => return,
+        };
+        let response = match read_request(&mut BufReader::new(reader)) {
+            Err(e) => {
+                bump(&totals.errors);
+                obs.count(names::SERVE_ERRORS, 1);
+                Response::error(format!("bad request: {e}"))
+            }
+            Ok(req) => {
+                // The compile additionally runs on the supervised worker
+                // thread under the wall-clock deadline; this outer
+                // catch_unwind isolates panics in the serve scaffolding
+                // itself (and the injected `serve:panic`).
+                match catch_unwind(AssertUnwindSafe(|| {
+                    compile_request(&req, opts, deadline, artifact_cache, obs, plan)
+                })) {
+                    Ok(resp) => {
+                        if resp.status == "ok" {
+                            bump(&totals.ok);
+                            obs.count(names::SERVE_OK, 1);
+                        } else {
+                            bump(&totals.errors);
+                            obs.count(names::SERVE_ERRORS, 1);
+                        }
+                        resp
+                    }
+                    Err(payload) => {
+                        bump(&totals.errors);
+                        obs.count(names::SERVE_ERRORS, 1);
+                        Response::error(format!(
+                            "request worker panicked: {}",
+                            panic_message(payload)
+                        ))
+                    }
+                }
+            }
+        };
+        let mut stream = stream;
+        let _ = write_response(&mut stream, &response);
+    }
+
+    /// Compiles one request: fault points, cache probe, supervised
+    /// attempt, cache store.
+    fn compile_request(
+        req: &Request,
+        opts: &Options,
+        deadline: u64,
+        artifact_cache: Option<&cache::Cache>,
+        obs: &impact_obs::Telemetry,
+        plan: &FaultPlan,
+    ) -> Response {
+        if plan.should_fail("serve:stall") {
+            std::thread::sleep(Duration::from_millis(STALL_MS));
+        }
+        assert!(
+            !plan.should_fail("serve:panic"),
+            "injected serve worker panic"
+        );
+        let inputs = match load_inputs(&opts.inputs) {
+            Ok(i) => i,
+            Err(e) => return Response::error(e),
+        };
+        let runs: Vec<RunSpec> = vec![(inputs, opts.args.clone())];
+        let key = artifact_cache.map(|_| cache::unit_key(&req.sources, &runs, opts));
+        if let (Some(c), Some(k)) = (artifact_cache, key) {
+            if let cache::Lookup::Hit(hit) = c.load(k) {
+                return Response::ok(hit.exit, true, hit.report);
+            }
+            // Miss and quarantine both fall through to a fresh compile;
+            // a quarantined entry has already been renamed aside with an
+            // incident report and is never served.
+        }
+        let (result, _wall) = crate::supervise::run_attempt(
+            req.sources.clone(),
+            runs,
+            opts.clone(),
+            deadline,
+            obs.clone(),
+        );
+        match result {
+            Ok((code, report)) => {
+                if let (Some(c), Some(k)) = (artifact_cache, key) {
+                    // Store failures degrade the cache, not the response.
+                    let _ = c.store(k, code, &report);
+                }
+                Response::ok(code, false, report)
+            }
+            Err(f) => Response::error(f.render()),
+        }
+    }
+}
+
+// ----- signal handling -----------------------------------------------------
+
+/// SIGTERM/SIGINT latch. The handler performs exactly one atomic store —
+/// the only operation that is unconditionally async-signal-safe — and the
+/// accept loop polls the flag.
+///
+/// This binds the C `signal` function directly rather than depending on a
+/// bindings crate; it is the crate's sole `unsafe_code` exception (see
+/// the crate attribute in `lib.rs`).
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the handlers and clears any previously latched request.
+    pub fn install() {
+        SHUTDOWN.store(false, Ordering::SeqCst);
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+
+    /// True once SIGTERM or SIGINT has been received.
+    pub fn requested() -> bool {
+        SHUTDOWN.load(Ordering::SeqCst)
+    }
+}
+
+// ----- entry points --------------------------------------------------------
+
+/// Runs the serve daemon (see the module docs).
+///
+/// # Errors
+///
+/// Returns a usage-style message for a malformed invocation or an
+/// unbindable socket. A drained daemon returns `Ok((0, summary))`.
+#[cfg(unix)]
+pub fn run_serve(opts: &Options) -> Result<(i32, String), String> {
+    daemon::run_serve(opts)
+}
+
+/// Serve is Unix-only (it is built on Unix domain sockets and POSIX
+/// signals).
+#[cfg(not(unix))]
+pub fn run_serve(_opts: &Options) -> Result<(i32, String), String> {
+    Err("serve requires a Unix platform (Unix sockets and signals)".to_string())
+}
+
+/// `impactc request <socket> <files.c...>` — the thin client: sends the
+/// files to a running daemon and prints the pipeline report. A cached
+/// response appends a `; cache: hit` marker line.
+///
+/// # Errors
+///
+/// Returns a connection/protocol error, the server's `error` payload, or
+/// a `busy` notice when the daemon shed the request.
+#[cfg(unix)]
+pub fn run_request(opts: &Options) -> Result<(i32, String), String> {
+    use std::os::unix::net::UnixStream;
+
+    let Some((socket, files)) = opts.positional.split_first() else {
+        return Err(format!(
+            "request needs a socket path and at least one .c file\n{}",
+            usage()
+        ));
+    };
+    if files.is_empty() {
+        return Err(format!(
+            "request needs at least one .c file after the socket path\n{}",
+            usage()
+        ));
+    }
+    let mut sources = Vec::with_capacity(files.len());
+    for f in files {
+        let text = std::fs::read_to_string(f).map_err(|e| format!("cannot read `{f}`: {e}"))?;
+        sources.push(Source::new(f.clone(), text));
+    }
+    let stream = UnixStream::connect(socket)
+        .map_err(|e| format!("cannot connect to serve socket `{socket}`: {e}"))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(IO_TIMEOUT_MS)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(IO_TIMEOUT_MS)));
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("cannot clone socket stream: {e}"))?;
+    write_request(&mut writer, &sources).map_err(|e| format!("cannot send request: {e}"))?;
+    let resp = read_response(&mut BufReader::new(stream))?;
+    match resp.status.as_str() {
+        "ok" => {
+            let mut out = resp.payload;
+            if resp.cached {
+                out.push_str("; cache: hit\n");
+            }
+            Ok((resp.exit, out))
+        }
+        "busy" => Err(format!("server busy: {}", resp.payload)),
+        _ => Err(resp.payload),
+    }
+}
+
+/// Request is Unix-only, like serve.
+#[cfg(not(unix))]
+pub fn run_request(_opts: &Options) -> Result<(i32, String), String> {
+    Err("request requires a Unix platform (Unix sockets)".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn request_round_trips_through_the_wire_format() {
+        let sources = vec![
+            Source::new("a.c", "int main() { return 0; }\n"),
+            Source::new("dir/b.c", "int helper() { return 1; }\n"),
+        ];
+        let mut wire = Vec::new();
+        write_request(&mut wire, &sources).unwrap();
+        let req = read_request(&mut std::io::Cursor::new(wire)).unwrap();
+        assert_eq!(req.sources, sources);
+    }
+
+    #[test]
+    fn response_round_trips_including_cached_flag() {
+        for resp in [
+            Response::ok(0, true, "; report\n".to_string()),
+            Response::ok(3, false, String::new()),
+            Response::error("compile failed: x.c:1:1".to_string()),
+            Response::busy(),
+        ] {
+            let mut wire = Vec::new();
+            write_response(&mut wire, &resp).unwrap();
+            let back = read_response(&mut std::io::Cursor::new(wire)).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_not_trusted() {
+        for (wire, needle) in [
+            (&b"impact-serve v9 compile 1\n"[..], "bad protocol"),
+            (
+                &b"impact-serve v1 decompile 1\n"[..],
+                "unknown request verb",
+            ),
+            (&b"impact-serve v1 compile 0\n"[..], "source count"),
+            (&b"impact-serve v1 compile 999\n"[..], "source count"),
+            (&b"impact-serve v1 compile 1\n5 99999999\n"[..], "field cap"),
+            (&b"impact-serve v1 compile 1\n3 4\na.cint"[..], "truncated"),
+            (&b"impact-serve v1 compile 1"[..], "truncated line"),
+        ] {
+            let err = read_request(&mut std::io::Cursor::new(wire.to_vec())).unwrap_err();
+            assert!(err.contains(needle), "`{err}` should mention `{needle}`");
+        }
+    }
+
+    #[test]
+    fn serve_faults_are_stripped_from_request_options() {
+        let o = Options::parse(&strs(&[
+            "serve",
+            "s.sock",
+            "--fault",
+            "serve:panic=1",
+            "--fault",
+            "inline:verify",
+        ]))
+        .unwrap();
+        let r = request_options(&o);
+        assert_eq!(r.faults, strs(&["inline:verify"]));
+        assert!(r.quiet);
+        assert!(r.positional.is_empty());
+        assert!(is_serve_fault("serve:stall"));
+        assert!(!is_serve_fault("inline:verify"));
+    }
+}

@@ -3,8 +3,9 @@
 //!
 //! `impactc batch` runs a set of translation units (loose `.c` files,
 //! directories of them, and bundled `bench:<name>` workloads) through the
-//! full inline-expansion pipeline, one unit at a time, each attempt
-//! isolated on a worker thread under the resource governor:
+//! full inline-expansion pipeline — serially by default, or concurrently
+//! on the [`crate::pool`] work-stealing pool with `--jobs N`. Each
+//! attempt is isolated on a worker thread under the resource governor:
 //!
 //! - **wall clock** — `--time-limit-ms` bounds every attempt; a worker
 //!   that misses the deadline is abandoned (it keeps running detached but
@@ -27,6 +28,19 @@
 //! structured JSON crash report (see [`crate::report`]) carrying a
 //! delta-debugged reproducer (see [`crate::minimize`]) that replays the
 //! same failure signature under `impactc inline`.
+//!
+//! **Parallel determinism.** Under `--jobs N` units complete in an
+//! arbitrary order, but the summary renders in canonical unit order from
+//! an index-addressed record table, and the journal stays a
+//! single-writer structure: workers return results over the pool's event
+//! channel and only the supervising thread appends. A parallel campaign
+//! therefore produces the same stdout and journal-replayable record set
+//! as a serial one, and crash→`--resume` keeps its byte-identical
+//! contract regardless of worker count.
+//!
+//! With `--cache-dir`, each unit is probed against the content-addressed
+//! artifact cache ([`crate::cache`]) before compiling, and successful
+//! compilations are stored back through the atomic publish path.
 
 use std::collections::hash_map::DefaultHasher;
 use std::fmt::Write as _;
@@ -38,13 +52,15 @@ use std::sync::Once;
 use std::time::{Duration, Instant};
 
 use impact_cfront::Source;
+use impact_obs::names;
 
 use crate::journal::{
     campaign_fingerprint, is_journal_fault, open_for, prepare_report_dir, Event, UnitRecord,
 };
 use crate::minimize::{shrink, ShrinkResult};
+use crate::pool::{self, PoolEvent};
 use crate::report::{write_crash_report, AttemptRecord, CrashReport, PipelineFailure};
-use crate::{inline_pipeline_observed, load_inputs, telemetry, usage, Options, RunSpec};
+use crate::{cache, inline_pipeline_observed, load_inputs, telemetry, usage, Options, RunSpec};
 
 /// Exit code when every unit compiled.
 pub const EXIT_ALL_OK: i32 = 0;
@@ -63,9 +79,11 @@ pub const DEFAULT_RETRY_BASE_MS: u64 = 25;
 /// Cap on minimization candidate evaluations per quarantined unit.
 const SHRINK_EVAL_BUDGET: usize = 96;
 
-/// Name given to pipeline worker threads, used by the process-wide panic
-/// hook to keep expected worker panics off stderr.
-const WORKER_THREAD: &str = "supervise-worker";
+/// Name (prefix) given to pipeline worker threads, used by the
+/// process-wide panic hook to keep expected worker panics off stderr.
+/// Pool workers (`supervise-worker-pool<i>`) and serve workers
+/// (`supervise-worker-serve<i>`) extend it so the same hook covers them.
+pub(crate) const WORKER_THREAD: &str = "supervise-worker";
 
 /// Persistent failure classes are deterministic properties of the unit
 /// (bad source, bad flags, missing files): retrying cannot help, so they
@@ -199,7 +217,7 @@ fn materialize(
     }
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -213,12 +231,16 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// backtrace spew for supervised worker threads — their panics are
 /// *expected*, caught, and classified — while delegating every other
 /// thread's panics to the previously installed hook.
-fn silence_worker_panics() {
+pub(crate) fn silence_worker_panics() {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if std::thread::current().name() != Some(WORKER_THREAD) {
+            // Prefix match: pool and serve workers extend the base name.
+            let supervised = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with(WORKER_THREAD));
+            if !supervised {
                 prev(info);
             }
         }));
@@ -228,7 +250,7 @@ fn silence_worker_panics() {
 /// Runs one pipeline attempt on a worker thread under the wall-clock
 /// deadline, recording into `obs` (the campaign's shared collector).
 /// Returns the classified result and the attempt's wall time.
-fn run_attempt(
+pub(crate) fn run_attempt(
     sources: Vec<Source>,
     runs: Vec<RunSpec>,
     opts: Options,
@@ -298,8 +320,9 @@ struct UnitOutcome {
     /// Total wall time across every attempt, including the successful
     /// one (backoff sleeps excluded).
     elapsed_ms: u64,
-    /// `Ok(pipeline report)` or `Err((taxonomy, final failure))`.
-    result: Result<String, (String, PipelineFailure)>,
+    /// `Ok((exit code, pipeline report))` or
+    /// `Err((taxonomy, final failure))`.
+    result: Result<(i32, String), (String, PipelineFailure)>,
 }
 
 /// Runs one unit to completion: attempt, triage, back off, retry,
@@ -319,10 +342,7 @@ fn run_unit(unit: &Unit, opts: &Options, obs: &impact_obs::Telemetry) -> UnitOut
                 let (r, wall) =
                     run_attempt(sources, runs, unit_opts.clone(), deadline, obs.clone());
                 elapsed_ms += wall;
-                match r {
-                    Ok((_, out)) => Ok(out),
-                    Err(f) => Err((f, wall)),
-                }
+                r.map_err(|f| (f, wall))
             }
             // materialize() failed before an attempt could start.
             Err(f) => Err((f, 0)),
@@ -408,6 +428,108 @@ fn minimize_failure(
     Some(shrink(&flat, &mut check, SHRINK_EVAL_BUDGET))
 }
 
+/// Runs one unit end to end — cache probe, supervised compile with
+/// retry/quarantine, crash-report persistence, cache store — and returns
+/// its completion record plus any side-channel note lines (`; warning:`,
+/// `; cache:`). Everything here is safe to run concurrently for distinct
+/// units: artifacts are published atomically under unit-derived names,
+/// and nothing touches the journal (the supervising thread appends
+/// records after this returns).
+fn process_unit(
+    unit: &Unit,
+    opts: &Options,
+    obs: &impact_obs::Telemetry,
+    cache: Option<&cache::Cache>,
+    report_dir: Option<&Path>,
+) -> (UnitRecord, Vec<String>) {
+    let mut notes: Vec<String> = Vec::new();
+    let unit_opts = unit_options(opts, &unit.name);
+    // Cache probe, keyed by the fully-materialized inputs. A hit records
+    // zero elapsed time (deterministically — no clock was read); a
+    // quarantined entry degrades to a miss and leaves an audit note.
+    let mut key = None;
+    if let Some(c) = cache {
+        if let Ok((sources, runs)) = materialize(unit, &unit_opts) {
+            let k = cache::unit_key(&sources, &runs, &unit_opts);
+            match c.load(k) {
+                cache::Lookup::Hit(_) => {
+                    return (
+                        UnitRecord {
+                            unit: unit.name.clone(),
+                            status: "ok".to_string(),
+                            attempts: 1,
+                            signature: "-".to_string(),
+                            report: "-".to_string(),
+                            counts: vec![0, 0],
+                        },
+                        notes,
+                    );
+                }
+                cache::Lookup::Quarantined { entry, reason } => {
+                    notes.push(format!(
+                        "; cache: quarantined {entry} ({reason}); recompiling"
+                    ));
+                }
+                cache::Lookup::Miss => {}
+            }
+            key = Some(k);
+        }
+    }
+    let outcome = run_unit(unit, opts, obs);
+    let rec = match outcome.result {
+        Ok((code, report)) => {
+            if let (Some(c), Some(k)) = (cache, key) {
+                if let Err(e) = c.store(k, code, &report) {
+                    notes.push(format!("; warning: {e}"));
+                }
+            }
+            UnitRecord {
+                unit: unit.name.clone(),
+                status: "ok".to_string(),
+                attempts: outcome.attempts.len() as u64 + 1,
+                signature: "-".to_string(),
+                report: "-".to_string(),
+                counts: vec![outcome.elapsed_ms, outcome.attempts.len() as u64],
+            }
+        }
+        Err((taxonomy, failure)) => {
+            let mut report_path = "-".to_string();
+            let signature = failure.signature();
+            if let Some(dir) = report_dir {
+                let governor = unit_opts.validate_flags().map(|f| f.vm).unwrap_or_default();
+                let report = CrashReport {
+                    unit: unit.name.clone(),
+                    taxonomy,
+                    reproducer: minimize_failure(unit, opts, &failure),
+                    failure,
+                    attempts: outcome.attempts.clone(),
+                    time_limit_ms: opts.time_limit_ms.unwrap_or(DEFAULT_TIME_LIMIT_MS),
+                    fuel: governor.max_steps,
+                    mem_limit: governor.mem_limit,
+                };
+                match write_crash_report(dir, &report, &unit_opts) {
+                    Ok(path) => report_path = path.display().to_string(),
+                    Err(e) => {
+                        notes.push(format!("; warning: {e}"));
+                    }
+                }
+            }
+            UnitRecord {
+                unit: unit.name.clone(),
+                status: "quarantined".to_string(),
+                attempts: outcome.attempts.len() as u64,
+                signature,
+                report: report_path,
+                counts: vec![
+                    outcome.elapsed_ms,
+                    (outcome.attempts.len() as u64).saturating_sub(1),
+                ],
+            }
+        }
+    };
+    (rec, notes)
+}
+
 /// Runs the batch described by `opts`.
 ///
 /// # Errors
@@ -423,6 +545,7 @@ pub fn run_batch(opts: &Options) -> Result<(i32, String), String> {
             usage()
         ));
     }
+    let service = opts.service_config()?;
     let unit_names: Vec<String> = units.iter().map(|u| u.name.clone()).collect();
     let fingerprint = campaign_fingerprint("batch", opts, &unit_names);
     let mut out = String::new();
@@ -436,24 +559,125 @@ pub fn run_batch(opts: &Options) -> Result<(i32, String), String> {
         prepare_report_dir(dir, "batch", fingerprint, opts.force_resume)?;
     }
     let obs = telemetry::handle_for(opts);
-    // (unit, status, attempts, retries, elapsed_ms, signature)
+    let artifact_cache = match &service.cache_dir {
+        Some(dir) => Some(cache::Cache::open(dir, &obs)?),
+        None => None,
+    };
+    // Completion records and note lines, indexed by canonical unit
+    // position. Filled from the journal (replays), the serial loop, or
+    // the pool's event stream — the rendering below never depends on
+    // completion order.
+    let mut records: Vec<Option<UnitRecord>> = vec![None; units.len()];
+    let mut notes: Vec<Vec<String>> = vec![Vec::new(); units.len()];
+    let mut pending: Vec<usize> = Vec::new();
+    for (i, unit) in units.iter().enumerate() {
+        match completed.get(&unit.name) {
+            Some(rec) => records[i] = Some(rec.clone()),
+            None => pending.push(i),
+        }
+    }
+    let jobs = service.jobs.min(pending.len().max(1));
+    if jobs <= 1 {
+        for &i in &pending {
+            if let Some(j) = journal.as_mut() {
+                j.append(&Event::UnitStart {
+                    unit: units[i].name.clone(),
+                })?;
+            }
+            let (rec, unit_notes) = process_unit(
+                &units[i],
+                opts,
+                &obs,
+                artifact_cache.as_ref(),
+                report_dir.as_deref(),
+            );
+            // The unit's artifacts are durable before its completion
+            // record — a `unit-done` in the journal therefore implies
+            // nothing of this unit needs redoing on resume.
+            if let Some(j) = journal.as_mut() {
+                j.append(&Event::UnitDone(rec.clone()))?;
+            }
+            records[i] = Some(rec);
+            notes[i] = unit_notes;
+        }
+    } else {
+        obs.count(names::POOL_WORKERS, jobs as u64);
+        // The pool delivers events on this thread, so the journal keeps
+        // exactly one writer: `unit-start` on claim, `unit-done` only
+        // after `process_unit` made the unit's artifacts durable.
+        // Appends for different units may interleave, which replay
+        // handles (`unit-start` is an in-flight marker, not a bracket).
+        let steals = pool::run(
+            &pending,
+            jobs,
+            |i| {
+                process_unit(
+                    &units[i],
+                    opts,
+                    &obs,
+                    artifact_cache.as_ref(),
+                    report_dir.as_deref(),
+                )
+            },
+            |ev| {
+                match ev {
+                    PoolEvent::Started(i) => {
+                        if let Some(j) = journal.as_mut() {
+                            j.append(&Event::UnitStart {
+                                unit: units[i].name.clone(),
+                            })?;
+                        }
+                    }
+                    PoolEvent::Done(i, r) => {
+                        let (rec, unit_notes) = match r {
+                            Ok(t) => t,
+                            // The compile itself is already panic-isolated
+                            // inside run_attempt; this catches a panic in
+                            // the supervision scaffolding and degrades it
+                            // to a quarantined unit.
+                            Err(msg) => (
+                                UnitRecord {
+                                    unit: units[i].name.clone(),
+                                    status: "quarantined".to_string(),
+                                    attempts: 0,
+                                    signature: "panic:pool-worker".to_string(),
+                                    report: "-".to_string(),
+                                    counts: vec![0, 0],
+                                },
+                                vec![format!("; warning: {msg}")],
+                            ),
+                        };
+                        if let Some(j) = journal.as_mut() {
+                            j.append(&Event::UnitDone(rec.clone()))?;
+                        }
+                        records[i] = Some(rec);
+                        notes[i] = unit_notes;
+                    }
+                }
+                Ok(())
+            },
+        )?;
+        obs.count(names::POOL_STEALS, steals);
+    }
+    // Render in canonical unit order — the one code path shared by
+    // freshly-run units and units replayed from the journal, so parallel,
+    // serial, and resumed campaigns all produce identical output.
+    // Elapsed time and retry counts come from the completion record,
+    // never a fresh clock, so replayed units keep their recorded timings.
     let mut rows: Vec<(String, String, u64, u64, u64, String)> = Vec::new();
     let mut ok = 0usize;
     let mut quarantined = 0usize;
-    // Applies a finished unit to the summary state — the one code path
-    // shared by freshly-run units and units replayed from the journal, so
-    // a resumed campaign renders byte-identically to an uninterrupted one.
-    // Elapsed time and retry counts come from the journaled record, never
-    // a fresh clock, so replayed units keep their recorded timings.
-    let apply = |rec: &UnitRecord,
-                 rows: &mut Vec<(String, String, u64, u64, u64, String)>,
-                 out: &mut String,
-                 ok: &mut usize,
-                 quarantined: &mut usize| {
+    for (i, rec) in records.iter().enumerate() {
+        let rec = rec
+            .as_ref()
+            .expect("every unit has a record once the pool drains");
+        for line in &notes[i] {
+            let _ = writeln!(out, "{line}");
+        }
         if rec.status == "ok" {
-            *ok += 1;
+            ok += 1;
         } else {
-            *quarantined += 1;
+            quarantined += 1;
         }
         let elapsed_ms = rec.counts.first().copied().unwrap_or(0);
         let retries = rec.counts.get(1).copied().unwrap_or(0);
@@ -468,70 +692,6 @@ pub fn run_batch(opts: &Options) -> Result<(i32, String), String> {
         if rec.report != "-" {
             let _ = writeln!(out, "; crash report: {}", rec.report);
         }
-    };
-    for unit in &units {
-        if let Some(rec) = completed.get(&unit.name) {
-            apply(rec, &mut rows, &mut out, &mut ok, &mut quarantined);
-            continue;
-        }
-        if let Some(j) = journal.as_mut() {
-            j.append(&Event::UnitStart {
-                unit: unit.name.clone(),
-            })?;
-        }
-        let outcome = run_unit(unit, opts, &obs);
-        let rec = match outcome.result {
-            Ok(_) => UnitRecord {
-                unit: unit.name.clone(),
-                status: "ok".to_string(),
-                attempts: outcome.attempts.len() as u64 + 1,
-                signature: "-".to_string(),
-                report: "-".to_string(),
-                counts: vec![outcome.elapsed_ms, outcome.attempts.len() as u64],
-            },
-            Err((taxonomy, failure)) => {
-                let mut report_path = "-".to_string();
-                let signature = failure.signature();
-                if let Some(dir) = &report_dir {
-                    let unit_opts = unit_options(opts, &unit.name);
-                    let governor = unit_opts.validate_flags().map(|f| f.vm).unwrap_or_default();
-                    let report = CrashReport {
-                        unit: unit.name.clone(),
-                        taxonomy,
-                        reproducer: minimize_failure(unit, opts, &failure),
-                        failure,
-                        attempts: outcome.attempts.clone(),
-                        time_limit_ms: opts.time_limit_ms.unwrap_or(DEFAULT_TIME_LIMIT_MS),
-                        fuel: governor.max_steps,
-                        mem_limit: governor.mem_limit,
-                    };
-                    match write_crash_report(dir, &report, &unit_opts) {
-                        Ok(path) => report_path = path.display().to_string(),
-                        Err(e) => {
-                            let _ = writeln!(out, "; warning: {e}");
-                        }
-                    }
-                }
-                UnitRecord {
-                    unit: unit.name.clone(),
-                    status: "quarantined".to_string(),
-                    attempts: outcome.attempts.len() as u64,
-                    signature,
-                    report: report_path,
-                    counts: vec![
-                        outcome.elapsed_ms,
-                        (outcome.attempts.len() as u64).saturating_sub(1),
-                    ],
-                }
-            }
-        };
-        // The unit's artifacts are durable before its completion record —
-        // a `unit-done` in the journal therefore implies nothing of this
-        // unit needs redoing on resume.
-        if let Some(j) = journal.as_mut() {
-            j.append(&Event::UnitDone(rec.clone()))?;
-        }
-        apply(&rec, &mut rows, &mut out, &mut ok, &mut quarantined);
     }
     // Summary table.
     let name_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(4).max(4);

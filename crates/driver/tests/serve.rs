@@ -1,0 +1,308 @@
+//! `impactc serve` lifecycle matrix: the daemon must compile over its
+//! Unix socket, serve cache hits, shed overload with an immediate `busy`
+//! (never queue unboundedly), isolate request-worker panics from the
+//! process, and on SIGTERM finish in-flight requests before exiting 0.
+//!
+//! Every test drives the real binary: a spawned daemon process, client
+//! requests via `impactc request`, and `kill -TERM` for the drain path.
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_impactc");
+
+struct RunResult {
+    code: Option<i32>,
+    stdout: String,
+    stderr: String,
+}
+
+fn impactc<S: AsRef<std::ffi::OsStr>>(args: &[S]) -> RunResult {
+    let out = Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("spawn impactc");
+    RunResult {
+        code: out.status.code(),
+        stdout: String::from_utf8_lossy(&out.stdout).into_owned(),
+        stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("impactc-serve-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_hot_c(dir: &Path) -> String {
+    let p = dir.join("hot.c");
+    std::fs::write(
+        &p,
+        "int add(int x) { return x + 1; }\n\
+         int main() { int i; int s; s = 0; for (i = 0; i < 8; i++) s += add(i); return s & 0; }",
+    )
+    .unwrap();
+    p.to_str().unwrap().to_string()
+}
+
+/// Spawns the daemon and waits (bounded) for it to bind its socket.
+fn spawn_daemon(sock: &Path, extra: &[&str]) -> Child {
+    let child = Command::new(BIN)
+        .arg("serve")
+        .arg(sock)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve daemon");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !sock.exists() {
+        assert!(
+            Instant::now() < deadline,
+            "daemon never bound {}",
+            sock.display()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child
+}
+
+fn sigterm(child: &Child) {
+    let ok = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("run kill")
+        .success();
+    assert!(ok, "kill -TERM failed");
+}
+
+/// SIGTERMs the daemon, waits (bounded) for the graceful drain, and
+/// returns its exit code and stdout.
+fn stop_and_collect(mut child: Child) -> (Option<i32>, String) {
+    sigterm(&child);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while child.try_wait().expect("poll daemon").is_none() {
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("daemon did not drain within 30s of SIGTERM");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let out = child.wait_with_output().expect("collect daemon output");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+fn request(sock: &Path, file: &str) -> RunResult {
+    impactc(&["request", sock.to_str().unwrap(), file])
+}
+
+/// Spawns a client request as a child process (for concurrency tests).
+fn spawn_request(sock: &Path, file: &str) -> Child {
+    Command::new(BIN)
+        .args(["request", sock.to_str().unwrap(), file])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn request client")
+}
+
+fn wait_client(child: Child) -> RunResult {
+    let out = child.wait_with_output().expect("collect client output");
+    RunResult {
+        code: out.status.code(),
+        stdout: String::from_utf8_lossy(&out.stdout).into_owned(),
+        stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+    }
+}
+
+#[test]
+fn serve_compiles_caches_and_drains_cleanly() {
+    let dir = tmp_dir("lifecycle");
+    let hot = write_hot_c(&dir);
+    let sock = dir.join("d.sock");
+    let cache = dir.join("cache");
+    let metrics = dir.join("metrics.json");
+    let daemon = spawn_daemon(
+        &sock,
+        &[
+            "--jobs",
+            "1",
+            "--cache-dir",
+            cache.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ],
+    );
+
+    // First compile is a miss, second is a hit serving the exact stored
+    // report plus the hit marker.
+    let r1 = request(&sock, &hot);
+    assert_eq!(r1.code, Some(0), "first request: {}", r1.stderr);
+    assert!(!r1.stdout.is_empty(), "first request produced no report");
+    assert!(
+        !r1.stdout.contains("; cache: hit"),
+        "first request cannot be a cache hit: {}",
+        r1.stdout
+    );
+    let r2 = request(&sock, &hot);
+    assert_eq!(r2.code, Some(0), "second request: {}", r2.stderr);
+    assert_eq!(
+        r2.stdout,
+        format!("{}; cache: hit\n", r1.stdout),
+        "cached response must replay the stored report byte-for-byte"
+    );
+
+    let (code, stdout) = stop_and_collect(daemon);
+    assert_eq!(code, Some(0), "graceful drain must exit 0: {stdout}");
+    assert!(
+        stdout.contains("; serve: drained after 2 requests, 2 ok, 0 errors, 0 shed"),
+        "drain summary wrong: {stdout}"
+    );
+    let metrics_text = std::fs::read_to_string(&metrics).expect("metrics written on drain");
+    assert!(
+        metrics_text.contains("\"name\": \"cache:hits\", \"value\": 1"),
+        "metrics missed the cache hit: {metrics_text}"
+    );
+    assert!(
+        metrics_text.contains("\"name\": \"serve:requests\", \"value\": 2"),
+        "metrics missed the request count: {metrics_text}"
+    );
+    assert!(!sock.exists(), "drained daemon must remove its socket");
+}
+
+#[test]
+fn serve_sheds_overload_with_immediate_busy() {
+    let dir = tmp_dir("overload");
+    let hot = write_hot_c(&dir);
+    let sock = dir.join("d.sock");
+    // One worker that stalls on its first request + a queue of one slot:
+    // request A occupies the worker, B the queue slot, so C must be shed
+    // immediately rather than queued.
+    let daemon = spawn_daemon(
+        &sock,
+        &[
+            "--jobs",
+            "1",
+            "--queue-depth",
+            "1",
+            "--fault",
+            "serve:stall=1",
+        ],
+    );
+
+    let a = spawn_request(&sock, &hot);
+    std::thread::sleep(Duration::from_millis(500));
+    let b = spawn_request(&sock, &hot);
+    std::thread::sleep(Duration::from_millis(300));
+    let c = request(&sock, &hot);
+    assert_eq!(c.code, Some(2), "shed request must fail fast: {}", c.stdout);
+    assert!(
+        c.stderr.contains("server busy"),
+        "shed request lacks the busy notice: {}",
+        c.stderr
+    );
+
+    // The stalled and queued requests still complete.
+    let a = wait_client(a);
+    assert_eq!(a.code, Some(0), "stalled request failed: {}", a.stderr);
+    let b = wait_client(b);
+    assert_eq!(b.code, Some(0), "queued request failed: {}", b.stderr);
+
+    let (code, stdout) = stop_and_collect(daemon);
+    assert_eq!(code, Some(0), "drain after shed must exit 0: {stdout}");
+    assert!(
+        stdout.contains("; serve: drained after 3 requests, 2 ok, 0 errors, 1 shed"),
+        "shed accounting wrong: {stdout}"
+    );
+}
+
+#[test]
+fn serve_isolates_request_worker_panics() {
+    let dir = tmp_dir("panic");
+    let hot = write_hot_c(&dir);
+    let sock = dir.join("d.sock");
+    let daemon = spawn_daemon(&sock, &["--jobs", "1", "--fault", "serve:panic=1"]);
+
+    // The injected panic fires inside the first request's worker; the
+    // client sees a structured error, not a hang or a dead daemon.
+    let r1 = request(&sock, &hot);
+    assert_eq!(
+        r1.code,
+        Some(2),
+        "panicked request must error: {}",
+        r1.stdout
+    );
+    assert!(
+        r1.stderr.contains("request worker panicked"),
+        "panic not reported to the client: {}",
+        r1.stderr
+    );
+
+    // The daemon keeps serving.
+    let r2 = request(&sock, &hot);
+    assert_eq!(r2.code, Some(0), "daemon died after a panic: {}", r2.stderr);
+
+    let (code, stdout) = stop_and_collect(daemon);
+    assert_eq!(code, Some(0), "drain after panic must exit 0: {stdout}");
+    assert!(
+        stdout.contains("; serve: drained after 2 requests, 1 ok, 1 errors, 0 shed"),
+        "panic accounting wrong: {stdout}"
+    );
+}
+
+#[test]
+fn sigterm_drains_in_flight_requests_before_exiting() {
+    let dir = tmp_dir("drain");
+    let hot = write_hot_c(&dir);
+    let sock = dir.join("d.sock");
+    let daemon = spawn_daemon(&sock, &["--jobs", "1", "--fault", "serve:stall=1"]);
+
+    // Request A stalls inside the worker; SIGTERM lands while it is
+    // in-flight. Graceful drain means A still gets its full response.
+    let a = spawn_request(&sock, &hot);
+    std::thread::sleep(Duration::from_millis(400));
+    let (code, stdout) = stop_and_collect(daemon);
+    assert_eq!(code, Some(0), "drain must exit 0: {stdout}");
+    assert!(
+        stdout.contains("; serve: drained after 1 requests, 1 ok, 0 errors, 0 shed"),
+        "in-flight request lost on drain: {stdout}"
+    );
+    let a = wait_client(a);
+    assert_eq!(
+        a.code,
+        Some(0),
+        "in-flight request must complete across SIGTERM: {}",
+        a.stderr
+    );
+    assert!(!a.stdout.is_empty(), "drained request produced no report");
+}
+
+#[test]
+fn serve_usage_and_connection_errors() {
+    let dir = tmp_dir("usage");
+    let hot = write_hot_c(&dir);
+
+    let no_sock = impactc(&["serve"]);
+    assert_eq!(no_sock.code, Some(2));
+    assert!(no_sock.stderr.contains("socket path"), "{}", no_sock.stderr);
+
+    let missing = dir.join("missing.sock");
+    let dead = impactc(&["request", missing.to_str().unwrap(), &hot]);
+    assert_eq!(dead.code, Some(2));
+    assert!(dead.stderr.contains("cannot connect"), "{}", dead.stderr);
+
+    let no_files = impactc(&["request", missing.to_str().unwrap()]);
+    assert_eq!(no_files.code, Some(2));
+    assert!(
+        no_files.stderr.contains("at least one .c file"),
+        "{}",
+        no_files.stderr
+    );
+}

@@ -29,6 +29,49 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+/// Canonical counter names for the compilation service (pool, cache,
+/// serve). Centralizing them here keeps the producer (driver) and the
+/// consumers (metrics JSON assertions in tests and CI `jq` probes) from
+/// drifting apart on spelling.
+pub mod names {
+    /// Tasks executed by a worker other than the one they were seeded to.
+    pub const POOL_STEALS: &str = "pool:steals";
+    /// Worker threads the pool actually ran with.
+    pub const POOL_WORKERS: &str = "pool:workers";
+    /// Cache probes that returned a validated entry.
+    pub const CACHE_HITS: &str = "cache:hits";
+    /// Cache probes that found no entry (includes quarantined probes,
+    /// which degrade to a miss).
+    pub const CACHE_MISSES: &str = "cache:misses";
+    /// Entries published through the atomic staging path.
+    pub const CACHE_STORES: &str = "cache:stores";
+    /// Entries that failed validation and were renamed aside.
+    pub const CACHE_QUARANTINED: &str = "cache:quarantined";
+    /// Requests accepted off the socket (including ones later shed).
+    pub const SERVE_REQUESTS: &str = "serve:requests";
+    /// Requests that compiled and responded `ok`.
+    pub const SERVE_OK: &str = "serve:ok";
+    /// Requests that responded `error` (bad protocol, failed compile,
+    /// worker panic).
+    pub const SERVE_ERRORS: &str = "serve:errors";
+    /// Requests shed with an immediate `busy` response (queue full).
+    pub const SERVE_SHED: &str = "serve:shed";
+
+    /// Every service counter name, for exhaustiveness checks.
+    pub const ALL: &[&str] = &[
+        POOL_STEALS,
+        POOL_WORKERS,
+        CACHE_HITS,
+        CACHE_MISSES,
+        CACHE_STORES,
+        CACHE_QUARANTINED,
+        SERVE_REQUESTS,
+        SERVE_OK,
+        SERVE_ERRORS,
+        SERVE_SHED,
+    ];
+}
+
 /// One completed span: a named region of pipeline work with its offset
 /// from the telemetry epoch and its duration, both in microseconds.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -291,6 +334,18 @@ pub fn metrics_json(m: &Metrics) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn service_counter_names_are_unique_and_namespaced() {
+        let mut seen = std::collections::BTreeSet::new();
+        for n in names::ALL {
+            assert!(seen.insert(n), "duplicate counter name {n}");
+            assert!(
+                n.starts_with("pool:") || n.starts_with("cache:") || n.starts_with("serve:"),
+                "unnamespaced counter {n}"
+            );
+        }
+    }
 
     #[test]
     fn disabled_handle_records_nothing() {
