@@ -1,4 +1,5 @@
-//! Content-addressed artifact cache with corruption quarantine.
+//! Content-addressed artifact cache with corruption quarantine and a
+//! budgeted, crash-safe lifecycle.
 //!
 //! A cache entry maps `hash(sources + inputs + behavior-affecting flags)`
 //! to the pipeline's exit code and rendered report, so a batch or serve
@@ -19,13 +20,40 @@
 //!   `<key>.quarantined`, an incident report is written next to it, and
 //!   the lookup reports a miss so the unit is transparently recompiled.
 //!   A corrupt entry is never served, and never silently deleted (the
-//!   quarantined bytes are evidence).
+//!   quarantined bytes are evidence) — though under a size budget the
+//!   *bytes* may later be reclaimed by eviction; the incident report
+//!   always survives as the durable record.
+//!
+//! Lifecycle model (`--cache-budget-bytes`):
+//!
+//! - The cache tracks every live and quarantined entry's size plus a
+//!   least-recently-used order. When the total exceeds the budget,
+//!   entries are evicted oldest-first — quarantined bytes are reclaimed
+//!   before any live entry is touched, and a *pinned* entry (one with an
+//!   in-flight read under it, see [`Cache::load`]) is never evicted.
+//! - The LRU order is persisted to a checksummed `cache-index.v1` file
+//!   through the same atomic publish path, so hit ordering survives a
+//!   daemon restart. The index is advisory: on startup the directory is
+//!   rebuilt by scan-and-validate (every entry re-checksummed; corrupt
+//!   ones quarantined on the spot), and a missing or corrupt index
+//!   degrades to a deterministic key-order rebuild, never an error.
+//! - Quarantine decisions survive restarts structurally: the corrupt
+//!   entry was renamed aside, so the key stays a miss until a fresh
+//!   compile republishes it.
+//!
+//! Fault points (armed via `--fault`, deterministic and replayable):
+//! `cache:bitflip` corrupts the Nth stored entry's bytes on disk (the
+//! next load must quarantine, never serve it); `cache:evict-read-race`
+//! forces a full eviction pass in the middle of the Nth load, proving
+//! the pin keeps the entry under the reader alive.
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 use impact_obs::{names, Telemetry};
-use impact_vm::fnv1a64;
+use impact_vm::{fnv1a64, FaultPlan};
 
 use crate::report::{atomic_write_in, json_str};
 use crate::{Options, RunSpec};
@@ -33,6 +61,12 @@ use impact_cfront::Source;
 
 /// First line of every cache entry; version-bumps invalidate old caches.
 pub const CACHE_HEADER: &str = "impact-cache v1";
+
+/// First line of the persisted LRU index.
+pub const INDEX_HEADER: &str = "impact-cache-index v1";
+
+/// File name of the persisted LRU index.
+const INDEX_NAME: &str = "cache-index.v1";
 
 /// Extension of a live entry (`<key:016x>.entry`).
 const ENTRY_EXT: &str = "entry";
@@ -66,18 +100,48 @@ pub enum Lookup {
     },
 }
 
+/// Size and recency of one on-disk entry (live or quarantined).
+#[derive(Clone, Copy, Debug)]
+struct EntryMeta {
+    /// On-disk size in bytes.
+    bytes: u64,
+    /// Monotonic access sequence; lower = less recently used.
+    last_use: u64,
+}
+
+/// In-memory lifecycle state, rebuilt by scan-and-validate on open.
+#[derive(Default)]
+struct State {
+    /// Monotonic access counter backing the LRU order.
+    seq: u64,
+    /// Live entries by key.
+    live: HashMap<u64, EntryMeta>,
+    /// Quarantined entries by key (bytes kept as evidence, but they
+    /// count against the budget and are reclaimed first under pressure).
+    quarantined: HashMap<u64, EntryMeta>,
+    /// Pin counts: a pinned key has an in-flight read and is never
+    /// evicted from under it.
+    pins: HashMap<u64, usize>,
+}
+
 /// Handle on an open cache directory.
 pub struct Cache {
     dir: PathBuf,
     obs: Telemetry,
+    /// Total-bytes budget across live + quarantined entries; `None`
+    /// disables eviction entirely (the pre-budget behavior).
+    budget: Option<u64>,
+    /// Deterministic `cache:*` fault points (chaos injection).
+    fault: FaultPlan,
+    state: Mutex<State>,
 }
 
 /// Computes the content address of one unit of work: FNV-1a 64 over a
 /// canonical dump of the sources, the run inputs/args, and every
 /// behavior-affecting flag. Mirrors the field-enumeration style of
 /// [`crate::journal::campaign_fingerprint`], so flags that cannot change
-/// pipeline output (telemetry, journaling, `--jobs`) are excluded by
-/// omission.
+/// pipeline output (telemetry, journaling, `--jobs`, service fault
+/// domains) are excluded by omission.
 pub fn unit_key(sources: &[Source], runs: &[RunSpec], opts: &Options) -> u64 {
     let mut s = String::new();
     let _ = writeln!(s, "{CACHE_HEADER} key");
@@ -119,7 +183,7 @@ pub fn unit_key(sources: &[Source], runs: &[RunSpec], opts: &Options) -> u64 {
     let mut faults: Vec<&String> = opts
         .faults
         .iter()
-        .filter(|f| !crate::journal::is_journal_fault(f) && !f.starts_with("serve:"))
+        .filter(|f| !crate::journal::is_journal_fault(f) && !crate::serve::is_service_fault(f))
         .collect();
     faults.sort();
     for f in faults {
@@ -211,19 +275,65 @@ fn parse_entry(key: u64, bytes: &[u8]) -> Result<CachedResult, String> {
     })
 }
 
+/// RAII pin on one key: while any pin is held, eviction skips that key.
+struct Pin<'a> {
+    cache: &'a Cache,
+    key: u64,
+}
+
+impl Drop for Pin<'_> {
+    fn drop(&mut self) {
+        let mut st = self.cache.lock_state();
+        if let Some(n) = st.pins.get_mut(&self.key) {
+            *n -= 1;
+            if *n == 0 {
+                st.pins.remove(&self.key);
+            }
+        }
+    }
+}
+
 impl Cache {
-    /// Opens (creating if needed) the cache directory.
+    /// Opens (creating if needed) the cache directory with no size budget
+    /// and no fault injection — the probe-and-store behavior unchanged
+    /// from before the lifecycle layer.
     ///
     /// # Errors
     ///
     /// Returns a message naming the directory on I/O failure.
     pub fn open(dir: &Path, obs: &Telemetry) -> Result<Cache, String> {
+        Cache::open_with(dir, obs, None, FaultPlan::new())
+    }
+
+    /// Opens the cache with a byte budget (`None` disables eviction) and
+    /// a fault plan whose `cache:*` points inject deterministic chaos.
+    ///
+    /// Startup is scan-and-validate: every `*.entry` file is re-parsed
+    /// and re-checksummed (corrupt ones are quarantined immediately, with
+    /// incident reports), quarantined bytes are re-counted against the
+    /// budget, the persisted LRU index is applied where it validates, and
+    /// the budget is enforced before the first probe.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the directory on I/O failure.
+    pub fn open_with(
+        dir: &Path,
+        obs: &Telemetry,
+        budget: Option<u64>,
+        fault: FaultPlan,
+    ) -> Result<Cache, String> {
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("create cache dir {}: {e}", dir.display()))?;
-        Ok(Cache {
+        let cache = Cache {
             dir: dir.to_path_buf(),
             obs: obs.clone(),
-        })
+            budget,
+            fault,
+            state: Mutex::new(State::default()),
+        };
+        cache.rebuild()?;
+        Ok(cache)
     }
 
     /// The cache directory.
@@ -231,14 +341,251 @@ impl Cache {
         &self.dir
     }
 
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     fn entry_name(key: u64) -> String {
         format!("{key:016x}.{ENTRY_EXT}")
     }
 
+    fn quarantine_name(key: u64) -> String {
+        format!("{key:016x}.{QUARANTINE_EXT}")
+    }
+
+    /// Counts an injected fault under both the aggregate and the per-key
+    /// chaos counters, so every injection is visible in the metrics.
+    fn chaos(&self, key: &str) -> bool {
+        if self.fault.should_fail(key) {
+            self.obs.count(names::CHAOS_INJECTED, 1);
+            self.obs.count(&format!("chaos:{key}"), 1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Scan-and-validate rebuild of the lifecycle state (see
+    /// [`Cache::open_with`]).
+    fn rebuild(&self) -> Result<(), String> {
+        let mut corrupt: Vec<(u64, String)> = Vec::new();
+        {
+            let mut st = self.lock_state();
+            let dir_iter = std::fs::read_dir(&self.dir)
+                .map_err(|e| format!("scan cache dir {}: {e}", self.dir.display()))?;
+            for entry in dir_iter.filter_map(Result::ok) {
+                let path = entry.path();
+                let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                    continue;
+                };
+                let Ok(key) = u64::from_str_radix(stem, 16) else {
+                    continue;
+                };
+                let Some(ext) = path.extension().and_then(|e| e.to_str()) else {
+                    continue;
+                };
+                let Ok(meta) = std::fs::metadata(&path) else {
+                    continue;
+                };
+                match ext {
+                    ENTRY_EXT => match std::fs::read(&path).map_err(|e| e.to_string()) {
+                        Ok(bytes) => match parse_entry(key, &bytes) {
+                            Ok(_) => {
+                                st.live.insert(
+                                    key,
+                                    EntryMeta {
+                                        bytes: meta.len(),
+                                        last_use: 0,
+                                    },
+                                );
+                            }
+                            Err(reason) => corrupt.push((key, reason)),
+                        },
+                        Err(e) => corrupt.push((key, format!("read failed: {e}"))),
+                    },
+                    QUARANTINE_EXT => {
+                        st.quarantined.insert(
+                            key,
+                            EntryMeta {
+                                bytes: meta.len(),
+                                last_use: 0,
+                            },
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            // Deterministic base order (ascending key), then overlay the
+            // persisted index: every key the index names, in index order,
+            // becomes more recent than every key it does not.
+            let mut keys: Vec<u64> = st.live.keys().copied().collect();
+            keys.sort_unstable();
+            for (i, k) in keys.iter().enumerate() {
+                if let Some(m) = st.live.get_mut(k) {
+                    m.last_use = i as u64;
+                }
+            }
+            st.seq = keys.len() as u64;
+            for key in self.read_index() {
+                if st.live.contains_key(&key) {
+                    let seq = st.seq;
+                    st.seq += 1;
+                    if let Some(m) = st.live.get_mut(&key) {
+                        m.last_use = seq;
+                    }
+                }
+            }
+        }
+        // Quarantine outside the state lock (quarantine_entry relocks).
+        for (key, reason) in corrupt {
+            let size = std::fs::metadata(self.dir.join(Self::entry_name(key)))
+                .map(|m| m.len())
+                .unwrap_or(0);
+            {
+                let mut st = self.lock_state();
+                st.live.insert(
+                    key,
+                    EntryMeta {
+                        bytes: size,
+                        last_use: 0,
+                    },
+                );
+            }
+            self.quarantine_entry(key, &reason);
+        }
+        let mut st = self.lock_state();
+        self.evict_to_budget_locked(&mut st);
+        self.persist_index(&st);
+        Ok(())
+    }
+
+    /// Reads the persisted LRU order; a missing or invalid index is a
+    /// silent empty result (the scan order stands).
+    fn read_index(&self) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(self.dir.join(INDEX_NAME)) else {
+            return Vec::new();
+        };
+        let Some(trimmed) = text.strip_suffix('\n') else {
+            return Vec::new();
+        };
+        let Some(footer_at) = trimmed.rfind('\n') else {
+            return Vec::new();
+        };
+        let (body, footer) = trimmed.split_at(footer_at + 1);
+        let Some(sum) = footer
+            .strip_prefix("checksum ")
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+        else {
+            return Vec::new();
+        };
+        if fnv1a64(body.as_bytes()) != sum {
+            return Vec::new();
+        }
+        let mut lines = body.lines();
+        if lines.next() != Some(INDEX_HEADER) {
+            return Vec::new();
+        }
+        lines
+            .filter_map(|l| l.strip_prefix("entry "))
+            .filter_map(|k| u64::from_str_radix(k, 16).ok())
+            .collect()
+    }
+
+    /// Persists the live-entry LRU order (oldest first) through the
+    /// atomic publish path. Best-effort: an unwritable index degrades the
+    /// next restart's ordering, never this process's correctness.
+    fn persist_index(&self, st: &State) {
+        let mut order: Vec<(u64, u64)> = st.live.iter().map(|(k, m)| (m.last_use, *k)).collect();
+        order.sort_unstable();
+        let mut body = String::new();
+        let _ = writeln!(body, "{INDEX_HEADER}");
+        for (_, key) in order {
+            let _ = writeln!(body, "entry {key:016x}");
+        }
+        let sum = fnv1a64(body.as_bytes());
+        let _ = writeln!(body, "checksum {sum:016x}");
+        let _ = atomic_write_in(&self.dir, INDEX_NAME, body.as_bytes());
+    }
+
+    /// Evicts oldest-first until the budget holds: quarantined bytes are
+    /// reclaimed before any live entry, and pinned keys are never
+    /// touched. Call with the state lock held.
+    fn evict_to_budget_locked(&self, st: &mut State) {
+        let Some(budget) = self.budget else { return };
+        let total = |st: &State| -> u64 {
+            st.live.values().map(|m| m.bytes).sum::<u64>()
+                + st.quarantined.values().map(|m| m.bytes).sum::<u64>()
+        };
+        while total(st) > budget {
+            // Victim: oldest unpinned quarantined entry, else oldest
+            // unpinned live entry. (last_use, key) makes the order total
+            // and deterministic.
+            let pick = |m: &HashMap<u64, EntryMeta>, pins: &HashMap<u64, usize>| {
+                m.iter()
+                    .filter(|(k, _)| !pins.contains_key(k))
+                    .map(|(k, meta)| (meta.last_use, *k, meta.bytes))
+                    .min()
+            };
+            let pinned_skips = st.pins.len() as u64;
+            let (victim, quarantined) = match pick(&st.quarantined, &st.pins) {
+                Some(v) => (v, true),
+                None => match pick(&st.live, &st.pins) {
+                    Some(v) => (v, false),
+                    None => {
+                        // Everything left is pinned: over budget but
+                        // untouchable until the readers finish.
+                        if pinned_skips > 0 {
+                            self.obs.count(names::CACHE_PIN_SKIPS, pinned_skips);
+                        }
+                        return;
+                    }
+                },
+            };
+            let (_, key, bytes) = victim;
+            let name = if quarantined {
+                st.quarantined.remove(&key);
+                Self::quarantine_name(key)
+            } else {
+                st.live.remove(&key);
+                Self::entry_name(key)
+            };
+            let _ = std::fs::remove_file(self.dir.join(name));
+            self.obs.count(names::CACHE_EVICTIONS, 1);
+            self.obs.count(names::CACHE_EVICTED_BYTES, bytes);
+        }
+    }
+
     /// Probes the cache. A corrupt entry is quarantined (renamed aside,
     /// incident report written) and reported as [`Lookup::Quarantined`];
-    /// the caller recompiles exactly as for a miss.
+    /// the caller recompiles exactly as for a miss. The probed key is
+    /// pinned for the duration of the read, so a concurrent eviction pass
+    /// can never delete the entry from under it.
     pub fn load(&self, key: u64) -> Lookup {
+        let pin = Pin { cache: self, key };
+        {
+            let mut st = self.lock_state();
+            *st.pins.entry(key).or_insert(0) += 1;
+        }
+        // `cache:evict-read-race`: force a hostile eviction pass in the
+        // middle of this read. The pin above must keep `key` alive.
+        if self.chaos("cache:evict-read-race") {
+            let mut st = self.lock_state();
+            let saved_budget = self.budget;
+            // Evict as if the budget were zero, without changing it.
+            let evict_all = Cache {
+                dir: self.dir.clone(),
+                obs: self.obs.clone(),
+                budget: Some(0),
+                fault: FaultPlan::new(),
+                state: Mutex::new(State::default()),
+            };
+            evict_all.evict_to_budget_locked(&mut st);
+            drop(evict_all);
+            debug_assert_eq!(saved_budget, self.budget);
+            self.persist_index(&st);
+        }
         let name = Self::entry_name(key);
         let path = self.dir.join(&name);
         let bytes = match std::fs::read(&path) {
@@ -249,44 +596,99 @@ impl Cache {
             }
             Err(e) => {
                 // Unreadable is as untrustworthy as corrupt.
-                return self.quarantine(key, &name, &format!("read failed: {e}"));
+                drop(pin);
+                return self.quarantine_lookup(key, &format!("read failed: {e}"));
             }
         };
         match parse_entry(key, &bytes) {
             Ok(hit) => {
                 self.obs.count(names::CACHE_HITS, 1);
+                let mut st = self.lock_state();
+                let seq = st.seq;
+                st.seq += 1;
+                let size = bytes.len() as u64;
+                st.live.insert(
+                    key,
+                    EntryMeta {
+                        bytes: size,
+                        last_use: seq,
+                    },
+                );
+                self.persist_index(&st);
                 Lookup::Hit(hit)
             }
-            Err(reason) => self.quarantine(key, &name, &reason),
+            Err(reason) => {
+                drop(pin);
+                self.quarantine_lookup(key, &reason)
+            }
         }
     }
 
     /// Stores a successful compilation under `key` through the atomic
-    /// publish path.
+    /// publish path, then enforces the budget (the fresh entry is the
+    /// most recently used, so older entries make room for it — unless
+    /// the budget cannot hold even this one entry, in which case it is
+    /// reclaimed immediately and the store degrades to a no-op).
     ///
     /// # Errors
     ///
     /// Returns a message on I/O failure.
     pub fn store(&self, key: u64, exit: i32, report: &str) -> Result<(), String> {
-        atomic_write_in(
-            &self.dir,
-            &Self::entry_name(key),
-            &render_entry(key, exit, report),
-        )?;
+        let rendered = render_entry(key, exit, report);
+        let size = rendered.len() as u64;
+        atomic_write_in(&self.dir, &Self::entry_name(key), &rendered)?;
+        // `cache:bitflip`: corrupt the just-published entry on disk, the
+        // way a failing device would — the next load must quarantine it.
+        if self.chaos("cache:bitflip") {
+            let path = self.dir.join(Self::entry_name(key));
+            if let Ok(mut bytes) = std::fs::read(&path) {
+                let mid = bytes.len() / 2;
+                if !bytes.is_empty() {
+                    bytes[mid] ^= 0x40;
+                    let _ = std::fs::write(&path, &bytes);
+                }
+            }
+        }
         self.obs.count(names::CACHE_STORES, 1);
+        let mut st = self.lock_state();
+        let seq = st.seq;
+        st.seq += 1;
+        st.live.insert(
+            key,
+            EntryMeta {
+                bytes: size,
+                last_use: seq,
+            },
+        );
+        self.evict_to_budget_locked(&mut st);
+        self.persist_index(&st);
         Ok(())
     }
 
+    /// Quarantines `key` and reports the probe outcome (counts the miss
+    /// the caller's recompile implies).
+    fn quarantine_lookup(&self, key: u64, reason: &str) -> Lookup {
+        let entry = self.quarantine_entry(key, reason);
+        self.obs.count(names::CACHE_MISSES, 1);
+        Lookup::Quarantined {
+            entry,
+            reason: reason.to_string(),
+        }
+    }
+
     /// Renames a failed entry aside and writes an incident report; the
-    /// lookup then behaves as a miss (recompile), never serving the bytes.
-    fn quarantine(&self, key: u64, name: &str, reason: &str) -> Lookup {
-        let quarantined = format!("{key:016x}.{QUARANTINE_EXT}");
-        let rename = std::fs::rename(self.dir.join(name), self.dir.join(&quarantined));
+    /// bytes are preserved as evidence (but remain budget-accounted, and
+    /// reclaimable by eviction — the incident report is the durable
+    /// record). Returns the quarantined file name.
+    fn quarantine_entry(&self, key: u64, reason: &str) -> String {
+        let name = Self::entry_name(key);
+        let quarantined = Self::quarantine_name(key);
+        let rename = std::fs::rename(self.dir.join(&name), self.dir.join(&quarantined));
         let mut incident = String::new();
         let _ = writeln!(incident, "{{");
         let _ = writeln!(incident, "  \"version\": 1,");
         let _ = writeln!(incident, "  \"kind\": \"cache-incident\",");
-        let _ = writeln!(incident, "  \"entry\": {},", json_str(name));
+        let _ = writeln!(incident, "  \"entry\": {},", json_str(&name));
         let _ = writeln!(incident, "  \"reason\": {},", json_str(reason));
         let _ = writeln!(
             incident,
@@ -300,11 +702,27 @@ impl Cache {
             incident.as_bytes(),
         );
         self.obs.count(names::CACHE_QUARANTINED, 1);
-        self.obs.count(names::CACHE_MISSES, 1);
-        Lookup::Quarantined {
-            entry: quarantined,
-            reason: reason.to_string(),
+        let mut st = self.lock_state();
+        let meta = st.live.remove(&key).unwrap_or(EntryMeta {
+            bytes: std::fs::metadata(self.dir.join(&quarantined))
+                .map(|m| m.len())
+                .unwrap_or(0),
+            last_use: 0,
+        });
+        if rename.is_ok() {
+            st.quarantined.insert(key, meta);
         }
+        self.evict_to_budget_locked(&mut st);
+        self.persist_index(&st);
+        quarantined
+    }
+
+    /// Total on-disk bytes currently accounted against the budget
+    /// (live + quarantined entries).
+    pub fn accounted_bytes(&self) -> u64 {
+        let st = self.lock_state();
+        st.live.values().map(|m| m.bytes).sum::<u64>()
+            + st.quarantined.values().map(|m| m.bytes).sum::<u64>()
     }
 }
 
@@ -316,6 +734,10 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("impactc-cache-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
+    }
+
+    fn entry_path(dir: &Path, key: u64) -> PathBuf {
+        dir.join(format!("{key:016x}.entry"))
     }
 
     #[test]
@@ -340,7 +762,7 @@ mod tests {
         let obs = Telemetry::enabled();
         let cache = Cache::open(&dir, &obs).unwrap();
         cache.store(9, 0, "; report payload\n").unwrap();
-        let entry = dir.join(format!("{:016x}.entry", 9));
+        let entry = entry_path(&dir, 9);
         let mut bytes = std::fs::read(&entry).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x40;
@@ -371,14 +793,14 @@ mod tests {
         let dir = tmp("trunc");
         let cache = Cache::open(&dir, &Telemetry::disabled()).unwrap();
         cache.store(3, 0, "; payload\n").unwrap();
-        let entry = dir.join(format!("{:016x}.entry", 3));
+        let entry = entry_path(&dir, 3);
         let bytes = std::fs::read(&entry).unwrap();
         // Truncate mid-payload: the checksum footer disappears entirely.
         std::fs::write(&entry, &bytes[..bytes.len() / 2]).unwrap();
         assert!(matches!(cache.load(3), Lookup::Quarantined { .. }));
         // An empty file is also quarantined, not served.
         cache.store(4, 0, "x\n").unwrap();
-        let entry4 = dir.join(format!("{:016x}.entry", 4));
+        let entry4 = entry_path(&dir, 4);
         std::fs::write(&entry4, b"").unwrap();
         assert!(matches!(cache.load(4), Lookup::Quarantined { .. }));
         let _ = std::fs::remove_dir_all(&dir);
@@ -391,8 +813,8 @@ mod tests {
         cache.store(5, 0, "; payload\n").unwrap();
         // Copy key 5's entry under key 6's name: checksum is valid but the
         // embedded key is wrong.
-        let bytes = std::fs::read(dir.join(format!("{:016x}.entry", 5))).unwrap();
-        std::fs::write(dir.join(format!("{:016x}.entry", 6)), &bytes).unwrap();
+        let bytes = std::fs::read(entry_path(&dir, 5)).unwrap();
+        std::fs::write(entry_path(&dir, 6), &bytes).unwrap();
         match cache.load(6) {
             Lookup::Quarantined { reason, .. } => {
                 assert!(reason.contains("key mismatch"), "{reason}");
@@ -423,6 +845,8 @@ mod tests {
             "4",
             "--cache-dir",
             "/tmp/c",
+            "--cache-budget-bytes",
+            "4096",
             "--journal",
             "/tmp/j",
             "--trace-out",
@@ -430,6 +854,225 @@ mod tests {
         ]))
         .unwrap();
         assert_eq!(k0, unit_key(&sources, &runs, &o));
+        // Service fault domains (daemon chaos) do not change the key
+        // either: they never reach the pipeline.
+        let o = Options::parse(&strs(&[
+            "batch",
+            "u.c",
+            "--fault",
+            "net:torn-write",
+            "--fault",
+            "cache:bitflip",
+            "--fault",
+            "serve:stall",
+        ]))
+        .unwrap();
+        assert_eq!(k0, unit_key(&sources, &runs, &o));
         let _ = std::fs::remove_dir_all(std::path::Path::new("/tmp/c"));
+    }
+
+    // ----- lifecycle: budget, eviction, pinning, restart -----------------
+
+    /// Renders a report payload sized so each stored entry lands at a
+    /// known on-disk size, making budget arithmetic exact in tests.
+    fn sized_report(fill: usize) -> String {
+        format!("; r\n{}\n", "x".repeat(fill))
+    }
+
+    fn entry_size(dir: &Path, key: u64) -> u64 {
+        std::fs::metadata(entry_path(dir, key)).unwrap().len()
+    }
+
+    #[test]
+    fn eviction_reclaims_oldest_first_under_budget() {
+        let dir = tmp("evict-lru");
+        let obs = Telemetry::enabled();
+        let cache = Cache::open_with(&dir, &obs, None, FaultPlan::new()).unwrap();
+        cache.store(1, 0, &sized_report(100)).unwrap();
+        cache.store(2, 0, &sized_report(100)).unwrap();
+        cache.store(3, 0, &sized_report(100)).unwrap();
+        let one = entry_size(&dir, 1);
+        drop(cache);
+        // Reopen with a budget for exactly two entries; touch 1 so 2 is
+        // the LRU victim when 4 arrives.
+        let cache = Cache::open_with(&dir, &obs, Some(one * 3), FaultPlan::new()).unwrap();
+        assert!(matches!(cache.load(1), Lookup::Hit(_)));
+        cache.store(4, 0, &sized_report(100)).unwrap();
+        assert!(!entry_path(&dir, 2).exists(), "LRU victim must be 2");
+        assert!(entry_path(&dir, 1).exists(), "recently-used 1 survives");
+        assert!(entry_path(&dir, 4).exists(), "fresh store survives");
+        let m = obs.snapshot();
+        assert!(m.counters.get(names::CACHE_EVICTIONS).copied().unwrap_or(0) >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_smaller_than_one_entry_keeps_the_cache_empty() {
+        let dir = tmp("evict-tiny");
+        let obs = Telemetry::enabled();
+        let cache = Cache::open_with(&dir, &obs, Some(8), FaultPlan::new()).unwrap();
+        cache.store(1, 0, &sized_report(100)).unwrap();
+        // The entry was published, then immediately reclaimed: the store
+        // degrades to a no-op rather than blowing the budget.
+        assert!(!entry_path(&dir, 1).exists());
+        assert_eq!(cache.accounted_bytes(), 0);
+        assert!(matches!(cache.load(1), Lookup::Miss));
+        let m = obs.snapshot();
+        assert_eq!(
+            m.counters.get(names::CACHE_EVICTIONS).copied().unwrap_or(0),
+            1
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_order_survives_a_restart() {
+        let dir = tmp("evict-restart");
+        let obs = Telemetry::disabled();
+        let cache = Cache::open_with(&dir, &obs, None, FaultPlan::new()).unwrap();
+        cache.store(1, 0, &sized_report(100)).unwrap();
+        cache.store(2, 0, &sized_report(100)).unwrap();
+        cache.store(3, 0, &sized_report(100)).unwrap();
+        // Access order now 1 < 2 < 3; touching 1 makes 2 the oldest.
+        assert!(matches!(cache.load(1), Lookup::Hit(_)));
+        let one = entry_size(&dir, 1);
+        drop(cache);
+        // Restart with a two-entry budget: the persisted index must make
+        // 2 (not 1) the eviction victim, proving hit order survived.
+        let cache = Cache::open_with(&dir, &obs, Some(one * 2), FaultPlan::new()).unwrap();
+        assert!(
+            !entry_path(&dir, 2).exists(),
+            "restart forgot the LRU order"
+        );
+        assert!(entry_path(&dir, 1).exists());
+        assert!(entry_path(&dir, 3).exists());
+        drop(cache);
+        // A deleted (or corrupt) index degrades to key-order scan, not an
+        // error.
+        std::fs::remove_file(dir.join(INDEX_NAME)).unwrap();
+        let cache = Cache::open_with(&dir, &obs, Some(one), FaultPlan::new()).unwrap();
+        assert!(entry_path(&dir, 3).exists(), "key-order fallback keeps 3");
+        assert!(!entry_path(&dir, 1).exists());
+        drop(cache);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantined_bytes_count_against_the_budget_then_free_first() {
+        let dir = tmp("evict-quarantine");
+        let obs = Telemetry::enabled();
+        let cache = Cache::open_with(&dir, &obs, None, FaultPlan::new()).unwrap();
+        cache.store(1, 0, &sized_report(100)).unwrap();
+        let one = entry_size(&dir, 1);
+        // Corrupt and quarantine: the bytes move aside but still count.
+        let mut bytes = std::fs::read(entry_path(&dir, 1)).unwrap();
+        bytes[10] ^= 0x01;
+        std::fs::write(entry_path(&dir, 1), &bytes).unwrap();
+        assert!(matches!(cache.load(1), Lookup::Quarantined { .. }));
+        assert_eq!(cache.accounted_bytes(), one);
+        drop(cache);
+        // Reopen under a budget with room for two entries. Storing two
+        // fresh entries passes the budget only if the quarantined bytes
+        // are reclaimed first — and they must be the first victim.
+        let cache = Cache::open_with(&dir, &obs, Some(one * 2), FaultPlan::new()).unwrap();
+        assert_eq!(cache.accounted_bytes(), one, "restart re-counts quarantine");
+        cache.store(2, 0, &sized_report(100)).unwrap();
+        cache.store(3, 0, &sized_report(100)).unwrap();
+        assert!(
+            !dir.join(format!("{:016x}.quarantined", 1)).exists(),
+            "quarantined bytes must be reclaimed before live entries"
+        );
+        assert!(entry_path(&dir, 2).exists());
+        assert!(entry_path(&dir, 3).exists());
+        // The incident report survives as the durable record.
+        assert!(dir.join(format!("{:016x}.incident.json", 1)).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bitflip_fault_corrupts_store_and_next_load_quarantines() {
+        let dir = tmp("fault-bitflip");
+        let obs = Telemetry::enabled();
+        let plan = FaultPlan::new();
+        plan.arm_spec("cache:bitflip=1").unwrap();
+        let cache = Cache::open_with(&dir, &obs, None, plan).unwrap();
+        cache.store(7, 0, "; chaos payload\n").unwrap();
+        match cache.load(7) {
+            Lookup::Quarantined { reason, .. } => {
+                assert!(reason.contains("checksum mismatch"), "{reason}");
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        // One-shot: the recompile's store publishes a clean entry.
+        cache.store(7, 0, "; chaos payload\n").unwrap();
+        assert!(matches!(cache.load(7), Lookup::Hit(_)));
+        let m = obs.snapshot();
+        assert_eq!(
+            m.counters.get("chaos:cache:bitflip").copied().unwrap_or(0),
+            1
+        );
+        assert_eq!(
+            m.counters.get(names::CHAOS_INJECTED).copied().unwrap_or(0),
+            1
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evict_read_race_fault_cannot_evict_the_pinned_entry() {
+        let dir = tmp("fault-race");
+        let obs = Telemetry::enabled();
+        let plan = FaultPlan::new();
+        plan.arm_spec("cache:evict-read-race=2").unwrap();
+        let cache = Cache::open_with(&dir, &obs, Some(1 << 20), plan).unwrap();
+        cache.store(1, 0, "; pinned payload\n").unwrap();
+        cache.store(2, 0, "; other payload\n").unwrap();
+        assert!(matches!(cache.load(1), Lookup::Hit(_)), "first load clean");
+        // Second load fires the race: a full eviction pass runs mid-read.
+        // The pinned key 1 must still be served; unpinned 2 is collateral.
+        match cache.load(1) {
+            Lookup::Hit(hit) => assert_eq!(hit.report, "; pinned payload\n"),
+            other => panic!("pinned entry evicted from under the read: {other:?}"),
+        }
+        assert!(
+            entry_path(&dir, 1).exists(),
+            "pinned entry survives on disk"
+        );
+        assert!(!entry_path(&dir, 2).exists(), "unpinned entry was evicted");
+        let m = obs.snapshot();
+        assert_eq!(
+            m.counters
+                .get("chaos:cache:evict-read-race")
+                .copied()
+                .unwrap_or(0),
+            1
+        );
+        assert!(m.counters.get(names::CACHE_PIN_SKIPS).copied().unwrap_or(0) >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn startup_scan_quarantines_corrupt_entries() {
+        let dir = tmp("scan-validate");
+        let obs = Telemetry::enabled();
+        let cache = Cache::open(&dir, &obs).unwrap();
+        cache.store(1, 0, "; good\n").unwrap();
+        cache.store(2, 0, "; soon corrupt\n").unwrap();
+        drop(cache);
+        let mut bytes = std::fs::read(entry_path(&dir, 2)).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x08;
+        std::fs::write(entry_path(&dir, 2), &bytes).unwrap();
+        // Reopen: the scan quarantines 2 before the first probe.
+        let cache = Cache::open(&dir, &obs).unwrap();
+        assert!(!entry_path(&dir, 2).exists());
+        assert!(dir.join(format!("{:016x}.quarantined", 2)).exists());
+        assert!(dir.join(format!("{:016x}.incident.json", 2)).exists());
+        assert!(matches!(cache.load(2), Lookup::Miss), "no resurrection");
+        assert!(
+            matches!(cache.load(1), Lookup::Hit(_)),
+            "clean entry serves"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -121,6 +121,16 @@ pub struct Options {
     /// `--queue-depth N` (serve): bound of the request queue; a full
     /// queue sheds new requests with an immediate `busy` response.
     pub queue_depth: Option<usize>,
+    /// `--cache-budget-bytes N` (batch/serve): total on-disk byte budget
+    /// across cache entries; past it, least-recently-used entries are
+    /// evicted (quarantined bytes reclaimed first, pinned reads never).
+    pub cache_budget_bytes: Option<u64>,
+    /// `--deadline-ms N` (request): overall client deadline across all
+    /// retry attempts; per-attempt socket timeouts shrink as it runs down.
+    pub deadline_ms: Option<u64>,
+    /// `--ping` (request): run the daemon health self-checks instead of
+    /// compiling.
+    pub ping: bool,
 }
 
 impl Options {
@@ -166,6 +176,9 @@ impl Options {
             jobs: None,
             cache_dir: None,
             queue_depth: None,
+            cache_budget_bytes: None,
+            deadline_ms: None,
+            ping: false,
         };
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -287,6 +300,20 @@ impl Options {
                         .ok_or("--queue-depth needs a number".to_string())?;
                     opts.queue_depth = Some(v.parse().map_err(|_| "bad --queue-depth")?);
                 }
+                "--cache-budget-bytes" => {
+                    let v = it
+                        .next()
+                        .ok_or("--cache-budget-bytes needs a number".to_string())?;
+                    opts.cache_budget_bytes =
+                        Some(v.parse().map_err(|_| "bad --cache-budget-bytes")?);
+                }
+                "--deadline-ms" => {
+                    let v = it
+                        .next()
+                        .ok_or("--deadline-ms needs a number".to_string())?;
+                    opts.deadline_ms = Some(v.parse().map_err(|_| "bad --deadline-ms")?);
+                }
+                "--ping" => opts.ping = true,
                 other if other.starts_with("--") => {
                     return Err(format!("unknown option `{other}`\n{}", usage()));
                 }
@@ -417,6 +444,26 @@ impl Options {
                 "--cache-dir needs a non-empty directory path for the artifact cache".to_string(),
             );
         }
+        if self.cache_budget_bytes == Some(0) {
+            return Err(
+                "--cache-budget-bytes 0 would evict every entry the moment it was \
+                 stored; use a positive byte budget, or omit the flag for an \
+                 unbounded cache"
+                    .to_string(),
+            );
+        }
+        if self.cache_budget_bytes.is_some() && self.cache_dir.is_none() {
+            return Err(
+                "--cache-budget-bytes needs --cache-dir (there is no cache to \
+                 bound without one)"
+                    .to_string(),
+            );
+        }
+        if self.deadline_ms == Some(0) {
+            return Err("--deadline-ms 0 would expire the request before its first \
+                 attempt; use a positive overall deadline in milliseconds"
+                .to_string());
+        }
         let jobs = match self.jobs {
             Some(n) => n,
             None => std::thread::available_parallelism()
@@ -427,6 +474,7 @@ impl Options {
             jobs,
             queue_depth: self.queue_depth.unwrap_or(DEFAULT_QUEUE_DEPTH),
             cache_dir: self.cache_dir.as_ref().map(std::path::PathBuf::from),
+            cache_budget_bytes: self.cache_budget_bytes,
         })
     }
 
@@ -469,6 +517,9 @@ pub struct ServiceConfig {
     pub queue_depth: usize,
     /// Artifact cache directory (`--cache-dir`), when caching is on.
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Total on-disk byte budget for the cache (`--cache-budget-bytes`);
+    /// `None` disables eviction.
+    pub cache_budget_bytes: Option<u64>,
 }
 
 /// The result of [`Options::validate_flags`]: every configuration, built
@@ -549,6 +600,23 @@ pub fn usage() -> String {
      \x20 --queue-depth N                 (serve) request queue bound; a full queue\n\
      \x20                                 sheds new requests with an immediate busy\n\
      \x20                                 response (default 8)\n\
+     \x20 --cache-budget-bytes N          total on-disk byte budget for the cache;\n\
+     \x20                                 past it, least-recently-used entries are\n\
+     \x20                                 evicted (quarantined bytes reclaimed first,\n\
+     \x20                                 in-flight reads never; needs --cache-dir)\n\
+     \n\
+     request client (request):\n\
+     \x20 --retries N                     re-attempts after retryable failures: torn\n\
+     \x20                                 or dropped connections, busy daemons, crashed\n\
+     \x20                                 request workers (default 2)\n\
+     \x20 --retry-base-ms N               backoff base delay between attempts; the\n\
+     \x20                                 daemon's busy retry-after hint overrides the\n\
+     \x20                                 exponential schedule (default 25)\n\
+     \x20 --deadline-ms N                 overall deadline across all attempts; socket\n\
+     \x20                                 timeouts shrink as the budget runs down\n\
+     \x20 --ping                          daemon health self-check instead of compiling:\n\
+     \x20                                 queue headroom and cache-dir writability\n\
+     \x20                                 (exit 0 healthy, 1 degraded)\n\
      \n\
      fuzzing:\n\
      \x20 --seed N                        campaign seed (default 42)\n\
@@ -1089,11 +1157,11 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
         ));
     }
     if !matches!(opts.command.as_str(), "batch" | "serve")
-        && (opts.jobs.is_some() || opts.cache_dir.is_some())
+        && (opts.jobs.is_some() || opts.cache_dir.is_some() || opts.cache_budget_bytes.is_some())
     {
         return Err(format!(
-            "--jobs/--cache-dir only apply to service commands (batch, serve), \
-             not `{}`",
+            "--jobs/--cache-dir/--cache-budget-bytes only apply to service \
+             commands (batch, serve), not `{}`",
             opts.command
         ));
     }
@@ -1101,6 +1169,22 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
         return Err(format!(
             "--queue-depth only applies to `serve` (the command with a bounded \
              request queue), not `{}`",
+            opts.command
+        ));
+    }
+    if opts.command != "request" && (opts.deadline_ms.is_some() || opts.ping) {
+        return Err(format!(
+            "--deadline-ms/--ping only apply to `request` (the client talking \
+             to a serve daemon), not `{}`",
+            opts.command
+        ));
+    }
+    if !matches!(opts.command.as_str(), "batch" | "request")
+        && (opts.retries.is_some() || opts.retry_base_ms.is_some())
+    {
+        return Err(format!(
+            "--retries/--retry-base-ms only apply to the commands that retry \
+             (batch supervision, request client), not `{}`",
             opts.command
         ));
     }
@@ -1496,6 +1580,44 @@ mod recovery_tests {
     }
 
     #[test]
+    fn cache_budget_flag_validation() {
+        // A zero budget would make the cache useless; reject it outright.
+        let o = Options::parse(&strs(&[
+            "serve",
+            "s.sock",
+            "--cache-dir",
+            "/tmp/c",
+            "--cache-budget-bytes",
+            "0",
+        ]))
+        .unwrap();
+        let err = o.service_config().unwrap_err();
+        assert!(err.contains("--cache-budget-bytes"), "unactionable: {err}");
+        // A budget without a cache has nothing to bound.
+        let o = Options::parse(&strs(&["serve", "s.sock", "--cache-budget-bytes", "64"])).unwrap();
+        let err = o.service_config().unwrap_err();
+        assert!(err.contains("--cache-dir"), "unactionable: {err}");
+        // A positive budget with a cache dir rides through to the config.
+        let o = Options::parse(&strs(&[
+            "batch",
+            "u.c",
+            "--cache-dir",
+            "/tmp/c",
+            "--cache-budget-bytes",
+            "4096",
+        ]))
+        .unwrap();
+        assert_eq!(o.service_config().unwrap().cache_budget_bytes, Some(4096));
+    }
+
+    #[test]
+    fn deadline_flag_validation() {
+        let o = Options::parse(&strs(&["request", "s.sock", "x.c", "--deadline-ms", "0"])).unwrap();
+        let err = o.service_config().unwrap_err();
+        assert!(err.contains("--deadline-ms"), "unactionable: {err}");
+    }
+
+    #[test]
     fn service_flags_are_scoped_to_service_commands() {
         let o = Options::parse(&strs(&["inline", "x.c", "--jobs", "2"])).unwrap();
         let err = execute(&o).unwrap_err();
@@ -1507,6 +1629,27 @@ mod recovery_tests {
         let o = Options::parse(&strs(&["batch", "u.c", "--queue-depth", "4"])).unwrap();
         let err = execute(&o).unwrap_err();
         assert!(err.contains("--queue-depth"), "unactionable message: {err}");
+        // --cache-budget-bytes is service-only, like --cache-dir.
+        let o = Options::parse(&strs(&["run", "x.c", "--cache-budget-bytes", "64"])).unwrap();
+        let err = execute(&o).unwrap_err();
+        assert!(err.contains("--cache-budget-bytes"), "unactionable: {err}");
+        // The client knobs are request-only.
+        let o = Options::parse(&strs(&["batch", "u.c", "--deadline-ms", "500"])).unwrap();
+        let err = execute(&o).unwrap_err();
+        assert!(err.contains("--deadline-ms"), "unactionable message: {err}");
+        let o = Options::parse(&strs(&["serve", "s.sock", "--ping"])).unwrap();
+        let err = execute(&o).unwrap_err();
+        assert!(err.contains("--ping"), "unactionable message: {err}");
+        // Retry knobs belong to the two retrying commands only.
+        let o = Options::parse(&strs(&["run", "x.c", "--retries", "3"])).unwrap();
+        let err = execute(&o).unwrap_err();
+        assert!(err.contains("--retries"), "unactionable message: {err}");
+        let o = Options::parse(&strs(&["fuzz", "--retry-base-ms", "5"])).unwrap();
+        let err = execute(&o).unwrap_err();
+        assert!(
+            err.contains("--retry-base-ms"),
+            "unactionable message: {err}"
+        );
     }
 
     #[test]

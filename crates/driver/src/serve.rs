@@ -9,31 +9,58 @@
 //!   `sync_channel` bounded by `--queue-depth`. When the queue is full the
 //!   accept thread responds `busy` immediately and closes — the daemon
 //!   never buffers unbounded work, and clients learn about overload at
-//!   once rather than timing out.
-//! - **Crash-isolated request workers.** Each request is handled under
-//!   `catch_unwind` (and the compile itself additionally runs on the
-//!   supervised worker thread with the wall-clock deadline from
+//!   once rather than timing out. The `busy` response carries a
+//!   deterministic `retry-after-ms` hint sized to the queue.
+//! - **Crash-isolated request workers.** Connection handling runs under
+//!   `catch_unwind` end to end (and the compile itself additionally runs
+//!   on the supervised worker thread with the wall-clock deadline from
 //!   `--time-limit-ms`). A panicking request produces a structured
-//!   `error` response; the daemon keeps serving.
+//!   `error` response — or, for a crash before the response could be
+//!   written, a dropped connection the client treats as retryable; the
+//!   daemon keeps serving either way.
 //! - **Graceful drain.** SIGTERM/SIGINT flip an atomic flag (the handler
 //!   does nothing else); the accept loop notices within milliseconds,
 //!   stops accepting, lets the workers finish the queue and in-flight
 //!   requests, publishes telemetry artifacts, removes the socket, and
 //!   exits 0.
-//! - **Per-request deadlines.** Socket I/O carries read/write timeouts,
-//!   and the compile runs under the same deadline machinery as a batch
-//!   attempt, so a hung client or a pathological source cannot wedge a
-//!   worker forever.
+//! - **Per-request deadlines.** Socket I/O carries read/write timeouts —
+//!   and configuring them is mandatory: a connection whose timeouts
+//!   cannot be set is answered with a terminal protocol error, never
+//!   served with unbounded I/O. The compile runs under the same deadline
+//!   machinery as a batch attempt, so a hung client or a pathological
+//!   source cannot wedge a worker forever.
+//! - **Health checks.** A `ping` request runs the daemon's self-checks
+//!   (queue headroom, cache-dir writability) through the normal queue
+//!   path and reports `healthy`/`degraded` with the evidence, surfaced
+//!   via `impactc request --ping` and the `serve:pings` counter.
 //!
 //! With `--cache-dir`, requests are served from the content-addressed
 //! artifact cache when the whole input set matches ([`crate::cache`]);
 //! responses carry a `cached` flag so clients (and the serve smoke test)
-//! can observe warm hits.
+//! can observe warm hits. `--cache-budget-bytes` bounds the cache with
+//! LRU eviction (see the cache module docs for the pinning and restart
+//! invariants).
 //!
-//! Fault injection: `serve:stall` (worker sleeps before compiling, for
-//! deterministic overload tests) and `serve:panic` (worker panics, for
-//! isolation tests) arm on the daemon's own fault plan and are stripped
-//! from per-request pipeline options.
+//! **Fault injection** (`--fault`, deterministic and replayable): the
+//! service fault domains `serve:*`, `net:*`, and `cache:*` arm on the
+//! daemon's own plan and are stripped from per-request pipeline options.
+//! `serve:stall` (worker sleeps before compiling), `serve:panic` (worker
+//! panics mid-compile), `serve:accept-crash` (handler panics before
+//! reading the request — the client sees a dropped connection),
+//! `net:torn-write` (response cut off mid-frame), `net:drop` (connection
+//! closed without any response), `cache:bitflip` and
+//! `cache:evict-read-race` (see [`crate::cache`]). Every injection bumps
+//! `chaos:injected` plus a `chaos:<key>` counter, so a chaos run can
+//! prove each armed fault actually fired.
+//!
+//! **The resilient client.** `impactc request` retries retryable
+//! failures — connect errors, truncated/torn responses, `busy` (honoring
+//! the server's `retry-after-ms` hint), and presumed-transient worker
+//! panics — with the batch supervisor's exponential backoff and
+//! deterministic jitter, bounded by `--retries` and an overall
+//! `--deadline-ms` that shrinks across attempts. Everything else — a
+//! protocol violation, a server-side compile error, an unreadable local
+//! file — is terminal and fails fast.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -43,11 +70,14 @@ use impact_cfront::Source;
 use impact_obs::names;
 use impact_vm::FaultPlan;
 
-use crate::supervise::{panic_message, DEFAULT_TIME_LIMIT_MS};
+use crate::supervise::{
+    jitter_ms, panic_message, DEFAULT_RETRIES, DEFAULT_RETRY_BASE_MS, DEFAULT_TIME_LIMIT_MS,
+};
 use crate::{cache, journal, load_inputs, telemetry, usage, Options, RunSpec};
 
 /// Protocol magic/version, the first token of every request and response.
-pub const PROTOCOL: &str = "impact-serve v1";
+/// v2 added the `ping` verb and the `retry-after-ms` response field.
+pub const PROTOCOL: &str = "impact-serve v2";
 
 /// Cap on sources per request — a framing sanity bound, not a compile
 /// limit (the pipeline already has its own governors).
@@ -67,11 +97,21 @@ const POLL_MS: u64 = 5;
 /// test can reliably fill the queue behind the stalled worker).
 const STALL_MS: u64 = 1500;
 
-/// A parsed compile request.
+/// Per-queue-slot component of the deterministic `retry-after-ms` hint a
+/// `busy` response carries: a deeper queue implies a longer drain, so the
+/// hint scales with `--queue-depth`.
+const BUSY_RETRY_SLOT_MS: u64 = 25;
+
+/// A parsed request: a compile job or a health-check ping.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Request {
-    /// The translation unit's sources, in order.
-    pub sources: Vec<Source>,
+pub enum Request {
+    /// Compile the translation unit formed by these sources, in order.
+    Compile {
+        /// The unit's sources.
+        sources: Vec<Source>,
+    },
+    /// Run the daemon self-checks and report health.
+    Ping,
 }
 
 /// A serve response.
@@ -79,10 +119,13 @@ pub struct Request {
 pub struct Response {
     /// `ok`, `error`, or `busy`.
     pub status: String,
-    /// Pipeline exit code (`0` for `busy`, `1` for `error`).
+    /// Pipeline exit code (`1` for `error`; `0` for `busy`).
     pub exit: i32,
     /// True when the payload came from the artifact cache.
     pub cached: bool,
+    /// For `busy`: how long the server suggests waiting before a retry.
+    /// `0` means no hint.
+    pub retry_after_ms: u64,
     /// Report text (`ok`), error message (`error`/`busy`).
     pub payload: String,
 }
@@ -93,6 +136,7 @@ impl Response {
             status: "ok".to_string(),
             exit,
             cached,
+            retry_after_ms: 0,
             payload,
         }
     }
@@ -102,15 +146,17 @@ impl Response {
             status: "error".to_string(),
             exit: 1,
             cached: false,
+            retry_after_ms: 0,
             payload: message,
         }
     }
 
-    fn busy() -> Response {
+    fn busy(retry_after_ms: u64) -> Response {
         Response {
             status: "busy".to_string(),
             exit: 0,
             cached: false,
+            retry_after_ms,
             payload: "request queue is full; retry later".to_string(),
         }
     }
@@ -118,9 +164,11 @@ impl Response {
 
 // ----- wire protocol -------------------------------------------------------
 //
-// Request:   `impact-serve v1 compile <nsources>\n`
+// Request:   `impact-serve v2 compile <nsources>\n`
 //            then per source: `<name_len> <text_len>\n<name><text>`
-// Response:  `impact-serve v1 <status> <exit> <cached 0|1> <len>\n<payload>`
+//            or: `impact-serve v2 ping\n`
+// Response:  `impact-serve v2 <status> <exit> <cached 0|1> <retry_after_ms>
+//             <len>\n<payload>`
 //
 // Length-prefixed framing keeps parsing allocation-bounded and makes
 // truncation detectable (read_exact fails instead of blocking forever,
@@ -141,7 +189,17 @@ pub fn write_request<W: Write>(w: &mut W, sources: &[Source]) -> std::io::Result
     w.flush()
 }
 
-/// Reads and validates a compile request.
+/// Writes a health-check ping request.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn write_ping<W: Write>(w: &mut W) -> std::io::Result<()> {
+    writeln!(w, "{PROTOCOL} ping")?;
+    w.flush()
+}
+
+/// Reads and validates a request.
 ///
 /// # Errors
 ///
@@ -151,6 +209,9 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, String> {
     let rest = header
         .strip_prefix(PROTOCOL)
         .ok_or_else(|| format!("bad protocol header `{header}`"))?;
+    if rest == " ping" {
+        return Ok(Request::Ping);
+    }
     let rest = rest
         .strip_prefix(" compile ")
         .ok_or_else(|| format!("unknown request verb in `{header}`"))?;
@@ -181,7 +242,7 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, String> {
         let text = read_exact_utf8(r, text_len, "source text")?;
         sources.push(Source::new(name, text));
     }
-    Ok(Request { sources })
+    Ok(Request::Compile { sources })
 }
 
 /// Writes a response.
@@ -192,10 +253,11 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, String> {
 pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> std::io::Result<()> {
     writeln!(
         w,
-        "{PROTOCOL} {} {} {} {}",
+        "{PROTOCOL} {} {} {} {} {}",
         resp.status,
         resp.exit,
         u8::from(resp.cached),
+        resp.retry_after_ms,
         resp.payload.len()
     )?;
     w.write_all(resp.payload.as_bytes())?;
@@ -226,6 +288,10 @@ pub fn read_response<R: BufRead>(r: &mut R) -> Result<Response, String> {
         Some("1") => true,
         _ => return Err("response missing cached flag".to_string()),
     };
+    let retry_after_ms: u64 = tok
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or("response missing retry-after field")?;
     let len: usize = tok
         .next()
         .and_then(|t| t.parse().ok())
@@ -240,6 +306,7 @@ pub fn read_response<R: BufRead>(r: &mut R) -> Result<Response, String> {
         status,
         exit,
         cached,
+        retry_after_ms,
         payload,
     })
 }
@@ -264,21 +331,23 @@ fn read_exact_utf8<R: Read>(r: &mut R, len: usize, what: &str) -> Result<String,
 
 // ----- fault plumbing ------------------------------------------------------
 
-/// True for fault specs that target the serve daemon itself; they arm on
-/// the daemon's plan and are stripped from per-request pipeline options
-/// (mirroring `journal:*` handling).
-pub fn is_serve_fault(spec: &str) -> bool {
-    spec.starts_with("serve:")
+/// True for fault specs that target the service layer — the serve daemon
+/// (`serve:*`), its socket I/O (`net:*`), or the artifact cache's
+/// lifecycle (`cache:*`). They arm on the daemon's plan (and the cache's,
+/// for `cache:*`) and are stripped from per-request pipeline options
+/// (mirroring `journal:*` handling); they also never contribute to cache
+/// keys, since they cannot change pipeline output.
+pub fn is_service_fault(spec: &str) -> bool {
+    spec.starts_with("serve:") || spec.starts_with("net:") || spec.starts_with("cache:")
 }
 
-/// Builds the daemon's fault plan from the `serve:*` subset of `--fault`.
-///
-/// # Errors
-///
-/// Returns a message naming the malformed spec.
-fn serve_fault_plan(opts: &Options) -> Result<FaultPlan, String> {
+/// Builds the service-layer fault plan from the `serve:*`/`net:*`/
+/// `cache:*` subset of `--fault`. The same plan (a clone sharing its
+/// counters) is handed to the artifact cache, so `:N`/`=N` occurrence
+/// counts stay global across the daemon and the cache.
+pub(crate) fn service_fault_plan(opts: &Options) -> Result<FaultPlan, String> {
     let plan = FaultPlan::new();
-    for spec in opts.faults.iter().filter(|s| is_serve_fault(s)) {
+    for spec in opts.faults.iter().filter(|s| is_service_fault(s)) {
         plan.arm_spec(spec)
             .map_err(|e| format!("bad --fault `{spec}`: {e}"))?;
     }
@@ -287,7 +356,7 @@ fn serve_fault_plan(opts: &Options) -> Result<FaultPlan, String> {
 
 /// Per-request pipeline options: quiet, no artifact/telemetry output
 /// flags (the daemon aggregates telemetry and writes artifacts once, at
-/// drain), no journaling, and daemon-level fault specs stripped.
+/// drain), no journaling, and service-layer fault specs stripped.
 fn request_options(opts: &Options) -> Options {
     let mut o = opts.clone();
     o.quiet = true;
@@ -302,7 +371,7 @@ fn request_options(opts: &Options) -> Options {
     o.resume = false;
     o.force_resume = false;
     o.faults
-        .retain(|f| !journal::is_journal_fault(f) && !is_serve_fault(f));
+        .retain(|f| !journal::is_journal_fault(f) && !is_service_fault(f));
     o
 }
 
@@ -325,10 +394,39 @@ mod daemon {
         ok: AtomicU64,
         errors: AtomicU64,
         shed: AtomicU64,
+        pings: AtomicU64,
     }
 
     fn bump(c: &AtomicU64) {
         c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Everything a worker needs to handle one connection; bundled so the
+    /// handlers stay call-site readable.
+    struct Ctx<'a> {
+        opts: &'a Options,
+        deadline: u64,
+        cache: Option<&'a cache::Cache>,
+        obs: &'a impact_obs::Telemetry,
+        plan: &'a FaultPlan,
+        totals: &'a Totals,
+        jobs: usize,
+        queue_depth: usize,
+        /// Connections accepted but not yet picked up by a worker; the
+        /// ping self-check reports queue headroom from this.
+        queued: &'a AtomicU64,
+    }
+
+    /// Fires the named service fault if armed, making every injection
+    /// visible in telemetry (`chaos:injected` + `chaos:<key>`).
+    fn chaos(ctx: &Ctx, key: &str) -> bool {
+        if ctx.plan.should_fail(key) {
+            ctx.obs.count(names::CHAOS_INJECTED, 1);
+            ctx.obs.count(&format!("chaos:{key}"), 1);
+            true
+        } else {
+            false
+        }
     }
 
     /// Runs the daemon until SIGTERM/SIGINT, then drains and returns the
@@ -338,7 +436,7 @@ mod daemon {
         // Pipeline flags are validated once at startup so a bad config
         // fails the daemon immediately instead of every request.
         opts.validate_flags()?;
-        let plan = serve_fault_plan(opts)?;
+        let plan = service_fault_plan(opts)?;
         if opts.positional.len() != 1 {
             return Err(format!(
                 "serve needs exactly one socket path (got {})\n{}",
@@ -355,7 +453,14 @@ mod daemon {
         }
         let obs = telemetry::handle_for(opts);
         let artifact_cache = match &service.cache_dir {
-            Some(dir) => Some(cache::Cache::open(dir, &obs)?),
+            // The cache shares the daemon's fault plan (cloned plans
+            // share counters) so `cache:*` chaos arms in one place.
+            Some(dir) => Some(cache::Cache::open_with(
+                dir,
+                &obs,
+                service.cache_budget_bytes,
+                plan.clone(),
+            )?),
             None => None,
         };
         crate::supervise::silence_worker_panics();
@@ -370,15 +475,24 @@ mod daemon {
         let req_opts = request_options(opts);
         let deadline = opts.time_limit_ms.unwrap_or(DEFAULT_TIME_LIMIT_MS);
         let totals = Totals::default();
+        let queued = AtomicU64::new(0);
+        let busy_hint = service.queue_depth as u64 * BUSY_RETRY_SLOT_MS;
+        let ctx = Ctx {
+            opts: &req_opts,
+            deadline,
+            cache: artifact_cache.as_ref(),
+            obs: &obs,
+            plan: &plan,
+            totals: &totals,
+            jobs: service.jobs,
+            queue_depth: service.queue_depth,
+            queued: &queued,
+        };
 
         std::thread::scope(|scope| {
             for w in 0..service.jobs {
                 let rx = Arc::clone(&rx);
-                let req_opts = &req_opts;
-                let artifact_cache = artifact_cache.as_ref();
-                let obs = &obs;
-                let plan = &plan;
-                let totals = &totals;
+                let ctx = &ctx;
                 std::thread::Builder::new()
                     .name(format!("{}-serve{w}", crate::supervise::WORKER_THREAD))
                     .spawn_scoped(scope, move || loop {
@@ -390,15 +504,8 @@ mod daemon {
                             guard.recv()
                         };
                         let Ok(stream) = stream else { break };
-                        handle_connection(
-                            stream,
-                            req_opts,
-                            deadline,
-                            artifact_cache,
-                            obs,
-                            plan,
-                            totals,
-                        );
+                        ctx.queued.fetch_sub(1, Ordering::Relaxed);
+                        handle_connection(stream, ctx);
                     })
                     .expect("spawn serve worker");
             }
@@ -412,14 +519,16 @@ mod daemon {
                     Ok((stream, _)) => {
                         bump(&totals.requests);
                         obs.count(names::SERVE_REQUESTS, 1);
+                        queued.fetch_add(1, Ordering::Relaxed);
                         match tx.try_send(stream) {
                             Ok(()) => {}
                             Err(TrySendError::Full(stream)) => {
                                 // Explicit overload shedding: an immediate
                                 // `busy` beats an unbounded queue.
+                                queued.fetch_sub(1, Ordering::Relaxed);
                                 bump(&totals.shed);
                                 obs.count(names::SERVE_SHED, 1);
-                                respond_busy(stream);
+                                respond_busy(stream, busy_hint);
                             }
                             Err(TrySendError::Disconnected(_)) => break,
                         }
@@ -445,70 +554,101 @@ mod daemon {
         let _ = std::fmt::Write::write_fmt(
             &mut out,
             format_args!(
-                "; serve: drained after {} requests, {} ok, {} errors, {} shed\n",
+                "; serve: drained after {} requests, {} ok, {} errors, {} shed, {} pings\n",
                 totals.requests.load(Ordering::Relaxed),
                 totals.ok.load(Ordering::Relaxed),
                 totals.errors.load(Ordering::Relaxed),
                 totals.shed.load(Ordering::Relaxed),
+                totals.pings.load(Ordering::Relaxed),
             ),
         );
         Ok((0, out))
     }
 
     /// Best-effort `busy` response on the accept thread; a short write
-    /// timeout keeps a stalled client from wedging the accept loop.
-    fn respond_busy(stream: UnixStream) {
-        let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    /// timeout keeps a stalled client from wedging the accept loop. If
+    /// the timeout cannot be configured, the write is skipped entirely —
+    /// never attempted unbounded.
+    fn respond_busy(stream: UnixStream, retry_after_ms: u64) {
+        if stream
+            .set_write_timeout(Some(Duration::from_millis(250)))
+            .is_err()
+        {
+            return;
+        }
         let mut stream = stream;
-        let _ = write_response(&mut stream, &Response::busy());
+        let _ = write_response(&mut stream, &Response::busy(retry_after_ms));
     }
 
-    /// Handles one connection end to end: read, compile (panic-isolated),
-    /// respond. Never propagates errors — a broken peer only loses its
-    /// own response.
-    #[allow(clippy::too_many_arguments)]
-    fn handle_connection(
-        stream: UnixStream,
-        opts: &Options,
-        deadline: u64,
-        artifact_cache: Option<&cache::Cache>,
-        obs: &impact_obs::Telemetry,
-        plan: &FaultPlan,
-        totals: &Totals,
-    ) {
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(IO_TIMEOUT_MS)));
-        let _ = stream.set_write_timeout(Some(Duration::from_millis(IO_TIMEOUT_MS)));
+    /// Handles one connection end to end under `catch_unwind`: a panic
+    /// anywhere in the handling (including the injected
+    /// `serve:accept-crash`) costs that connection its response — the
+    /// client sees a drop and retries — but never the daemon, which would
+    /// otherwise die at scope join when the worker unwound.
+    fn handle_connection(stream: UnixStream, ctx: &Ctx) {
+        if catch_unwind(AssertUnwindSafe(|| handle_connection_inner(stream, ctx))).is_err() {
+            bump(&ctx.totals.errors);
+            ctx.obs.count(names::SERVE_ERRORS, 1);
+        }
+    }
+
+    /// The connection body: configure timeouts (mandatory), read, handle
+    /// (panic-isolated compile or ping self-check), respond. Never
+    /// propagates errors — a broken peer only loses its own response.
+    fn handle_connection_inner(stream: UnixStream, ctx: &Ctx) {
+        if chaos(ctx, "serve:accept-crash") {
+            panic!("injected accept-path crash");
+        }
+        // Unbounded I/O is never acceptable: a connection whose timeouts
+        // cannot be configured gets a terminal protocol error (written
+        // best-effort) instead of a compile.
+        if let Err(e) = stream
+            .set_read_timeout(Some(Duration::from_millis(IO_TIMEOUT_MS)))
+            .and_then(|()| stream.set_write_timeout(Some(Duration::from_millis(IO_TIMEOUT_MS))))
+        {
+            bump(&ctx.totals.errors);
+            ctx.obs.count(names::SERVE_ERRORS, 1);
+            let mut stream = stream;
+            let _ = write_response(
+                &mut stream,
+                &Response::error(format!("cannot configure socket timeouts: {e}")),
+            );
+            return;
+        }
         let reader = match stream.try_clone() {
             Ok(r) => r,
             Err(_) => return,
         };
         let response = match read_request(&mut BufReader::new(reader)) {
             Err(e) => {
-                bump(&totals.errors);
-                obs.count(names::SERVE_ERRORS, 1);
+                bump(&ctx.totals.errors);
+                ctx.obs.count(names::SERVE_ERRORS, 1);
                 Response::error(format!("bad request: {e}"))
             }
-            Ok(req) => {
+            Ok(Request::Ping) => {
+                bump(&ctx.totals.pings);
+                ctx.obs.count(names::SERVE_PINGS, 1);
+                health_response(ctx)
+            }
+            Ok(Request::Compile { sources }) => {
                 // The compile additionally runs on the supervised worker
-                // thread under the wall-clock deadline; this outer
-                // catch_unwind isolates panics in the serve scaffolding
-                // itself (and the injected `serve:panic`).
-                match catch_unwind(AssertUnwindSafe(|| {
-                    compile_request(&req, opts, deadline, artifact_cache, obs, plan)
-                })) {
+                // thread under the wall-clock deadline; this catch_unwind
+                // isolates panics in the compile path (and the injected
+                // `serve:panic`) into a structured error response.
+                match catch_unwind(AssertUnwindSafe(|| compile_request(&sources, ctx))) {
                     Ok(resp) => {
                         if resp.status == "ok" {
-                            bump(&totals.ok);
-                            obs.count(names::SERVE_OK, 1);
+                            bump(&ctx.totals.ok);
+                            ctx.obs.count(names::SERVE_OK, 1);
                         } else {
-                            bump(&totals.errors);
-                            obs.count(names::SERVE_ERRORS, 1);
+                            bump(&ctx.totals.errors);
+                            ctx.obs.count(names::SERVE_ERRORS, 1);
                         }
                         resp
                     }
                     Err(payload) => {
-                        bump(&totals.errors);
-                        obs.count(names::SERVE_ERRORS, 1);
+                        bump(&ctx.totals.errors);
+                        ctx.obs.count(names::SERVE_ERRORS, 1);
                         Response::error(format!(
                             "request worker panicked: {}",
                             panic_message(payload)
@@ -517,34 +657,66 @@ mod daemon {
                 }
             }
         };
+        // Network chaos on the response path: the work above is done (and
+        // cached), so the retrying client converges to the same bytes.
+        if chaos(ctx, "net:drop") {
+            return;
+        }
         let mut stream = stream;
+        if chaos(ctx, "net:torn-write") {
+            let mut wire = Vec::new();
+            let _ = write_response(&mut wire, &response);
+            let _ = stream.write_all(&wire[..wire.len() / 2]);
+            let _ = stream.flush();
+            return;
+        }
         let _ = write_response(&mut stream, &response);
+    }
+
+    /// The daemon self-checks behind `ping`: queue headroom (from the
+    /// accepted-but-unclaimed connection count) and cache-dir
+    /// writability (a real probe write). Degraded states answer `ok`
+    /// with exit 1 so `impactc request --ping` can gate on it.
+    fn health_response(ctx: &Ctx) -> Response {
+        let queued = ctx.queued.load(Ordering::Relaxed);
+        let depth = ctx.queue_depth as u64;
+        let headroom = depth.saturating_sub(queued);
+        let cache_state = match ctx.cache {
+            None => "disabled",
+            Some(c) => {
+                let probe = c.dir().join(".health-probe");
+                match std::fs::write(&probe, b"ok") {
+                    Ok(()) => {
+                        let _ = std::fs::remove_file(&probe);
+                        "writable"
+                    }
+                    Err(_) => "read-only",
+                }
+            }
+        };
+        let healthy = headroom > 0 && cache_state != "read-only";
+        let payload = format!(
+            "; serve: {}\n; workers: {}\n; queue: {queued}/{depth} used, {headroom} headroom\n; cache: {cache_state}\n",
+            if healthy { "healthy" } else { "degraded" },
+            ctx.jobs,
+        );
+        Response::ok(i32::from(!healthy), false, payload)
     }
 
     /// Compiles one request: fault points, cache probe, supervised
     /// attempt, cache store.
-    fn compile_request(
-        req: &Request,
-        opts: &Options,
-        deadline: u64,
-        artifact_cache: Option<&cache::Cache>,
-        obs: &impact_obs::Telemetry,
-        plan: &FaultPlan,
-    ) -> Response {
-        if plan.should_fail("serve:stall") {
+    fn compile_request(sources: &[Source], ctx: &Ctx) -> Response {
+        if chaos(ctx, "serve:stall") {
             std::thread::sleep(Duration::from_millis(STALL_MS));
         }
-        assert!(
-            !plan.should_fail("serve:panic"),
-            "injected serve worker panic"
-        );
-        let inputs = match load_inputs(&opts.inputs) {
+        assert!(!chaos(ctx, "serve:panic"), "injected serve worker panic");
+        let inputs = match load_inputs(&ctx.opts.inputs) {
             Ok(i) => i,
             Err(e) => return Response::error(e),
         };
-        let runs: Vec<RunSpec> = vec![(inputs, opts.args.clone())];
-        let key = artifact_cache.map(|_| cache::unit_key(&req.sources, &runs, opts));
-        if let (Some(c), Some(k)) = (artifact_cache, key) {
+        let runs: Vec<RunSpec> = vec![(inputs, ctx.opts.args.clone())];
+        let key = ctx.cache.map(|_| cache::unit_key(sources, &runs, ctx.opts));
+        if let (Some(c), Some(k)) = (ctx.cache, key) {
             if let cache::Lookup::Hit(hit) = c.load(k) {
                 return Response::ok(hit.exit, true, hit.report);
             }
@@ -553,15 +725,15 @@ mod daemon {
             // incident report and is never served.
         }
         let (result, _wall) = crate::supervise::run_attempt(
-            req.sources.clone(),
+            sources.to_vec(),
             runs,
-            opts.clone(),
-            deadline,
-            obs.clone(),
+            ctx.opts.clone(),
+            ctx.deadline,
+            ctx.obs.clone(),
         );
         match result {
             Ok((code, report)) => {
-                if let (Some(c), Some(k)) = (artifact_cache, key) {
+                if let (Some(c), Some(k)) = (ctx.cache, key) {
                     // Store failures degrade the cache, not the response.
                     let _ = c.store(k, code, &report);
                 }
@@ -635,25 +807,69 @@ pub fn run_serve(_opts: &Options) -> Result<(i32, String), String> {
     Err("serve requires a Unix platform (Unix sockets and signals)".to_string())
 }
 
-/// `impactc request <socket> <files.c...>` — the thin client: sends the
-/// files to a running daemon and prints the pipeline report. A cached
-/// response appends a `; cache: hit` marker line.
+// ----- the client ----------------------------------------------------------
+
+/// The outcome of one client attempt, classified by the retry taxonomy:
+/// `Retry` failures are presumed transient (overload, a dropped or torn
+/// connection, a panicked worker); `Fail` failures are deterministic
+/// properties of the request or the server's answer, which retrying
+/// cannot change.
+#[cfg(unix)]
+enum Outcome {
+    Done(i32, String),
+    Retry { why: String, after_ms: Option<u64> },
+    Fail(String),
+}
+
+/// True for wire errors a retry can plausibly fix: a torn or dropped
+/// response (truncation) or a failed/timed-out socket read. Protocol
+/// violations (a well-formed but wrong header) stay terminal.
+#[cfg(unix)]
+fn wire_error_is_retryable(err: &str) -> bool {
+    err.contains("truncated") || err.contains("read failed")
+}
+
+/// `impactc request <socket> <files.c...>` — the resilient client: sends
+/// the files to a running daemon and prints the pipeline report. A cached
+/// response appends a `; cache: hit` marker line. With `--ping`, runs the
+/// daemon's health self-checks instead (no files) and exits 0 only when
+/// the daemon reports healthy.
+///
+/// Retryable failures (connect errors, truncated/torn responses, `busy`,
+/// presumed-transient worker panics) are retried up to `--retries` times
+/// with exponential backoff and deterministic jitter, honoring the
+/// server's `retry-after-ms` hint when present; `--deadline-ms` bounds
+/// the whole exchange, shrinking the per-attempt socket timeouts as it
+/// runs down. Retry notices go to stderr so stdout stays byte-identical
+/// to a fault-free run.
 ///
 /// # Errors
 ///
-/// Returns a connection/protocol error, the server's `error` payload, or
-/// a `busy` notice when the daemon shed the request.
+/// Returns a terminal failure immediately, or the last retryable failure
+/// once the attempts (or the deadline) are exhausted.
 #[cfg(unix)]
 pub fn run_request(opts: &Options) -> Result<(i32, String), String> {
     use std::os::unix::net::UnixStream;
+    use std::time::Instant;
 
+    // Client flags (--deadline-ms in particular) validate through the
+    // same call as the daemon's, so a bad value fails before any I/O.
+    opts.service_config()?;
     let Some((socket, files)) = opts.positional.split_first() else {
         return Err(format!(
             "request needs a socket path and at least one .c file\n{}",
             usage()
         ));
     };
-    if files.is_empty() {
+    if opts.ping {
+        if !files.is_empty() {
+            return Err(format!(
+                "request --ping takes only the socket path (got {} extra args)\n{}",
+                files.len(),
+                usage()
+            ));
+        }
+    } else if files.is_empty() {
         return Err(format!(
             "request needs at least one .c file after the socket path\n{}",
             usage()
@@ -664,25 +880,130 @@ pub fn run_request(opts: &Options) -> Result<(i32, String), String> {
         let text = std::fs::read_to_string(f).map_err(|e| format!("cannot read `{f}`: {e}"))?;
         sources.push(Source::new(f.clone(), text));
     }
-    let stream = UnixStream::connect(socket)
-        .map_err(|e| format!("cannot connect to serve socket `{socket}`: {e}"))?;
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(IO_TIMEOUT_MS)));
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(IO_TIMEOUT_MS)));
-    let mut writer = stream
-        .try_clone()
-        .map_err(|e| format!("cannot clone socket stream: {e}"))?;
-    write_request(&mut writer, &sources).map_err(|e| format!("cannot send request: {e}"))?;
-    let resp = read_response(&mut BufReader::new(stream))?;
-    match resp.status.as_str() {
-        "ok" => {
-            let mut out = resp.payload;
-            if resp.cached {
-                out.push_str("; cache: hit\n");
+
+    let attempt_once = |remaining_ms: Option<u64>| -> Outcome {
+        let stream = match UnixStream::connect(socket.as_str()) {
+            Ok(s) => s,
+            Err(e) => {
+                return Outcome::Retry {
+                    why: format!("cannot connect to serve socket `{socket}`: {e}"),
+                    after_ms: None,
+                }
             }
-            Ok((resp.exit, out))
+        };
+        // Mandatory timeouts, shrunk to the remaining deadline: an
+        // exchange must never outlive its budget.
+        let io_ms = remaining_ms
+            .map_or(IO_TIMEOUT_MS, |r| r.min(IO_TIMEOUT_MS))
+            .max(1);
+        if let Err(e) = stream
+            .set_read_timeout(Some(Duration::from_millis(io_ms)))
+            .and_then(|()| stream.set_write_timeout(Some(Duration::from_millis(io_ms))))
+        {
+            return Outcome::Fail(format!("cannot configure socket timeouts: {e}"));
         }
-        "busy" => Err(format!("server busy: {}", resp.payload)),
-        _ => Err(resp.payload),
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(e) => return Outcome::Fail(format!("cannot clone socket stream: {e}")),
+        };
+        let sent = if opts.ping {
+            write_ping(&mut writer)
+        } else {
+            write_request(&mut writer, &sources)
+        };
+        if let Err(e) = sent {
+            return Outcome::Retry {
+                why: format!("cannot send request: {e}"),
+                after_ms: None,
+            };
+        }
+        let resp = match read_response(&mut BufReader::new(stream)) {
+            Ok(r) => r,
+            Err(e) if wire_error_is_retryable(&e) => {
+                return Outcome::Retry {
+                    why: e,
+                    after_ms: None,
+                }
+            }
+            Err(e) => return Outcome::Fail(e),
+        };
+        match resp.status.as_str() {
+            "ok" => {
+                let mut out = resp.payload;
+                if resp.cached {
+                    out.push_str("; cache: hit\n");
+                }
+                Outcome::Done(resp.exit, out)
+            }
+            "busy" => Outcome::Retry {
+                why: format!("server busy: {}", resp.payload),
+                after_ms: (resp.retry_after_ms > 0).then_some(resp.retry_after_ms),
+            },
+            _ => {
+                // A worker panic is presumed transient, mirroring the
+                // batch supervisor's taxonomy; any other server error is
+                // a deterministic property of this request.
+                if resp.payload.starts_with("request worker panicked") {
+                    Outcome::Retry {
+                        why: resp.payload,
+                        after_ms: None,
+                    }
+                } else {
+                    Outcome::Fail(resp.payload)
+                }
+            }
+        }
+    };
+
+    let retries = opts.retries.unwrap_or(DEFAULT_RETRIES);
+    let base = opts.retry_base_ms.unwrap_or(DEFAULT_RETRY_BASE_MS);
+    let max_attempts = retries.saturating_add(1);
+    let start = Instant::now();
+    let mut last_err = String::new();
+    for attempt in 1..=max_attempts {
+        let remaining = match opts.deadline_ms {
+            None => None,
+            Some(budget) => {
+                let spent = start.elapsed().as_millis() as u64;
+                if spent >= budget {
+                    return Err(format!(
+                        "request deadline of {budget} ms exceeded after {} attempts: {last_err}",
+                        attempt - 1
+                    ));
+                }
+                Some(budget - spent)
+            }
+        };
+        match attempt_once(remaining) {
+            Outcome::Done(exit, out) => return Ok((exit, out)),
+            Outcome::Fail(msg) => return Err(msg),
+            Outcome::Retry { why, after_ms } => {
+                last_err = why;
+                if attempt == max_attempts {
+                    break;
+                }
+                // Server hint when present, else exponential backoff;
+                // deterministic jitter either way, clipped to whatever
+                // deadline remains.
+                let mut delay = after_ms
+                    .unwrap_or(base << (attempt - 1))
+                    .saturating_add(jitter_ms(socket, attempt, base));
+                if let Some(r) = remaining {
+                    delay = delay.min(r);
+                }
+                eprintln!(
+                    "; request: attempt {attempt}/{max_attempts} failed ({last_err}); retrying in {delay}ms"
+                );
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+        }
+    }
+    if max_attempts == 1 {
+        Err(last_err)
+    } else {
+        Err(format!(
+            "request failed after {max_attempts} attempts: {last_err}"
+        ))
     }
 }
 
@@ -709,16 +1030,25 @@ mod tests {
         let mut wire = Vec::new();
         write_request(&mut wire, &sources).unwrap();
         let req = read_request(&mut std::io::Cursor::new(wire)).unwrap();
-        assert_eq!(req.sources, sources);
+        assert_eq!(req, Request::Compile { sources });
     }
 
     #[test]
-    fn response_round_trips_including_cached_flag() {
+    fn ping_round_trips_through_the_wire_format() {
+        let mut wire = Vec::new();
+        write_ping(&mut wire).unwrap();
+        let req = read_request(&mut std::io::Cursor::new(wire)).unwrap();
+        assert_eq!(req, Request::Ping);
+    }
+
+    #[test]
+    fn response_round_trips_including_cached_and_retry_after() {
         for resp in [
             Response::ok(0, true, "; report\n".to_string()),
             Response::ok(3, false, String::new()),
             Response::error("compile failed: x.c:1:1".to_string()),
-            Response::busy(),
+            Response::busy(200),
+            Response::busy(0),
         ] {
             let mut wire = Vec::new();
             write_response(&mut wire, &resp).unwrap();
@@ -732,14 +1062,16 @@ mod tests {
         for (wire, needle) in [
             (&b"impact-serve v9 compile 1\n"[..], "bad protocol"),
             (
-                &b"impact-serve v1 decompile 1\n"[..],
+                &b"impact-serve v2 decompile 1\n"[..],
                 "unknown request verb",
             ),
-            (&b"impact-serve v1 compile 0\n"[..], "source count"),
-            (&b"impact-serve v1 compile 999\n"[..], "source count"),
-            (&b"impact-serve v1 compile 1\n5 99999999\n"[..], "field cap"),
-            (&b"impact-serve v1 compile 1\n3 4\na.cint"[..], "truncated"),
-            (&b"impact-serve v1 compile 1"[..], "truncated line"),
+            (&b"impact-serve v2 compile 0\n"[..], "source count"),
+            (&b"impact-serve v2 compile 999\n"[..], "source count"),
+            (&b"impact-serve v2 compile 1\n5 99999999\n"[..], "field cap"),
+            (&b"impact-serve v2 compile 1\n3 4\na.cint"[..], "truncated"),
+            (&b"impact-serve v2 compile 1"[..], "truncated line"),
+            // v1 clients are rejected at the header, not half-parsed.
+            (&b"impact-serve v1 compile 1\n"[..], "bad protocol"),
         ] {
             let err = read_request(&mut std::io::Cursor::new(wire.to_vec())).unwrap_err();
             assert!(err.contains(needle), "`{err}` should mention `{needle}`");
@@ -747,12 +1079,41 @@ mod tests {
     }
 
     #[test]
-    fn serve_faults_are_stripped_from_request_options() {
+    fn malformed_responses_name_the_missing_field() {
+        for (wire, needle) in [
+            (&b"impact-serve v2 ok 0\n"[..], "cached flag"),
+            (&b"impact-serve v2 ok 0 1\n"[..], "retry-after"),
+            (&b"impact-serve v2 ok 0 1 5\n"[..], "payload length"),
+            (&b"impact-serve v2 maybe 0 1 0 0\n"[..], "unknown response"),
+            (&b"impact-serve v1 ok 0 1 0\n"[..], "bad protocol"),
+        ] {
+            let err = read_response(&mut std::io::Cursor::new(wire.to_vec())).unwrap_err();
+            assert!(err.contains(needle), "`{err}` should mention `{needle}`");
+        }
+    }
+
+    #[test]
+    fn wire_retryability_separates_truncation_from_protocol_violations() {
+        assert!(wire_error_is_retryable(
+            "truncated line (peer closed or timed out)"
+        ));
+        assert!(wire_error_is_retryable("truncated response payload: eof"));
+        assert!(wire_error_is_retryable("read failed: timed out"));
+        assert!(!wire_error_is_retryable("bad protocol header `x`"));
+        assert!(!wire_error_is_retryable("unknown response status `maybe`"));
+    }
+
+    #[test]
+    fn service_faults_are_stripped_from_request_options() {
         let o = Options::parse(&strs(&[
             "serve",
             "s.sock",
             "--fault",
             "serve:panic=1",
+            "--fault",
+            "net:torn-write",
+            "--fault",
+            "cache:bitflip=2",
             "--fault",
             "inline:verify",
         ]))
@@ -761,7 +1122,28 @@ mod tests {
         assert_eq!(r.faults, strs(&["inline:verify"]));
         assert!(r.quiet);
         assert!(r.positional.is_empty());
-        assert!(is_serve_fault("serve:stall"));
-        assert!(!is_serve_fault("inline:verify"));
+        for spec in ["serve:stall", "net:drop", "cache:evict-read-race"] {
+            assert!(is_service_fault(spec), "{spec}");
+        }
+        assert!(!is_service_fault("inline:verify"));
+        assert!(!is_service_fault("journal:torn-write"));
+    }
+
+    #[test]
+    fn service_fault_plan_arms_only_service_specs() {
+        let o = Options::parse(&strs(&[
+            "serve",
+            "s.sock",
+            "--fault",
+            "serve:stall=1",
+            "--fault",
+            "inline:verify",
+        ]))
+        .unwrap();
+        let plan = service_fault_plan(&o).unwrap();
+        assert!(plan.should_fail("serve:stall"));
+        assert!(!plan.should_fail("inline:verify"));
+        let bad = Options::parse(&strs(&["serve", "s.sock", "--fault", "serve:stall=x"])).unwrap();
+        assert!(service_fault_plan(&bad).is_err());
     }
 }

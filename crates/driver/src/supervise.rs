@@ -168,11 +168,12 @@ fn enumerate_units(opts: &Options) -> Result<Vec<Unit>, String> {
 /// The per-unit options: IL dumps off, per-unit profile I/O off (units
 /// would clobber each other's files), telemetry output flags off (the
 /// campaign aggregates unit telemetry into one collector and writes the
-/// artifacts once, at the end), `journal:*` fault specs stripped (they
-/// belong to the campaign journal, not the pipeline), and the remaining
-/// `--fault` specs cleared unless `--fault-unit` matches this unit (or
-/// no target was named, in which case faults arm everywhere, matching
-/// single-unit semantics).
+/// artifacts once, at the end), `journal:*` and service-layer
+/// (`serve:*`/`net:*`/`cache:*`) fault specs stripped (they belong to
+/// the campaign journal and the service machinery, not the pipeline),
+/// and the remaining `--fault` specs cleared unless `--fault-unit`
+/// matches this unit (or no target was named, in which case faults arm
+/// everywhere, matching single-unit semantics).
 fn unit_options(opts: &Options, unit_name: &str) -> Options {
     let mut o = opts.clone();
     o.quiet = true;
@@ -182,7 +183,8 @@ fn unit_options(opts: &Options, unit_name: &str) -> Options {
     o.decisions_out = None;
     o.trace_out = None;
     o.metrics_out = None;
-    o.faults.retain(|f| !is_journal_fault(f));
+    o.faults
+        .retain(|f| !is_journal_fault(f) && !crate::serve::is_service_fault(f));
     if let Some(target) = &opts.fault_unit {
         if target != unit_name {
             o.faults.clear();
@@ -304,7 +306,8 @@ pub(crate) fn run_attempt(
 
 /// Deterministic backoff jitter in `[0, base)`, derived from the unit
 /// name and attempt number so reruns of the same batch sleep identically.
-fn jitter_ms(unit: &str, attempt: u32, base: u64) -> u64 {
+/// Shared with the serve client, which jitters on the socket path.
+pub(crate) fn jitter_ms(unit: &str, attempt: u32, base: u64) -> u64 {
     if base == 0 {
         return 0;
     }
@@ -560,7 +563,14 @@ pub fn run_batch(opts: &Options) -> Result<(i32, String), String> {
     }
     let obs = telemetry::handle_for(opts);
     let artifact_cache = match &service.cache_dir {
-        Some(dir) => Some(cache::Cache::open(dir, &obs)?),
+        // The batch cache honors the same budget and `cache:*` chaos
+        // points as the serve daemon's.
+        Some(dir) => Some(cache::Cache::open_with(
+            dir,
+            &obs,
+            service.cache_budget_bytes,
+            crate::serve::service_fault_plan(opts)?,
+        )?),
         None => None,
     };
     // Completion records and note lines, indexed by canonical unit

@@ -1,0 +1,572 @@
+//! Chaos matrix for the serve path: every service fault point is
+//! injected against a live daemon, once with the resilient client's
+//! retries and once without. With retries, every scenario must converge
+//! to the byte-identical report of a fault-free run with a daemon that
+//! never crashes; without retries, response-path faults must fail as
+//! structured errors, never hangs. The second half covers the cache
+//! lifecycle across hard kills: entries and quarantine decisions must
+//! survive a `kill -9` and a restart.
+//!
+//! Every test drives the real binary, like `tests/serve.rs`.
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_impactc");
+
+struct RunResult {
+    code: Option<i32>,
+    stdout: String,
+    stderr: String,
+}
+
+fn impactc<S: AsRef<std::ffi::OsStr>>(args: &[S]) -> RunResult {
+    let out = Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("spawn impactc");
+    RunResult {
+        code: out.status.code(),
+        stdout: String::from_utf8_lossy(&out.stdout).into_owned(),
+        stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("impactc-chaos-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_hot_c(dir: &Path) -> String {
+    let p = dir.join("hot.c");
+    std::fs::write(
+        &p,
+        "int add(int x) { return x + 1; }\n\
+         int main() { int i; int s; s = 0; for (i = 0; i < 8; i++) s += add(i); return s & 0; }",
+    )
+    .unwrap();
+    p.to_str().unwrap().to_string()
+}
+
+fn spawn_daemon(sock: &Path, extra: &[&str]) -> Child {
+    let child = Command::new(BIN)
+        .arg("serve")
+        .arg(sock)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve daemon");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !sock.exists() {
+        assert!(
+            Instant::now() < deadline,
+            "daemon never bound {}",
+            sock.display()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child
+}
+
+fn sig(child: &Child, sig: &str) {
+    let ok = Command::new("kill")
+        .args([sig, &child.id().to_string()])
+        .status()
+        .expect("run kill")
+        .success();
+    assert!(ok, "kill {sig} failed");
+}
+
+fn stop_and_collect(mut child: Child) -> (Option<i32>, String) {
+    sig(&child, "-TERM");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while child.try_wait().expect("poll daemon").is_none() {
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("daemon did not drain within 30s of SIGTERM");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let out = child.wait_with_output().expect("collect daemon output");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+/// Hard-kills the daemon (no drain, no cleanup) — the crash half of the
+/// crash-safe cache lifecycle.
+fn kill9_and_reap(mut child: Child, sock: &Path) {
+    sig(&child, "-KILL");
+    let _ = child.wait();
+    // A killed daemon leaves its socket behind; remove it so the next
+    // daemon's bind (and our bind-wait) starts clean.
+    let _ = std::fs::remove_file(sock);
+}
+
+fn request(sock: &Path, file: &str, extra: &[&str]) -> RunResult {
+    let mut args = vec!["request", sock.to_str().unwrap(), file];
+    args.extend_from_slice(extra);
+    impactc(&args)
+}
+
+/// The fault-free report for `hot.c`, computed once per daemon config
+/// so every chaos scenario has its ground truth.
+fn baseline(dir: &Path, tag: &str) -> String {
+    let hot = write_hot_c(dir);
+    let sock = dir.join(format!("base-{tag}.sock"));
+    let daemon = spawn_daemon(&sock, &["--jobs", "1"]);
+    let r = request(&sock, &hot, &[]);
+    assert_eq!(r.code, Some(0), "fault-free baseline failed: {}", r.stderr);
+    let (code, _) = stop_and_collect(daemon);
+    assert_eq!(code, Some(0));
+    r.stdout
+}
+
+/// The chaos matrix proper: each daemon-side fault point, with and
+/// without client retries. With retries every run converges to the
+/// fault-free bytes; without, response-path faults fail structured.
+#[test]
+fn chaos_matrix_converges_with_retries_and_fails_structured_without() {
+    let dir = tmp_dir("matrix");
+    let hot = write_hot_c(&dir);
+    let expected = baseline(&dir, "matrix");
+
+    // (fault spec, survives a single attempt without retries?)
+    let matrix: &[(&str, bool)] = &[
+        ("serve:stall=1", true),         // slow, not wrong
+        ("serve:panic=1", false),        // structured error response
+        ("serve:accept-crash=1", false), // connection dropped pre-read
+        ("net:torn-write=1", false),     // half a response frame
+        ("net:drop=1", false),           // response never written
+    ];
+
+    for (fault, survives_single) in matrix {
+        let tag = fault.replace([':', '='], "-");
+        let sock = dir.join(format!("{tag}.sock"));
+        let metrics = dir.join(format!("{tag}.metrics.json"));
+
+        let daemon = spawn_daemon(
+            &sock,
+            &[
+                "--jobs",
+                "1",
+                "--fault",
+                fault,
+                "--metrics-out",
+                metrics.to_str().unwrap(),
+            ],
+        );
+
+        // Without retries: the injected fault costs this attempt, and
+        // the failure must be a structured error, never a hang.
+        let bare = request(&sock, &hot, &["--retries", "0"]);
+        if *survives_single {
+            assert_eq!(bare.code, Some(0), "{fault} bare: {}", bare.stderr);
+            assert_eq!(bare.stdout, expected, "{fault} bare bytes diverged");
+        } else {
+            assert_eq!(
+                bare.code,
+                Some(2),
+                "{fault} bare must fail structured: {}",
+                bare.stdout
+            );
+            assert!(
+                !bare.stderr.is_empty(),
+                "{fault} bare failed without naming a reason"
+            );
+        }
+
+        // With retries (the default): the client must converge to the
+        // fault-free bytes. The fault is one-shot, so for faults that
+        // consumed their shot on the bare attempt the retry run is
+        // fault-free; for `serve:stall` it already converged above.
+        let resilient = request(&sock, &hot, &[]);
+        assert_eq!(
+            resilient.code,
+            Some(0),
+            "{fault} with retries must converge: {}",
+            resilient.stderr
+        );
+        assert_eq!(
+            resilient.stdout, expected,
+            "{fault} with retries diverged from the fault-free bytes"
+        );
+
+        // The daemon never crashed: it still drains gracefully, and the
+        // injected fault is visible in the chaos telemetry.
+        let (code, stdout) = stop_and_collect(daemon);
+        assert_eq!(code, Some(0), "{fault}: daemon must survive: {stdout}");
+        let metrics_text = std::fs::read_to_string(&metrics).expect("metrics written on drain");
+        let key = fault.split('=').next().unwrap();
+        assert!(
+            metrics_text.contains("\"name\": \"chaos:injected\""),
+            "{fault}: chaos counter missing: {metrics_text}"
+        );
+        assert!(
+            metrics_text.contains(&format!("\"name\": \"chaos:{key}\"")),
+            "{fault}: per-point chaos counter missing: {metrics_text}"
+        );
+    }
+}
+
+/// `cache:bitflip` corrupts a stored entry; the next lookup must
+/// quarantine it (incident report and all) and recompile to the same
+/// bytes — the client never sees the corruption.
+#[test]
+fn cache_bitflip_quarantines_and_recompiles_identically() {
+    let dir = tmp_dir("bitflip");
+    let hot = write_hot_c(&dir);
+    let expected = baseline(&dir, "bitflip");
+    let sock = dir.join("d.sock");
+    let cache = dir.join("cache");
+    let metrics = dir.join("metrics.json");
+    let daemon = spawn_daemon(
+        &sock,
+        &[
+            "--jobs",
+            "1",
+            "--cache-dir",
+            cache.to_str().unwrap(),
+            "--fault",
+            "cache:bitflip=1",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ],
+    );
+
+    // Store (corrupted on disk by the fault), then look up: the entry
+    // is quarantined and the request recompiles to the same bytes with
+    // no hit marker.
+    let r1 = request(&sock, &hot, &[]);
+    assert_eq!(r1.code, Some(0), "store request: {}", r1.stderr);
+    assert_eq!(r1.stdout, expected, "store request bytes diverged");
+    let r2 = request(&sock, &hot, &[]);
+    assert_eq!(r2.code, Some(0), "recompile request: {}", r2.stderr);
+    assert_eq!(
+        r2.stdout, expected,
+        "corrupt entry must recompile, not serve garbage"
+    );
+
+    // The third request hits the freshly re-stored entry.
+    let r3 = request(&sock, &hot, &[]);
+    assert_eq!(r3.code, Some(0), "post-quarantine request: {}", r3.stderr);
+    assert_eq!(r3.stdout, format!("{expected}; cache: hit\n"));
+
+    let (code, _) = stop_and_collect(daemon);
+    assert_eq!(code, Some(0), "daemon must survive cache corruption");
+    let quarantined: Vec<_> = std::fs::read_dir(&cache)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".quarantined"))
+        .collect();
+    assert_eq!(quarantined.len(), 1, "exactly one quarantined entry");
+    let incidents: Vec<_> = std::fs::read_dir(&cache)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".incident.json"))
+        .collect();
+    assert_eq!(incidents.len(), 1, "exactly one incident report");
+    let metrics_text = std::fs::read_to_string(&metrics).unwrap();
+    assert!(
+        metrics_text.contains("\"name\": \"chaos:cache:bitflip\""),
+        "bitflip injection missing from telemetry: {metrics_text}"
+    );
+}
+
+/// A hard kill (`kill -9`, no drain) must not cost the cache: a
+/// restarted daemon rebuilds its index from the scan and serves the
+/// prior entries as hits.
+#[test]
+fn cache_entries_survive_a_hard_kill_and_restart() {
+    let dir = tmp_dir("restart");
+    let hot = write_hot_c(&dir);
+    let expected = baseline(&dir, "restart");
+    let sock = dir.join("d.sock");
+    let cache = dir.join("cache");
+
+    let daemon = spawn_daemon(
+        &sock,
+        &["--jobs", "1", "--cache-dir", cache.to_str().unwrap()],
+    );
+    let r1 = request(&sock, &hot, &[]);
+    assert_eq!(r1.code, Some(0), "store request: {}", r1.stderr);
+    assert_eq!(r1.stdout, expected);
+    kill9_and_reap(daemon, &sock);
+
+    // Restart on the same cache dir: the entry stored before the kill
+    // is served as a hit.
+    let daemon = spawn_daemon(
+        &sock,
+        &["--jobs", "1", "--cache-dir", cache.to_str().unwrap()],
+    );
+    let r2 = request(&sock, &hot, &[]);
+    assert_eq!(r2.code, Some(0), "post-restart request: {}", r2.stderr);
+    assert_eq!(
+        r2.stdout,
+        format!("{expected}; cache: hit\n"),
+        "entry lost across kill -9"
+    );
+    let (code, _) = stop_and_collect(daemon);
+    assert_eq!(code, Some(0));
+}
+
+/// Quarantine decisions are crash-safe too: an entry that goes corrupt
+/// while the daemon is down is quarantined by the startup scan, and
+/// stays quarantined across further restarts instead of being
+/// resurrected into the live set.
+#[test]
+fn quarantine_decisions_survive_restarts() {
+    let dir = tmp_dir("quarantine-restart");
+    let hot = write_hot_c(&dir);
+    let expected = baseline(&dir, "quarantine-restart");
+    let sock = dir.join("d.sock");
+    let cache = dir.join("cache");
+
+    let daemon = spawn_daemon(
+        &sock,
+        &["--jobs", "1", "--cache-dir", cache.to_str().unwrap()],
+    );
+    let r1 = request(&sock, &hot, &[]);
+    assert_eq!(r1.code, Some(0), "store request: {}", r1.stderr);
+    kill9_and_reap(daemon, &sock);
+
+    // Corrupt the stored entry on disk while the daemon is down.
+    let entry = std::fs::read_dir(&cache)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .find(|e| e.file_name().to_string_lossy().ends_with(".entry"))
+        .expect("stored entry on disk")
+        .path();
+    let mut bytes = std::fs::read(&entry).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&entry, &bytes).unwrap();
+
+    // Restart: the scan quarantines the corrupt entry, and the request
+    // recompiles to the same bytes (no hit, no garbage).
+    let daemon = spawn_daemon(
+        &sock,
+        &["--jobs", "1", "--cache-dir", cache.to_str().unwrap()],
+    );
+    let r2 = request(&sock, &hot, &[]);
+    assert_eq!(r2.code, Some(0), "post-corruption request: {}", r2.stderr);
+    assert_eq!(
+        r2.stdout, expected,
+        "corrupt entry must recompile after restart"
+    );
+    kill9_and_reap(daemon, &sock);
+
+    let names: Vec<String> = std::fs::read_dir(&cache)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        names.iter().any(|n| n.ends_with(".quarantined")),
+        "quarantine decision lost: {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n.ends_with(".incident.json")),
+        "incident report missing: {names:?}"
+    );
+
+    // One more restart: the quarantined entry stays quarantined (the
+    // recompiled entry from r2 is the hit; the old bytes are never
+    // resurrected).
+    let daemon = spawn_daemon(
+        &sock,
+        &["--jobs", "1", "--cache-dir", cache.to_str().unwrap()],
+    );
+    let r3 = request(&sock, &hot, &[]);
+    assert_eq!(r3.code, Some(0), "second restart request: {}", r3.stderr);
+    assert_eq!(
+        r3.stdout,
+        format!("{expected}; cache: hit\n"),
+        "re-stored entry must hit after the second restart"
+    );
+    let (code, _) = stop_and_collect(daemon);
+    assert_eq!(code, Some(0));
+}
+
+/// The budget holds through the daemon: with room for only one entry,
+/// the older of two entries is evicted, and every response still
+/// carries the right bytes.
+#[test]
+fn eviction_under_budget_keeps_responses_correct() {
+    let dir = tmp_dir("evict");
+    let hot = write_hot_c(&dir);
+    // Comparable in size to hot.c so its entry also exceeds half the
+    // measured budget (the eviction has to be forced, not incidental).
+    let cold = dir.join("cold.c");
+    std::fs::write(
+        &cold,
+        "int mul(int x) { return x * 3; }\n\
+         int main() { int i; int s; s = 1; for (i = 0; i < 9; i++) s += mul(i); return s & 0; }",
+    )
+    .unwrap();
+    let cold = cold.to_str().unwrap().to_string();
+    let sock = dir.join("d.sock");
+    let cache = dir.join("cache");
+
+    // First, measure one entry: store hot.c with no budget, then size
+    // the budget to fit one entry but not two.
+    let daemon = spawn_daemon(
+        &sock,
+        &["--jobs", "1", "--cache-dir", cache.to_str().unwrap()],
+    );
+    let r = request(&sock, &hot, &[]);
+    assert_eq!(r.code, Some(0), "measure request: {}", r.stderr);
+    let (code, _) = stop_and_collect(daemon);
+    assert_eq!(code, Some(0));
+    let entry_bytes = std::fs::read_dir(&cache)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .find(|e| e.file_name().to_string_lossy().ends_with(".entry"))
+        .expect("measured entry")
+        .metadata()
+        .unwrap()
+        .len();
+    let budget = (entry_bytes + entry_bytes / 2).to_string();
+
+    let daemon = spawn_daemon(
+        &sock,
+        &[
+            "--jobs",
+            "1",
+            "--cache-dir",
+            cache.to_str().unwrap(),
+            "--cache-budget-bytes",
+            &budget,
+        ],
+    );
+    // hot is still cached from the measuring run; storing cold must
+    // evict it (LRU) to stay under budget.
+    let h1 = request(&sock, &hot, &[]);
+    assert_eq!(h1.code, Some(0));
+    assert!(h1.stdout.ends_with("; cache: hit\n"), "{}", h1.stdout);
+    let c1 = request(&sock, &cold, &[]);
+    assert_eq!(c1.code, Some(0), "cold store: {}", c1.stderr);
+    let c2 = request(&sock, &cold, &[]);
+    assert_eq!(c2.code, Some(0));
+    assert!(
+        c2.stdout.ends_with("; cache: hit\n"),
+        "cold entry should have survived: {}",
+        c2.stdout
+    );
+    let h2 = request(&sock, &hot, &[]);
+    assert_eq!(h2.code, Some(0), "evicted recompile: {}", h2.stderr);
+    assert!(
+        !h2.stdout.contains("; cache: hit"),
+        "hot entry should have been evicted: {}",
+        h2.stdout
+    );
+    let (code, _) = stop_and_collect(daemon);
+    assert_eq!(code, Some(0));
+}
+
+/// The busy path end to end: a full queue sheds with a deterministic
+/// retry-after hint, the client surfaces each attempt on stderr, and
+/// the daemon accounts every shed.
+#[test]
+fn busy_responses_carry_a_retry_hint_the_client_honors() {
+    let dir = tmp_dir("busy");
+    let hot = write_hot_c(&dir);
+    let sock = dir.join("d.sock");
+    // One stalled worker + one queue slot: the third client only sees
+    // `busy` until the stall clears.
+    let daemon = spawn_daemon(
+        &sock,
+        &[
+            "--jobs",
+            "1",
+            "--queue-depth",
+            "1",
+            "--fault",
+            "serve:stall=1",
+        ],
+    );
+
+    let a = Command::new(BIN)
+        .args(["request", sock.to_str().unwrap(), &hot])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn request A");
+    std::thread::sleep(Duration::from_millis(500));
+    let b = Command::new(BIN)
+        .args(["request", sock.to_str().unwrap(), &hot])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn request B");
+    std::thread::sleep(Duration::from_millis(300));
+
+    // C retries against the busy daemon: each attempt is shed, each
+    // retry notice names the busy reason, and the overall failure is
+    // structured.
+    let c = request(&sock, &hot, &["--retries", "2", "--retry-base-ms", "10"]);
+    assert_eq!(c.code, Some(2), "busy must stay busy: {}", c.stdout);
+    assert!(c.stderr.contains("server busy"), "{}", c.stderr);
+    assert!(
+        c.stderr.contains("retrying in"),
+        "retry notices missing: {}",
+        c.stderr
+    );
+    assert!(
+        c.stderr.contains("request failed after 3 attempts"),
+        "attempt accounting missing: {}",
+        c.stderr
+    );
+
+    for (name, client) in [("A", a), ("B", b)] {
+        let out = client.wait_with_output().expect("collect client");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "request {name} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let (code, stdout) = stop_and_collect(daemon);
+    assert_eq!(code, Some(0));
+    assert!(
+        stdout.contains("3 shed"),
+        "every shed attempt must be accounted: {stdout}"
+    );
+}
+
+/// `--deadline-ms` is an overall budget: against a daemon that never
+/// answers usefully (stall longer than the deadline), the client gives
+/// up with a deadline error instead of burning all its retries.
+#[test]
+fn deadline_bounds_the_whole_retry_schedule() {
+    let dir = tmp_dir("deadline");
+    let hot = write_hot_c(&dir);
+    let sock = dir.join("d.sock");
+    // The first request stalls 1500ms; a 600ms overall deadline must
+    // expire during that stalled exchange.
+    let daemon = spawn_daemon(&sock, &["--jobs", "1", "--fault", "serve:stall=1"]);
+
+    let start = Instant::now();
+    let r = request(&sock, &hot, &["--deadline-ms", "600"]);
+    let elapsed = start.elapsed();
+    assert_eq!(r.code, Some(2), "deadline run must fail: {}", r.stdout);
+    assert!(
+        r.stderr.contains("deadline"),
+        "failure must name the deadline: {}",
+        r.stderr
+    );
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "client overstayed its deadline: {elapsed:?}"
+    );
+
+    let (code, _) = stop_and_collect(daemon);
+    assert_eq!(code, Some(0), "daemon must survive deadline clients");
+}

@@ -469,17 +469,22 @@ fn corrupted_cache_entry_is_quarantined_and_recompiled() {
     bytes[mid] ^= 0x01;
     std::fs::write(victim, &bytes).unwrap();
 
-    let recovered = run(&[]);
+    // The startup scan-and-validate catches the corruption before any
+    // lookup: the entry is quarantined (counted in the metrics, with
+    // the incident report as the durable record) and the unit
+    // recompiles — never served the bad bytes.
+    let metrics_rec = dir.join("recovery-metrics.json");
+    let recovered = run(&["--metrics-out", metrics_rec.to_str().unwrap()]);
     assert_eq!(
         recovered.code,
         Some(0),
         "recovery run: {}",
         recovered.stderr
     );
+    let metrics_rec_text = std::fs::read_to_string(&metrics_rec).unwrap();
     assert!(
-        recovered.stdout.contains("; cache: quarantined"),
-        "corruption was not reported: {}",
-        recovered.stdout
+        metrics_rec_text.contains("\"name\": \"cache:quarantined\", \"value\": 1"),
+        "corruption was not reported: {metrics_rec_text}"
     );
     let stem = victim.file_stem().unwrap().to_str().unwrap();
     assert!(

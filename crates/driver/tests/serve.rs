@@ -103,6 +103,14 @@ fn request(sock: &Path, file: &str) -> RunResult {
     impactc(&["request", sock.to_str().unwrap(), file])
 }
 
+/// A request with extra client flags (e.g. `--retries 0` where a test
+/// needs exactly one attempt for its accounting to be deterministic).
+fn request_with(sock: &Path, file: &str, extra: &[&str]) -> RunResult {
+    let mut args = vec!["request", sock.to_str().unwrap(), file];
+    args.extend_from_slice(extra);
+    impactc(&args)
+}
+
 /// Spawns a client request as a child process (for concurrency tests).
 fn spawn_request(sock: &Path, file: &str) -> Child {
     Command::new(BIN)
@@ -201,7 +209,8 @@ fn serve_sheds_overload_with_immediate_busy() {
     std::thread::sleep(Duration::from_millis(500));
     let b = spawn_request(&sock, &hot);
     std::thread::sleep(Duration::from_millis(300));
-    let c = request(&sock, &hot);
+    // --retries 0: one attempt keeps the shed count at exactly 1.
+    let c = request_with(&sock, &hot, &["--retries", "0"]);
     assert_eq!(c.code, Some(2), "shed request must fail fast: {}", c.stdout);
     assert!(
         c.stderr.contains("server busy"),
@@ -232,7 +241,9 @@ fn serve_isolates_request_worker_panics() {
 
     // The injected panic fires inside the first request's worker; the
     // client sees a structured error, not a hang or a dead daemon.
-    let r1 = request(&sock, &hot);
+    // --retries 0: a retry would succeed past the one-shot fault and
+    // hide the error this test is about.
+    let r1 = request_with(&sock, &hot, &["--retries", "0"]);
     assert_eq!(
         r1.code,
         Some(2),
@@ -282,6 +293,35 @@ fn sigterm_drains_in_flight_requests_before_exiting() {
         a.stderr
     );
     assert!(!a.stdout.is_empty(), "drained request produced no report");
+}
+
+#[test]
+fn ping_reports_daemon_health() {
+    let dir = tmp_dir("ping");
+    let sock = dir.join("d.sock");
+    let cache = dir.join("cache");
+    let daemon = spawn_daemon(
+        &sock,
+        &["--jobs", "2", "--cache-dir", cache.to_str().unwrap()],
+    );
+
+    let p = impactc(&["request", sock.to_str().unwrap(), "--ping"]);
+    assert_eq!(p.code, Some(0), "healthy daemon must ping 0: {}", p.stderr);
+    assert!(p.stdout.contains("; serve: healthy"), "{}", p.stdout);
+    assert!(p.stdout.contains("; workers: 2"), "{}", p.stdout);
+    assert!(p.stdout.contains("; cache: writable"), "{}", p.stdout);
+
+    // --ping takes no files.
+    let bad = impactc(&["request", sock.to_str().unwrap(), "x.c", "--ping"]);
+    assert_eq!(bad.code, Some(2));
+    assert!(bad.stderr.contains("--ping"), "{}", bad.stderr);
+
+    let (code, stdout) = stop_and_collect(daemon);
+    assert_eq!(code, Some(0), "drain after ping must exit 0: {stdout}");
+    assert!(
+        stdout.contains("1 pings"),
+        "ping missing from the drain summary: {stdout}"
+    );
 }
 
 #[test]

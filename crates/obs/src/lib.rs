@@ -56,6 +56,18 @@ pub mod names {
     pub const SERVE_ERRORS: &str = "serve:errors";
     /// Requests shed with an immediate `busy` response (queue full).
     pub const SERVE_SHED: &str = "serve:shed";
+    /// `ping` health checks answered by the daemon.
+    pub const SERVE_PINGS: &str = "serve:pings";
+    /// Entries (live or quarantined) deleted by budget eviction.
+    pub const CACHE_EVICTIONS: &str = "cache:evictions";
+    /// On-disk bytes reclaimed by budget eviction.
+    pub const CACHE_EVICTED_BYTES: &str = "cache:evicted-bytes";
+    /// Eviction passes that ran out of unpinned victims while still over
+    /// budget (an in-flight read kept its entry alive).
+    pub const CACHE_PIN_SKIPS: &str = "cache:pin-skips";
+    /// Deterministic service faults that actually fired (each also bumps
+    /// a dynamic `chaos:<fault-key>` counter naming the exact point).
+    pub const CHAOS_INJECTED: &str = "chaos:injected";
 
     /// Every service counter name, for exhaustiveness checks.
     pub const ALL: &[&str] = &[
@@ -65,10 +77,15 @@ pub mod names {
         CACHE_MISSES,
         CACHE_STORES,
         CACHE_QUARANTINED,
+        CACHE_EVICTIONS,
+        CACHE_EVICTED_BYTES,
+        CACHE_PIN_SKIPS,
         SERVE_REQUESTS,
         SERVE_OK,
         SERVE_ERRORS,
         SERVE_SHED,
+        SERVE_PINGS,
+        CHAOS_INJECTED,
     ];
 }
 
@@ -341,7 +358,10 @@ mod tests {
         for n in names::ALL {
             assert!(seen.insert(n), "duplicate counter name {n}");
             assert!(
-                n.starts_with("pool:") || n.starts_with("cache:") || n.starts_with("serve:"),
+                n.starts_with("pool:")
+                    || n.starts_with("cache:")
+                    || n.starts_with("serve:")
+                    || n.starts_with("chaos:"),
                 "unnamespaced counter {n}"
             );
         }
