@@ -868,6 +868,11 @@ mod tests {
         ]))
         .unwrap();
         assert_eq!(k0, unit_key(&sources, &runs, &o));
+        // Engine selection and icache simulation do not either: both
+        // engines produce identical artifacts (the parity suite proves
+        // it), so a cache filled under one engine serves the other.
+        let o = Options::parse(&strs(&["batch", "u.c", "--engine", "interp", "--icache"])).unwrap();
+        assert_eq!(k0, unit_key(&sources, &runs, &o));
         let _ = std::fs::remove_dir_all(std::path::Path::new("/tmp/c"));
     }
 

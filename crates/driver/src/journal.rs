@@ -968,6 +968,45 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_ignores_engine_selection() {
+        // The two engines are behaviorally identical (proven by the
+        // parity suite), so switching engines mid-campaign must resume
+        // the same journal rather than start a new campaign.
+        let base = Options::parse(&strs(&["batch", "a.c", "--threshold", "5"])).unwrap();
+        let interp = Options::parse(&strs(&[
+            "batch",
+            "a.c",
+            "--threshold",
+            "5",
+            "--engine",
+            "interp",
+        ]))
+        .unwrap();
+        let simulated = Options::parse(&strs(&[
+            "batch",
+            "a.c",
+            "--threshold",
+            "5",
+            "--engine",
+            "bytecode",
+            "--icache",
+        ]))
+        .unwrap();
+        let units = strs(&["a.c"]);
+        let k = campaign_fingerprint("batch", &base, &units);
+        assert_eq!(
+            k,
+            campaign_fingerprint("batch", &interp, &units),
+            "engine choice must not change the campaign identity"
+        );
+        assert_eq!(
+            k,
+            campaign_fingerprint("batch", &simulated, &units),
+            "icache simulation must not change the campaign identity"
+        );
+    }
+
+    #[test]
     fn report_dir_manifest_detects_collisions() {
         let dir = tmp_dir("manifest");
         prepare_report_dir(&dir, "batch", 0x1111, false).unwrap();

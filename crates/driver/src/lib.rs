@@ -21,7 +21,7 @@ use impact_inline::{
     Linearization, SiteDecision,
 };
 use impact_opt::optimize_module_observed;
-use impact_vm::{profile_runs, FaultPlan, NamedFile, Profile, VmConfig};
+use impact_vm::{profile_runs, Engine, FaultPlan, IcacheConfig, NamedFile, Profile, VmConfig};
 
 pub mod cache;
 pub mod fuzz;
@@ -131,6 +131,17 @@ pub struct Options {
     /// `--ping` (request): run the daemon health self-checks instead of
     /// compiling.
     pub ping: bool,
+    /// `--engine interp|bytecode`: which VM execution engine runs the
+    /// program (default `bytecode`). The engines are proven behaviorally
+    /// identical by the parity suite, so — like the telemetry flags —
+    /// this cannot change any output and is excluded from campaign
+    /// fingerprints and cache keys.
+    pub engine: Option<String>,
+    /// `--icache`: replay the dynamic instruction stream through the
+    /// paper-era simulated instruction cache (8 KiB direct-mapped,
+    /// 32-byte lines) and report hit/miss statistics. Composes with
+    /// either `--engine`; the simulated stream is identical on both.
+    pub icache: bool,
 }
 
 impl Options {
@@ -179,6 +190,8 @@ impl Options {
             cache_budget_bytes: None,
             deadline_ms: None,
             ping: false,
+            engine: None,
+            icache: false,
         };
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -314,6 +327,11 @@ impl Options {
                     opts.deadline_ms = Some(v.parse().map_err(|_| "bad --deadline-ms")?);
                 }
                 "--ping" => opts.ping = true,
+                "--engine" => {
+                    let v = it.next().ok_or("--engine needs a name".to_string())?;
+                    opts.engine = Some(v.clone());
+                }
+                "--icache" => opts.icache = true,
                 other if other.starts_with("--") => {
                     return Err(format!("unknown option `{other}`\n{}", usage()));
                 }
@@ -337,9 +355,28 @@ impl Options {
         Ok(plan)
     }
 
+    /// Resolves the `--engine` flag (default: [`Engine::Bytecode`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an actionable message naming the valid engines.
+    pub fn engine_choice(&self) -> Result<Engine, String> {
+        match self.engine.as_deref() {
+            None => Ok(Engine::default()),
+            Some(name) => name.parse().map_err(|_| {
+                format!(
+                    "--engine `{name}` is not a known execution engine; use \
+                     `bytecode` (the default register-bytecode engine) or \
+                     `interp` (the reference tree-walking interpreter)"
+                )
+            }),
+        }
+    }
+
     /// Builds the VM configuration from the resource-governor flags,
-    /// threading `fault` through it. Validates `--fuel` and
-    /// `--mem-limit` the same way `--budget`/`--stack-bound` are.
+    /// threading `fault` through it. Validates `--fuel`, `--mem-limit`,
+    /// and `--engine` the same way `--budget`/`--stack-bound` are, and
+    /// arms the simulated instruction cache for `--icache`.
     ///
     /// # Errors
     ///
@@ -347,8 +384,12 @@ impl Options {
     pub fn vm_config(&self, fault: FaultPlan) -> Result<VmConfig, String> {
         let mut cfg = VmConfig {
             fault,
+            engine: self.engine_choice()?,
             ..VmConfig::default()
         };
+        if self.icache {
+            cfg.icache = Some(IcacheConfig::small_direct_mapped());
+        }
         if let Some(fuel) = self.fuel {
             if fuel == 0 {
                 return Err("--fuel 0 would stop the VM before its first instruction; \
@@ -581,6 +622,17 @@ pub fn usage() -> String {
      resource governor (run/inline/bench/batch):\n\
      \x20 --fuel N                        VM instruction budget per run\n\
      \x20 --mem-limit N                   VM heap allocation quota in bytes\n\
+     \n\
+     execution engine (run/inline/callgraph/bench/batch/fuzz/serve):\n\
+     \x20 --engine interp|bytecode        VM execution engine (default bytecode: flat\n\
+     \x20                                 register bytecode, measured multiple-x faster;\n\
+     \x20                                 interp is the reference tree-walker — both are\n\
+     \x20                                 behaviorally identical, proven by the parity\n\
+     \x20                                 suite, so results never depend on the choice)\n\
+     \x20 --icache                        replay the instruction stream through the\n\
+     \x20                                 paper-era simulated icache (8 KiB direct-\n\
+     \x20                                 mapped, 32-byte lines) and report miss stats;\n\
+     \x20                                 the stream is identical on either engine\n\
      \n\
      batch supervision:\n\
      \x20 --time-limit-ms N               per-attempt wall-clock deadline (default 10000)\n\
@@ -1188,6 +1240,17 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
             opts.command
         ));
     }
+    if !matches!(
+        opts.command.as_str(),
+        "run" | "inline" | "callgraph" | "bench" | "batch" | "fuzz" | "serve"
+    ) && (opts.engine.is_some() || opts.icache)
+    {
+        return Err(format!(
+            "--engine/--icache only apply to commands that execute code on the \
+             VM (run, inline, callgraph, bench, batch, fuzz, serve), not `{}`",
+            opts.command
+        ));
+    }
     match opts.command.as_str() {
         "compile" => {
             let module = compile_sources(&opts.positional)?;
@@ -1220,6 +1283,15 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
                 "; exit {} after {} ILs ({} calls)",
                 result.exit_code, result.profile.il_executed, result.profile.calls
             );
+            if let Some(stats) = &result.icache {
+                let _ = writeln!(
+                    out,
+                    "; icache: {} accesses, {} misses ({:.2}% miss ratio)",
+                    stats.accesses,
+                    stats.misses,
+                    100.0 * stats.miss_ratio()
+                );
+            }
             warn_unfired(&mut out, &vm_cfg.fault);
             Ok((result.exit_code as i32, out))
         }
@@ -1237,8 +1309,11 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
             let module = compile_sources(&opts.positional)?;
             let inputs = load_inputs(&opts.inputs)?;
             let runs = vec![(inputs, opts.args.clone())];
-            let (profile, _) =
-                profile_runs(&module, &runs, &VmConfig::default()).map_err(|e| e.to_string())?;
+            let cfg = VmConfig {
+                engine: opts.engine_choice()?,
+                ..VmConfig::default()
+            };
+            let (profile, _) = profile_runs(&module, &runs, &cfg).map_err(|e| e.to_string())?;
             let graph = CallGraph::build(&module, &profile.averaged());
             out.push_str(&graph.to_dot(&module));
             Ok((0, out))
@@ -1286,8 +1361,11 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
                 &mut incidents,
                 &mut out,
             );
-            let (after, _) =
-                profile_runs(&module, &runs, &VmConfig::default()).map_err(|e| e.to_string())?;
+            let after_cfg = VmConfig {
+                engine: vm_cfg.engine,
+                ..VmConfig::default()
+            };
+            let (after, _) = profile_runs(&module, &runs, &after_cfg).map_err(|e| e.to_string())?;
             let _ = writeln!(
                 out,
                 "{name}: {} C lines, {} ILs/run, calls {} -> {} ({:.1}% eliminated), code {:+.1}%",
@@ -1364,6 +1442,64 @@ mod tests {
         assert!(Options::parse(&strs(&["compile", "--bogus"])).is_err());
         let o = Options::parse(&strs(&["teleport"])).unwrap();
         assert!(execute(&o).is_err());
+    }
+
+    #[test]
+    fn engine_flag_resolves_and_rejects_unknown_names() {
+        let o = Options::parse(&strs(&["run", "a.c"])).unwrap();
+        assert_eq!(o.engine_choice().unwrap(), Engine::Bytecode);
+        let o = Options::parse(&strs(&["run", "a.c", "--engine", "interp"])).unwrap();
+        assert_eq!(o.engine_choice().unwrap(), Engine::Interp);
+        let o = Options::parse(&strs(&["run", "a.c", "--engine", "bytecode"])).unwrap();
+        assert_eq!(o.engine_choice().unwrap(), Engine::Bytecode);
+        let o = Options::parse(&strs(&["run", "a.c", "--engine", "turbo"])).unwrap();
+        let err = o.engine_choice().unwrap_err();
+        assert!(err.contains("not a known execution engine"), "{err}");
+        assert!(err.contains("interp") && err.contains("bytecode"), "{err}");
+        // vm_config surfaces the same failure.
+        assert!(o.vm_config(FaultPlan::new()).is_err());
+    }
+
+    #[test]
+    fn engine_and_icache_only_apply_to_vm_commands() {
+        for args in [
+            vec!["compile", "a.c", "--engine", "interp"],
+            vec!["compile", "a.c", "--icache"],
+            vec!["request", "--engine", "bytecode"],
+            vec!["request", "--icache"],
+        ] {
+            let o = Options::parse(&strs(&args)).unwrap();
+            let err = execute(&o).unwrap_err();
+            assert!(
+                err.contains("only apply to commands that execute code"),
+                "{args:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn both_engines_run_and_icache_composes() {
+        let dir = std::env::temp_dir().join("impactc-test-engine");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("e.c");
+        std::fs::write(
+            &src,
+            "int main() { int i; int s; s = 0; for (i = 0; i < 10; i++) s += i; return s; }",
+        )
+        .unwrap();
+        let path = src.to_str().unwrap();
+
+        let mut outs = Vec::new();
+        for engine in ["interp", "bytecode"] {
+            let o = Options::parse(&strs(&["run", path, "--engine", engine, "--icache"])).unwrap();
+            let (code, out) = execute(&o).unwrap();
+            assert_eq!(code, 45, "{engine}");
+            assert!(out.contains("icache:"), "{engine}: {out}");
+            outs.push(out);
+        }
+        // The simulated stream (and thus the stats line) is identical
+        // on both engines.
+        assert_eq!(outs[0], outs[1]);
     }
 
     #[test]

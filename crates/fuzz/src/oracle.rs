@@ -24,6 +24,11 @@
 //!   instructions (parameter-buffering movs plus a return-value mov) and
 //!   can never *remove* work when the optimizer is off.
 //!
+//! Orthogonal to the lattice, every execution is also replayed on the
+//! VM's second engine (the tree-walking interpreter; the lattice runs on
+//! the default register-bytecode engine) and any disagreement — behavior,
+//! trap, or profile record — is an `engine` divergence.
+//!
 //! Any injected fault that makes the recovery layer roll an arc back
 //! surfaces here as an `incident` divergence (and usually a size-
 //! accounting mismatch too) — the fuzzer's designed-in positive control.
@@ -34,7 +39,7 @@ use impact_cfront::{compile, Source};
 use impact_il::verify_module;
 use impact_inline::{inline_module, positions_of, ClassTotals, InlineConfig, Linearization};
 use impact_opt::optimize_module_isolated;
-use impact_vm::{profile_runs, FaultPlan, VmConfig};
+use impact_vm::{profile_runs, Engine, FaultPlan, Profile, RunOutcome, VmConfig, VmError};
 
 /// Oracle-wide knobs.
 #[derive(Clone, Debug)]
@@ -75,6 +80,9 @@ pub enum DivergenceKind {
     FlowConservation,
     /// I4: dynamic IL attribution outside the call-overhead envelope.
     Attribution,
+    /// The two execution engines disagreed — on behavior, a trap, or a
+    /// profile record — for the same module at the same lattice point.
+    Engine,
 }
 
 impl fmt::Display for DivergenceKind {
@@ -88,6 +96,7 @@ impl fmt::Display for DivergenceKind {
             DivergenceKind::LinearOrder => "linear-order",
             DivergenceKind::FlowConservation => "flow-conservation",
             DivergenceKind::Attribution => "attribution",
+            DivergenceKind::Engine => "engine",
         };
         f.write_str(s)
     }
@@ -244,7 +253,16 @@ pub fn check_source(src: &str, oc: &OracleConfig) -> OracleReport {
     }
 
     let runs = vec![(vec![], vec![])];
-    let (base_profile, base_outs) = match profile_runs(&module, &runs, &VmConfig::default()) {
+    let base = profile_runs(&module, &runs, &VmConfig::default());
+    // The engine axis: whatever the default (bytecode) engine produced —
+    // results or a trap — the tree-walking interpreter must reproduce it
+    // exactly. Checked even on trapping baselines the oracle skips: trap
+    // parity needs no ground truth.
+    if let Some(detail) = engine_divergence(&base, &profile_runs(&module, &runs, &interp_config()))
+    {
+        div(&mut report, DivergenceKind::Engine, "baseline", detail);
+    }
+    let (base_profile, base_outs) = match base {
         Ok(x) => x,
         Err(_) => {
             // The original program traps: no ground truth to diff against.
@@ -345,7 +363,12 @@ pub fn check_source(src: &str, oc: &OracleConfig) -> OracleReport {
             );
             continue;
         }
-        match profile_runs(&m, &runs, &VmConfig::default()) {
+        let after = profile_runs(&m, &runs, &VmConfig::default());
+        if let Some(detail) = engine_divergence(&after, &profile_runs(&m, &runs, &interp_config()))
+        {
+            div(&mut report, DivergenceKind::Engine, point.name, detail);
+        }
+        match after {
             Err(e) => div(
                 &mut report,
                 DivergenceKind::Behavior,
@@ -424,6 +447,53 @@ pub fn check_source(src: &str, oc: &OracleConfig) -> OracleReport {
     report
 }
 
+/// The non-default engine's configuration (the lattice itself runs on
+/// [`VmConfig::default`], i.e. the bytecode engine).
+fn interp_config() -> VmConfig {
+    VmConfig {
+        engine: Engine::Interp,
+        ..VmConfig::default()
+    }
+}
+
+/// Diff two engines' results for the same module and run set. `None`
+/// means exact agreement: identical merged and per-run profiles,
+/// identical observable behavior, or the very same trap.
+fn engine_divergence(
+    bytecode: &Result<(Profile, Vec<RunOutcome>), VmError>,
+    interp: &Result<(Profile, Vec<RunOutcome>), VmError>,
+) -> Option<String> {
+    match (bytecode, interp) {
+        (Ok((bp, bo)), Ok((ip, io))) => {
+            for (idx, (b, i)) in bo.iter().zip(io).enumerate() {
+                if (b.exit_code, &b.stdout, &b.stderr, &b.files)
+                    != (i.exit_code, &i.stdout, &i.stderr, &i.files)
+                {
+                    return Some(format!(
+                        "run {idx}: observable behavior differs between engines: \
+                         bytecode ({}, {:?}), interp ({}, {:?})",
+                        b.exit_code,
+                        String::from_utf8_lossy(&b.stdout),
+                        i.exit_code,
+                        String::from_utf8_lossy(&i.stdout),
+                    ));
+                }
+                if b.profile != i.profile {
+                    return Some(format!(
+                        "run {idx}: per-run profiles differ between engines"
+                    ));
+                }
+            }
+            (bp != ip).then(|| "merged profiles differ between engines".to_string())
+        }
+        (Err(b), Err(i)) => {
+            (b != i).then(|| format!("engines trapped differently: bytecode `{b}`, interp `{i}`"))
+        }
+        (Ok(_), Err(e)) => Some(format!("interp trapped where bytecode completed: {e}")),
+        (Err(e), Ok(_)) => Some(format!("bytecode trapped where interp completed: {e}")),
+    }
+}
+
 fn summarize(behavior: &[(Vec<u8>, i64)]) -> Vec<(String, i64)> {
     behavior
         .iter()
@@ -495,6 +565,31 @@ mod tests {
         let report = check_source("int main( { return 0; }", &OracleConfig::default());
         assert_eq!(report.divergences.len(), 1);
         assert_eq!(report.divergences[0].kind, DivergenceKind::Compile);
+    }
+
+    #[test]
+    fn engine_divergence_diffs_results_and_traps() {
+        let ok = |il: u64| {
+            Ok((
+                Profile {
+                    il_executed: il,
+                    ..Profile::default()
+                },
+                Vec::new(),
+            ))
+        };
+        assert_eq!(engine_divergence(&ok(10), &ok(10)), None);
+        let d = engine_divergence(&ok(10), &ok(11)).expect("profile gap is a divergence");
+        assert!(d.contains("merged profiles differ"), "{d}");
+        assert_eq!(
+            engine_divergence(&Err(VmError::NoMain), &Err(VmError::NoMain)),
+            None,
+            "identical traps are parity"
+        );
+        let d = engine_divergence(&ok(10), &Err(VmError::NoMain)).expect("trap asymmetry");
+        assert!(d.contains("interp trapped"), "{d}");
+        let d = engine_divergence(&Err(VmError::NoMain), &ok(10)).expect("trap asymmetry");
+        assert!(d.contains("bytecode trapped"), "{d}");
     }
 
     #[test]

@@ -15,6 +15,49 @@ use crate::memory::Memory;
 use crate::os::{BuiltinOutcome, NamedFile, Os};
 use crate::profile::{ProfTarget, Profile};
 
+/// Selects which execution engine runs the module.
+///
+/// Both engines implement identical semantics — same outputs, same
+/// profile records, same traps with the same messages at the same step
+/// counts, same simulated icache stream — enforced by the differential
+/// parity suite (`tests/parity.rs`). The choice therefore never affects
+/// results, only wall-clock, and is excluded from campaign fingerprints
+/// and cache keys like the telemetry flags.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// The tree-walking interpreter over IL structure — the reference
+    /// semantics, kept as the differential baseline.
+    Interp,
+    /// The flat register-bytecode engine (default): pre-lowered code
+    /// with absolute jump targets, superinstructions, and dense
+    /// profiling counters. See `DESIGN.md` §12.
+    #[default]
+    Bytecode,
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "interp" => Ok(Engine::Interp),
+            "bytecode" => Ok(Engine::Bytecode),
+            other => Err(format!(
+                "unknown engine `{other}`; expected `interp` or `bytecode`"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Engine::Interp => "interp",
+            Engine::Bytecode => "bytecode",
+        })
+    }
+}
+
 /// Resource limits and sizes for one run.
 #[derive(Clone, Debug)]
 pub struct VmConfig {
@@ -39,6 +82,9 @@ pub struct VmConfig {
     /// Pipeline telemetry sink. Disabled by default: the interpreter
     /// then records nothing and reads no clock.
     pub obs: impact_obs::Telemetry,
+    /// Which execution engine to use. Defaults to [`Engine::Bytecode`];
+    /// the choice cannot affect any observable result (see [`Engine`]).
+    pub engine: Engine,
 }
 
 impl Default for VmConfig {
@@ -51,6 +97,7 @@ impl Default for VmConfig {
             icache: None,
             fault: FaultPlan::default(),
             obs: impact_obs::Telemetry::disabled(),
+            engine: Engine::default(),
         }
     }
 }
@@ -92,13 +139,27 @@ struct FuncMeta {
 }
 
 /// Runs `module` from `main` to completion under `config`, with the given
-/// input files and program arguments.
+/// input files and program arguments, on the engine selected by
+/// [`VmConfig::engine`].
 ///
 /// # Errors
 ///
 /// Returns a [`VmError`] on any trap (wild memory access, division by
 /// zero, stack overflow, step-limit exhaustion, unknown extern, abort).
 pub fn run(
+    module: &Module,
+    inputs: Vec<NamedFile>,
+    args: Vec<String>,
+    config: &VmConfig,
+) -> Result<RunOutcome, VmError> {
+    match config.engine {
+        Engine::Interp => run_interp(module, inputs, args, config),
+        Engine::Bytecode => crate::exec::run(module, inputs, args, config),
+    }
+}
+
+/// The tree-walking reference interpreter over the IL structure.
+fn run_interp(
     module: &Module,
     inputs: Vec<NamedFile>,
     args: Vec<String>,
@@ -202,12 +263,12 @@ pub fn run(
                 Inst::Bin { op, dst, lhs, rhs } => {
                     let a = fr.regs[lhs.index()];
                     let b = fr.regs[rhs.index()];
-                    fr.regs[dst.index()] = eval_bin(*op, a, b, fname)?;
+                    fr.regs[dst.index()] = eval_bin_outlined(*op, a, b, fname)?;
                 }
                 Inst::Cmp { op, dst, lhs, rhs } => {
                     let a = fr.regs[lhs.index()];
                     let b = fr.regs[rhs.index()];
-                    fr.regs[dst.index()] = eval_cmp(*op, a, b) as i64;
+                    fr.regs[dst.index()] = eval_cmp_outlined(*op, a, b) as i64;
                 }
                 Inst::AddrOfGlobal { dst, global } => {
                     fr.regs[dst.index()] = mem.global_addr(*global) as i64;
@@ -226,7 +287,7 @@ pub fn run(
                     signed,
                 } => {
                     let v = fr.regs[src.index()];
-                    fr.regs[dst.index()] = ext_value(v, *width, *signed);
+                    fr.regs[dst.index()] = ext_value_outlined(v, *width, *signed);
                 }
                 Inst::Load {
                     dst,
@@ -428,7 +489,28 @@ fn push_frame(
     Ok(())
 }
 
-fn eval_bin(op: BinOp, a: i64, b: i64, func: &str) -> Result<i64, VmError> {
+/// Shared binary-operator semantics (both engines call this).
+/// Outlined wrappers for the tree-walker: its dispatch match is
+/// register-starved, and measurably faster with the ALU helpers kept
+/// out of line, while the bytecode loop in [`crate::exec`] wants them
+/// inlined. Same functions either way — parity is unaffected.
+#[inline(never)]
+fn eval_bin_outlined(op: BinOp, a: i64, b: i64, func: &str) -> Result<i64, VmError> {
+    eval_bin(op, a, b, func)
+}
+
+#[inline(never)]
+fn eval_cmp_outlined(op: CmpOp, a: i64, b: i64) -> bool {
+    eval_cmp(op, a, b)
+}
+
+#[inline(never)]
+fn ext_value_outlined(v: i64, width: Width, signed: bool) -> i64 {
+    ext_value(v, width, signed)
+}
+
+#[inline(always)]
+pub(crate) fn eval_bin(op: BinOp, a: i64, b: i64, func: &str) -> Result<i64, VmError> {
     Ok(match op {
         BinOp::Add => a.wrapping_add(b),
         BinOp::Sub => a.wrapping_sub(b),
@@ -474,7 +556,9 @@ fn eval_bin(op: BinOp, a: i64, b: i64, func: &str) -> Result<i64, VmError> {
     })
 }
 
-fn eval_cmp(op: CmpOp, a: i64, b: i64) -> bool {
+/// Shared comparison semantics (both engines call this).
+#[inline(always)]
+pub(crate) fn eval_cmp(op: CmpOp, a: i64, b: i64) -> bool {
     match op {
         CmpOp::Eq => a == b,
         CmpOp::Ne => a != b,
@@ -489,7 +573,9 @@ fn eval_cmp(op: CmpOp, a: i64, b: i64) -> bool {
     }
 }
 
-fn ext_value(v: i64, width: Width, signed: bool) -> i64 {
+/// Shared truncate-then-extend semantics (both engines call this).
+#[inline(always)]
+pub(crate) fn ext_value(v: i64, width: Width, signed: bool) -> i64 {
     match (width, signed) {
         (Width::W1, true) => v as i8 as i64,
         (Width::W1, false) => v as u8 as i64,

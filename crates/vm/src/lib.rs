@@ -42,7 +42,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bytecode;
 mod error;
+mod exec;
 mod fault;
 mod icache;
 mod interp;
@@ -53,7 +55,7 @@ mod profile;
 pub use error::VmError;
 pub use fault::FaultPlan;
 pub use icache::{IcacheConfig, IcacheSim, IcacheStats};
-pub use interp::{run, RunOutcome, VmConfig};
+pub use interp::{run, Engine, RunOutcome, VmConfig};
 pub use memory::{Memory, FUNC_BASE};
 pub use os::{Builtin, BuiltinOutcome, NamedFile, Os};
 pub use profile::{fnv1a64, FlowResidual, ProfTarget, Profile};

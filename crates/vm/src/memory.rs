@@ -104,6 +104,7 @@ impl Memory {
         self.heap_base
     }
 
+    #[inline]
     fn check(&self, addr: u64, len: u64, func: &str) -> Result<usize, VmError> {
         if addr < NULL_PAGE || addr.saturating_add(len) > self.stack_top {
             return Err(VmError::OutOfBounds {
@@ -115,6 +116,7 @@ impl Memory {
     }
 
     /// Loads `width` bytes at `addr`, extending to 64 bits.
+    #[inline]
     pub fn load(&self, addr: u64, width: Width, signed: bool, func: &str) -> Result<i64, VmError> {
         let a = self.check(addr, width.bytes(), func)?;
         let v = match width {
@@ -148,6 +150,7 @@ impl Memory {
     }
 
     /// Stores the low `width` bytes of `value` at `addr`.
+    #[inline]
     pub fn store(
         &mut self,
         addr: u64,

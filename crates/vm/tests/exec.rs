@@ -3,25 +3,41 @@
 //! the profile counters the inliner depends on.
 
 use impact_cfront::{compile, Source};
-use impact_vm::{run, NamedFile, VmConfig, VmError};
+use impact_vm::{run, Engine, NamedFile, VmConfig, VmError};
+
+const BOTH_ENGINES: [Engine; 2] = [Engine::Interp, Engine::Bytecode];
 
 fn exec(src: &str) -> i64 {
     exec_io(src, vec![], vec![]).0
 }
 
+/// Execute under both engines, assert the observable results agree, and
+/// return them — every behavioral test in this file is differential.
 fn exec_io(src: &str, inputs: Vec<NamedFile>, args: Vec<String>) -> (i64, String) {
     let module = compile(&[Source::new("t.c", src)]).expect("compiles");
     impact_il::verify_module(&module).expect("verifies");
-    let out = run(&module, inputs, args, &VmConfig::default()).expect("runs");
-    (
-        out.exit_code,
-        String::from_utf8_lossy(&out.stdout).into_owned(),
-    )
+    let mut results = BOTH_ENGINES.map(|engine| {
+        let cfg = VmConfig {
+            engine,
+            ..VmConfig::default()
+        };
+        let out = run(&module, inputs.clone(), args.clone(), &cfg).expect("runs");
+        (
+            out.exit_code,
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            out.profile,
+        )
+    });
+    let (exit, stdout, profile) = results[0].clone();
+    let (b_exit, b_stdout, b_profile) = std::mem::take(&mut results[1]);
+    assert_eq!(exit, b_exit, "engines disagree on exit code");
+    assert_eq!(stdout, b_stdout, "engines disagree on stdout");
+    assert_eq!(profile, b_profile, "engines disagree on the profile");
+    (exit, stdout)
 }
 
 fn exec_err(src: &str) -> VmError {
-    let module = compile(&[Source::new("t.c", src)]).expect("compiles");
-    run(&module, vec![], vec![], &VmConfig::default()).expect_err("should trap")
+    exec_err_with(src, VmConfig::default)
 }
 
 #[test]
@@ -586,11 +602,24 @@ fn branch_direction_frequencies_are_recorded() {
 // ---------------------------------------------------------------------------
 // Trap matrix: one program per `VmError` variant, checking both the
 // variant and that the Display message names the faulting function.
+// Every entry runs under both engines and the traps must be *equal* —
+// same kind, same message fields, same recorded step/limit counts — so
+// the matrix doubles as the engine-parity proof for the error paths.
+// `make_cfg` is called once per engine: fault plans carry one-shot hit
+// counters that must not leak from one engine's run into the other's.
 // ---------------------------------------------------------------------------
 
-fn exec_err_cfg(src: &str, cfg: &VmConfig) -> VmError {
+fn exec_err_with(src: &str, make_cfg: impl Fn() -> VmConfig) -> VmError {
     let module = compile(&[Source::new("t.c", src)]).expect("compiles");
-    run(&module, vec![], vec![], cfg).expect_err("should trap")
+    let [interp, bytecode] = BOTH_ENGINES.map(|engine| {
+        let cfg = VmConfig {
+            engine,
+            ..make_cfg()
+        };
+        run(&module, vec![], vec![], &cfg).expect_err("should trap")
+    });
+    assert_eq!(interp, bytecode, "engines trapped differently");
+    bytecode
 }
 
 #[test]
@@ -646,14 +675,13 @@ fn trap_matrix_stack_overflow() {
 
 #[test]
 fn trap_matrix_step_limit_exceeded() {
-    let cfg = VmConfig {
-        max_steps: 5_000,
-        ..VmConfig::default()
-    };
-    let e = exec_err_cfg(
+    let e = exec_err_with(
         "int spin() { while (1) {} return 0; }\n\
          int main() { return spin(); }",
-        &cfg,
+        || VmConfig {
+            max_steps: 5_000,
+            ..VmConfig::default()
+        },
     );
     assert!(matches!(e, VmError::StepLimitExceeded { .. }), "{e}");
     assert!(e.to_string().contains("`spin`"), "{e}");
@@ -688,18 +716,19 @@ fn trap_matrix_bad_builtin_call() {
 #[test]
 fn trap_matrix_out_of_memory() {
     // Natural exhaustion returns NULL per C convention, so the error
-    // path is driven by the `vm:oom` fault point.
-    let fault = impact_vm::FaultPlan::new();
-    fault.arm("vm:oom", 1);
-    let cfg = VmConfig {
-        fault,
-        ..VmConfig::default()
-    };
-    let e = exec_err_cfg(
+    // path is driven by the `vm:oom` fault point (re-armed per engine).
+    let e = exec_err_with(
         "extern long __malloc(long n);\n\
          int grab() { long p; p = __malloc(64); return p != 0; }\n\
          int main() { return grab(); }",
-        &cfg,
+        || {
+            let fault = impact_vm::FaultPlan::new();
+            fault.arm("vm:oom", 1);
+            VmConfig {
+                fault,
+                ..VmConfig::default()
+            }
+        },
     );
     assert!(
         matches!(e, VmError::OutOfMemory { requested: 64, .. }),

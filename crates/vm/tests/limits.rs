@@ -9,8 +9,15 @@
 
 use impact_cfront::{compile, Source};
 use impact_il::{CallSiteId, FuncId};
-use impact_vm::{run, ProfTarget, Profile, VmConfig, VmError};
+use impact_vm::{run, Engine, ProfTarget, Profile, VmConfig, VmError};
 use proptest::prelude::*;
+
+/// Every boundary below is checked under both execution engines — the
+/// governor's limits are part of the engine-parity contract: the exact
+/// instruction where fuel runs out, the exact byte where the stack
+/// overflows, and the exact allocation the quota refuses must not depend
+/// on which engine ran the program.
+const BOTH_ENGINES: [Engine; 2] = [Engine::Interp, Engine::Bytecode];
 
 fn module_for(src: &str) -> impact_il::Module {
     let module = compile(&[Source::new("t.c", src)]).expect("compiles");
@@ -29,24 +36,34 @@ fn step_limit_boundary_is_exact() {
     let exact = baseline.profile.il_executed;
     assert!(exact > 0);
 
-    // A budget of exactly that many instructions completes the run...
-    let cfg = VmConfig {
-        max_steps: exact,
-        ..VmConfig::default()
-    };
-    let out = run(&module, vec![], vec![], &cfg).expect("exact budget suffices");
-    assert_eq!(out.exit_code, baseline.exit_code);
-    assert_eq!(out.profile.il_executed, exact);
+    let traps = BOTH_ENGINES.map(|engine| {
+        // A budget of exactly that many instructions completes the run...
+        let cfg = VmConfig {
+            max_steps: exact,
+            engine,
+            ..VmConfig::default()
+        };
+        let out = run(&module, vec![], vec![], &cfg).expect("exact budget suffices");
+        assert_eq!(out.exit_code, baseline.exit_code, "{engine}");
+        assert_eq!(out.profile.il_executed, exact, "{engine}");
 
-    // ...and one instruction less trips the governor.
-    let cfg = VmConfig {
-        max_steps: exact - 1,
-        ..VmConfig::default()
-    };
-    match run(&module, vec![], vec![], &cfg) {
-        Err(VmError::StepLimitExceeded { limit, .. }) => assert_eq!(limit, exact - 1),
-        other => panic!("expected StepLimitExceeded, got {other:?}"),
-    }
+        // ...and one instruction less trips the governor.
+        let cfg = VmConfig {
+            max_steps: exact - 1,
+            engine,
+            ..VmConfig::default()
+        };
+        match run(&module, vec![], vec![], &cfg) {
+            Err(e @ VmError::StepLimitExceeded { limit, .. }) => {
+                assert_eq!(limit, exact - 1, "{engine}");
+                e
+            }
+            other => panic!("{engine}: expected StepLimitExceeded, got {other:?}"),
+        }
+    });
+    // The trap fires at the same instruction in the same function with
+    // the same recorded counts, whichever engine hit the limit.
+    assert_eq!(traps[0], traps[1], "engines trapped differently");
 }
 
 #[test]
@@ -62,23 +79,29 @@ fn stack_limit_boundary_is_exact() {
     let peak = baseline.profile.max_stack_bytes;
     assert!(peak > 64, "frames should actually use the stack: {peak}");
 
-    // A stack segment of exactly the high-water mark fits...
-    let cfg = VmConfig {
-        stack_size: peak,
-        ..VmConfig::default()
-    };
-    let out = run(&module, vec![], vec![], &cfg).expect("exact stack fits");
-    assert_eq!(out.exit_code, baseline.exit_code);
+    let traps = BOTH_ENGINES.map(|engine| {
+        // A stack segment of exactly the high-water mark fits...
+        let cfg = VmConfig {
+            stack_size: peak,
+            engine,
+            ..VmConfig::default()
+        };
+        let out = run(&module, vec![], vec![], &cfg).expect("exact stack fits");
+        assert_eq!(out.exit_code, baseline.exit_code, "{engine}");
+        assert_eq!(out.profile.max_stack_bytes, peak, "{engine}");
 
-    // ...and one byte less overflows.
-    let cfg = VmConfig {
-        stack_size: peak - 1,
-        ..VmConfig::default()
-    };
-    match run(&module, vec![], vec![], &cfg) {
-        Err(VmError::StackOverflow { .. }) => {}
-        other => panic!("expected StackOverflow, got {other:?}"),
-    }
+        // ...and one byte less overflows.
+        let cfg = VmConfig {
+            stack_size: peak - 1,
+            engine,
+            ..VmConfig::default()
+        };
+        match run(&module, vec![], vec![], &cfg) {
+            Err(e @ VmError::StackOverflow { .. }) => e,
+            other => panic!("{engine}: expected StackOverflow, got {other:?}"),
+        }
+    });
+    assert_eq!(traps[0], traps[1], "engines trapped differently");
 }
 
 #[test]
@@ -97,15 +120,28 @@ fn heap_quota_is_organic_not_injected() {
            return 0;\n\
          }",
     );
-    let out = run(&module, vec![], vec![], &VmConfig::default()).expect("runs");
-    assert_eq!(out.exit_code, 0, "no quota: both allocations succeed");
+    for engine in BOTH_ENGINES {
+        let cfg = VmConfig {
+            engine,
+            ..VmConfig::default()
+        };
+        let out = run(&module, vec![], vec![], &cfg).expect("runs");
+        assert_eq!(
+            out.exit_code, 0,
+            "{engine}: no quota, both allocations succeed"
+        );
 
-    let cfg = VmConfig {
-        mem_limit: Some(512),
-        ..VmConfig::default()
-    };
-    let out = run(&module, vec![], vec![], &cfg).expect("quota is observable, not a trap");
-    assert_eq!(out.exit_code, 2, "second allocation exceeds the quota");
+        let cfg = VmConfig {
+            mem_limit: Some(512),
+            engine,
+            ..VmConfig::default()
+        };
+        let out = run(&module, vec![], vec![], &cfg).expect("quota is observable, not a trap");
+        assert_eq!(
+            out.exit_code, 2,
+            "{engine}: second allocation exceeds the quota"
+        );
+    }
 }
 
 /// A profile with the given shape and the given fill seed, exercising
