@@ -74,6 +74,11 @@ const ENTRY_EXT: &str = "entry";
 /// Extension an entry is renamed to when it fails validation.
 const QUARANTINE_EXT: &str = "quarantined";
 
+/// Scratch file the serve ping health check writes (and removes) to prove
+/// the cache dir is writable. A daemon killed between write and remove
+/// leaks it, so the startup scan reaps any left behind.
+pub(crate) const HEALTH_PROBE: &str = ".health-probe";
+
 /// A validated cache hit.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CachedResult {
@@ -377,6 +382,13 @@ impl Cache {
                 .map_err(|e| format!("scan cache dir {}: {e}", self.dir.display()))?;
             for entry in dir_iter.filter_map(Result::ok) {
                 let path = entry.path();
+                if path.file_name().and_then(|n| n.to_str()) == Some(HEALTH_PROBE) {
+                    // A health probe leaked by a daemon killed between
+                    // its write and its remove; reap it rather than let
+                    // stale scratch accumulate in the cache dir.
+                    let _ = std::fs::remove_file(&path);
+                    continue;
+                }
                 let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
                     continue;
                 };
@@ -752,6 +764,25 @@ mod tests {
                 assert_eq!(hit.report, "; ok\nline two\n");
             }
             other => panic!("expected hit, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn startup_scan_reaps_a_leaked_health_probe() {
+        let dir = tmp("health-probe");
+        {
+            let cache = Cache::open(&dir, &Telemetry::disabled()).unwrap();
+            cache.store(3, 0, "; survivor\n").unwrap();
+        }
+        // Simulate a daemon killed between the probe's write and remove.
+        let probe = dir.join(HEALTH_PROBE);
+        std::fs::write(&probe, b"impact-serve health probe\n").unwrap();
+        let cache = Cache::open(&dir, &Telemetry::disabled()).unwrap();
+        assert!(!probe.exists(), "startup scan should reap the probe file");
+        match cache.load(3) {
+            Lookup::Hit(hit) => assert_eq!(hit.report, "; survivor\n"),
+            other => panic!("expected the real entry to survive, got {other:?}"),
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

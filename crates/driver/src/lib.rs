@@ -32,6 +32,8 @@ pub mod report;
 pub mod serve;
 pub mod supervise;
 pub mod telemetry;
+#[cfg(unix)]
+pub(crate) mod transport;
 
 use report::PipelineFailure;
 
@@ -131,6 +133,16 @@ pub struct Options {
     /// `--ping` (request): run the daemon health self-checks instead of
     /// compiling.
     pub ping: bool,
+    /// `--tcp HOST:PORT` (serve): also bind a TCP listener alongside the
+    /// Unix socket, serving the same protocol to remote clients.
+    pub tcp: Option<String>,
+    /// `--max-conns N` (serve): accept-time cap on connections admitted
+    /// but not yet finished; past it new connections are shed with an
+    /// immediate `busy` response.
+    pub max_conns: Option<u64>,
+    /// `--remote ENDPOINTS` (batch): ship each file unit to this
+    /// comma-separated daemon fleet instead of compiling locally.
+    pub remote: Option<String>,
     /// `--engine interp|bytecode`: which VM execution engine runs the
     /// program (default `bytecode`). The engines are proven behaviorally
     /// identical by the parity suite, so — like the telemetry flags —
@@ -190,6 +202,9 @@ impl Options {
             cache_budget_bytes: None,
             deadline_ms: None,
             ping: false,
+            tcp: None,
+            max_conns: None,
+            remote: None,
             engine: None,
             icache: false,
         };
@@ -327,6 +342,20 @@ impl Options {
                     opts.deadline_ms = Some(v.parse().map_err(|_| "bad --deadline-ms")?);
                 }
                 "--ping" => opts.ping = true,
+                "--tcp" => {
+                    let v = it.next().ok_or("--tcp needs HOST:PORT".to_string())?;
+                    opts.tcp = Some(v.clone());
+                }
+                "--max-conns" => {
+                    let v = it.next().ok_or("--max-conns needs a number".to_string())?;
+                    opts.max_conns = Some(v.parse().map_err(|_| "bad --max-conns")?);
+                }
+                "--remote" => {
+                    let v = it
+                        .next()
+                        .ok_or("--remote needs an endpoint list".to_string())?;
+                    opts.remote = Some(v.clone());
+                }
                 "--engine" => {
                     let v = it.next().ok_or("--engine needs a name".to_string())?;
                     opts.engine = Some(v.clone());
@@ -505,6 +534,37 @@ impl Options {
                  attempt; use a positive overall deadline in milliseconds"
                 .to_string());
         }
+        if let Some(addr) = &self.tcp {
+            let ok = addr.rsplit_once(':').is_some_and(|(host, port)| {
+                !host.is_empty() && !host.contains('/') && port.parse::<u16>().is_ok_and(|p| p > 0)
+            });
+            if !ok {
+                return Err(format!(
+                    "--tcp needs HOST:PORT with a nonzero port (got `{addr}`)"
+                ));
+            }
+        }
+        if self.max_conns == Some(0) {
+            return Err(
+                "--max-conns 0 would shed every connection at accept time; use a \
+                 positive cap, or omit the flag for an unbounded daemon"
+                    .to_string(),
+            );
+        }
+        if let Some(list) = &self.remote {
+            if list.is_empty() || list.split(',').any(str::is_empty) {
+                return Err(
+                    "--remote needs a non-empty comma-separated endpoint list with no \
+                     empty elements"
+                        .to_string(),
+                );
+            }
+        }
+        if self.ping && self.positional.first().is_some_and(|p| p.contains(',')) {
+            return Err("--ping probes a single daemon; give one endpoint, not a \
+                 comma-separated list"
+                .to_string());
+        }
         let jobs = match self.jobs {
             Some(n) => n,
             None => std::thread::available_parallelism()
@@ -516,6 +576,8 @@ impl Options {
             queue_depth: self.queue_depth.unwrap_or(DEFAULT_QUEUE_DEPTH),
             cache_dir: self.cache_dir.as_ref().map(std::path::PathBuf::from),
             cache_budget_bytes: self.cache_budget_bytes,
+            tcp: self.tcp.clone(),
+            max_conns: self.max_conns,
         })
     }
 
@@ -561,6 +623,13 @@ pub struct ServiceConfig {
     /// Total on-disk byte budget for the cache (`--cache-budget-bytes`);
     /// `None` disables eviction.
     pub cache_budget_bytes: Option<u64>,
+    /// TCP listen address (`--tcp HOST:PORT`), bound alongside the Unix
+    /// socket when present.
+    pub tcp: Option<String>,
+    /// Accept-time cap on admitted-but-unfinished connections
+    /// (`--max-conns`); `None` leaves admission bounded only by the
+    /// queue.
+    pub max_conns: Option<u64>,
 }
 
 /// The result of [`Options::validate_flags`]: every configuration, built
@@ -597,12 +666,16 @@ pub fn usage() -> String {
      \x20                                 profile invariants across a config lattice,\n\
      \x20                                 shrink failures into repro files (exit 0 clean,\n\
      \x20                                 12 divergences found)\n\
-     \x20 serve <socket>                  persistent compile daemon on a Unix socket:\n\
-     \x20                                 bounded queue with overload shedding, crash-\n\
-     \x20                                 isolated request workers, SIGTERM graceful\n\
-     \x20                                 drain (finish in-flight work, exit 0)\n\
-     \x20 request <socket> <files.c...>   compile files through a running serve daemon\n\
-     \x20                                 and print the pipeline report\n\
+     \x20 serve <socket>                  persistent compile daemon on a Unix socket\n\
+     \x20                                 (and, with --tcp, a TCP port): bounded queue\n\
+     \x20                                 with overload shedding, crash-isolated request\n\
+     \x20                                 workers, SIGTERM graceful drain (finish\n\
+     \x20                                 in-flight work, exit 0)\n\
+     \x20 request <endpoints> <files.c..> compile files through a running serve daemon\n\
+     \x20                                 and print the pipeline report; a comma-\n\
+     \x20                                 separated endpoint list (socket paths and/or\n\
+     \x20                                 host:port) fails over with per-endpoint\n\
+     \x20                                 circuit breakers\n\
      \n\
      options:\n\
      \x20 --input name=path               make a file visible to the program (repeatable)\n\
@@ -641,6 +714,9 @@ pub fn usage() -> String {
      \x20 --report-dir DIR                persist JSON crash reports + reproducers\n\
      \x20 --fault-unit NAME               arm --fault specs for this unit only\n\
      \x20 --workloads                     add the twelve bundled benchmarks as units\n\
+     \x20 --remote ENDPOINTS              ship each file unit to this comma-separated\n\
+     \x20                                 daemon fleet (failover + circuit breakers)\n\
+     \x20                                 instead of compiling locally\n\
      \n\
      parallelism and caching (batch/serve):\n\
      \x20 --jobs N                        compile-pool worker count (default: the\n\
@@ -656,6 +732,11 @@ pub fn usage() -> String {
      \x20                                 past it, least-recently-used entries are\n\
      \x20                                 evicted (quarantined bytes reclaimed first,\n\
      \x20                                 in-flight reads never; needs --cache-dir)\n\
+     \x20 --tcp HOST:PORT                 (serve) also bind a TCP listener serving the\n\
+     \x20                                 same protocol to remote clients\n\
+     \x20 --max-conns N                   (serve) accept-time cap on connections being\n\
+     \x20                                 served; past it new connections are shed with\n\
+     \x20                                 an immediate busy response\n\
      \n\
      request client (request):\n\
      \x20 --retries N                     re-attempts after retryable failures: torn\n\
@@ -1199,12 +1280,12 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
     }
     if !matches!(
         opts.command.as_str(),
-        "inline" | "bench" | "batch" | "fuzz" | "serve"
+        "inline" | "bench" | "batch" | "fuzz" | "serve" | "request"
     ) && (opts.trace_out.is_some() || opts.metrics_out.is_some())
     {
         return Err(format!(
             "--trace-out/--metrics-out only apply to pipeline commands \
-             (inline, bench, batch, fuzz, serve), not `{}`",
+             (inline, bench, batch, fuzz, serve, request), not `{}`",
             opts.command
         ));
     }
@@ -1221,6 +1302,20 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
         return Err(format!(
             "--queue-depth only applies to `serve` (the command with a bounded \
              request queue), not `{}`",
+            opts.command
+        ));
+    }
+    if opts.command != "serve" && (opts.tcp.is_some() || opts.max_conns.is_some()) {
+        return Err(format!(
+            "--tcp/--max-conns only apply to `serve` (the daemon that binds \
+             listeners), not `{}`",
+            opts.command
+        ));
+    }
+    if opts.command != "batch" && opts.remote.is_some() {
+        return Err(format!(
+            "--remote only applies to `batch` (shipping units to a daemon \
+             fleet), not `{}`",
             opts.command
         ));
     }
@@ -1751,6 +1846,73 @@ mod recovery_tests {
         let o = Options::parse(&strs(&["request", "s.sock", "x.c", "--deadline-ms", "0"])).unwrap();
         let err = o.service_config().unwrap_err();
         assert!(err.contains("--deadline-ms"), "unactionable: {err}");
+    }
+
+    #[test]
+    fn tcp_flag_validation() {
+        // Anything that is not HOST:PORT with a nonzero u16 port is
+        // rejected — a Unix path here means the operator swapped flags.
+        for bad in [
+            "7070",
+            "host:",
+            ":7070",
+            "host:0",
+            "host:99999",
+            "/tmp/d.sock",
+        ] {
+            let o = Options::parse(&strs(&["serve", "s.sock", "--tcp", bad])).unwrap();
+            let err = o.service_config().unwrap_err();
+            assert!(err.contains("--tcp"), "`{bad}`: unactionable: {err}");
+        }
+        let o = Options::parse(&strs(&["serve", "s.sock", "--tcp", "127.0.0.1:7070"])).unwrap();
+        assert_eq!(
+            o.service_config().unwrap().tcp.as_deref(),
+            Some("127.0.0.1:7070")
+        );
+    }
+
+    #[test]
+    fn max_conns_zero_is_rejected() {
+        let o = Options::parse(&strs(&["serve", "s.sock", "--max-conns", "0"])).unwrap();
+        let err = o.service_config().unwrap_err();
+        assert!(err.contains("--max-conns"), "unactionable: {err}");
+        let o = Options::parse(&strs(&["serve", "s.sock", "--max-conns", "2"])).unwrap();
+        assert_eq!(o.service_config().unwrap().max_conns, Some(2));
+    }
+
+    #[test]
+    fn remote_endpoint_list_validation() {
+        for bad in ["", ",", "a.sock,", ",a.sock", "a.sock,,b.sock"] {
+            let o = Options::parse(&strs(&["batch", "u.c", "--remote", bad])).unwrap();
+            let err = o.service_config().unwrap_err();
+            assert!(err.contains("--remote"), "`{bad}`: unactionable: {err}");
+        }
+        let o = Options::parse(&strs(&["batch", "u.c", "--remote", "a.sock,host:9000"])).unwrap();
+        assert!(o.service_config().is_ok());
+    }
+
+    #[test]
+    fn ping_rejects_a_multi_endpoint_list() {
+        let o = Options::parse(&strs(&["request", "a.sock,b.sock", "--ping"])).unwrap();
+        let err = o.service_config().unwrap_err();
+        assert!(err.contains("--ping"), "unactionable: {err}");
+        let o = Options::parse(&strs(&["request", "a.sock", "--ping"])).unwrap();
+        assert!(o.service_config().is_ok());
+    }
+
+    #[test]
+    fn transport_flags_are_scoped_to_their_commands() {
+        // --tcp and --max-conns belong to the daemon...
+        let o = Options::parse(&strs(&["request", "s.sock", "x.c", "--tcp", "h:1"])).unwrap();
+        let err = execute(&o).unwrap_err();
+        assert!(err.contains("--tcp"), "unactionable message: {err}");
+        let o = Options::parse(&strs(&["batch", "u.c", "--max-conns", "4"])).unwrap();
+        let err = execute(&o).unwrap_err();
+        assert!(err.contains("--max-conns"), "unactionable message: {err}");
+        // ...and --remote to batch.
+        let o = Options::parse(&strs(&["request", "s.sock", "x.c", "--remote", "a.sock"])).unwrap();
+        let err = execute(&o).unwrap_err();
+        assert!(err.contains("--remote"), "unactionable message: {err}");
     }
 
     #[test]

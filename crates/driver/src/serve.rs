@@ -1,8 +1,11 @@
-//! `impactc serve` — a persistent compilation daemon on a Unix socket.
+//! `impactc serve` — a persistent compilation daemon on a Unix socket
+//! and, with `--tcp HOST:PORT`, a TCP listener bound alongside it.
 //!
 //! The daemon accepts compile requests (a set of C sources framed by the
 //! length-prefixed protocol below), runs each through the supervised
-//! pipeline, and responds with the pipeline report. The design goals are
+//! pipeline, and responds with the pipeline report. Both carriers run
+//! the same accept loop, bounded queue, deadlines, and chaos points —
+//! the carrier split lives in [`crate::transport`]. The design goals are
 //! the batch supervisor's robustness guarantees, restated for a server:
 //!
 //! - **Bounded queue, explicit shedding.** Accepted connections go into a
@@ -33,6 +36,18 @@
 //!   (queue headroom, cache-dir writability) through the normal queue
 //!   path and reports `healthy`/`degraded` with the evidence, surfaced
 //!   via `impactc request --ping` and the `serve:pings` counter.
+//! - **TCP hardening.** A TCP peer is a network, not a local process, so
+//!   the TCP carrier gets three extra defenses: `--max-conns N` caps
+//!   accepted-but-unfinished connections at accept time (over the cap, an
+//!   immediate `busy` — counted under `serve:conn-capped`); a slow-loris
+//!   header deadline gives a TCP peer only [`TCP_HEADER_TIMEOUT_MS`] to
+//!   deliver its complete request (a Unix peer keeps the ordinary
+//!   [`IO_TIMEOUT_MS`]); and every compile request carries an
+//!   **idempotency id** — the daemon remembers recently completed `ok`
+//!   responses by id, so a retried request whose first response was lost
+//!   on the wire is replayed verbatim (`serve:idempotent-replays`)
+//!   instead of recompiled, and a fault-injected retry converges to the
+//!   exact bytes of the fault-free run.
 //!
 //! With `--cache-dir`, requests are served from the content-addressed
 //! artifact cache when the whole input set matches ([`crate::cache`]);
@@ -48,19 +63,35 @@
 //! panics mid-compile), `serve:accept-crash` (handler panics before
 //! reading the request — the client sees a dropped connection),
 //! `net:torn-write` (response cut off mid-frame), `net:drop` (connection
-//! closed without any response), `cache:bitflip` and
-//! `cache:evict-read-race` (see [`crate::cache`]). Every injection bumps
-//! `chaos:injected` plus a `chaos:<key>` counter, so a chaos run can
-//! prove each armed fault actually fired.
+//! closed without any response), `net:reset` (connection shut down right
+//! after the request is read, before any work), `net:slow-read` (the
+//! daemon dawdles before reading the request, holding the connection
+//! open), `net:partial-frame` (only a prefix of the response *header
+//! line* is written), `net:connect-refused[=N]` (the Nth accepted
+//! connection is dropped on the floor before admission), `cache:bitflip`
+//! and `cache:evict-read-race` (see [`crate::cache`]). Every injection
+//! bumps `chaos:injected` plus a `chaos:<key>` counter, so a chaos run
+//! can prove each armed fault actually fired.
 //!
-//! **The resilient client.** `impactc request` retries retryable
-//! failures — connect errors, truncated/torn responses, `busy` (honoring
-//! the server's `retry-after-ms` hint), and presumed-transient worker
-//! panics — with the batch supervisor's exponential backoff and
-//! deterministic jitter, bounded by `--retries` and an overall
-//! `--deadline-ms` that shrinks across attempts. Everything else — a
-//! protocol violation, a server-side compile error, an unreadable local
-//! file — is terminal and fails fast.
+//! **The fleet-aware client.** `impactc request` (and `impactc batch
+//! --remote`) accepts a comma-separated endpoint list — Unix socket
+//! paths and `host:port` TCP addresses mixed freely — and fails over in
+//! the listed (deterministic) order. Each endpoint carries its own
+//! circuit breaker ([`crate::transport::Breaker`]): after
+//! [`crate::transport::BREAKER_THRESHOLD`] consecutive retryable
+//! failures the endpoint is skipped until its cooldown elapses, then a
+//! single half-open `ping` probe decides between recovery and another
+//! cooldown. A `busy` hint (`retry-after-ms`) defers only the endpoint
+//! that sent it. When every endpoint is down, the terminal report names
+//! each endpoint's last error. With a single endpoint the fleet
+//! machinery degenerates to the PR 7 retry loop: retryable failures —
+//! connect errors, truncated/torn responses, `busy`, presumed-transient
+//! worker panics — retried with exponential backoff and deterministic
+//! jitter, bounded by `--retries` and an overall `--deadline-ms` that
+//! shrinks across attempts. Everything else — a protocol violation, a
+//! server-side compile error, an unreadable local file — is terminal
+//! and fails fast. Retry and failover notices go to stderr so stdout
+//! stays byte-identical to a fault-free run.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -76,8 +107,9 @@ use crate::supervise::{
 use crate::{cache, journal, load_inputs, telemetry, usage, Options, RunSpec};
 
 /// Protocol magic/version, the first token of every request and response.
-/// v2 added the `ping` verb and the `retry-after-ms` response field.
-pub const PROTOCOL: &str = "impact-serve v2";
+/// v2 added the `ping` verb and the `retry-after-ms` response field; v3
+/// added the compile request's idempotency id.
+pub const PROTOCOL: &str = "impact-serve v3";
 
 /// Cap on sources per request — a framing sanity bound, not a compile
 /// limit (the pipeline already has its own governors).
@@ -88,6 +120,23 @@ const MAX_FIELD_BYTES: usize = 1 << 22;
 
 /// Socket read/write timeout: a stalled peer cannot wedge a worker.
 const IO_TIMEOUT_MS: u64 = 10_000;
+
+/// Slow-loris defense: how long a **TCP** peer gets to deliver its
+/// complete request. A legitimate client writes the whole frame in one
+/// go, so two seconds is generous; a byte-at-a-time peer loses its
+/// connection long before it can pin a worker for [`IO_TIMEOUT_MS`].
+const TCP_HEADER_TIMEOUT_MS: u64 = 2_000;
+
+/// Injected dawdle for `--fault net:slow-read` (the daemon sits on the
+/// accepted connection before reading — long enough that a test can
+/// observe the connection being held, short enough to stay under every
+/// client deadline).
+const SLOW_READ_MS: u64 = 300;
+
+/// How many completed `ok` responses the idempotency table remembers.
+/// Bounds daemon memory; old ids age out FIFO, degrading a very late
+/// retry to an ordinary recompile (which the cache then absorbs).
+const IDEMPOTENCY_CAPACITY: usize = 256;
 
 /// Accept-loop poll interval while the listener has no pending
 /// connection; bounds SIGTERM reaction latency.
@@ -109,6 +158,10 @@ pub enum Request {
     Compile {
         /// The unit's sources.
         sources: Vec<Source>,
+        /// Idempotency id: constant across a client's retries of one
+        /// logical request, distinct across logical requests. The daemon
+        /// replays a completed `ok` response for a repeated id verbatim.
+        id: u64,
     },
     /// Run the daemon self-checks and report health.
     Ping,
@@ -164,23 +217,23 @@ impl Response {
 
 // ----- wire protocol -------------------------------------------------------
 //
-// Request:   `impact-serve v2 compile <nsources>\n`
+// Request:   `impact-serve v3 compile <nsources> <id:016x>\n`
 //            then per source: `<name_len> <text_len>\n<name><text>`
-//            or: `impact-serve v2 ping\n`
-// Response:  `impact-serve v2 <status> <exit> <cached 0|1> <retry_after_ms>
+//            or: `impact-serve v3 ping\n`
+// Response:  `impact-serve v3 <status> <exit> <cached 0|1> <retry_after_ms>
 //             <len>\n<payload>`
 //
 // Length-prefixed framing keeps parsing allocation-bounded and makes
 // truncation detectable (read_exact fails instead of blocking forever,
 // thanks to the socket timeouts).
 
-/// Writes a compile request for `sources`.
+/// Writes a compile request for `sources` under idempotency id `id`.
 ///
 /// # Errors
 ///
 /// Returns the underlying I/O error.
-pub fn write_request<W: Write>(w: &mut W, sources: &[Source]) -> std::io::Result<()> {
-    writeln!(w, "{PROTOCOL} compile {}", sources.len())?;
+pub fn write_request<W: Write>(w: &mut W, sources: &[Source], id: u64) -> std::io::Result<()> {
+    writeln!(w, "{PROTOCOL} compile {} {id:016x}", sources.len())?;
     for s in sources {
         writeln!(w, "{} {}", s.name.len(), s.text.len())?;
         w.write_all(s.name.as_bytes())?;
@@ -215,12 +268,17 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, String> {
     let rest = rest
         .strip_prefix(" compile ")
         .ok_or_else(|| format!("unknown request verb in `{header}`"))?;
-    let n: usize = rest
+    let (count, id_hex) = rest
+        .split_once(' ')
+        .ok_or_else(|| format!("missing request id in `{header}`"))?;
+    let n: usize = count
         .parse()
         .map_err(|_| format!("bad source count in `{header}`"))?;
     if n == 0 || n > MAX_SOURCES {
         return Err(format!("source count {n} outside 1..={MAX_SOURCES}"));
     }
+    let id =
+        u64::from_str_radix(id_hex, 16).map_err(|_| format!("bad request id in `{header}`"))?;
     let mut sources = Vec::with_capacity(n);
     for _ in 0..n {
         let frame = read_line(r)?;
@@ -242,7 +300,7 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, String> {
         let text = read_exact_utf8(r, text_len, "source text")?;
         sources.push(Source::new(name, text));
     }
-    Ok(Request::Compile { sources })
+    Ok(Request::Compile { sources, id })
 }
 
 /// Writes a response.
@@ -380,7 +438,10 @@ fn request_options(opts: &Options) -> Options {
 #[cfg(unix)]
 mod daemon {
     use super::*;
-    use std::os::unix::net::{UnixListener, UnixStream};
+    use crate::transport::{Conn, Listener};
+    use std::collections::{HashMap, VecDeque};
+    use std::net::TcpListener;
+    use std::os::unix::net::UnixListener;
     use std::path::PathBuf;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::mpsc::{self, TrySendError};
@@ -401,6 +462,47 @@ mod daemon {
         c.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Bounded memory of recently completed `ok` responses, keyed by the
+    /// request's idempotency id. A retried request whose first response
+    /// was lost on the wire is answered from here **verbatim** — same
+    /// status, exit, `cached` flag, and payload bytes — so a fault-free
+    /// run and a retried run produce identical client output, and the
+    /// compile (plus its cache store) happens exactly once.
+    #[derive(Default)]
+    pub(super) struct Idempotency {
+        state: Mutex<(VecDeque<u64>, HashMap<u64, Response>)>,
+    }
+
+    impl Idempotency {
+        pub(super) fn lookup(&self, id: u64) -> Option<Response> {
+            let st = self
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st.1.get(&id).cloned()
+        }
+
+        pub(super) fn insert(&self, id: u64, resp: Response) {
+            let mut st = self
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let (order, map) = &mut *st;
+            // First answer wins: a duplicate id is by definition a retry
+            // of the same logical request, so the stored response is
+            // already the one its client must see.
+            if let std::collections::hash_map::Entry::Vacant(slot) = map.entry(id) {
+                slot.insert(resp);
+                order.push_back(id);
+                if order.len() > IDEMPOTENCY_CAPACITY {
+                    if let Some(old) = order.pop_front() {
+                        map.remove(&old);
+                    }
+                }
+            }
+        }
+    }
+
     /// Everything a worker needs to handle one connection; bundled so the
     /// handlers stay call-site readable.
     struct Ctx<'a> {
@@ -415,6 +517,10 @@ mod daemon {
         /// Connections accepted but not yet picked up by a worker; the
         /// ping self-check reports queue headroom from this.
         queued: &'a AtomicU64,
+        /// Connections admitted past the accept loop and not yet finished
+        /// (queued or in a worker); `--max-conns` sheds against this.
+        open: &'a AtomicU64,
+        idem: &'a Idempotency,
     }
 
     /// Fires the named service fault if armed, making every injection
@@ -465,17 +571,30 @@ mod daemon {
         };
         crate::supervise::silence_worker_panics();
         super::sig::install();
-        let listener = UnixListener::bind(&socket)
+        // Bind TCP (when asked) *before* the Unix socket: the socket
+        // file's existence is the readiness signal tests and operators
+        // poll, so by the time it appears, every carrier is accepting.
+        let mut listeners: Vec<Listener> = Vec::new();
+        if let Some(addr) = &service.tcp {
+            let l = TcpListener::bind(addr.as_str())
+                .map_err(|e| format!("cannot bind serve TCP address `{addr}`: {e}"))?;
+            listeners.push(Listener::Tcp(l));
+        }
+        let unix = UnixListener::bind(&socket)
             .map_err(|e| format!("cannot bind serve socket `{}`: {e}", socket.display()))?;
-        listener
-            .set_nonblocking(true)
-            .map_err(|e| format!("cannot configure serve socket: {e}"))?;
-        let (tx, rx) = mpsc::sync_channel::<UnixStream>(service.queue_depth);
+        listeners.push(Listener::Unix(unix));
+        for l in &listeners {
+            l.set_nonblocking(true)
+                .map_err(|e| format!("cannot configure serve listener: {e}"))?;
+        }
+        let (tx, rx) = mpsc::sync_channel::<Conn>(service.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
         let req_opts = request_options(opts);
         let deadline = opts.time_limit_ms.unwrap_or(DEFAULT_TIME_LIMIT_MS);
         let totals = Totals::default();
         let queued = AtomicU64::new(0);
+        let open = AtomicU64::new(0);
+        let idem = Idempotency::default();
         let busy_hint = service.queue_depth as u64 * BUSY_RETRY_SLOT_MS;
         let ctx = Ctx {
             opts: &req_opts,
@@ -487,6 +606,8 @@ mod daemon {
             jobs: service.jobs,
             queue_depth: service.queue_depth,
             queued: &queued,
+            open: &open,
+            idem: &idem,
         };
 
         std::thread::scope(|scope| {
@@ -506,42 +627,71 @@ mod daemon {
                         let Ok(stream) = stream else { break };
                         ctx.queued.fetch_sub(1, Ordering::Relaxed);
                         handle_connection(stream, ctx);
+                        ctx.open.fetch_sub(1, Ordering::Relaxed);
                     })
                     .expect("spawn serve worker");
             }
-            // Accept loop, on this thread. SIGTERM flips the flag; the
-            // loop notices within POLL_MS and falls through to the drain.
-            loop {
+            // Accept loop, on this thread, round-robin over the bound
+            // carriers. SIGTERM flips the flag; the loop notices within
+            // POLL_MS and falls through to the drain.
+            'accept: loop {
                 if super::sig::requested() {
                     break;
                 }
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        bump(&totals.requests);
-                        obs.count(names::SERVE_REQUESTS, 1);
-                        queued.fetch_add(1, Ordering::Relaxed);
-                        match tx.try_send(stream) {
-                            Ok(()) => {}
-                            Err(TrySendError::Full(stream)) => {
-                                // Explicit overload shedding: an immediate
-                                // `busy` beats an unbounded queue.
-                                queued.fetch_sub(1, Ordering::Relaxed);
-                                bump(&totals.shed);
-                                obs.count(names::SERVE_SHED, 1);
-                                respond_busy(stream, busy_hint);
+                let mut any_ready = false;
+                for listener in &listeners {
+                    match listener.accept() {
+                        Ok(stream) => {
+                            any_ready = true;
+                            // `net:connect-refused[=N]`: the Nth accepted
+                            // connection is dropped before admission —
+                            // the peer sees an abrupt close, exactly as
+                            // if a dying daemon's backlog were flushed.
+                            if chaos(&ctx, "net:connect-refused") {
+                                drop(stream);
+                                continue;
                             }
-                            Err(TrySendError::Disconnected(_)) => break,
+                            bump(&totals.requests);
+                            obs.count(names::SERVE_REQUESTS, 1);
+                            // Accept-time connection cap (TCP hardening,
+                            // enforced on every carrier): over the cap,
+                            // shed immediately rather than queue.
+                            if let Some(cap) = service.max_conns {
+                                if open.load(Ordering::Relaxed) >= cap {
+                                    bump(&totals.shed);
+                                    obs.count(names::SERVE_SHED, 1);
+                                    obs.count(names::SERVE_CONN_CAPPED, 1);
+                                    respond_busy(stream, busy_hint);
+                                    continue;
+                                }
+                            }
+                            queued.fetch_add(1, Ordering::Relaxed);
+                            open.fetch_add(1, Ordering::Relaxed);
+                            match tx.try_send(stream) {
+                                Ok(()) => {}
+                                Err(TrySendError::Full(stream)) => {
+                                    // Explicit overload shedding: an
+                                    // immediate `busy` beats an unbounded
+                                    // queue.
+                                    queued.fetch_sub(1, Ordering::Relaxed);
+                                    open.fetch_sub(1, Ordering::Relaxed);
+                                    bump(&totals.shed);
+                                    obs.count(names::SERVE_SHED, 1);
+                                    respond_busy(stream, busy_hint);
+                                }
+                                Err(TrySendError::Disconnected(_)) => break 'accept,
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            // Transient accept failure; the poll sleep
+                            // below is the backoff.
                         }
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(POLL_MS));
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                    Err(_) => {
-                        // Transient accept failure; back off briefly and
-                        // keep serving.
-                        std::thread::sleep(Duration::from_millis(POLL_MS));
-                    }
+                }
+                if !any_ready {
+                    std::thread::sleep(Duration::from_millis(POLL_MS));
                 }
             }
             // Drain: closing the channel lets each worker finish its
@@ -569,7 +719,7 @@ mod daemon {
     /// timeout keeps a stalled client from wedging the accept loop. If
     /// the timeout cannot be configured, the write is skipped entirely —
     /// never attempted unbounded.
-    fn respond_busy(stream: UnixStream, retry_after_ms: u64) {
+    fn respond_busy(stream: Conn, retry_after_ms: u64) {
         if stream
             .set_write_timeout(Some(Duration::from_millis(250)))
             .is_err()
@@ -585,7 +735,7 @@ mod daemon {
     /// `serve:accept-crash`) costs that connection its response — the
     /// client sees a drop and retries — but never the daemon, which would
     /// otherwise die at scope join when the worker unwound.
-    fn handle_connection(stream: UnixStream, ctx: &Ctx) {
+    fn handle_connection(stream: Conn, ctx: &Ctx) {
         if catch_unwind(AssertUnwindSafe(|| handle_connection_inner(stream, ctx))).is_err() {
             bump(&ctx.totals.errors);
             ctx.obs.count(names::SERVE_ERRORS, 1);
@@ -595,15 +745,22 @@ mod daemon {
     /// The connection body: configure timeouts (mandatory), read, handle
     /// (panic-isolated compile or ping self-check), respond. Never
     /// propagates errors — a broken peer only loses its own response.
-    fn handle_connection_inner(stream: UnixStream, ctx: &Ctx) {
+    fn handle_connection_inner(stream: Conn, ctx: &Ctx) {
         if chaos(ctx, "serve:accept-crash") {
             panic!("injected accept-path crash");
         }
         // Unbounded I/O is never acceptable: a connection whose timeouts
         // cannot be configured gets a terminal protocol error (written
-        // best-effort) instead of a compile.
+        // best-effort) instead of a compile. TCP peers get the tight
+        // slow-loris deadline for delivering the request; a Unix peer is
+        // a local process and keeps the ordinary IO timeout.
+        let request_timeout = if stream.is_tcp() {
+            TCP_HEADER_TIMEOUT_MS
+        } else {
+            IO_TIMEOUT_MS
+        };
         if let Err(e) = stream
-            .set_read_timeout(Some(Duration::from_millis(IO_TIMEOUT_MS)))
+            .set_read_timeout(Some(Duration::from_millis(request_timeout)))
             .and_then(|()| stream.set_write_timeout(Some(Duration::from_millis(IO_TIMEOUT_MS))))
         {
             bump(&ctx.totals.errors);
@@ -615,11 +772,27 @@ mod daemon {
             );
             return;
         }
+        // `net:slow-read`: the daemon dawdles before reading, holding
+        // the admitted connection open — the fault a `--max-conns` cap
+        // (and a patient client) must absorb.
+        if chaos(ctx, "net:slow-read") {
+            std::thread::sleep(Duration::from_millis(SLOW_READ_MS));
+        }
         let reader = match stream.try_clone() {
             Ok(r) => r,
             Err(_) => return,
         };
-        let response = match read_request(&mut BufReader::new(reader)) {
+        let request = read_request(&mut BufReader::new(reader));
+        // `net:reset`: the connection dies right after the request is on
+        // the wire, before any work — unlike `net:drop`, nothing was
+        // compiled, so the retry must redo (or idempotently replay) it.
+        if chaos(ctx, "net:reset") {
+            bump(&ctx.totals.errors);
+            ctx.obs.count(names::SERVE_ERRORS, 1);
+            let _ = stream.shutdown_both();
+            return;
+        }
+        let response = match request {
             Err(e) => {
                 bump(&ctx.totals.errors);
                 ctx.obs.count(names::SERVE_ERRORS, 1);
@@ -630,12 +803,12 @@ mod daemon {
                 ctx.obs.count(names::SERVE_PINGS, 1);
                 health_response(ctx)
             }
-            Ok(Request::Compile { sources }) => {
+            Ok(Request::Compile { sources, id }) => {
                 // The compile additionally runs on the supervised worker
                 // thread under the wall-clock deadline; this catch_unwind
                 // isolates panics in the compile path (and the injected
                 // `serve:panic`) into a structured error response.
-                match catch_unwind(AssertUnwindSafe(|| compile_request(&sources, ctx))) {
+                match catch_unwind(AssertUnwindSafe(|| compile_request(&sources, id, ctx))) {
                     Ok(resp) => {
                         if resp.status == "ok" {
                             bump(&ctx.totals.ok);
@@ -658,7 +831,8 @@ mod daemon {
             }
         };
         // Network chaos on the response path: the work above is done (and
-        // cached), so the retrying client converges to the same bytes.
+        // cached, and remembered by id), so the retrying client converges
+        // to the same bytes.
         if chaos(ctx, "net:drop") {
             return;
         }
@@ -667,6 +841,20 @@ mod daemon {
             let mut wire = Vec::new();
             let _ = write_response(&mut wire, &response);
             let _ = stream.write_all(&wire[..wire.len() / 2]);
+            let _ = stream.flush();
+            return;
+        }
+        // `net:partial-frame`: only a prefix of the response *header
+        // line* makes it out — the client cannot even learn the payload
+        // length (torn-write, by contrast, usually dies mid-payload).
+        if chaos(ctx, "net:partial-frame") {
+            let mut wire = Vec::new();
+            let _ = write_response(&mut wire, &response);
+            let header_end = wire
+                .iter()
+                .position(|&b| b == b'\n')
+                .map_or(wire.len(), |i| i + 1);
+            let _ = stream.write_all(&wire[..header_end / 2]);
             let _ = stream.flush();
             return;
         }
@@ -684,7 +872,10 @@ mod daemon {
         let cache_state = match ctx.cache {
             None => "disabled",
             Some(c) => {
-                let probe = c.dir().join(".health-probe");
+                // A daemon killed between this write and the remove
+                // leaks the probe file; the cache's startup scan reaps
+                // it (see `cache::HEALTH_PROBE`).
+                let probe = c.dir().join(cache::HEALTH_PROBE);
                 match std::fs::write(&probe, b"ok") {
                     Ok(()) => {
                         let _ = std::fs::remove_file(&probe);
@@ -703,9 +894,17 @@ mod daemon {
         Response::ok(i32::from(!healthy), false, payload)
     }
 
-    /// Compiles one request: fault points, cache probe, supervised
-    /// attempt, cache store.
-    fn compile_request(sources: &[Source], ctx: &Ctx) -> Response {
+    /// Compiles one request: idempotent replay, fault points, cache
+    /// probe, supervised attempt, cache store.
+    fn compile_request(sources: &[Source], id: u64, ctx: &Ctx) -> Response {
+        // A repeated id means this exact logical request already landed
+        // and only its response was lost: replay the remembered bytes —
+        // no recompile, no second cache store, no `; cache: hit` marker
+        // the first response didn't have.
+        if let Some(resp) = ctx.idem.lookup(id) {
+            ctx.obs.count(names::SERVE_IDEMPOTENT_REPLAYS, 1);
+            return resp;
+        }
         if chaos(ctx, "serve:stall") {
             std::thread::sleep(Duration::from_millis(STALL_MS));
         }
@@ -737,7 +936,12 @@ mod daemon {
                     // Store failures degrade the cache, not the response.
                     let _ = c.store(k, code, &report);
                 }
-                Response::ok(code, false, report)
+                let resp = Response::ok(code, false, report);
+                // Only completed `ok` responses are replayable: an error
+                // (a worker panic, say) is exactly what a retry should
+                // get a fresh chance at.
+                ctx.idem.insert(id, resp.clone());
+                resp
             }
             Err(f) => Response::error(f.render()),
         }
@@ -829,64 +1033,113 @@ fn wire_error_is_retryable(err: &str) -> bool {
     err.contains("truncated") || err.contains("read failed")
 }
 
-/// `impactc request <socket> <files.c...>` — the resilient client: sends
-/// the files to a running daemon and prints the pipeline report. A cached
-/// response appends a `; cache: hit` marker line. With `--ping`, runs the
-/// daemon's health self-checks instead (no files) and exits 0 only when
-/// the daemon reports healthy.
-///
-/// Retryable failures (connect errors, truncated/torn responses, `busy`,
-/// presumed-transient worker panics) are retried up to `--retries` times
-/// with exponential backoff and deterministic jitter, honoring the
-/// server's `retry-after-ms` hint when present; `--deadline-ms` bounds
-/// the whole exchange, shrinking the per-attempt socket timeouts as it
-/// runs down. Retry notices go to stderr so stdout stays byte-identical
-/// to a fault-free run.
-///
-/// # Errors
-///
-/// Returns a terminal failure immediately, or the last retryable failure
-/// once the attempts (or the deadline) are exhausted.
+/// What one exchange sends: a health-check ping or a compile with its
+/// idempotency id.
 #[cfg(unix)]
-pub fn run_request(opts: &Options) -> Result<(i32, String), String> {
-    use std::os::unix::net::UnixStream;
-    use std::time::Instant;
+enum WirePayload<'a> {
+    Ping,
+    Compile { sources: &'a [Source], id: u64 },
+}
 
-    // Client flags (--deadline-ms in particular) validate through the
-    // same call as the daemon's, so a bad value fails before any I/O.
-    opts.service_config()?;
-    let Some((socket, files)) = opts.positional.split_first() else {
-        return Err(format!(
-            "request needs a socket path and at least one .c file\n{}",
-            usage()
-        ));
-    };
-    if opts.ping {
-        if !files.is_empty() {
-            return Err(format!(
-                "request --ping takes only the socket path (got {} extra args)\n{}",
-                files.len(),
-                usage()
-            ));
+/// A per-invocation salt for idempotency ids: the same invocation
+/// retries under one id (so a lost response replays), while two separate
+/// invocations of the same files get distinct ids (so each observes its
+/// own fresh compile-or-cache decision).
+#[cfg(unix)]
+fn invocation_salt() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| (d.as_secs() << 30) ^ u64::from(d.subsec_nanos()))
+        .unwrap_or(0);
+    (u64::from(std::process::id()) << 48) ^ nanos
+}
+
+/// FNV-1a over the salt and the request's sources: stable across the
+/// retries of one logical request.
+#[cfg(unix)]
+fn request_id(sources: &[Source], salt: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-    } else if files.is_empty() {
-        return Err(format!(
-            "request needs at least one .c file after the socket path\n{}",
-            usage()
-        ));
+    };
+    eat(&salt.to_le_bytes());
+    for s in sources {
+        eat(s.name.as_bytes());
+        eat(&[0]);
+        eat(s.text.as_bytes());
+        eat(&[0]);
     }
-    let mut sources = Vec::with_capacity(files.len());
-    for f in files {
-        let text = std::fs::read_to_string(f).map_err(|e| format!("cannot read `{f}`: {e}"))?;
-        sources.push(Source::new(f.clone(), text));
+    h
+}
+
+/// One endpoint's client-side state: its breaker, its `retry-after-ms`
+/// hold, and the last error it produced (for the terminal fleet report).
+#[cfg(unix)]
+struct EndpointState {
+    endpoint: crate::transport::Endpoint,
+    breaker: crate::transport::Breaker,
+    not_before: Option<std::time::Instant>,
+    last_err: String,
+}
+
+/// The fleet client: an ordered endpoint list with per-endpoint circuit
+/// breakers, shared across every exchange of one invocation (so a
+/// `batch --remote` campaign's breakers carry state from unit to unit).
+#[cfg(unix)]
+struct Fleet<'a> {
+    /// The original comma-separated argument, for jitter keying.
+    arg: &'a str,
+    states: Vec<EndpointState>,
+    opts: &'a Options,
+    obs: &'a impact_obs::Telemetry,
+    /// Append the `; cache: hit` marker to cached responses. `request`
+    /// keeps the PR 6 marker; `batch --remote` suppresses it so campaign
+    /// stdout is byte-identical whether the fleet's caches were warm.
+    note_cache_hits: bool,
+}
+
+#[cfg(unix)]
+impl<'a> Fleet<'a> {
+    fn new(
+        endpoints: Vec<crate::transport::Endpoint>,
+        arg: &'a str,
+        opts: &'a Options,
+        obs: &'a impact_obs::Telemetry,
+        note_cache_hits: bool,
+    ) -> Fleet<'a> {
+        Fleet {
+            arg,
+            states: endpoints
+                .into_iter()
+                .map(|endpoint| EndpointState {
+                    endpoint,
+                    breaker: crate::transport::Breaker::new(),
+                    not_before: None,
+                    last_err: "not yet tried".to_string(),
+                })
+                .collect(),
+            opts,
+            obs,
+            note_cache_hits,
+        }
     }
 
-    let attempt_once = |remaining_ms: Option<u64>| -> Outcome {
-        let stream = match UnixStream::connect(socket.as_str()) {
+    /// One wire attempt against one endpoint, classified by the retry
+    /// taxonomy.
+    fn attempt_endpoint(
+        &self,
+        ep: &crate::transport::Endpoint,
+        wire: &WirePayload,
+        remaining_ms: Option<u64>,
+    ) -> Outcome {
+        let stream = match ep.connect() {
             Ok(s) => s,
             Err(e) => {
                 return Outcome::Retry {
-                    why: format!("cannot connect to serve socket `{socket}`: {e}"),
+                    why: format!("cannot connect to serve socket `{}`: {e}", ep.display()),
                     after_ms: None,
                 }
             }
@@ -906,10 +1159,9 @@ pub fn run_request(opts: &Options) -> Result<(i32, String), String> {
             Ok(w) => w,
             Err(e) => return Outcome::Fail(format!("cannot clone socket stream: {e}")),
         };
-        let sent = if opts.ping {
-            write_ping(&mut writer)
-        } else {
-            write_request(&mut writer, &sources)
+        let sent = match wire {
+            WirePayload::Ping => write_ping(&mut writer),
+            WirePayload::Compile { sources, id } => write_request(&mut writer, sources, *id),
         };
         if let Err(e) = sent {
             return Outcome::Retry {
@@ -930,7 +1182,7 @@ pub fn run_request(opts: &Options) -> Result<(i32, String), String> {
         match resp.status.as_str() {
             "ok" => {
                 let mut out = resp.payload;
-                if resp.cached {
+                if resp.cached && self.note_cache_hits {
                     out.push_str("; cache: hit\n");
                 }
                 Outcome::Done(resp.exit, out)
@@ -953,64 +1205,365 @@ pub fn run_request(opts: &Options) -> Result<(i32, String), String> {
                 }
             }
         }
-    };
+    }
 
-    let retries = opts.retries.unwrap_or(DEFAULT_RETRIES);
-    let base = opts.retry_base_ms.unwrap_or(DEFAULT_RETRY_BASE_MS);
-    let max_attempts = retries.saturating_add(1);
-    let start = Instant::now();
-    let mut last_err = String::new();
-    for attempt in 1..=max_attempts {
-        let remaining = match opts.deadline_ms {
-            None => None,
-            Some(budget) => {
-                let spent = start.elapsed().as_millis() as u64;
-                if spent >= budget {
-                    return Err(format!(
-                        "request deadline of {budget} ms exceeded after {} attempts: {last_err}",
-                        attempt - 1
-                    ));
+    /// Records a retryable failure against endpoint `i`, driving its
+    /// breaker and emitting the `breaker:opened` edge.
+    fn note_failure(
+        &mut self,
+        i: usize,
+        now: std::time::Instant,
+        why: String,
+        after_ms: Option<u64>,
+    ) {
+        let multi = self.states.len() > 1;
+        let st = &mut self.states[i];
+        st.not_before = after_ms.map(|ms| now + Duration::from_millis(ms));
+        st.last_err = why;
+        // Breakers only engage on a real fleet: a fleet of one
+        // degenerates to the plain retry loop (skipping the only
+        // endpoint would help nobody).
+        if multi && st.breaker.record_failure(now) {
+            self.obs.count(names::BREAKER_OPENED, 1);
+            eprintln!(
+                "; request: circuit breaker opened for `{}` after {} consecutive failures",
+                st.endpoint.display(),
+                crate::transport::BREAKER_THRESHOLD
+            );
+        }
+    }
+
+    /// Runs one logical exchange to completion across the fleet: rounds
+    /// of deterministic-order failover bounded by `--retries` and
+    /// `--deadline-ms`. See the module docs for the taxonomy.
+    fn exchange(&mut self, wire: &WirePayload) -> Result<(i32, String), String> {
+        use std::time::Instant;
+
+        let retries = self.opts.retries.unwrap_or(DEFAULT_RETRIES);
+        let base = self.opts.retry_base_ms.unwrap_or(DEFAULT_RETRY_BASE_MS);
+        let max_attempts = retries.saturating_add(1);
+        let multi = self.states.len() > 1;
+        let start = Instant::now();
+        let mut last_err = String::new();
+        for attempt in 1..=max_attempts {
+            let remaining = match self.opts.deadline_ms {
+                None => None,
+                Some(budget) => {
+                    let spent = start.elapsed().as_millis() as u64;
+                    if spent >= budget {
+                        return Err(format!(
+                            "request deadline of {budget} ms exceeded after {} attempts: {last_err}",
+                            attempt - 1
+                        ));
+                    }
+                    Some(budget - spent)
                 }
-                Some(budget - spent)
+            };
+            // One round: every admissible endpoint, in listed order.
+            let mut round_hint: Option<u64> = None;
+            for i in 0..self.states.len() {
+                let now = Instant::now();
+                if multi {
+                    if let Some(nb) = self.states[i].not_before {
+                        if now < nb {
+                            // Honoring this endpoint's retry-after hint;
+                            // the rest of the fleet is still in play.
+                            continue;
+                        }
+                    }
+                    match self.states[i].breaker.admit(now) {
+                        crate::transport::Admission::Try => {}
+                        crate::transport::Admission::Skip => continue,
+                        crate::transport::Admission::Probe => {
+                            // Half-open: one cheap ping decides between
+                            // recovery and another cooldown before any
+                            // real request is risked on this endpoint.
+                            self.obs.count(names::BREAKER_PROBES, 1);
+                            let ep = self.states[i].endpoint.clone();
+                            eprintln!(
+                                "; request: probing `{}` (circuit breaker half-open)",
+                                ep.display()
+                            );
+                            match self.attempt_endpoint(&ep, &WirePayload::Ping, remaining) {
+                                Outcome::Done(..) => {
+                                    if self.states[i].breaker.record_success() {
+                                        self.obs.count(names::BREAKER_RECOVERED, 1);
+                                        eprintln!(
+                                            "; request: endpoint `{}` recovered",
+                                            ep.display()
+                                        );
+                                    }
+                                }
+                                Outcome::Retry { why, after_ms } => {
+                                    let why = format!("half-open probe failed: {why}");
+                                    self.note_failure(i, Instant::now(), why, after_ms);
+                                    last_err = self.states[i].last_err.clone();
+                                    continue;
+                                }
+                                Outcome::Fail(why) => {
+                                    let why = format!("half-open probe failed: {why}");
+                                    self.note_failure(i, Instant::now(), why, None);
+                                    last_err = self.states[i].last_err.clone();
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                }
+                let ep = self.states[i].endpoint.clone();
+                match self.attempt_endpoint(&ep, wire, remaining) {
+                    Outcome::Done(exit, out) => {
+                        if self.states[i].breaker.record_success() {
+                            self.obs.count(names::BREAKER_RECOVERED, 1);
+                        }
+                        return Ok((exit, out));
+                    }
+                    Outcome::Fail(msg) => return Err(msg),
+                    Outcome::Retry { why, after_ms } => {
+                        round_hint = after_ms;
+                        self.note_failure(i, Instant::now(), why, after_ms);
+                        last_err = self.states[i].last_err.clone();
+                        if multi {
+                            self.obs.count(names::NET_FAILOVERS, 1);
+                            eprintln!(
+                                "; request: endpoint `{}` failed ({last_err}); failing over",
+                                ep.display()
+                            );
+                        }
+                    }
+                }
             }
-        };
-        match attempt_once(remaining) {
-            Outcome::Done(exit, out) => return Ok((exit, out)),
-            Outcome::Fail(msg) => return Err(msg),
-            Outcome::Retry { why, after_ms } => {
-                last_err = why;
-                if attempt == max_attempts {
-                    break;
-                }
-                // Server hint when present, else exponential backoff;
-                // deterministic jitter either way, clipped to whatever
-                // deadline remains.
-                let mut delay = after_ms
-                    .unwrap_or(base << (attempt - 1))
-                    .saturating_add(jitter_ms(socket, attempt, base));
-                if let Some(r) = remaining {
-                    delay = delay.min(r);
-                }
+            if last_err.is_empty() {
+                last_err =
+                    "every endpoint is cooling down behind an open circuit breaker".to_string();
+            }
+            if attempt == max_attempts {
+                break;
+            }
+            // Server hint when present (single-endpoint semantics; a
+            // fleet holds hints per endpoint instead), else exponential
+            // backoff; deterministic jitter either way, clipped to
+            // whatever deadline remains.
+            let mut delay = if multi { None } else { round_hint }
+                .unwrap_or(base << (attempt - 1))
+                .saturating_add(jitter_ms(self.arg, attempt, base));
+            if let Some(r) = remaining {
+                delay = delay.min(r);
+            }
+            if multi {
+                eprintln!(
+                    "; request: round {attempt}/{max_attempts} failed across {} endpoints ({last_err}); retrying in {delay}ms",
+                    self.states.len()
+                );
+            } else {
                 eprintln!(
                     "; request: attempt {attempt}/{max_attempts} failed ({last_err}); retrying in {delay}ms"
                 );
-                std::thread::sleep(Duration::from_millis(delay));
+            }
+            std::thread::sleep(Duration::from_millis(delay));
+        }
+        if multi {
+            let mut msg = format!("all endpoints down after {max_attempts} rounds:");
+            for st in &self.states {
+                msg.push_str(&format!("\n  {}: {}", st.endpoint.display(), st.last_err));
+            }
+            Err(msg)
+        } else if max_attempts == 1 {
+            Err(last_err)
+        } else {
+            Err(format!(
+                "request failed after {max_attempts} attempts: {last_err}"
+            ))
+        }
+    }
+}
+
+/// `impactc request <endpoints> <files.c...>` — the fleet-aware resilient
+/// client: sends the files to a running daemon and prints the pipeline
+/// report. The first positional is a comma-separated endpoint list (Unix
+/// socket paths and/or `host:port` TCP endpoints); with more than one
+/// endpoint the client fails over in listed order, holds a per-endpoint
+/// circuit breaker, and reports a terminal "all endpoints down" summary
+/// naming each endpoint's last error. A cached response appends a
+/// `; cache: hit` marker line. With `--ping`, runs the daemon's health
+/// self-checks instead (no files, single endpoint only) and exits 0 only
+/// when the daemon reports healthy.
+///
+/// Retryable failures (connect errors, truncated/torn responses, `busy`,
+/// presumed-transient worker panics) are retried up to `--retries` times
+/// with exponential backoff and deterministic jitter, honoring the
+/// server's `retry-after-ms` hint per endpoint; `--deadline-ms` bounds
+/// the whole exchange, shrinking the per-attempt socket timeouts as it
+/// runs down. Retry/failover notices go to stderr so stdout stays
+/// byte-identical to a fault-free run.
+///
+/// # Errors
+///
+/// Returns a terminal failure immediately, or the last retryable failure
+/// once the rounds (or the deadline) are exhausted.
+#[cfg(unix)]
+pub fn run_request(opts: &Options) -> Result<(i32, String), String> {
+    // Client flags (--deadline-ms, endpoint shapes) validate through the
+    // same call as the daemon's, so a bad value fails before any I/O.
+    opts.service_config()?;
+    let Some((endpoint_arg, files)) = opts.positional.split_first() else {
+        return Err(format!(
+            "request needs a socket path and at least one .c file\n{}",
+            usage()
+        ));
+    };
+    if opts.ping {
+        if !files.is_empty() {
+            return Err(format!(
+                "request --ping takes only the socket path (got {} extra args)\n{}",
+                files.len(),
+                usage()
+            ));
+        }
+    } else if files.is_empty() {
+        return Err(format!(
+            "request needs at least one .c file after the socket path\n{}",
+            usage()
+        ));
+    }
+    let endpoints = crate::transport::parse_endpoints(endpoint_arg)?;
+    let mut sources = Vec::with_capacity(files.len());
+    for f in files {
+        let text = std::fs::read_to_string(f).map_err(|e| format!("cannot read `{f}`: {e}"))?;
+        sources.push(Source::new(f.clone(), text));
+    }
+
+    let obs = telemetry::handle_for(opts);
+    let mut fleet = Fleet::new(endpoints, endpoint_arg, opts, &obs, true);
+    let wire = if opts.ping {
+        WirePayload::Ping
+    } else {
+        WirePayload::Compile {
+            sources: &sources,
+            id: request_id(&sources, invocation_salt()),
+        }
+    };
+    let result = fleet.exchange(&wire);
+    telemetry::write_artifacts(opts, &obs, None)?;
+    result
+}
+
+/// `impactc batch --remote <endpoints>` — ships each file unit of the
+/// batch to the daemon fleet instead of compiling locally, sharing one
+/// [`Fleet`] (so breaker state carries from unit to unit) and printing a
+/// deterministic per-unit report plus a summary line. The daemons own the
+/// pool and the cache, so the local supervision knobs (`--jobs`,
+/// `--cache-dir`, `--journal`, `--report-dir`, `--fault*`) are rejected;
+/// retried units are idempotent on the daemon side, so a campaign's
+/// stdout is byte-identical whether or not faults forced retries.
+///
+/// Exit contract matches local batch: 0 all ok, 10 partial, 11 all
+/// failed.
+///
+/// # Errors
+///
+/// Returns a usage-style message for a malformed invocation; per-unit
+/// failures are folded into the summary and the exit code instead.
+#[cfg(unix)]
+pub fn run_batch_remote(opts: &Options) -> Result<(i32, String), String> {
+    use crate::supervise::{EXIT_ALL_FAILED, EXIT_ALL_OK, EXIT_PARTIAL};
+
+    let endpoint_arg = opts
+        .remote
+        .clone()
+        .expect("run_batch_remote requires --remote");
+    opts.service_config()?;
+    if opts.jobs.is_some() || opts.cache_dir.is_some() || opts.cache_budget_bytes.is_some() {
+        return Err(
+            "--jobs/--cache-dir/--cache-budget-bytes configure the local pool and cache; \
+             with --remote the daemons own both"
+                .to_string(),
+        );
+    }
+    if opts.journal.is_some() || opts.resume {
+        return Err(
+            "--journal/--resume supervise local units; a --remote campaign's durability \
+             lives in the daemons' caches"
+                .to_string(),
+        );
+    }
+    if opts.report_dir.is_some() || !opts.faults.is_empty() || opts.fault_unit.is_some() {
+        return Err(
+            "--report-dir/--fault/--fault-unit apply to locally supervised units, not --remote \
+             (arm faults on the daemon invocation instead)"
+                .to_string(),
+        );
+    }
+    let units = crate::supervise::enumerate_file_units(opts)?;
+    if units.is_empty() {
+        return Err(format!(
+            "batch --remote needs at least one unit (a .c file or a directory of them)\n{}",
+            usage()
+        ));
+    }
+    let endpoints = crate::transport::parse_endpoints(&endpoint_arg)?;
+
+    let obs = telemetry::handle_for(opts);
+    // One fleet for the whole campaign — and no cache-hit markers, so
+    // stdout is byte-identical whether the fleet's caches were warm.
+    let mut fleet = Fleet::new(endpoints, &endpoint_arg, opts, &obs, false);
+    let salt = invocation_salt();
+    let mut out = String::new();
+    let (mut ok, mut failed) = (0usize, 0usize);
+    for (i, path) in units.iter().enumerate() {
+        let resolved = match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let sources = vec![Source::new(path.clone(), text)];
+                // Mix the unit index into the salt so two listings of the
+                // same file stay distinct logical requests.
+                let id = request_id(
+                    &sources,
+                    salt ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                );
+                fleet.exchange(&WirePayload::Compile {
+                    sources: &sources,
+                    id,
+                })
+            }
+            Err(e) => Err(format!("cannot read `{path}`: {e}")),
+        };
+        match resolved {
+            Ok((exit, payload)) => {
+                ok += 1;
+                out.push_str(&format!("; unit {path}: exit {exit}\n"));
+                out.push_str(&payload);
+            }
+            Err(msg) => {
+                failed += 1;
+                out.push_str(&format!("; unit {path}: failed: {msg}\n"));
             }
         }
     }
-    if max_attempts == 1 {
-        Err(last_err)
+    out.push_str(&format!(
+        "; batch --remote: {} units, {ok} ok, {failed} failed\n",
+        units.len()
+    ));
+    telemetry::write_artifacts(opts, &obs, None)?;
+    let code = if failed == 0 {
+        EXIT_ALL_OK
+    } else if ok == 0 {
+        EXIT_ALL_FAILED
     } else {
-        Err(format!(
-            "request failed after {max_attempts} attempts: {last_err}"
-        ))
-    }
+        EXIT_PARTIAL
+    };
+    Ok((code, out))
 }
 
 /// Request is Unix-only, like serve.
 #[cfg(not(unix))]
 pub fn run_request(_opts: &Options) -> Result<(i32, String), String> {
     Err("request requires a Unix platform (Unix sockets)".to_string())
+}
+
+/// Remote batch is Unix-only, like serve.
+#[cfg(not(unix))]
+pub fn run_batch_remote(_opts: &Options) -> Result<(i32, String), String> {
+    Err("batch --remote requires a Unix platform".to_string())
 }
 
 #[cfg(test)]
@@ -1028,9 +1581,15 @@ mod tests {
             Source::new("dir/b.c", "int helper() { return 1; }\n"),
         ];
         let mut wire = Vec::new();
-        write_request(&mut wire, &sources).unwrap();
+        write_request(&mut wire, &sources, 0xdead_beef_0042_1234).unwrap();
         let req = read_request(&mut std::io::Cursor::new(wire)).unwrap();
-        assert_eq!(req, Request::Compile { sources });
+        assert_eq!(
+            req,
+            Request::Compile {
+                sources,
+                id: 0xdead_beef_0042_1234
+            }
+        );
     }
 
     #[test]
@@ -1059,21 +1618,51 @@ mod tests {
 
     #[test]
     fn malformed_requests_are_rejected_not_trusted() {
+        let id = "0000000000000001";
         for (wire, needle) in [
-            (&b"impact-serve v9 compile 1\n"[..], "bad protocol"),
             (
-                &b"impact-serve v2 decompile 1\n"[..],
+                format!("impact-serve v9 compile 1 {id}\n").into_bytes(),
+                "bad protocol",
+            ),
+            (
+                format!("impact-serve v3 decompile 1 {id}\n").into_bytes(),
                 "unknown request verb",
             ),
-            (&b"impact-serve v2 compile 0\n"[..], "source count"),
-            (&b"impact-serve v2 compile 999\n"[..], "source count"),
-            (&b"impact-serve v2 compile 1\n5 99999999\n"[..], "field cap"),
-            (&b"impact-serve v2 compile 1\n3 4\na.cint"[..], "truncated"),
-            (&b"impact-serve v2 compile 1"[..], "truncated line"),
-            // v1 clients are rejected at the header, not half-parsed.
-            (&b"impact-serve v1 compile 1\n"[..], "bad protocol"),
+            (
+                format!("impact-serve v3 compile 0 {id}\n").into_bytes(),
+                "source count",
+            ),
+            (
+                format!("impact-serve v3 compile 999 {id}\n").into_bytes(),
+                "source count",
+            ),
+            (
+                // A compile header without the idempotency id is a v3
+                // protocol violation, not a silent default.
+                b"impact-serve v3 compile 1\n".to_vec(),
+                "missing request id",
+            ),
+            (
+                format!("impact-serve v3 compile 1 {}\n", "zz").into_bytes(),
+                "bad request id",
+            ),
+            (
+                format!("impact-serve v3 compile 1 {id}\n5 99999999\n").into_bytes(),
+                "field cap",
+            ),
+            (
+                format!("impact-serve v3 compile 1 {id}\n3 4\na.cint").into_bytes(),
+                "truncated",
+            ),
+            (b"impact-serve v3 compile 1".to_vec(), "truncated line"),
+            // v1/v2 clients are rejected at the header, not half-parsed.
+            (b"impact-serve v1 compile 1\n".to_vec(), "bad protocol"),
+            (
+                format!("impact-serve v2 compile 1 {id}\n").into_bytes(),
+                "bad protocol",
+            ),
         ] {
-            let err = read_request(&mut std::io::Cursor::new(wire.to_vec())).unwrap_err();
+            let err = read_request(&mut std::io::Cursor::new(wire)).unwrap_err();
             assert!(err.contains(needle), "`{err}` should mention `{needle}`");
         }
     }
@@ -1081,15 +1670,49 @@ mod tests {
     #[test]
     fn malformed_responses_name_the_missing_field() {
         for (wire, needle) in [
-            (&b"impact-serve v2 ok 0\n"[..], "cached flag"),
-            (&b"impact-serve v2 ok 0 1\n"[..], "retry-after"),
-            (&b"impact-serve v2 ok 0 1 5\n"[..], "payload length"),
-            (&b"impact-serve v2 maybe 0 1 0 0\n"[..], "unknown response"),
-            (&b"impact-serve v1 ok 0 1 0\n"[..], "bad protocol"),
+            (&b"impact-serve v3 ok 0\n"[..], "cached flag"),
+            (&b"impact-serve v3 ok 0 1\n"[..], "retry-after"),
+            (&b"impact-serve v3 ok 0 1 5\n"[..], "payload length"),
+            (&b"impact-serve v3 maybe 0 1 0 0\n"[..], "unknown response"),
+            (&b"impact-serve v2 ok 0 1 0\n"[..], "bad protocol"),
         ] {
             let err = read_response(&mut std::io::Cursor::new(wire.to_vec())).unwrap_err();
             assert!(err.contains(needle), "`{err}` should mention `{needle}`");
         }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn request_ids_are_stable_per_invocation_and_distinct_across_salts() {
+        let sources = vec![Source::new("a.c", "int main() { return 0; }\n")];
+        let again = vec![Source::new("a.c", "int main() { return 0; }\n")];
+        assert_eq!(request_id(&sources, 7), request_id(&again, 7));
+        assert_ne!(request_id(&sources, 7), request_id(&sources, 8));
+        let other = vec![Source::new("a.c", "int main() { return 1; }\n")];
+        assert_ne!(request_id(&sources, 7), request_id(&other, 7));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn idempotency_table_replays_and_evicts_fifo() {
+        let idem = super::daemon::Idempotency::default();
+        assert!(idem.lookup(1).is_none());
+        idem.insert(1, Response::ok(0, false, "one\n".to_string()));
+        // Re-inserting under the same id keeps the first answer.
+        idem.insert(1, Response::ok(0, false, "other\n".to_string()));
+        assert_eq!(idem.lookup(1).unwrap().payload, "one\n");
+        for id in 2..=(IDEMPOTENCY_CAPACITY as u64 + 1) {
+            idem.insert(id, Response::ok(0, false, format!("{id}\n")));
+        }
+        // Capacity inserts later evicted the oldest entry, and only it.
+        assert!(idem.lookup(1).is_none());
+        assert_eq!(idem.lookup(2).unwrap().payload, "2\n");
+        assert_eq!(
+            idem.lookup(IDEMPOTENCY_CAPACITY as u64 + 1)
+                .unwrap()
+                .payload,
+            format!("{}\n", IDEMPOTENCY_CAPACITY as u64 + 1)
+        );
     }
 
     #[test]

@@ -165,6 +165,27 @@ fn enumerate_units(opts: &Options) -> Result<Vec<Unit>, String> {
     Ok(units)
 }
 
+/// The unit list restricted to loose source files, for `batch --remote`:
+/// the fleet protocol ships source text, so bundled benchmarks (which
+/// carry inputs and program arguments) must run locally.
+///
+/// # Errors
+///
+/// Returns a usage-style message for a malformed batch or a bench unit.
+pub(crate) fn enumerate_file_units(opts: &Options) -> Result<Vec<String>, String> {
+    enumerate_units(opts)?
+        .into_iter()
+        .map(|u| match u.kind {
+            UnitKind::File(path) => Ok(path),
+            UnitKind::Bench(_) => Err(format!(
+                "remote batch ships source files to the daemons; `{}` is a bundled \
+                 benchmark — run bench units locally",
+                u.name
+            )),
+        })
+        .collect()
+}
+
 /// The per-unit options: IL dumps off, per-unit profile I/O off (units
 /// would clobber each other's files), telemetry output flags off (the
 /// campaign aggregates unit telemetry into one collector and writes the
@@ -541,6 +562,11 @@ fn process_unit(
 /// (no units, unknown benchmark name, unreadable directory). Unit
 /// failures never surface here — they quarantine and the batch goes on.
 pub fn run_batch(opts: &Options) -> Result<(i32, String), String> {
+    if opts.remote.is_some() {
+        // `--remote` ships units to a daemon fleet; everything below
+        // (pool, journal, local cache) belongs to local supervision.
+        return crate::serve::run_batch_remote(opts);
+    }
     let units = enumerate_units(opts)?;
     if units.is_empty() {
         return Err(format!(

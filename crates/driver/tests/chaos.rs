@@ -35,7 +35,7 @@ fn impactc<S: AsRef<std::ffi::OsStr>>(args: &[S]) -> RunResult {
 }
 
 fn tmp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("impactc-chaos-{tag}"));
+    let dir = std::env::temp_dir().join(format!("impactc-chaos-{}-{tag}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     dir
@@ -539,6 +539,367 @@ fn busy_responses_carry_a_retry_hint_the_client_honors() {
         stdout.contains("3 shed"),
         "every shed attempt must be accounted: {stdout}"
     );
+}
+
+// ----- TCP transport chaos -------------------------------------------------
+
+/// Reserves a loopback port by binding port 0 and immediately releasing
+/// it; the daemon rebinds it a moment later.
+fn free_port() -> u16 {
+    std::net::TcpListener::bind("127.0.0.1:0")
+        .expect("bind loopback port 0")
+        .local_addr()
+        .unwrap()
+        .port()
+}
+
+/// `request` against an endpoint *string* (TCP address or endpoint
+/// list) rather than a socket path.
+fn request_ep(ep: &str, file: &str, extra: &[&str]) -> RunResult {
+    let mut args = vec!["request", ep, file];
+    args.extend_from_slice(extra);
+    impactc(&args)
+}
+
+/// Reads one counter value out of a `--metrics-out` JSON file; absent
+/// counters read as zero (they were never bumped).
+fn counter(metrics_text: &str, name: &str) -> u64 {
+    let needle = format!("{{\"name\": \"{name}\", \"value\": ");
+    let Some(at) = metrics_text.find(&needle) else {
+        return 0;
+    };
+    let rest = &metrics_text[at + needle.len()..];
+    let end = rest.find('}').expect("well-formed counter object");
+    rest[..end].trim().parse().expect("integer counter value")
+}
+
+/// The TCP chaos matrix: every TCP-era network fault fires against a
+/// daemon serving loopback TCP, once without retries (structured
+/// failure or transparent survival, never a hang) and once with (always
+/// byte-identical convergence). The daemon survives every row and
+/// accounts the injection in `chaos:*` telemetry.
+#[test]
+fn tcp_chaos_matrix_converges_with_retries_and_fails_structured_without() {
+    let dir = tmp_dir("tcp-matrix");
+    let hot = write_hot_c(&dir);
+    let expected = baseline(&dir, "tcp-matrix");
+
+    // (fault spec, survives a single attempt without retries?)
+    let matrix: &[(&str, bool)] = &[
+        ("net:reset=1", false),           // connection shut right after the read
+        ("net:slow-read=1", true),        // dawdling reader; slow, not wrong
+        ("net:partial-frame=1", false),   // half a response header line
+        ("net:connect-refused=1", false), // accepted then dropped pre-admission
+    ];
+
+    for (fault, survives_single) in matrix {
+        let tag = fault.replace([':', '='], "-");
+        let sock = dir.join(format!("{tag}.sock"));
+        let metrics = dir.join(format!("{tag}.metrics.json"));
+        let addr = format!("127.0.0.1:{}", free_port());
+
+        let daemon = spawn_daemon(
+            &sock,
+            &[
+                "--jobs",
+                "1",
+                "--tcp",
+                &addr,
+                "--fault",
+                fault,
+                "--metrics-out",
+                metrics.to_str().unwrap(),
+            ],
+        );
+
+        let bare = request_ep(&addr, &hot, &["--retries", "0"]);
+        if *survives_single {
+            assert_eq!(bare.code, Some(0), "{fault} bare: {}", bare.stderr);
+            assert_eq!(bare.stdout, expected, "{fault} bare bytes diverged");
+        } else {
+            assert_eq!(
+                bare.code,
+                Some(2),
+                "{fault} bare must fail structured: {}",
+                bare.stdout
+            );
+            assert!(
+                !bare.stderr.is_empty(),
+                "{fault} bare failed without naming a reason"
+            );
+        }
+
+        // With retries (the default): every row converges to the
+        // fault-free bytes over TCP, exactly as over the Unix socket.
+        let resilient = request_ep(&addr, &hot, &[]);
+        assert_eq!(
+            resilient.code,
+            Some(0),
+            "{fault} with retries must converge: {}",
+            resilient.stderr
+        );
+        assert_eq!(
+            resilient.stdout, expected,
+            "{fault} with retries diverged from the fault-free bytes"
+        );
+
+        let (code, stdout) = stop_and_collect(daemon);
+        assert_eq!(code, Some(0), "{fault}: daemon must survive: {stdout}");
+        let metrics_text = std::fs::read_to_string(&metrics).expect("metrics written on drain");
+        let key = fault.split('=').next().unwrap();
+        assert!(
+            counter(&metrics_text, "chaos:injected") >= 1,
+            "{fault}: chaos counter missing: {metrics_text}"
+        );
+        assert!(
+            counter(&metrics_text, &format!("chaos:{key}")) >= 1,
+            "{fault}: per-point chaos counter missing: {metrics_text}"
+        );
+    }
+}
+
+/// A retried compile whose first answer landed is *replayed* from the
+/// idempotency table, never recompiled: after `net:drop` eats the first
+/// response, the retry produces byte-identical output while the daemon
+/// accounts one store, one replay, and zero cache hits.
+#[test]
+fn idempotent_replay_absorbs_a_dropped_response_without_recompiling() {
+    let dir = tmp_dir("idem-replay");
+    let hot = write_hot_c(&dir);
+    let expected = baseline(&dir, "idem-replay");
+    let sock = dir.join("d.sock");
+    let cache = dir.join("cache");
+    let metrics = dir.join("metrics.json");
+    let addr = format!("127.0.0.1:{}", free_port());
+
+    let daemon = spawn_daemon(
+        &sock,
+        &[
+            "--jobs",
+            "1",
+            "--tcp",
+            &addr,
+            "--cache-dir",
+            cache.to_str().unwrap(),
+            "--fault",
+            "net:drop=1",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ],
+    );
+
+    // Attempt 1 compiles and stores, then the response is dropped on
+    // the floor; the retry carries the same request id and must be
+    // answered from the idempotency table — same bytes, no `cache: hit`
+    // marker, no second compile.
+    let r = request_ep(&addr, &hot, &[]);
+    assert_eq!(r.code, Some(0), "retried request: {}", r.stderr);
+    assert_eq!(
+        r.stdout, expected,
+        "idempotent replay must be byte-identical to the fault-free run"
+    );
+
+    let (code, _) = stop_and_collect(daemon);
+    assert_eq!(code, Some(0), "daemon must survive the drop");
+    let metrics_text = std::fs::read_to_string(&metrics).unwrap();
+    assert_eq!(
+        counter(&metrics_text, "serve:idempotent-replays"),
+        1,
+        "exactly one replay: {metrics_text}"
+    );
+    assert_eq!(
+        counter(&metrics_text, "cache:stores"),
+        1,
+        "exactly one compile reached the cache: {metrics_text}"
+    );
+    assert_eq!(
+        counter(&metrics_text, "cache:hits"),
+        0,
+        "a replay must not be served from the artifact cache: {metrics_text}"
+    );
+}
+
+/// The accept-time connection cap: with `--max-conns 1` and the single
+/// worker stalled, an overlapping client is shed immediately with a
+/// `busy` hint (accounted as `serve:conn-capped`), then converges once
+/// the stalled connection clears.
+#[test]
+fn conn_cap_sheds_overlap_with_busy_then_converges() {
+    let dir = tmp_dir("conn-cap");
+    let hot = write_hot_c(&dir);
+    let expected = baseline(&dir, "conn-cap");
+    let sock = dir.join("d.sock");
+    let metrics = dir.join("metrics.json");
+    let addr = format!("127.0.0.1:{}", free_port());
+
+    let daemon = spawn_daemon(
+        &sock,
+        &[
+            "--jobs",
+            "1",
+            "--tcp",
+            &addr,
+            "--max-conns",
+            "1",
+            "--fault",
+            "serve:stall=1",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ],
+    );
+
+    // A occupies the only connection slot (stalled ~1.5s in the
+    // worker); B arrives while the slot is held, is shed with `busy`,
+    // and retries until the slot frees.
+    let a = Command::new(BIN)
+        .args(["request", &addr, &hot])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn request A");
+    std::thread::sleep(Duration::from_millis(400));
+    let b = request_ep(&addr, &hot, &["--retries", "12", "--retry-base-ms", "25"]);
+    assert_eq!(b.code, Some(0), "capped client must converge: {}", b.stderr);
+    assert_eq!(b.stdout, expected, "capped client bytes diverged");
+    assert!(
+        b.stderr.contains("server busy"),
+        "shed must surface as busy: {}",
+        b.stderr
+    );
+
+    let out = a.wait_with_output().expect("collect request A");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stalled client failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let (code, stdout) = stop_and_collect(daemon);
+    assert_eq!(code, Some(0), "daemon must survive the cap: {stdout}");
+    let metrics_text = std::fs::read_to_string(&metrics).unwrap();
+    assert!(
+        counter(&metrics_text, "serve:conn-capped") >= 1,
+        "cap sheds must be accounted: {metrics_text}"
+    );
+}
+
+/// The tentpole scenario: a `batch --remote` campaign against two TCP
+/// daemons, one of which is `kill -9`ed mid-campaign and later
+/// restarted. The multi-endpoint client must fail over, open the dead
+/// endpoint's circuit breaker, recover it through a half-open probe
+/// after the restart, and still produce a campaign report byte-identical
+/// to a fault-free single-daemon run — with zero daemon crashes.
+#[test]
+fn two_daemon_failover_campaign_converges_byte_identically() {
+    let dir = tmp_dir("failover");
+    let units = dir.join("units");
+    std::fs::create_dir_all(&units).unwrap();
+    // Enough VM work per unit (~150ms on an unoptimized build) that the
+    // campaign comfortably spans the kill, the breaker cooldown, and
+    // the restart.
+    for i in 0..24 {
+        std::fs::write(
+            units.join(format!("u{i:02}.c")),
+            format!(
+                "int spin(int n) {{ int i; int s; s = {i}; for (i = 0; i < n; i++) s += i & 7; return s; }}\n\
+                 int main() {{ int r; int j; r = 0; for (j = 0; j < 10; j++) r += spin(20000); return r & 0; }}"
+            ),
+        )
+        .unwrap();
+    }
+    let units = units.to_str().unwrap().to_string();
+
+    // Ground truth: the same campaign against one fresh daemon.
+    let base_sock = dir.join("base.sock");
+    let base = spawn_daemon(&base_sock, &["--jobs", "1"]);
+    let expected = impactc(&["batch", &units, "--remote", base_sock.to_str().unwrap()]);
+    assert_eq!(
+        expected.code,
+        Some(0),
+        "fault-free campaign failed: {}",
+        expected.stderr
+    );
+    let (code, _) = stop_and_collect(base);
+    assert_eq!(code, Some(0));
+    let expected = expected.stdout;
+
+    let sock_a = dir.join("a.sock");
+    let sock_b = dir.join("b.sock");
+    let addr_a = format!("127.0.0.1:{}", free_port());
+    let addr_b = format!("127.0.0.1:{}", free_port());
+    let daemon_a = spawn_daemon(&sock_a, &["--jobs", "1", "--tcp", &addr_a]);
+    let daemon_b = spawn_daemon(&sock_b, &["--jobs", "1", "--tcp", &addr_b]);
+
+    let endpoints = format!("{addr_a},{addr_b}");
+    let metrics = dir.join("metrics.json");
+    let client = Command::new(BIN)
+        .args([
+            "batch",
+            &units,
+            "--remote",
+            &endpoints,
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn remote campaign");
+
+    // Mid-campaign: hard-kill A. The next units fail over to B; after
+    // three consecutive A failures the breaker opens and A is skipped
+    // outright.
+    std::thread::sleep(Duration::from_millis(500));
+    kill9_and_reap(daemon_a, &sock_a);
+    // Restart A on the same endpoint while the campaign is still
+    // running: once the breaker's cooldown lapses, a half-open probe
+    // finds it healthy and brings it back into rotation.
+    std::thread::sleep(Duration::from_millis(900));
+    let daemon_a = spawn_daemon(&sock_a, &["--jobs", "1", "--tcp", &addr_a]);
+
+    let out = client.wait_with_output().expect("collect campaign");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "campaign must converge despite the kill: {stderr}"
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        expected,
+        "failover campaign diverged from the fault-free bytes"
+    );
+    assert!(
+        stderr.contains("circuit breaker opened"),
+        "breaker never opened for the dead endpoint: {stderr}"
+    );
+    assert!(
+        stderr.contains("recovered"),
+        "restarted endpoint never recovered: {stderr}"
+    );
+
+    // Client-side breaker lifecycle, from telemetry: opened at least
+    // once, probed at least once, recovered at least once, and at least
+    // one unit failed over.
+    let metrics_text = std::fs::read_to_string(&metrics).expect("campaign metrics");
+    for name in [
+        "breaker:opened",
+        "breaker:probes",
+        "breaker:recovered",
+        "net:failovers",
+    ] {
+        assert!(
+            counter(&metrics_text, name) >= 1,
+            "`{name}` must fire during the failover campaign: {metrics_text}"
+        );
+    }
+
+    // Zero daemon crashes: B rode through the whole campaign, and the
+    // restarted A drains cleanly.
+    let (code, _) = stop_and_collect(daemon_b);
+    assert_eq!(code, Some(0), "daemon B must survive the campaign");
+    let (code, _) = stop_and_collect(daemon_a);
+    assert_eq!(code, Some(0), "restarted daemon A must drain cleanly");
 }
 
 /// `--deadline-ms` is an overall budget: against a daemon that never

@@ -32,7 +32,7 @@ fn impactc<S: AsRef<std::ffi::OsStr>>(args: &[S]) -> RunResult {
 }
 
 fn tmp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("impactc-serve-{tag}"));
+    let dir = std::env::temp_dir().join(format!("impactc-serve-{}-{tag}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     dir
@@ -322,6 +322,66 @@ fn ping_reports_daemon_health() {
         stdout.contains("1 pings"),
         "ping missing from the drain summary: {stdout}"
     );
+}
+
+/// Reserves a loopback port by binding port 0 and releasing it. A small
+/// race remains (something else could claim the port before the daemon
+/// does), which the per-test tag keeps improbable enough for CI.
+fn free_port() -> u16 {
+    std::net::TcpListener::bind("127.0.0.1:0")
+        .expect("bind port 0")
+        .local_addr()
+        .expect("local addr")
+        .port()
+}
+
+#[test]
+fn tcp_listener_serves_the_same_protocol_as_the_unix_socket() {
+    let dir = tmp_dir("tcp");
+    let hot = write_hot_c(&dir);
+    let sock = dir.join("d.sock");
+    let port = free_port();
+    let tcp = format!("127.0.0.1:{port}");
+    // The daemon binds TCP before the Unix socket, so the socket file
+    // appearing means both listeners are live.
+    let daemon = spawn_daemon(&sock, &["--jobs", "1", "--tcp", &tcp]);
+
+    let over_unix = request(&sock, &hot);
+    assert_eq!(
+        over_unix.code,
+        Some(0),
+        "unix request: {}",
+        over_unix.stderr
+    );
+    let over_tcp = impactc(&["request", &tcp, &hot]);
+    assert_eq!(over_tcp.code, Some(0), "tcp request: {}", over_tcp.stderr);
+    assert_eq!(
+        over_tcp.stdout, over_unix.stdout,
+        "the transports must serve byte-identical reports"
+    );
+
+    // Health checks work over TCP too.
+    let p = impactc(&["request", &tcp, "--ping"]);
+    assert_eq!(p.code, Some(0), "tcp ping: {}", p.stderr);
+    assert!(p.stdout.contains("; serve: healthy"), "{}", p.stdout);
+
+    let (code, stdout) = stop_and_collect(daemon);
+    assert_eq!(code, Some(0), "drain with tcp must exit 0: {stdout}");
+    assert!(
+        stdout.contains("; serve: drained after 3 requests, 2 ok, 0 errors, 0 shed"),
+        "tcp requests missing from the drain accounting: {stdout}"
+    );
+    assert!(!sock.exists(), "drained daemon must remove its socket");
+}
+
+#[test]
+fn tcp_flag_rejects_malformed_addresses() {
+    let bad = impactc(&["serve", "/tmp/unused.sock", "--tcp", "7070"]);
+    assert_eq!(bad.code, Some(2));
+    assert!(bad.stderr.contains("--tcp"), "{}", bad.stderr);
+    let swapped = impactc(&["serve", "/tmp/unused.sock", "--tcp", "/tmp/d.sock"]);
+    assert_eq!(swapped.code, Some(2));
+    assert!(swapped.stderr.contains("--tcp"), "{}", swapped.stderr);
 }
 
 #[test]

@@ -1,0 +1,117 @@
+//! Property tests for the `impact-serve` wire protocol.
+//!
+//! Two guarantees matter to the fleet client's retry taxonomy:
+//!
+//! 1. **Round-trip fidelity** — any request or response the writers can
+//!    produce parses back to exactly the same value, so a retried
+//!    exchange can never be *mis*parsed into a different job.
+//! 2. **Torn prefixes are retryable** — cutting the wire at *any* byte
+//!    boundary must surface as an error the client classifies as
+//!    retryable (it mentions `truncated`), never as a panic, a hang, or
+//!    a successful parse of half a frame. This is what makes
+//!    `net:torn-write`/`net:partial-frame` chaos survivable: the client
+//!    sees "truncated", retries, and the daemon's idempotency table
+//!    absorbs the duplicate.
+
+use std::io::Cursor;
+
+use impact_cfront::Source;
+use impact_driver::serve::{
+    read_request, read_response, write_ping, write_request, write_response, Request, Response,
+};
+use proptest::prelude::*;
+
+fn arb_source() -> impl Strategy<Value = Source> {
+    // Names and texts exercise the length-prefixed framing, including
+    // embedded newlines and spaces (framing never scans for them) and
+    // multi-byte UTF-8.
+    (any::<String>(), any::<String>()).prop_map(|(name, text)| Source::new(name, text))
+}
+
+fn arb_sources() -> impl Strategy<Value = Vec<Source>> {
+    proptest::collection::vec(arb_source(), 1..5)
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    (
+        prop_oneof![Just("ok"), Just("error"), Just("busy")],
+        0i32..=255,
+        any::<bool>(),
+        any::<u64>(),
+        any::<String>(),
+    )
+        .prop_map(|(status, exit, cached, retry_after_ms, payload)| Response {
+            status: status.to_string(),
+            exit,
+            cached,
+            retry_after_ms,
+            payload,
+        })
+}
+
+proptest! {
+    #[test]
+    fn requests_round_trip(sources in arb_sources(), id in any::<u64>()) {
+        let mut wire = Vec::new();
+        write_request(&mut wire, &sources, id).unwrap();
+        let back = read_request(&mut Cursor::new(wire)).unwrap();
+        prop_assert_eq!(back, Request::Compile { sources, id });
+    }
+
+    #[test]
+    fn responses_round_trip(resp in arb_response()) {
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        let back = read_response(&mut Cursor::new(wire)).unwrap();
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn every_torn_request_prefix_is_a_retryable_truncation(
+        sources in arb_sources(),
+        id in any::<u64>(),
+        cut in any::<usize>(),
+    ) {
+        let mut wire = Vec::new();
+        write_request(&mut wire, &sources, id).unwrap();
+        let cut = cut % wire.len(); // strict prefix: 0..len
+        let err = read_request(&mut Cursor::new(&wire[..cut])).unwrap_err();
+        prop_assert!(
+            err.contains("truncated"),
+            "prefix {cut}/{} gave a non-retryable error: {err}",
+            wire.len()
+        );
+    }
+
+    #[test]
+    fn every_torn_response_prefix_is_a_retryable_truncation(
+        resp in arb_response(),
+        cut in any::<usize>(),
+    ) {
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        let cut = cut % wire.len();
+        let err = read_response(&mut Cursor::new(&wire[..cut])).unwrap_err();
+        prop_assert!(
+            err.contains("truncated"),
+            "prefix {cut}/{} gave a non-retryable error: {err}",
+            wire.len()
+        );
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_parsers(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = read_request(&mut Cursor::new(bytes.clone()));
+        let _ = read_response(&mut Cursor::new(bytes));
+    }
+}
+
+#[test]
+fn torn_ping_prefixes_are_retryable_truncations() {
+    let mut wire = Vec::new();
+    write_ping(&mut wire).unwrap();
+    for cut in 0..wire.len() {
+        let err = read_request(&mut Cursor::new(&wire[..cut])).unwrap_err();
+        assert!(err.contains("truncated"), "prefix {cut}: {err}");
+    }
+}

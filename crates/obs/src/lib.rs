@@ -68,6 +68,21 @@ pub mod names {
     /// Deterministic service faults that actually fired (each also bumps
     /// a dynamic `chaos:<fault-key>` counter naming the exact point).
     pub const CHAOS_INJECTED: &str = "chaos:injected";
+    /// Retried requests answered verbatim from the daemon's idempotency
+    /// table instead of recompiling.
+    pub const SERVE_IDEMPOTENT_REPLAYS: &str = "serve:idempotent-replays";
+    /// Connections shed at accept time by the `--max-conns` cap.
+    pub const SERVE_CONN_CAPPED: &str = "serve:conn-capped";
+    /// Client circuit breakers that tripped open (threshold consecutive
+    /// retryable failures on one endpoint).
+    pub const BREAKER_OPENED: &str = "breaker:opened";
+    /// Half-open probes sent to cooled-down endpoints.
+    pub const BREAKER_PROBES: &str = "breaker:probes";
+    /// Breakers that closed again after a successful probe or request.
+    pub const BREAKER_RECOVERED: &str = "breaker:recovered";
+    /// Retryable endpoint failures that moved the client to another
+    /// endpoint in the fleet.
+    pub const NET_FAILOVERS: &str = "net:failovers";
 
     /// Every service counter name, for exhaustiveness checks.
     pub const ALL: &[&str] = &[
@@ -85,6 +100,12 @@ pub mod names {
         SERVE_ERRORS,
         SERVE_SHED,
         SERVE_PINGS,
+        SERVE_IDEMPOTENT_REPLAYS,
+        SERVE_CONN_CAPPED,
+        BREAKER_OPENED,
+        BREAKER_PROBES,
+        BREAKER_RECOVERED,
+        NET_FAILOVERS,
         CHAOS_INJECTED,
     ];
 }
@@ -361,8 +382,45 @@ mod tests {
                 n.starts_with("pool:")
                     || n.starts_with("cache:")
                     || n.starts_with("serve:")
-                    || n.starts_with("chaos:"),
+                    || n.starts_with("chaos:")
+                    || n.starts_with("breaker:")
+                    || n.starts_with("net:"),
                 "unnamespaced counter {n}"
+            );
+        }
+    }
+
+    /// Scans this crate's own source for `pub const` counter names inside
+    /// `mod names` and asserts each one is registered in `names::ALL`, so
+    /// a counter added later can't silently drift out of the registry.
+    #[test]
+    fn every_declared_counter_name_is_registered_in_all() {
+        let src = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/src/lib.rs"))
+            .expect("crate source is readable");
+        let mut declared = Vec::new();
+        for line in src.lines() {
+            let Some(rest) = line.trim_start().strip_prefix("pub const ") else {
+                continue;
+            };
+            // Only counter-name string constants: `NAME: &str = "..."`.
+            let Some((_, value)) = rest.split_once(": &str = \"") else {
+                continue;
+            };
+            let Some((name, _)) = value.split_once('"') else {
+                continue;
+            };
+            declared.push(name.to_string());
+        }
+        assert!(
+            declared.len() >= names::ALL.len(),
+            "source scan found {} names, registry has {}",
+            declared.len(),
+            names::ALL.len()
+        );
+        for name in &declared {
+            assert!(
+                names::ALL.contains(&name.as_str()),
+                "counter `{name}` is declared but missing from names::ALL"
             );
         }
     }
