@@ -736,6 +736,16 @@ impl Cache {
         st.live.values().map(|m| m.bytes).sum::<u64>()
             + st.quarantined.values().map(|m| m.bytes).sum::<u64>()
     }
+
+    /// Occupancy snapshot for the `stats` protocol op: live entry count,
+    /// quarantined entry count, and total accounted bytes, read under one
+    /// lock acquisition.
+    pub fn entry_stats(&self) -> (usize, usize, u64) {
+        let st = self.lock_state();
+        let bytes = st.live.values().map(|m| m.bytes).sum::<u64>()
+            + st.quarantined.values().map(|m| m.bytes).sum::<u64>();
+        (st.live.len(), st.quarantined.len(), bytes)
+    }
 }
 
 #[cfg(test)]

@@ -154,6 +154,19 @@ pub struct Options {
     /// 32-byte lines) and report hit/miss statistics. Composes with
     /// either `--engine`; the simulated stream is identical on both.
     pub icache: bool,
+    /// `--stats` (request): ask the daemon for a live stats snapshot
+    /// rendered as a human-readable table instead of compiling.
+    pub stats: bool,
+    /// `--stats-prom` (request): like `--stats` but rendered as
+    /// Prometheus text exposition, suitable for scraping.
+    pub stats_prom: bool,
+    /// `--stats-json` (request): like `--stats` but rendered as the
+    /// versioned stats JSON document.
+    pub stats_json: bool,
+    /// `--flight-recorder N` (serve): capacity of the in-memory ring of
+    /// recent structured events dumped on panic/quarantine/protocol
+    /// violation and at drain (default 256).
+    pub flight_recorder: Option<usize>,
 }
 
 impl Options {
@@ -207,6 +220,10 @@ impl Options {
             remote: None,
             engine: None,
             icache: false,
+            stats: false,
+            stats_prom: false,
+            stats_json: false,
+            flight_recorder: None,
         };
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -361,6 +378,15 @@ impl Options {
                     opts.engine = Some(v.clone());
                 }
                 "--icache" => opts.icache = true,
+                "--stats" => opts.stats = true,
+                "--stats-prom" => opts.stats_prom = true,
+                "--stats-json" => opts.stats_json = true,
+                "--flight-recorder" => {
+                    let v = it
+                        .next()
+                        .ok_or("--flight-recorder needs a capacity".to_string())?;
+                    opts.flight_recorder = Some(v.parse().map_err(|_| "bad --flight-recorder")?);
+                }
                 other if other.starts_with("--") => {
                     return Err(format!("unknown option `{other}`\n{}", usage()));
                 }
@@ -565,6 +591,44 @@ impl Options {
                  comma-separated list"
                 .to_string());
         }
+        let stats_flags = [
+            (self.stats, "--stats"),
+            (self.stats_prom, "--stats-prom"),
+            (self.stats_json, "--stats-json"),
+        ];
+        let picked: Vec<&str> = stats_flags
+            .iter()
+            .filter(|(on, _)| *on)
+            .map(|&(_, name)| name)
+            .collect();
+        if picked.len() > 1 {
+            return Err(format!(
+                "{} asks for one stats snapshot in two formats; pick exactly one \
+                 of --stats, --stats-prom, --stats-json",
+                picked.join(" and ")
+            ));
+        }
+        if let Some(flag) = picked.first() {
+            if self.ping {
+                return Err(format!(
+                    "{flag} and --ping are different daemon interrogations; run \
+                     them as separate requests"
+                ));
+            }
+            if self.positional.first().is_some_and(|p| p.contains(',')) {
+                return Err(format!(
+                    "{flag} snapshots a single daemon; give one endpoint, not a \
+                     comma-separated list"
+                ));
+            }
+        }
+        if self.flight_recorder == Some(0) {
+            return Err(
+                "--flight-recorder 0 would record no events before a crash; use a \
+                 positive ring capacity (default 256), or omit the flag"
+                    .to_string(),
+            );
+        }
         let jobs = match self.jobs {
             Some(n) => n,
             None => std::thread::available_parallelism()
@@ -578,6 +642,9 @@ impl Options {
             cache_budget_bytes: self.cache_budget_bytes,
             tcp: self.tcp.clone(),
             max_conns: self.max_conns,
+            flight_recorder: self
+                .flight_recorder
+                .unwrap_or(impact_obs::DEFAULT_FLIGHT_CAPACITY),
         })
     }
 
@@ -630,6 +697,9 @@ pub struct ServiceConfig {
     /// (`--max-conns`); `None` leaves admission bounded only by the
     /// queue.
     pub max_conns: Option<u64>,
+    /// Capacity of the serve flight-recorder ring (`--flight-recorder`,
+    /// default [`impact_obs::DEFAULT_FLIGHT_CAPACITY`]).
+    pub flight_recorder: usize,
 }
 
 /// The result of [`Options::validate_flags`]: every configuration, built
@@ -737,6 +807,10 @@ pub fn usage() -> String {
      \x20 --max-conns N                   (serve) accept-time cap on connections being\n\
      \x20                                 served; past it new connections are shed with\n\
      \x20                                 an immediate busy response\n\
+     \x20 --flight-recorder N             (serve) capacity of the in-memory ring of\n\
+     \x20                                 recent structured events dumped as incident\n\
+     \x20                                 JSON on panic/quarantine/protocol violation\n\
+     \x20                                 and at drain (default 256)\n\
      \n\
      request client (request):\n\
      \x20 --retries N                     re-attempts after retryable failures: torn\n\
@@ -750,6 +824,12 @@ pub fn usage() -> String {
      \x20 --ping                          daemon health self-check instead of compiling:\n\
      \x20                                 queue headroom and cache-dir writability\n\
      \x20                                 (exit 0 healthy, 1 degraded)\n\
+     \x20 --stats                         live daemon stats snapshot as a table:\n\
+     \x20                                 counters, latency histograms, queue/cache/\n\
+     \x20                                 idempotency occupancy, breaker states\n\
+     \x20 --stats-prom                    the same snapshot as Prometheus text\n\
+     \x20                                 exposition, suitable for scraping\n\
+     \x20 --stats-json                    the same snapshot as versioned JSON\n\
      \n\
      fuzzing:\n\
      \x20 --seed N                        campaign seed (default 42)\n\
@@ -1326,6 +1406,20 @@ pub fn execute(opts: &Options) -> Result<(i32, String), String> {
             opts.command
         ));
     }
+    if opts.command != "request" && (opts.stats || opts.stats_prom || opts.stats_json) {
+        return Err(format!(
+            "--stats/--stats-prom/--stats-json only apply to `request` (the \
+             client interrogating a serve daemon), not `{}`",
+            opts.command
+        ));
+    }
+    if opts.command != "serve" && opts.flight_recorder.is_some() {
+        return Err(format!(
+            "--flight-recorder only applies to `serve` (the daemon that keeps \
+             the event ring), not `{}`",
+            opts.command
+        ));
+    }
     if !matches!(opts.command.as_str(), "batch" | "request")
         && (opts.retries.is_some() || opts.retry_base_ms.is_some())
     {
@@ -1898,6 +1992,73 @@ mod recovery_tests {
         assert!(err.contains("--ping"), "unactionable: {err}");
         let o = Options::parse(&strs(&["request", "a.sock", "--ping"])).unwrap();
         assert!(o.service_config().is_ok());
+    }
+
+    #[test]
+    fn stats_formats_are_mutually_exclusive() {
+        let o = Options::parse(&strs(&["request", "a.sock", "--stats", "--stats-prom"])).unwrap();
+        let err = o.service_config().unwrap_err();
+        assert!(
+            err.contains("--stats") && err.contains("--stats-prom"),
+            "unactionable: {err}"
+        );
+        let o = Options::parse(&strs(&[
+            "request",
+            "a.sock",
+            "--stats-prom",
+            "--stats-json",
+        ]))
+        .unwrap();
+        assert!(o.service_config().is_err());
+        let o = Options::parse(&strs(&["request", "a.sock", "--stats"])).unwrap();
+        assert!(o.service_config().is_ok());
+    }
+
+    #[test]
+    fn stats_rejects_ping_in_the_same_request() {
+        let o = Options::parse(&strs(&["request", "a.sock", "--stats", "--ping"])).unwrap();
+        let err = o.service_config().unwrap_err();
+        assert!(
+            err.contains("--stats") && err.contains("--ping"),
+            "unactionable: {err}"
+        );
+    }
+
+    #[test]
+    fn stats_rejects_a_multi_endpoint_list() {
+        let o = Options::parse(&strs(&["request", "a.sock,b.sock", "--stats-prom"])).unwrap();
+        let err = o.service_config().unwrap_err();
+        assert!(err.contains("--stats-prom"), "unactionable: {err}");
+        let o = Options::parse(&strs(&["request", "a.sock", "--stats-prom"])).unwrap();
+        assert!(o.service_config().is_ok());
+    }
+
+    #[test]
+    fn flight_recorder_zero_is_rejected() {
+        let o = Options::parse(&strs(&["serve", "s.sock", "--flight-recorder", "0"])).unwrap();
+        let err = o.service_config().unwrap_err();
+        assert!(err.contains("--flight-recorder"), "unactionable: {err}");
+        let o = Options::parse(&strs(&["serve", "s.sock", "--flight-recorder", "16"])).unwrap();
+        assert_eq!(o.service_config().unwrap().flight_recorder, 16);
+        let o = Options::parse(&strs(&["serve", "s.sock"])).unwrap();
+        assert_eq!(
+            o.service_config().unwrap().flight_recorder,
+            impact_obs::DEFAULT_FLIGHT_CAPACITY
+        );
+    }
+
+    #[test]
+    fn observability_flags_are_scoped_to_their_commands() {
+        // Stats snapshots are a request-client interrogation...
+        for flag in ["--stats", "--stats-prom", "--stats-json"] {
+            let o = Options::parse(&strs(&["batch", "u.c", flag])).unwrap();
+            let err = execute(&o).unwrap_err();
+            assert!(err.contains("--stats"), "{flag}: unactionable: {err}");
+        }
+        // ...and the flight-recorder ring lives in the daemon.
+        let o = Options::parse(&strs(&["request", "s.sock", "--flight-recorder", "8"])).unwrap();
+        let err = execute(&o).unwrap_err();
+        assert!(err.contains("--flight-recorder"), "unactionable: {err}");
     }
 
     #[test]

@@ -108,8 +108,10 @@ use crate::{cache, journal, load_inputs, telemetry, usage, Options, RunSpec};
 
 /// Protocol magic/version, the first token of every request and response.
 /// v2 added the `ping` verb and the `retry-after-ms` response field; v3
-/// added the compile request's idempotency id.
-pub const PROTOCOL: &str = "impact-serve v3";
+/// added the compile request's idempotency id; v4 added the per-request
+/// trace id on compile/ping frames, the `stats` verb, and the response's
+/// span/counter summary section.
+pub const PROTOCOL: &str = "impact-serve v4";
 
 /// Cap on sources per request — a framing sanity bound, not a compile
 /// limit (the pipeline already has its own governors).
@@ -151,7 +153,8 @@ const STALL_MS: u64 = 1500;
 /// hint scales with `--queue-depth`.
 const BUSY_RETRY_SLOT_MS: u64 = 25;
 
-/// A parsed request: a compile job or a health-check ping.
+/// A parsed request: a compile job, a health-check ping, or a live
+/// stats snapshot.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
     /// Compile the translation unit formed by these sources, in order.
@@ -162,9 +165,60 @@ pub enum Request {
         /// logical request, distinct across logical requests. The daemon
         /// replays a completed `ok` response for a repeated id verbatim.
         id: u64,
+        /// Trace id: like the idempotency id it is constant across one
+        /// logical request's retries, but it rides on every span and
+        /// counter delta the daemon records for this request, so the
+        /// client can stitch daemon-side work under its own span.
+        trace: u64,
     },
     /// Run the daemon self-checks and report health.
-    Ping,
+    Ping {
+        /// Trace id for the health check's daemon-side spans.
+        trace: u64,
+    },
+    /// Snapshot the daemon's live registry (counters, histograms, queue
+    /// and table occupancy) without compiling anything.
+    Stats {
+        /// How the daemon should render the snapshot.
+        format: StatsFormat,
+    },
+}
+
+/// Rendering requested by a `stats` protocol op. The daemon renders (it
+/// owns the registry); the client prints the payload verbatim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// Human-readable `; `-prefixed table.
+    Table,
+    /// Prometheus text exposition, suitable for scraping.
+    Prom,
+    /// Schema-versioned JSON.
+    Json,
+}
+
+impl StatsFormat {
+    /// The wire token naming this format.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            StatsFormat::Table => "table",
+            StatsFormat::Prom => "prom",
+            StatsFormat::Json => "json",
+        }
+    }
+
+    /// Parses a wire token.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown token.
+    pub fn parse(s: &str) -> Result<StatsFormat, String> {
+        match s {
+            "table" => Ok(StatsFormat::Table),
+            "prom" => Ok(StatsFormat::Prom),
+            "json" => Ok(StatsFormat::Json),
+            _ => Err(format!("unknown stats format `{s}`")),
+        }
+    }
 }
 
 /// A serve response.
@@ -181,7 +235,19 @@ pub struct Response {
     pub retry_after_ms: u64,
     /// Report text (`ok`), error message (`error`/`busy`).
     pub payload: String,
+    /// The daemon's span summary for this request, rebased onto the
+    /// request's own timeline (`start_us` 0 = the connection was
+    /// accepted) and tagged with the request's trace id. Empty for
+    /// errors, `busy`, and pre-v4 semantics.
+    pub spans: Vec<impact_obs::SpanEvent>,
+    /// Counter deltas this request caused daemon-side (cache hit/miss,
+    /// pipeline counters), for the client to absorb into its own
+    /// telemetry.
+    pub counters: Vec<(String, u64)>,
 }
+
+/// A parsed summary section: the daemon's spans plus its counter deltas.
+type SummarySection = (Vec<impact_obs::SpanEvent>, Vec<(String, u64)>);
 
 impl Response {
     fn ok(exit: i32, cached: bool, payload: String) -> Response {
@@ -191,6 +257,8 @@ impl Response {
             cached,
             retry_after_ms: 0,
             payload,
+            spans: Vec::new(),
+            counters: Vec::new(),
         }
     }
 
@@ -201,6 +269,8 @@ impl Response {
             cached: false,
             retry_after_ms: 0,
             payload: message,
+            spans: Vec::new(),
+            counters: Vec::new(),
         }
     }
 
@@ -211,29 +281,51 @@ impl Response {
             cached: false,
             retry_after_ms,
             payload: "request queue is full; retry later".to_string(),
+            spans: Vec::new(),
+            counters: Vec::new(),
         }
+    }
+
+    fn with_summary(mut self, (spans, counters): SummarySection) -> Response {
+        self.spans = spans;
+        self.counters = counters;
+        self
     }
 }
 
 // ----- wire protocol -------------------------------------------------------
 //
-// Request:   `impact-serve v3 compile <nsources> <id:016x>\n`
+// Request:   `impact-serve v4 compile <nsources> <id:016x> <trace:016x>\n`
 //            then per source: `<name_len> <text_len>\n<name><text>`
-//            or: `impact-serve v3 ping\n`
-// Response:  `impact-serve v3 <status> <exit> <cached 0|1> <retry_after_ms>
-//             <len>\n<payload>`
+//            or: `impact-serve v4 ping <trace:016x>\n`
+//            or: `impact-serve v4 stats <table|prom|json>\n`
+// Response:  `impact-serve v4 <status> <exit> <cached 0|1> <retry_after_ms>
+//             <payload_len> <summary_len>\n<payload><summary>`
+// Summary:   span records    `s <start_us> <dur_us> <trace:016x> <name_len>\n<name>`
+//            counter records `c <value> <name_len>\n<name>`
 //
 // Length-prefixed framing keeps parsing allocation-bounded and makes
 // truncation detectable (read_exact fails instead of blocking forever,
-// thanks to the socket timeouts).
+// thanks to the socket timeouts). Summary record names are themselves
+// length-prefixed so span names with spaces or newlines survive the wire.
 
-/// Writes a compile request for `sources` under idempotency id `id`.
+/// Writes a compile request for `sources` under idempotency id `id` and
+/// trace id `trace`.
 ///
 /// # Errors
 ///
 /// Returns the underlying I/O error.
-pub fn write_request<W: Write>(w: &mut W, sources: &[Source], id: u64) -> std::io::Result<()> {
-    writeln!(w, "{PROTOCOL} compile {} {id:016x}", sources.len())?;
+pub fn write_request<W: Write>(
+    w: &mut W,
+    sources: &[Source],
+    id: u64,
+    trace: u64,
+) -> std::io::Result<()> {
+    writeln!(
+        w,
+        "{PROTOCOL} compile {} {id:016x} {trace:016x}",
+        sources.len()
+    )?;
     for s in sources {
         writeln!(w, "{} {}", s.name.len(), s.text.len())?;
         w.write_all(s.name.as_bytes())?;
@@ -242,13 +334,23 @@ pub fn write_request<W: Write>(w: &mut W, sources: &[Source], id: u64) -> std::i
     w.flush()
 }
 
-/// Writes a health-check ping request.
+/// Writes a health-check ping request under trace id `trace`.
 ///
 /// # Errors
 ///
 /// Returns the underlying I/O error.
-pub fn write_ping<W: Write>(w: &mut W) -> std::io::Result<()> {
-    writeln!(w, "{PROTOCOL} ping")?;
+pub fn write_ping<W: Write>(w: &mut W, trace: u64) -> std::io::Result<()> {
+    writeln!(w, "{PROTOCOL} ping {trace:016x}")?;
+    w.flush()
+}
+
+/// Writes a live-stats request.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn write_stats<W: Write>(w: &mut W, format: StatsFormat) -> std::io::Result<()> {
+    writeln!(w, "{PROTOCOL} stats {}", format.wire_name())?;
     w.flush()
 }
 
@@ -262,23 +364,40 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, String> {
     let rest = header
         .strip_prefix(PROTOCOL)
         .ok_or_else(|| format!("bad protocol header `{header}`"))?;
-    if rest == " ping" {
-        return Ok(Request::Ping);
+    if let Some(trace_hex) = rest.strip_prefix(" ping ") {
+        let trace = u64::from_str_radix(trace_hex, 16)
+            .map_err(|_| format!("bad trace id in `{header}`"))?;
+        return Ok(Request::Ping { trace });
+    }
+    if let Some(fmt) = rest.strip_prefix(" stats ") {
+        return Ok(Request::Stats {
+            format: StatsFormat::parse(fmt)?,
+        });
     }
     let rest = rest
         .strip_prefix(" compile ")
         .ok_or_else(|| format!("unknown request verb in `{header}`"))?;
-    let (count, id_hex) = rest
-        .split_once(' ')
-        .ok_or_else(|| format!("missing request id in `{header}`"))?;
-    let n: usize = count
-        .parse()
-        .map_err(|_| format!("bad source count in `{header}`"))?;
+    let mut tok = rest.split(' ');
+    let n: usize = tok
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| format!("bad source count in `{header}`"))?;
     if n == 0 || n > MAX_SOURCES {
         return Err(format!("source count {n} outside 1..={MAX_SOURCES}"));
     }
+    let id_hex = tok
+        .next()
+        .ok_or_else(|| format!("missing request id in `{header}`"))?;
     let id =
         u64::from_str_radix(id_hex, 16).map_err(|_| format!("bad request id in `{header}`"))?;
+    let trace_hex = tok
+        .next()
+        .ok_or_else(|| format!("missing trace id in `{header}`"))?;
+    let trace =
+        u64::from_str_radix(trace_hex, 16).map_err(|_| format!("bad trace id in `{header}`"))?;
+    if tok.next().is_some() {
+        return Err(format!("trailing fields in `{header}`"));
+    }
     let mut sources = Vec::with_capacity(n);
     for _ in 0..n {
         let frame = read_line(r)?;
@@ -300,7 +419,97 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, String> {
         let text = read_exact_utf8(r, text_len, "source text")?;
         sources.push(Source::new(name, text));
     }
-    Ok(Request::Compile { sources, id })
+    Ok(Request::Compile { sources, id, trace })
+}
+
+/// Renders a response's span/counter summary section. Record names are
+/// length-prefixed so arbitrary span names survive the wire.
+fn render_summary(resp: &Response) -> String {
+    let mut s = String::new();
+    for sp in &resp.spans {
+        s.push_str(&format!(
+            "s {} {} {:016x} {}\n{}",
+            sp.start_us,
+            sp.dur_us,
+            sp.trace,
+            sp.name.len(),
+            sp.name
+        ));
+    }
+    for (name, v) in &resp.counters {
+        s.push_str(&format!("c {} {}\n{}", v, name.len(), name));
+    }
+    s
+}
+
+/// Parses a summary section back into span and counter records.
+fn parse_summary(s: &str) -> Result<SummarySection, String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let mut spans = Vec::new();
+    let mut counters = Vec::new();
+    let take_name = |pos: &mut usize, len: usize| -> Result<String, String> {
+        let end = pos
+            .checked_add(len)
+            .filter(|&e| e <= bytes.len())
+            .ok_or("truncated response summary name")?;
+        let name = std::str::from_utf8(&bytes[*pos..end])
+            .map_err(|_| "non-UTF-8 response summary name")?
+            .to_string();
+        *pos = end;
+        Ok(name)
+    };
+    while pos < bytes.len() {
+        let nl = bytes[pos..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or("truncated response summary record")?;
+        let line = std::str::from_utf8(&bytes[pos..pos + nl])
+            .map_err(|_| "non-UTF-8 response summary record")?;
+        pos += nl + 1;
+        let mut tok = line.split(' ');
+        match tok.next() {
+            Some("s") => {
+                let start_us: u64 = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| format!("bad summary span record `{line}`"))?;
+                let dur_us: u64 = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| format!("bad summary span record `{line}`"))?;
+                let trace = tok
+                    .next()
+                    .and_then(|t| u64::from_str_radix(t, 16).ok())
+                    .ok_or_else(|| format!("bad summary span trace in `{line}`"))?;
+                let name_len: usize = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| format!("bad summary span record `{line}`"))?;
+                let name = take_name(&mut pos, name_len)?;
+                spans.push(impact_obs::SpanEvent {
+                    name,
+                    start_us,
+                    dur_us,
+                    trace,
+                });
+            }
+            Some("c") => {
+                let value: u64 = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| format!("bad summary counter record `{line}`"))?;
+                let name_len: usize = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| format!("bad summary counter record `{line}`"))?;
+                let name = take_name(&mut pos, name_len)?;
+                counters.push((name, value));
+            }
+            _ => return Err(format!("unknown summary record `{line}`")),
+        }
+    }
+    Ok((spans, counters))
 }
 
 /// Writes a response.
@@ -309,16 +518,19 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, String> {
 ///
 /// Returns the underlying I/O error.
 pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> std::io::Result<()> {
+    let summary = render_summary(resp);
     writeln!(
         w,
-        "{PROTOCOL} {} {} {} {} {}",
+        "{PROTOCOL} {} {} {} {} {} {}",
         resp.status,
         resp.exit,
         u8::from(resp.cached),
         resp.retry_after_ms,
-        resp.payload.len()
+        resp.payload.len(),
+        summary.len()
     )?;
     w.write_all(resp.payload.as_bytes())?;
+    w.write_all(summary.as_bytes())?;
     w.flush()
 }
 
@@ -359,13 +571,26 @@ pub fn read_response<R: BufRead>(r: &mut R) -> Result<Response, String> {
             "response payload length {len} exceeds the {MAX_FIELD_BYTES}-byte cap"
         ));
     }
+    let summary_len: usize = tok
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or("response missing summary length")?;
+    if summary_len > MAX_FIELD_BYTES {
+        return Err(format!(
+            "response summary length {summary_len} exceeds the {MAX_FIELD_BYTES}-byte cap"
+        ));
+    }
     let payload = read_exact_utf8(r, len, "response payload")?;
+    let summary = read_exact_utf8(r, summary_len, "response summary")?;
+    let (spans, counters) = parse_summary(&summary)?;
     Ok(Response {
         status,
         exit,
         cached,
         retry_after_ms,
         payload,
+        spans,
+        counters,
     })
 }
 
@@ -385,6 +610,268 @@ fn read_exact_utf8<R: Read>(r: &mut R, len: usize, what: &str) -> Result<String,
     r.read_exact(&mut buf)
         .map_err(|e| format!("truncated {what}: {e}"))?;
     String::from_utf8(buf).map_err(|_| format!("non-UTF-8 {what}"))
+}
+
+// ----- live stats ----------------------------------------------------------
+
+/// A point-in-time view of the daemon's live registry, answered over the
+/// `stats` protocol op. The snapshot is taken lock-light (one collector
+/// lock for counters/histograms, one each for the idempotency table,
+/// flight ring, and cache index) and rendered by the pure functions
+/// below, so rendering is unit-testable without a daemon.
+pub struct StatsSnapshot {
+    /// Microseconds since the daemon's telemetry epoch.
+    pub uptime_us: u64,
+    /// Worker threads serving the queue.
+    pub workers: usize,
+    /// Configured queue depth (`--queue-depth`).
+    pub queue_depth: usize,
+    /// Connections accepted but not yet picked up by a worker.
+    pub queued: u64,
+    /// Connections admitted and not yet finished (queued or in a worker).
+    pub open: u64,
+    /// The `--max-conns` cap, when one is set.
+    pub max_conns: Option<u64>,
+    /// Entries currently in the idempotency replay table.
+    pub idem_len: usize,
+    /// The idempotency table's capacity.
+    pub idem_capacity: usize,
+    /// Events currently buffered in the flight recorder ring.
+    pub flight_len: usize,
+    /// The flight recorder's ring capacity.
+    pub flight_capacity: usize,
+    /// Flight events discarded because the ring was full.
+    pub flight_dropped: u64,
+    /// Cache occupancy `(live entries, quarantined entries, bytes)`;
+    /// `None` when the daemon runs without `--cache-dir`.
+    pub cache: Option<(usize, usize, u64)>,
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms, sorted by name.
+    pub hists: Vec<(String, impact_obs::Histogram)>,
+}
+
+impl StatsSnapshot {
+    fn headroom(&self) -> u64 {
+        (self.queue_depth as u64).saturating_sub(self.queued)
+    }
+}
+
+/// Renders a stats snapshot as the `; `-prefixed human-readable table
+/// shown by `impactc request --stats`.
+pub fn render_stats_table(s: &StatsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("; serve stats\n");
+    out.push_str(&format!("; uptime_us: {}\n", s.uptime_us));
+    out.push_str(&format!("; workers: {}\n", s.workers));
+    let cap = s
+        .max_conns
+        .map_or(String::new(), |c| format!(", {c} conn cap"));
+    out.push_str(&format!(
+        "; queue: {}/{} used, {} headroom, {} open{cap}\n",
+        s.queued,
+        s.queue_depth,
+        s.headroom(),
+        s.open
+    ));
+    out.push_str(&format!(
+        "; idempotency: {}/{} entries\n",
+        s.idem_len, s.idem_capacity
+    ));
+    out.push_str(&format!(
+        "; flight: {}/{} buffered, {} dropped\n",
+        s.flight_len, s.flight_capacity, s.flight_dropped
+    ));
+    match s.cache {
+        None => out.push_str("; cache: disabled\n"),
+        Some((live, quarantined, bytes)) => out.push_str(&format!(
+            "; cache: {live} live, {quarantined} quarantined, {bytes} bytes\n"
+        )),
+    }
+    out.push_str("; counters:\n");
+    for (name, v) in &s.counters {
+        out.push_str(&format!(";   {name} {v}\n"));
+    }
+    out.push_str("; histograms:\n");
+    for (name, h) in &s.hists {
+        out.push_str(&format!(
+            ";   {name} count={} p50={} p90={} p99={}\n",
+            h.count(),
+            h.percentile(50),
+            h.percentile(90),
+            h.percentile(99)
+        ));
+    }
+    out
+}
+
+/// Mangles a counter/histogram name into a valid Prometheus metric name:
+/// `impact_` prefix, every non-alphanumeric byte replaced with `_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("impact_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+/// Renders a stats snapshot as Prometheus text exposition (gauges for
+/// occupancy, counters for the counter registry, cumulative-bucket
+/// histograms for the latency distributions).
+pub fn render_stats_prom(s: &StatsSnapshot) -> String {
+    let mut out = String::new();
+    let mut gauge = |name: &str, v: u64| {
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+    };
+    gauge("impact_uptime_us", s.uptime_us);
+    gauge("impact_serve_workers", s.workers as u64);
+    gauge("impact_serve_queue_depth", s.queue_depth as u64);
+    gauge("impact_serve_queued", s.queued);
+    gauge("impact_serve_queue_headroom", s.headroom());
+    gauge("impact_serve_open_conns", s.open);
+    gauge("impact_idempotency_entries", s.idem_len as u64);
+    gauge("impact_flight_buffered", s.flight_len as u64);
+    gauge("impact_flight_ring_dropped", s.flight_dropped);
+    if let Some((live, quarantined, bytes)) = s.cache {
+        gauge("impact_cache_live_entries", live as u64);
+        gauge("impact_cache_quarantined_entries", quarantined as u64);
+        gauge("impact_cache_bytes", bytes);
+    }
+    for (name, v) in &s.counters {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+    }
+    for (name, h) in &s.hists {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        let mut cum = 0u64;
+        for (i, &c) in h.buckets().iter().enumerate() {
+            cum += c;
+            let le = if i == impact_obs::HISTOGRAM_BUCKETS - 1 {
+                "+Inf".to_string()
+            } else {
+                impact_obs::Histogram::bucket_bound(i).to_string()
+            };
+            out.push_str(&format!("{n}_bucket{{le=\"{le}\"}} {cum}\n"));
+        }
+        out.push_str(&format!("{n}_sum {}\n", h.sum()));
+        out.push_str(&format!("{n}_count {}\n", h.count()));
+    }
+    out
+}
+
+/// Schema version of [`render_stats_json`] output.
+pub const STATS_SCHEMA_VERSION: u32 = 1;
+
+/// Renders a stats snapshot as schema-versioned JSON (the shape the CI
+/// `obs-smoke` job validates with `jq`).
+pub fn render_stats_json(s: &StatsSnapshot) -> String {
+    use crate::report::json_str;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"version\": {STATS_SCHEMA_VERSION},\n  \"kind\": \"impact-serve-stats\",\n"
+    ));
+    out.push_str(&format!("  \"uptime_us\": {},\n", s.uptime_us));
+    out.push_str(&format!("  \"workers\": {},\n", s.workers));
+    out.push_str(&format!(
+        "  \"queue\": {{\"depth\": {}, \"queued\": {}, \"headroom\": {}, \"open\": {}, \"max_conns\": {}}},\n",
+        s.queue_depth,
+        s.queued,
+        s.headroom(),
+        s.open,
+        s.max_conns.map_or("null".to_string(), |c| c.to_string())
+    ));
+    out.push_str(&format!(
+        "  \"idempotency\": {{\"entries\": {}, \"capacity\": {}}},\n",
+        s.idem_len, s.idem_capacity
+    ));
+    out.push_str(&format!(
+        "  \"flight\": {{\"buffered\": {}, \"capacity\": {}, \"dropped\": {}}},\n",
+        s.flight_len, s.flight_capacity, s.flight_dropped
+    ));
+    match s.cache {
+        None => out.push_str("  \"cache\": null,\n"),
+        Some((live, quarantined, bytes)) => out.push_str(&format!(
+            "  \"cache\": {{\"live\": {live}, \"quarantined\": {quarantined}, \"bytes\": {bytes}}},\n"
+        )),
+    }
+    out.push_str("  \"counters\": [");
+    for (i, (name, v)) in s.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"name\": {}, \"value\": {v}}}",
+            json_str(name)
+        ));
+    }
+    if !s.counters.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"hists\": [");
+    for (i, (name, h)) in s.hists.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let buckets = h
+            .buckets()
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&format!(
+            "\n    {{\"name\": {}, \"count\": {}, \"total_us\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"buckets_us\": [{buckets}]}}",
+            json_str(name),
+            h.count(),
+            h.sum(),
+            h.percentile(50),
+            h.percentile(90),
+            h.percentile(99)
+        ));
+    }
+    if !s.hists.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Renders a flight-recorder dump as incident JSON (`kind` distinguishes
+/// a crash incident from the drain's final ring).
+fn flight_json(
+    kind: &str,
+    reason: &str,
+    trace: u64,
+    events: &[impact_obs::FlightEvent],
+    dropped: u64,
+) -> String {
+    use crate::report::json_str;
+    let mut out = String::new();
+    out.push_str("{\n  \"version\": 1,\n");
+    out.push_str(&format!("  \"kind\": {},\n", json_str(kind)));
+    out.push_str(&format!("  \"reason\": {},\n", json_str(reason)));
+    out.push_str(&format!("  \"trace\": \"{trace:016x}\",\n"));
+    out.push_str(&format!("  \"dropped\": {dropped},\n"));
+    out.push_str("  \"flight\": [");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"seq\": {}, \"at_us\": {}, \"kind\": {}, \"detail\": {}, \"trace\": \"{:016x}\"}}",
+            e.seq,
+            e.at_us,
+            json_str(&e.kind),
+            json_str(&e.detail),
+            e.trace
+        ));
+    }
+    if !events.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
 }
 
 // ----- fault plumbing ------------------------------------------------------
@@ -456,6 +943,7 @@ mod daemon {
         errors: AtomicU64,
         shed: AtomicU64,
         pings: AtomicU64,
+        stats: AtomicU64,
     }
 
     fn bump(c: &AtomicU64) {
@@ -480,6 +968,15 @@ mod daemon {
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             st.1.get(&id).cloned()
+        }
+
+        /// Current occupancy, for the `stats` snapshot.
+        pub(super) fn len(&self) -> usize {
+            let st = self
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st.1.len()
         }
 
         pub(super) fn insert(&self, id: u64, resp: Response) {
@@ -521,6 +1018,15 @@ mod daemon {
         /// (queued or in a worker); `--max-conns` sheds against this.
         open: &'a AtomicU64,
         idem: &'a Idempotency,
+        /// Bounded ring of recent structured events, dumped on crashes.
+        flight: &'a impact_obs::FlightRecorder,
+        /// Where incident/flight dumps land (`--report-dir`, else the
+        /// cache dir, else nowhere).
+        incident_dir: Option<&'a std::path::Path>,
+        /// Sequence number for incident dump file names.
+        incidents: &'a AtomicU64,
+        /// The `--max-conns` cap, echoed into the `stats` snapshot.
+        max_conns: Option<u64>,
     }
 
     /// Fires the named service fault if armed, making every injection
@@ -533,6 +1039,117 @@ mod daemon {
         } else {
             false
         }
+    }
+
+    /// Records a flight-recorder event, surfacing ring evictions on the
+    /// `flight:dropped` counter.
+    fn flight(ctx: &Ctx, kind: &str, detail: &str, trace: u64) {
+        if ctx.flight.record(kind, detail, trace) {
+            ctx.obs.count(names::FLIGHT_DROPPED, 1);
+        }
+    }
+
+    /// Dumps the flight ring into the incident path — the last moments
+    /// before a worker panic, quarantine, or protocol violation. Dump
+    /// failures are swallowed: the recorder must never take the daemon
+    /// down with it.
+    fn dump_incident(ctx: &Ctx, reason: &str, trace: u64) {
+        let Some(dir) = ctx.incident_dir else { return };
+        let n = ctx.incidents.fetch_add(1, Ordering::Relaxed);
+        let (events, dropped) = ctx.flight.snapshot();
+        let body = flight_json("serve-incident", reason, trace, &events, dropped);
+        let _ = crate::report::atomic_write_in(
+            dir,
+            &format!("serve-incident-{n:04}.json"),
+            body.as_bytes(),
+        );
+    }
+
+    /// Builds the response's span/counter summary from a request's
+    /// private collector: a queue-wait span at the origin, the request's
+    /// own spans rebased past it (so `start_us` 0 = the connection was
+    /// accepted), and the counter deltas plus the explicit cache
+    /// hit/miss outcome (which the cache counted against the daemon's
+    /// aggregate, not the request collector).
+    fn summary_records(
+        snap: &impact_obs::Metrics,
+        trace: u64,
+        wait_us: u64,
+        cache_delta: Option<bool>,
+    ) -> SummarySection {
+        let mut spans = Vec::with_capacity(snap.spans.len() + 1);
+        spans.push(impact_obs::SpanEvent {
+            name: "serve:queue-wait".to_string(),
+            start_us: 0,
+            dur_us: wait_us,
+            trace,
+        });
+        spans.extend(snap.spans.iter().map(|s| impact_obs::SpanEvent {
+            name: s.name.clone(),
+            start_us: s.start_us.saturating_add(wait_us),
+            dur_us: s.dur_us,
+            trace: s.trace,
+        }));
+        // The service span parents every request span in the stitched
+        // trace: it starts where queue-wait ends and extends to the last
+        // recorded span's end (the response write is not yet measurable
+        // here).
+        let service_end = spans
+            .iter()
+            .map(|s| s.start_us.saturating_add(s.dur_us))
+            .max()
+            .unwrap_or(wait_us);
+        spans.insert(
+            1,
+            impact_obs::SpanEvent {
+                name: "serve:request".to_string(),
+                start_us: wait_us,
+                dur_us: service_end.saturating_sub(wait_us),
+                trace,
+            },
+        );
+        let mut counters: Vec<(String, u64)> =
+            snap.counters.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        match cache_delta {
+            Some(true) => counters.push((names::CACHE_HITS.to_string(), 1)),
+            Some(false) => counters.push((names::CACHE_MISSES.to_string(), 1)),
+            None => {}
+        }
+        (spans, counters)
+    }
+
+    /// Takes the live registry snapshot behind the `stats` op.
+    fn stats_snapshot(ctx: &Ctx) -> StatsSnapshot {
+        let m = ctx.obs.snapshot();
+        let (flight_events, flight_dropped) = ctx.flight.snapshot();
+        StatsSnapshot {
+            uptime_us: ctx.obs.now_us(),
+            workers: ctx.jobs,
+            queue_depth: ctx.queue_depth,
+            queued: ctx.queued.load(Ordering::Relaxed),
+            open: ctx.open.load(Ordering::Relaxed),
+            max_conns: ctx.max_conns,
+            idem_len: ctx.idem.len(),
+            idem_capacity: IDEMPOTENCY_CAPACITY,
+            flight_len: flight_events.len(),
+            flight_capacity: ctx.flight.capacity(),
+            flight_dropped,
+            cache: ctx.cache.map(cache::Cache::entry_stats),
+            counters: m.counters.into_iter().collect(),
+            hists: m.hists.into_iter().collect(),
+        }
+    }
+
+    /// Answers a `stats` request from the registry snapshot, rendered
+    /// daemon-side in the requested format.
+    fn stats_response(ctx: &Ctx, format: StatsFormat) -> Response {
+        let snap = stats_snapshot(ctx);
+        let payload = match format {
+            StatsFormat::Table => render_stats_table(&snap),
+            StatsFormat::Prom => render_stats_prom(&snap),
+            StatsFormat::Json => render_stats_json(&snap),
+        };
+        Response::ok(0, false, payload)
     }
 
     /// Runs the daemon until SIGTERM/SIGINT, then drains and returns the
@@ -557,7 +1174,15 @@ mod daemon {
             std::fs::remove_file(&socket)
                 .map_err(|e| format!("cannot remove stale socket `{}`: {e}", socket.display()))?;
         }
-        let obs = telemetry::handle_for(opts);
+        // The daemon's aggregate is always at least counters-only — the
+        // `stats` op needs a live registry whether or not artifacts were
+        // requested; full span retention only when artifacts will be
+        // written at drain.
+        let obs = if opts.trace_out.is_some() || opts.metrics_out.is_some() {
+            impact_obs::Telemetry::enabled()
+        } else {
+            impact_obs::Telemetry::counters_only()
+        };
         let artifact_cache = match &service.cache_dir {
             // The cache shares the daemon's fault plan (cloned plans
             // share counters) so `cache:*` chaos arms in one place.
@@ -587,7 +1212,7 @@ mod daemon {
             l.set_nonblocking(true)
                 .map_err(|e| format!("cannot configure serve listener: {e}"))?;
         }
-        let (tx, rx) = mpsc::sync_channel::<Conn>(service.queue_depth);
+        let (tx, rx) = mpsc::sync_channel::<(Conn, std::time::Instant)>(service.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
         let req_opts = request_options(opts);
         let deadline = opts.time_limit_ms.unwrap_or(DEFAULT_TIME_LIMIT_MS);
@@ -595,6 +1220,19 @@ mod daemon {
         let queued = AtomicU64::new(0);
         let open = AtomicU64::new(0);
         let idem = Idempotency::default();
+        let flight_ring = impact_obs::FlightRecorder::new(service.flight_recorder);
+        let incidents = AtomicU64::new(0);
+        // Crash dumps land next to the other per-run artifacts: the
+        // report dir when configured, else the cache dir, else nowhere.
+        let incident_dir: Option<PathBuf> = opts
+            .report_dir
+            .as_ref()
+            .map(PathBuf::from)
+            .or_else(|| service.cache_dir.clone());
+        if let Some(dir) = &incident_dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create incident dir `{}`: {e}", dir.display()))?;
+        }
         let busy_hint = service.queue_depth as u64 * BUSY_RETRY_SLOT_MS;
         let ctx = Ctx {
             opts: &req_opts,
@@ -608,6 +1246,10 @@ mod daemon {
             queued: &queued,
             open: &open,
             idem: &idem,
+            flight: &flight_ring,
+            incident_dir: incident_dir.as_deref(),
+            incidents: &incidents,
+            max_conns: service.max_conns,
         };
 
         std::thread::scope(|scope| {
@@ -624,9 +1266,11 @@ mod daemon {
                                 rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                             guard.recv()
                         };
-                        let Ok(stream) = stream else { break };
+                        let Ok((stream, accepted_at)) = stream else {
+                            break;
+                        };
                         ctx.queued.fetch_sub(1, Ordering::Relaxed);
-                        handle_connection(stream, ctx);
+                        handle_connection(stream, accepted_at, ctx);
                         ctx.open.fetch_sub(1, Ordering::Relaxed);
                     })
                     .expect("spawn serve worker");
@@ -648,11 +1292,13 @@ mod daemon {
                             // the peer sees an abrupt close, exactly as
                             // if a dying daemon's backlog were flushed.
                             if chaos(&ctx, "net:connect-refused") {
+                                flight(&ctx, "fault", "net:connect-refused", 0);
                                 drop(stream);
                                 continue;
                             }
                             bump(&totals.requests);
                             obs.count(names::SERVE_REQUESTS, 1);
+                            flight(&ctx, "accept", "connection admitted", 0);
                             // Accept-time connection cap (TCP hardening,
                             // enforced on every carrier): over the cap,
                             // shed immediately rather than queue.
@@ -661,15 +1307,16 @@ mod daemon {
                                     bump(&totals.shed);
                                     obs.count(names::SERVE_SHED, 1);
                                     obs.count(names::SERVE_CONN_CAPPED, 1);
+                                    flight(&ctx, "shed", "max-conns cap", 0);
                                     respond_busy(stream, busy_hint);
                                     continue;
                                 }
                             }
                             queued.fetch_add(1, Ordering::Relaxed);
                             open.fetch_add(1, Ordering::Relaxed);
-                            match tx.try_send(stream) {
+                            match tx.try_send((stream, std::time::Instant::now())) {
                                 Ok(()) => {}
-                                Err(TrySendError::Full(stream)) => {
+                                Err(TrySendError::Full((stream, _))) => {
                                     // Explicit overload shedding: an
                                     // immediate `busy` beats an unbounded
                                     // queue.
@@ -677,6 +1324,7 @@ mod daemon {
                                     open.fetch_sub(1, Ordering::Relaxed);
                                     bump(&totals.shed);
                                     obs.count(names::SERVE_SHED, 1);
+                                    flight(&ctx, "shed", "queue full", 0);
                                     respond_busy(stream, busy_hint);
                                 }
                                 Err(TrySendError::Disconnected(_)) => break 'accept,
@@ -700,16 +1348,24 @@ mod daemon {
         });
         let _ = std::fs::remove_file(&socket);
         telemetry::write_artifacts(opts, &obs, None)?;
+        // The final ring rides alongside the telemetry artifacts, so the
+        // daemon's last moments are captured even on a clean drain.
+        if let Some(dir) = &incident_dir {
+            let (events, dropped) = flight_ring.snapshot();
+            let body = flight_json("serve-flight-final", "drain", 0, &events, dropped);
+            let _ = crate::report::atomic_write_in(dir, "flight-final.json", body.as_bytes());
+        }
         let mut out = String::new();
         let _ = std::fmt::Write::write_fmt(
             &mut out,
             format_args!(
-                "; serve: drained after {} requests, {} ok, {} errors, {} shed, {} pings\n",
+                "; serve: drained after {} requests, {} ok, {} errors, {} shed, {} pings, {} stats\n",
                 totals.requests.load(Ordering::Relaxed),
                 totals.ok.load(Ordering::Relaxed),
                 totals.errors.load(Ordering::Relaxed),
                 totals.shed.load(Ordering::Relaxed),
                 totals.pings.load(Ordering::Relaxed),
+                totals.stats.load(Ordering::Relaxed),
             ),
         );
         Ok((0, out))
@@ -735,18 +1391,29 @@ mod daemon {
     /// `serve:accept-crash`) costs that connection its response — the
     /// client sees a drop and retries — but never the daemon, which would
     /// otherwise die at scope join when the worker unwound.
-    fn handle_connection(stream: Conn, ctx: &Ctx) {
-        if catch_unwind(AssertUnwindSafe(|| handle_connection_inner(stream, ctx))).is_err() {
+    fn handle_connection(stream: Conn, accepted_at: std::time::Instant, ctx: &Ctx) {
+        if catch_unwind(AssertUnwindSafe(|| {
+            handle_connection_inner(stream, accepted_at, ctx);
+        }))
+        .is_err()
+        {
             bump(&ctx.totals.errors);
             ctx.obs.count(names::SERVE_ERRORS, 1);
+            flight(ctx, "panic", "connection handler panicked", 0);
+            dump_incident(ctx, "handler-panic", 0);
         }
     }
 
     /// The connection body: configure timeouts (mandatory), read, handle
     /// (panic-isolated compile or ping self-check), respond. Never
     /// propagates errors — a broken peer only loses its own response.
-    fn handle_connection_inner(stream: Conn, ctx: &Ctx) {
+    fn handle_connection_inner(stream: Conn, accepted_at: std::time::Instant, ctx: &Ctx) {
+        let wait_us = accepted_at.elapsed().as_micros() as u64;
+        let pickup = std::time::Instant::now();
+        let pickup_us = ctx.obs.now_us();
+        ctx.obs.record_value(names::HIST_QUEUE_WAIT, wait_us);
         if chaos(ctx, "serve:accept-crash") {
+            flight(ctx, "fault", "serve:accept-crash", 0);
             panic!("injected accept-path crash");
         }
         // Unbounded I/O is never acceptable: a connection whose timeouts
@@ -783,12 +1450,18 @@ mod daemon {
             Err(_) => return,
         };
         let request = read_request(&mut BufReader::new(reader));
+        let trace = match &request {
+            Ok(Request::Compile { trace, .. }) | Ok(Request::Ping { trace }) => *trace,
+            _ => 0,
+        };
         // `net:reset`: the connection dies right after the request is on
         // the wire, before any work — unlike `net:drop`, nothing was
         // compiled, so the retry must redo (or idempotently replay) it.
         if chaos(ctx, "net:reset") {
             bump(&ctx.totals.errors);
             ctx.obs.count(names::SERVE_ERRORS, 1);
+            flight(ctx, "fault", "net:reset", trace);
+            dump_incident(ctx, "net:reset", trace);
             let _ = stream.shutdown_both();
             return;
         }
@@ -796,19 +1469,31 @@ mod daemon {
             Err(e) => {
                 bump(&ctx.totals.errors);
                 ctx.obs.count(names::SERVE_ERRORS, 1);
+                flight(ctx, "protocol-error", &e, 0);
+                dump_incident(ctx, "protocol-violation", 0);
                 Response::error(format!("bad request: {e}"))
             }
-            Ok(Request::Ping) => {
+            Ok(Request::Ping { trace }) => {
                 bump(&ctx.totals.pings);
                 ctx.obs.count(names::SERVE_PINGS, 1);
+                flight(ctx, "request", "ping", trace);
                 health_response(ctx)
             }
-            Ok(Request::Compile { sources, id }) => {
+            Ok(Request::Stats { format }) => {
+                bump(&ctx.totals.stats);
+                ctx.obs.count(names::STATS_REQUESTS, 1);
+                flight(ctx, "request", "stats", 0);
+                stats_response(ctx, format)
+            }
+            Ok(Request::Compile { sources, id, trace }) => {
+                flight(ctx, "request", "compile", trace);
                 // The compile additionally runs on the supervised worker
                 // thread under the wall-clock deadline; this catch_unwind
                 // isolates panics in the compile path (and the injected
                 // `serve:panic`) into a structured error response.
-                match catch_unwind(AssertUnwindSafe(|| compile_request(&sources, id, ctx))) {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    compile_request(&sources, id, trace, wait_us, ctx)
+                })) {
                     Ok(resp) => {
                         if resp.status == "ok" {
                             bump(&ctx.totals.ok);
@@ -822,14 +1507,26 @@ mod daemon {
                     Err(payload) => {
                         bump(&ctx.totals.errors);
                         ctx.obs.count(names::SERVE_ERRORS, 1);
-                        Response::error(format!(
-                            "request worker panicked: {}",
-                            panic_message(payload)
-                        ))
+                        let msg = panic_message(payload);
+                        flight(ctx, "panic", &msg, trace);
+                        dump_incident(ctx, "worker-panic", trace);
+                        Response::error(format!("request worker panicked: {msg}"))
                     }
                 }
             }
         };
+        // Daemon-side latency accounting, tagged with the request's
+        // trace: the queue wait it endured and the pickup-to-done
+        // service time.
+        let service_us = pickup.elapsed().as_micros() as u64;
+        ctx.obs.record_value(names::HIST_SERVICE, service_us);
+        let traced = ctx.obs.with_trace(trace);
+        traced.add_span(
+            "serve:queue-wait",
+            pickup_us.saturating_sub(wait_us),
+            wait_us,
+        );
+        traced.add_span("serve:request", pickup_us, service_us);
         // Network chaos on the response path: the work above is done (and
         // cached, and remembered by id), so the retrying client converges
         // to the same bytes.
@@ -895,12 +1592,23 @@ mod daemon {
     }
 
     /// Compiles one request: idempotent replay, fault points, cache
-    /// probe, supervised attempt, cache store.
-    fn compile_request(sources: &[Source], id: u64, ctx: &Ctx) -> Response {
+    /// probe, supervised attempt, cache store. All the work records into
+    /// a per-request collector tagged with the request's trace id; the
+    /// collector is absorbed into the daemon aggregate and summarized
+    /// into the response so the client can stitch daemon spans under its
+    /// own.
+    fn compile_request(
+        sources: &[Source],
+        id: u64,
+        trace: u64,
+        wait_us: u64,
+        ctx: &Ctx,
+    ) -> Response {
         // A repeated id means this exact logical request already landed
         // and only its response was lost: replay the remembered bytes —
         // no recompile, no second cache store, no `; cache: hit` marker
-        // the first response didn't have.
+        // the first response didn't have. The stored response carries
+        // its summary, so the replayed client still stitches a trace.
         if let Some(resp) = ctx.idem.lookup(id) {
             ctx.obs.count(names::SERVE_IDEMPOTENT_REPLAYS, 1);
             return resp;
@@ -908,35 +1616,79 @@ mod daemon {
         if chaos(ctx, "serve:stall") {
             std::thread::sleep(Duration::from_millis(STALL_MS));
         }
-        assert!(!chaos(ctx, "serve:panic"), "injected serve worker panic");
+        if chaos(ctx, "serve:panic") {
+            flight(ctx, "fault", "serve:panic", trace);
+            panic!("injected serve worker panic");
+        }
+        let pickup_us = ctx.obs.now_us();
+        // The request's private collector always keeps spans (for the
+        // response summary) even when the daemon aggregate is
+        // counters-only.
+        let req_obs = impact_obs::Telemetry::enabled().with_trace(trace);
         let inputs = match load_inputs(&ctx.opts.inputs) {
             Ok(i) => i,
             Err(e) => return Response::error(e),
         };
         let runs: Vec<RunSpec> = vec![(inputs, ctx.opts.args.clone())];
         let key = ctx.cache.map(|_| cache::unit_key(sources, &runs, ctx.opts));
+        let mut cache_delta = None;
         if let (Some(c), Some(k)) = (ctx.cache, key) {
-            if let cache::Lookup::Hit(hit) = c.load(k) {
-                return Response::ok(hit.exit, true, hit.report);
+            let looked = {
+                let _probe = req_obs.span("serve:cache-probe");
+                c.load(k)
+            };
+            match looked {
+                cache::Lookup::Hit(hit) => {
+                    let snap = req_obs.snapshot();
+                    ctx.obs.absorb(&snap, pickup_us);
+                    return Response::ok(hit.exit, true, hit.report).with_summary(summary_records(
+                        &snap,
+                        trace,
+                        wait_us,
+                        Some(true),
+                    ));
+                }
+                cache::Lookup::Quarantined { entry, reason } => {
+                    // The entry has already been renamed aside with a
+                    // cache incident report; the flight ring captures
+                    // the moment for the serve-side dump too.
+                    cache_delta = Some(false);
+                    flight(ctx, "quarantine", &format!("{entry}: {reason}"), trace);
+                    dump_incident(ctx, "cache-quarantine", trace);
+                }
+                cache::Lookup::Miss => cache_delta = Some(false),
             }
-            // Miss and quarantine both fall through to a fresh compile;
-            // a quarantined entry has already been renamed aside with an
-            // incident report and is never served.
         }
+        let compile_t0 = std::time::Instant::now();
         let (result, _wall) = crate::supervise::run_attempt(
             sources.to_vec(),
             runs,
             ctx.opts.clone(),
             ctx.deadline,
-            ctx.obs.clone(),
+            req_obs.clone(),
         );
+        ctx.obs
+            .record_value(names::HIST_COMPILE, compile_t0.elapsed().as_micros() as u64);
+        let snap = req_obs.snapshot();
+        // Per-stage latency distributions, one histogram per span name
+        // (the dynamic-name precedent is the `chaos:<key>` counters).
+        for st in snap.span_stats() {
+            ctx.obs
+                .record_value(&format!("hist:stage:{}-us", st.name), st.total_us);
+        }
+        ctx.obs.absorb(&snap, pickup_us);
         match result {
             Ok((code, report)) => {
                 if let (Some(c), Some(k)) = (ctx.cache, key) {
                     // Store failures degrade the cache, not the response.
                     let _ = c.store(k, code, &report);
                 }
-                let resp = Response::ok(code, false, report);
+                let resp = Response::ok(code, false, report).with_summary(summary_records(
+                    &snap,
+                    trace,
+                    wait_us,
+                    cache_delta,
+                ));
                 // Only completed `ok` responses are replayable: an error
                 // (a worker panic, say) is exactly what a retry should
                 // get a fresh chance at.
@@ -1033,13 +1785,26 @@ fn wire_error_is_retryable(err: &str) -> bool {
     err.contains("truncated") || err.contains("read failed")
 }
 
-/// What one exchange sends: a health-check ping or a compile with its
-/// idempotency id.
+/// What one exchange sends: a health-check ping, a stats snapshot, or a
+/// compile with its idempotency and trace ids.
 #[cfg(unix)]
 enum WirePayload<'a> {
-    Ping,
-    Compile { sources: &'a [Source], id: u64 },
+    Ping {
+        trace: u64,
+    },
+    Stats(StatsFormat),
+    Compile {
+        sources: &'a [Source],
+        id: u64,
+        trace: u64,
+    },
 }
+
+/// Mixed into the invocation salt to derive a request's trace id as a
+/// sibling of its idempotency id: both are stable across one logical
+/// request's retries, but the two id spaces never collide.
+#[cfg(unix)]
+const TRACE_SALT: u64 = 0x7e4a_1c09_5b3d_f861;
 
 /// A per-invocation salt for idempotency ids: the same invocation
 /// retries under one id (so a lost response replays), while two separate
@@ -1159,9 +1924,14 @@ impl<'a> Fleet<'a> {
             Ok(w) => w,
             Err(e) => return Outcome::Fail(format!("cannot clone socket stream: {e}")),
         };
+        let t0 = self.obs.now_us();
+        let wall = std::time::Instant::now();
         let sent = match wire {
-            WirePayload::Ping => write_ping(&mut writer),
-            WirePayload::Compile { sources, id } => write_request(&mut writer, sources, *id),
+            WirePayload::Ping { trace } => write_ping(&mut writer, *trace),
+            WirePayload::Stats(format) => write_stats(&mut writer, *format),
+            WirePayload::Compile { sources, id, trace } => {
+                write_request(&mut writer, sources, *id, *trace)
+            }
         };
         if let Err(e) = sent {
             return Outcome::Retry {
@@ -1179,8 +1949,27 @@ impl<'a> Fleet<'a> {
             }
             Err(e) => return Outcome::Fail(e),
         };
+        let rtt_us = wall.elapsed().as_micros() as u64;
+        self.obs.record_value(names::HIST_RTT, rtt_us);
         match resp.status.as_str() {
             "ok" => {
+                if let WirePayload::Compile { trace, .. } = wire {
+                    // Stitch the daemon's summary under this exchange's
+                    // round-trip span: daemon spans are rebased onto the
+                    // wire timeline and clamped inside [t0, t0+rtt], so
+                    // the client span always encloses them.
+                    let traced = self.obs.with_trace(*trace);
+                    traced.add_span("client:request", t0, rtt_us);
+                    let end = t0.saturating_add(rtt_us);
+                    for s in &resp.spans {
+                        let start = t0.saturating_add(s.start_us).min(end);
+                        let dur = s.dur_us.min(end.saturating_sub(start));
+                        self.obs.with_trace(s.trace).add_span(&s.name, start, dur);
+                    }
+                    for (name, v) in &resp.counters {
+                        self.obs.count(name, *v);
+                    }
+                }
                 let mut out = resp.payload;
                 if resp.cached && self.note_cache_hits {
                     out.push_str("; cache: hit\n");
@@ -1284,7 +2073,11 @@ impl<'a> Fleet<'a> {
                                 "; request: probing `{}` (circuit breaker half-open)",
                                 ep.display()
                             );
-                            match self.attempt_endpoint(&ep, &WirePayload::Ping, remaining) {
+                            match self.attempt_endpoint(
+                                &ep,
+                                &WirePayload::Ping { trace: 0 },
+                                remaining,
+                            ) {
                                 Outcome::Done(..) => {
                                     if self.states[i].breaker.record_success() {
                                         self.obs.count(names::BREAKER_RECOVERED, 1);
@@ -1387,7 +2180,12 @@ impl<'a> Fleet<'a> {
 /// naming each endpoint's last error. A cached response appends a
 /// `; cache: hit` marker line. With `--ping`, runs the daemon's health
 /// self-checks instead (no files, single endpoint only) and exits 0 only
-/// when the daemon reports healthy.
+/// when the daemon reports healthy. With `--stats`/`--stats-prom`/
+/// `--stats-json` (also no files, single endpoint), fetches the daemon's
+/// live registry snapshot — counters, latency histograms, queue and
+/// table occupancy — rendered daemon-side as a table, Prometheus text
+/// exposition, or schema-versioned JSON; the table additionally appends
+/// the client's own per-endpoint circuit-breaker states.
 ///
 /// Retryable failures (connect errors, truncated/torn responses, `busy`,
 /// presumed-transient worker panics) are retried up to `--retries` times
@@ -1412,10 +2210,20 @@ pub fn run_request(opts: &Options) -> Result<(i32, String), String> {
             usage()
         ));
     };
-    if opts.ping {
+    let stats_format = if opts.stats {
+        Some(StatsFormat::Table)
+    } else if opts.stats_prom {
+        Some(StatsFormat::Prom)
+    } else if opts.stats_json {
+        Some(StatsFormat::Json)
+    } else {
+        None
+    };
+    if opts.ping || stats_format.is_some() {
         if !files.is_empty() {
             return Err(format!(
-                "request --ping takes only the socket path (got {} extra args)\n{}",
+                "request {} takes only the socket path (got {} extra args)\n{}",
+                if opts.ping { "--ping" } else { "--stats" },
                 files.len(),
                 usage()
             ));
@@ -1435,15 +2243,35 @@ pub fn run_request(opts: &Options) -> Result<(i32, String), String> {
 
     let obs = telemetry::handle_for(opts);
     let mut fleet = Fleet::new(endpoints, endpoint_arg, opts, &obs, true);
+    let salt = invocation_salt();
     let wire = if opts.ping {
-        WirePayload::Ping
+        WirePayload::Ping {
+            trace: salt ^ TRACE_SALT,
+        }
+    } else if let Some(format) = stats_format {
+        WirePayload::Stats(format)
     } else {
         WirePayload::Compile {
             sources: &sources,
-            id: request_id(&sources, invocation_salt()),
+            id: request_id(&sources, salt),
+            trace: request_id(&sources, salt ^ TRACE_SALT),
         }
     };
-    let result = fleet.exchange(&wire);
+    let mut result = fleet.exchange(&wire);
+    if matches!(wire, WirePayload::Stats(StatsFormat::Table)) {
+        // The daemon cannot see the client's breakers; the table is the
+        // one place both sides of the wire are reported together.
+        if let Ok((_, out)) = &mut result {
+            let now = std::time::Instant::now();
+            for st in &fleet.states {
+                out.push_str(&format!(
+                    "; breaker {}: {}\n",
+                    st.endpoint.display(),
+                    st.breaker.state_name(now)
+                ));
+            }
+        }
+    }
     telemetry::write_artifacts(opts, &obs, None)?;
     result
 }
@@ -1516,13 +2344,11 @@ pub fn run_batch_remote(opts: &Options) -> Result<(i32, String), String> {
                 let sources = vec![Source::new(path.clone(), text)];
                 // Mix the unit index into the salt so two listings of the
                 // same file stay distinct logical requests.
-                let id = request_id(
-                    &sources,
-                    salt ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                );
+                let unit_salt = salt ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
                 fleet.exchange(&WirePayload::Compile {
                     sources: &sources,
-                    id,
+                    id: request_id(&sources, unit_salt),
+                    trace: request_id(&sources, unit_salt ^ TRACE_SALT),
                 })
             }
             Err(e) => Err(format!("cannot read `{path}`: {e}")),
@@ -1581,13 +2407,20 @@ mod tests {
             Source::new("dir/b.c", "int helper() { return 1; }\n"),
         ];
         let mut wire = Vec::new();
-        write_request(&mut wire, &sources, 0xdead_beef_0042_1234).unwrap();
+        write_request(
+            &mut wire,
+            &sources,
+            0xdead_beef_0042_1234,
+            0x0123_4567_89ab_cdef,
+        )
+        .unwrap();
         let req = read_request(&mut std::io::Cursor::new(wire)).unwrap();
         assert_eq!(
             req,
             Request::Compile {
                 sources,
-                id: 0xdead_beef_0042_1234
+                id: 0xdead_beef_0042_1234,
+                trace: 0x0123_4567_89ab_cdef
             }
         );
     }
@@ -1595,9 +2428,24 @@ mod tests {
     #[test]
     fn ping_round_trips_through_the_wire_format() {
         let mut wire = Vec::new();
-        write_ping(&mut wire).unwrap();
+        write_ping(&mut wire, 0xfeed_f00d).unwrap();
         let req = read_request(&mut std::io::Cursor::new(wire)).unwrap();
-        assert_eq!(req, Request::Ping);
+        assert_eq!(req, Request::Ping { trace: 0xfeed_f00d });
+    }
+
+    #[test]
+    fn stats_round_trips_through_the_wire_format() {
+        for format in [StatsFormat::Table, StatsFormat::Prom, StatsFormat::Json] {
+            let mut wire = Vec::new();
+            write_stats(&mut wire, format).unwrap();
+            let req = read_request(&mut std::io::Cursor::new(wire)).unwrap();
+            assert_eq!(req, Request::Stats { format });
+        }
+        let err = read_request(&mut std::io::Cursor::new(
+            b"impact-serve v4 stats yaml\n".to_vec(),
+        ))
+        .unwrap_err();
+        assert!(err.contains("unknown stats format"), "{err}");
     }
 
     #[test]
@@ -1617,50 +2465,119 @@ mod tests {
     }
 
     #[test]
+    fn response_summary_round_trips_spans_and_counters() {
+        // Names with spaces and newlines must survive: summary record
+        // names are length-prefixed, not line-delimited.
+        let resp = Response::ok(0, false, "; report\n".to_string()).with_summary((
+            vec![
+                impact_obs::SpanEvent {
+                    name: "serve:queue-wait".to_string(),
+                    start_us: 0,
+                    dur_us: 42,
+                    trace: 0xabc,
+                },
+                impact_obs::SpanEvent {
+                    name: "odd name\nwith newline".to_string(),
+                    start_us: 42,
+                    dur_us: 7,
+                    trace: 0,
+                },
+            ],
+            vec![("cache:misses".to_string(), 1), ("c x".to_string(), 9)],
+        ));
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        let back = read_response(&mut std::io::Cursor::new(wire)).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn torn_summary_reads_as_truncated_and_is_retryable() {
+        let resp = Response::ok(0, false, "r".to_string()).with_summary((
+            vec![impact_obs::SpanEvent {
+                name: "inline:plan".to_string(),
+                start_us: 1,
+                dur_us: 2,
+                trace: 3,
+            }],
+            Vec::new(),
+        ));
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        // Cut the frame mid-summary: the client must classify this as a
+        // truncation (retryable), never hang or trust a partial record.
+        wire.truncate(wire.len() - 4);
+        let err = read_response(&mut std::io::Cursor::new(wire)).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+        assert!(wire_error_is_retryable(&err));
+    }
+
+    #[test]
     fn malformed_requests_are_rejected_not_trusted() {
         let id = "0000000000000001";
+        let tr = "0000000000000002";
         for (wire, needle) in [
             (
-                format!("impact-serve v9 compile 1 {id}\n").into_bytes(),
+                format!("impact-serve v9 compile 1 {id} {tr}\n").into_bytes(),
                 "bad protocol",
             ),
             (
-                format!("impact-serve v3 decompile 1 {id}\n").into_bytes(),
+                format!("impact-serve v4 decompile 1 {id} {tr}\n").into_bytes(),
                 "unknown request verb",
             ),
             (
-                format!("impact-serve v3 compile 0 {id}\n").into_bytes(),
+                format!("impact-serve v4 compile 0 {id} {tr}\n").into_bytes(),
                 "source count",
             ),
             (
-                format!("impact-serve v3 compile 999 {id}\n").into_bytes(),
+                format!("impact-serve v4 compile 999 {id} {tr}\n").into_bytes(),
                 "source count",
             ),
             (
-                // A compile header without the idempotency id is a v3
+                // A compile header without the idempotency id is a
                 // protocol violation, not a silent default.
-                b"impact-serve v3 compile 1\n".to_vec(),
+                b"impact-serve v4 compile 1\n".to_vec(),
                 "missing request id",
             ),
             (
-                format!("impact-serve v3 compile 1 {}\n", "zz").into_bytes(),
+                // Likewise a v4 header without the trace id.
+                format!("impact-serve v4 compile 1 {id}\n").into_bytes(),
+                "missing trace id",
+            ),
+            (
+                format!("impact-serve v4 compile 1 zz {tr}\n").into_bytes(),
                 "bad request id",
             ),
             (
-                format!("impact-serve v3 compile 1 {id}\n5 99999999\n").into_bytes(),
+                format!("impact-serve v4 compile 1 {id} zz\n").into_bytes(),
+                "bad trace id",
+            ),
+            (
+                format!("impact-serve v4 compile 1 {id} {tr} extra\n").into_bytes(),
+                "trailing fields",
+            ),
+            (
+                format!("impact-serve v4 compile 1 {id} {tr}\n5 99999999\n").into_bytes(),
                 "field cap",
             ),
             (
-                format!("impact-serve v3 compile 1 {id}\n3 4\na.cint").into_bytes(),
+                format!("impact-serve v4 compile 1 {id} {tr}\n3 4\na.cint").into_bytes(),
                 "truncated",
             ),
-            (b"impact-serve v3 compile 1".to_vec(), "truncated line"),
-            // v1/v2 clients are rejected at the header, not half-parsed.
+            (b"impact-serve v4 compile 1".to_vec(), "truncated line"),
+            // v1/v2/v3 clients are rejected at the header, not
+            // half-parsed: a v3 frame against a v4 daemon is a clean
+            // protocol-version error.
             (b"impact-serve v1 compile 1\n".to_vec(), "bad protocol"),
             (
                 format!("impact-serve v2 compile 1 {id}\n").into_bytes(),
                 "bad protocol",
             ),
+            (
+                format!("impact-serve v3 compile 1 {id}\n").into_bytes(),
+                "bad protocol",
+            ),
+            (b"impact-serve v3 ping\n".to_vec(), "bad protocol"),
         ] {
             let err = read_request(&mut std::io::Cursor::new(wire)).unwrap_err();
             assert!(err.contains(needle), "`{err}` should mention `{needle}`");
@@ -1670,10 +2587,15 @@ mod tests {
     #[test]
     fn malformed_responses_name_the_missing_field() {
         for (wire, needle) in [
-            (&b"impact-serve v3 ok 0\n"[..], "cached flag"),
-            (&b"impact-serve v3 ok 0 1\n"[..], "retry-after"),
-            (&b"impact-serve v3 ok 0 1 5\n"[..], "payload length"),
-            (&b"impact-serve v3 maybe 0 1 0 0\n"[..], "unknown response"),
+            (&b"impact-serve v4 ok 0\n"[..], "cached flag"),
+            (&b"impact-serve v4 ok 0 1\n"[..], "retry-after"),
+            (&b"impact-serve v4 ok 0 1 5\n"[..], "payload length"),
+            (&b"impact-serve v4 ok 0 1 5 0\n"[..], "summary length"),
+            (
+                &b"impact-serve v4 maybe 0 1 0 0 0\n"[..],
+                "unknown response",
+            ),
+            (&b"impact-serve v3 ok 0 1 0 5\n"[..], "bad protocol"),
             (&b"impact-serve v2 ok 0 1 0\n"[..], "bad protocol"),
         ] {
             let err = read_response(&mut std::io::Cursor::new(wire.to_vec())).unwrap_err();
@@ -1768,5 +2690,129 @@ mod tests {
         assert!(!plan.should_fail("inline:verify"));
         let bad = Options::parse(&strs(&["serve", "s.sock", "--fault", "serve:stall=x"])).unwrap();
         assert!(service_fault_plan(&bad).is_err());
+    }
+
+    fn sample_snapshot() -> StatsSnapshot {
+        let mut h = impact_obs::Histogram::default();
+        h.record(100);
+        h.record(3000);
+        h.record(3000);
+        StatsSnapshot {
+            uptime_us: 123_456,
+            workers: 4,
+            queue_depth: 8,
+            queued: 2,
+            open: 3,
+            max_conns: Some(16),
+            idem_len: 5,
+            idem_capacity: IDEMPOTENCY_CAPACITY,
+            flight_len: 7,
+            flight_capacity: 256,
+            flight_dropped: 1,
+            cache: Some((10, 1, 4096)),
+            counters: vec![
+                ("serve:ok".to_string(), 9),
+                ("serve:requests".to_string(), 12),
+            ],
+            hists: vec![("hist:queue-wait-us".to_string(), h)],
+        }
+    }
+
+    #[test]
+    fn stats_table_reports_every_registry_section() {
+        let out = render_stats_table(&sample_snapshot());
+        assert!(out.contains("; serve stats\n"));
+        assert!(out.contains("; workers: 4\n"));
+        assert!(out.contains("; queue: 2/8 used, 6 headroom, 3 open, 16 conn cap\n"));
+        assert!(out.contains(&format!(
+            "; idempotency: 5/{IDEMPOTENCY_CAPACITY} entries\n"
+        )));
+        assert!(out.contains("; flight: 7/256 buffered, 1 dropped\n"));
+        assert!(out.contains("; cache: 10 live, 1 quarantined, 4096 bytes\n"));
+        assert!(out.contains(";   serve:ok 9\n"));
+        assert!(out.contains(";   hist:queue-wait-us count=3"));
+        // Every line is a `; ` comment so the table can never be
+        // mistaken for a pipeline report.
+        assert!(out.lines().all(|l| l.starts_with(';')));
+    }
+
+    #[test]
+    fn stats_prom_is_valid_text_exposition_with_cumulative_buckets() {
+        let out = render_stats_prom(&sample_snapshot());
+        assert!(out.contains("# TYPE impact_serve_queued gauge\nimpact_serve_queued 2\n"));
+        assert!(out.contains("# TYPE impact_serve_ok counter\nimpact_serve_ok 9\n"));
+        assert!(out.contains("# TYPE impact_hist_queue_wait_us histogram\n"));
+        assert!(out.contains("impact_hist_queue_wait_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(out.contains("impact_hist_queue_wait_us_sum 6100\n"));
+        assert!(out.contains("impact_hist_queue_wait_us_count 3\n"));
+        // Strict shape: every line is `# TYPE name kind` or `name[{le}] value`,
+        // names start with impact_ and contain no unmangled separators.
+        let mut cum_prev = 0u64;
+        for line in out.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut f = rest.split(' ');
+                let name = f.next().unwrap();
+                assert!(name.starts_with("impact_"), "{line}");
+                assert!(matches!(f.next(), Some("gauge" | "counter" | "histogram")));
+                assert_eq!(f.next(), None);
+                cum_prev = 0;
+            } else {
+                let (name, value) = line.rsplit_once(' ').expect(line);
+                assert!(name.starts_with("impact_"), "{line}");
+                assert!(!name.contains(':') && !name.contains('-'), "{line}");
+                let v: u64 = value.parse().expect(line);
+                // Histogram buckets are cumulative, so monotone.
+                if name.contains("_bucket{") {
+                    assert!(v >= cum_prev, "non-monotone bucket in {line}");
+                    cum_prev = v;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_json_schema_includes_occupancy_and_buckets() {
+        let out = render_stats_json(&sample_snapshot());
+        assert!(out.contains("\"version\": 1"));
+        assert!(out.contains("\"kind\": \"impact-serve-stats\""));
+        assert!(out.contains(
+            "\"queue\": {\"depth\": 8, \"queued\": 2, \"headroom\": 6, \"open\": 3, \"max_conns\": 16}"
+        ));
+        assert!(out.contains("\"flight\": {\"buffered\": 7, \"capacity\": 256, \"dropped\": 1}"));
+        assert!(out.contains("\"cache\": {\"live\": 10, \"quarantined\": 1, \"bytes\": 4096}"));
+        assert!(out.contains("\"name\": \"hist:queue-wait-us\""));
+        assert!(out.contains("\"buckets_us\": ["));
+        // No cache / no cap render as null, not as absent keys.
+        let mut bare = sample_snapshot();
+        bare.cache = None;
+        bare.max_conns = None;
+        let out = render_stats_json(&bare);
+        assert!(out.contains("\"cache\": null"));
+        assert!(out.contains("\"max_conns\": null"));
+    }
+
+    #[test]
+    fn flight_json_escapes_details_and_names_the_trace() {
+        let events = vec![impact_obs::FlightEvent {
+            seq: 41,
+            at_us: 99,
+            kind: "panic".to_string(),
+            detail: "worker said \"boom\"\nand died".to_string(),
+            trace: 0xabc,
+        }];
+        let out = flight_json("serve-incident", "worker-panic", 0xabc, &events, 2);
+        assert!(out.contains("\"kind\": \"serve-incident\""));
+        assert!(out.contains("\"reason\": \"worker-panic\""));
+        assert!(out.contains("\"trace\": \"0000000000000abc\""));
+        assert!(out.contains("\"dropped\": 2"));
+        assert!(out.contains("\\\"boom\\\"\\nand died"));
+        assert!(!out.contains("\"boom\"\nand"), "raw quote/newline leaked");
+        assert!(out.contains("\"seq\": 41"));
+    }
+
+    #[test]
+    fn summary_rejects_unknown_record_tags() {
+        let err = parse_summary("x 1 2\nab").unwrap_err();
+        assert!(err.contains("unknown summary record"), "{err}");
     }
 }

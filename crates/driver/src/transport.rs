@@ -327,6 +327,17 @@ impl Breaker {
         self.opened_at = None;
         recovered
     }
+
+    /// Human-readable state at `now`, for the `--stats` table.
+    pub(crate) fn state_name(&self, now: Instant) -> &'static str {
+        match self.opened_at {
+            None => "closed",
+            Some(_) => match self.admit(now) {
+                Admission::Probe => "half-open",
+                _ => "open",
+            },
+        }
+    }
 }
 
 #[cfg(test)]

@@ -931,3 +931,163 @@ fn deadline_bounds_the_whole_retry_schedule() {
     let (code, _) = stop_and_collect(daemon);
     assert_eq!(code, Some(0), "daemon must survive deadline clients");
 }
+
+// ----- Flight recorder under chaos ----------------------------------------
+
+/// Reads the one `serve-incident-*.json` dump a scenario produced.
+fn read_incident(reports: &Path) -> String {
+    let incidents: Vec<_> = std::fs::read_dir(reports)
+        .expect("report dir exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            let n = e.file_name().to_string_lossy().into_owned();
+            n.starts_with("serve-incident-") && n.ends_with(".json")
+        })
+        .collect();
+    assert_eq!(
+        incidents.len(),
+        1,
+        "expected exactly one incident dump, got {incidents:?}"
+    );
+    std::fs::read_to_string(incidents[0].path()).unwrap()
+}
+
+/// Asserts an incident dump carries a non-empty flight ring whose last
+/// events name the failing request's trace id (the dump's own `trace`
+/// field), for the given armed fault.
+fn assert_incident_names_the_trace(incident: &str, reason: &str, fault_detail: &str) {
+    assert!(
+        incident.contains(&format!("\"reason\": \"{reason}\"")),
+        "wrong incident reason: {incident}"
+    );
+    let trace = incident
+        .split("\"trace\": \"")
+        .nth(1)
+        .and_then(|r| r.split('"').next())
+        .expect("incident names a trace id")
+        .to_string();
+    assert_ne!(
+        trace, "0000000000000000",
+        "incident trace must be the failing request's, not untraced: {incident}"
+    );
+    assert!(
+        incident.contains("\"seq\": "),
+        "flight ring dump is empty: {incident}"
+    );
+    // The ring's recent events include the fault firing, tagged with the
+    // same trace id as the dump header.
+    let fault_event = incident
+        .split(&format!("\"detail\": \"{fault_detail}\""))
+        .nth(1)
+        .unwrap_or_else(|| panic!("`{fault_detail}` event missing from the ring: {incident}"));
+    assert!(
+        fault_event.contains(&format!("\"trace\": \"{trace}\"")),
+        "fault event not tagged with the failing trace {trace}: {incident}"
+    );
+}
+
+/// Under `serve:panic`, the incident JSON must contain a non-empty
+/// flight-recorder dump whose last events name the failing request's
+/// trace id.
+#[test]
+fn serve_panic_incident_dumps_the_flight_ring_with_the_failing_trace() {
+    let dir = tmp_dir("flight-panic");
+    let hot = write_hot_c(&dir);
+    let sock = dir.join("d.sock");
+    let reports = dir.join("reports");
+    let daemon = spawn_daemon(
+        &sock,
+        &[
+            "--jobs",
+            "1",
+            "--fault",
+            "serve:panic=1",
+            "--report-dir",
+            reports.to_str().unwrap(),
+        ],
+    );
+
+    let r = request(&sock, &hot, &["--retries", "0"]);
+    assert_eq!(r.code, Some(2), "panicked request must error: {}", r.stdout);
+    let (code, _) = stop_and_collect(daemon);
+    assert_eq!(code, Some(0), "daemon must survive the panic");
+
+    let incident = read_incident(&reports);
+    assert_incident_names_the_trace(&incident, "worker-panic", "serve:panic");
+    assert!(
+        incident.contains("\"kind\": \"panic\""),
+        "the panic itself must be the ring's last event: {incident}"
+    );
+}
+
+/// Same contract under `net:reset`: the connection dies right after the
+/// request is read, and the dump still names the victim's trace id.
+#[test]
+fn net_reset_incident_dumps_the_flight_ring_with_the_failing_trace() {
+    let dir = tmp_dir("flight-reset");
+    let hot = write_hot_c(&dir);
+    let sock = dir.join("d.sock");
+    let reports = dir.join("reports");
+    let daemon = spawn_daemon(
+        &sock,
+        &[
+            "--jobs",
+            "1",
+            "--fault",
+            "net:reset=1",
+            "--report-dir",
+            reports.to_str().unwrap(),
+        ],
+    );
+
+    let r = request(&sock, &hot, &["--retries", "0"]);
+    assert_eq!(r.code, Some(2), "reset request must error: {}", r.stdout);
+    let (code, _) = stop_and_collect(daemon);
+    assert_eq!(code, Some(0), "daemon must survive the reset");
+
+    let incident = read_incident(&reports);
+    assert_incident_names_the_trace(&incident, "net:reset", "net:reset");
+}
+
+/// A pre-v4 client must get a clean protocol-version error, never a
+/// hang: the daemon answers a v3 header with a structured `bad protocol`
+/// error response within the read timeout.
+#[test]
+fn v3_client_gets_a_clean_protocol_error_not_a_hang() {
+    use std::io::{Read, Write};
+    use std::os::unix::net::UnixStream;
+
+    let dir = tmp_dir("v3-client");
+    let sock = dir.join("d.sock");
+    let daemon = spawn_daemon(&sock, &["--jobs", "1"]);
+
+    // A verbatim PR 9-era compile frame: v3 had no trace-id field.
+    let mut stream = UnixStream::connect(&sock).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let body = "int main() { return 0; }\n";
+    let frame = format!(
+        "impact-serve v3 compile 1 00000000deadbeef\n{} {}\na.c{body}",
+        "a.c".len(),
+        body.len()
+    );
+    stream.write_all(frame.as_bytes()).expect("write v3 frame");
+    stream.flush().unwrap();
+
+    let mut reply = String::new();
+    stream
+        .read_to_string(&mut reply)
+        .expect("v4 daemon must answer, not hang");
+    assert!(
+        reply.starts_with("impact-serve v4 error"),
+        "expected a structured error response: {reply:?}"
+    );
+    assert!(
+        reply.contains("bad protocol"),
+        "error must name the protocol mismatch: {reply:?}"
+    );
+
+    let (code, _) = stop_and_collect(daemon);
+    assert_eq!(code, Some(0), "daemon must survive a pre-v4 client");
+}

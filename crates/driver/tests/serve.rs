@@ -406,3 +406,207 @@ fn serve_usage_and_connection_errors() {
         no_files.stderr
     );
 }
+
+#[test]
+fn stats_op_reports_the_live_registry_in_three_formats() {
+    let dir = tmp_dir("stats");
+    let hot = write_hot_c(&dir);
+    let sock = dir.join("d.sock");
+    let cache = dir.join("cache");
+    let daemon = spawn_daemon(
+        &sock,
+        &["--jobs", "2", "--cache-dir", cache.to_str().unwrap()],
+    );
+
+    // Populate the registry: a miss, then a hit.
+    assert_eq!(request(&sock, &hot).code, Some(0));
+    assert_eq!(request(&sock, &hot).code, Some(0));
+
+    let table = impactc(&["request", sock.to_str().unwrap(), "--stats"]);
+    assert_eq!(table.code, Some(0), "stats table: {}", table.stderr);
+    assert!(table.stdout.contains("; serve stats\n"), "{}", table.stdout);
+    assert!(table.stdout.contains("; workers: 2\n"), "{}", table.stdout);
+    assert!(table.stdout.contains("; cache: 1 live"), "{}", table.stdout);
+    assert!(
+        table.stdout.contains(";   serve:ok 2\n"),
+        "{}",
+        table.stdout
+    );
+    assert!(
+        table.stdout.contains(";   cache:hits 1\n"),
+        "{}",
+        table.stdout
+    );
+    assert!(
+        table.stdout.contains(";   hist:queue-wait-us count="),
+        "queue-wait histogram missing: {}",
+        table.stdout
+    );
+    assert!(
+        table.stdout.contains(";   hist:service-us count="),
+        "service-time histogram missing: {}",
+        table.stdout
+    );
+    // The client appends its own side of the wire: breaker states.
+    assert!(
+        table.stdout.contains("; breaker") && table.stdout.contains(": closed\n"),
+        "breaker line missing: {}",
+        table.stdout
+    );
+
+    let prom = impactc(&["request", sock.to_str().unwrap(), "--stats-prom"]);
+    assert_eq!(prom.code, Some(0), "stats prom: {}", prom.stderr);
+    assert!(
+        prom.stdout
+            .contains("# TYPE impact_serve_ok counter\nimpact_serve_ok 2\n"),
+        "{}",
+        prom.stdout
+    );
+    assert!(
+        prom.stdout
+            .contains("# TYPE impact_hist_queue_wait_us histogram\n"),
+        "{}",
+        prom.stdout
+    );
+    assert!(
+        prom.stdout.contains("_bucket{le=\"+Inf\"}"),
+        "{}",
+        prom.stdout
+    );
+
+    let json = impactc(&["request", sock.to_str().unwrap(), "--stats-json"]);
+    assert_eq!(json.code, Some(0), "stats json: {}", json.stderr);
+    assert!(json.stdout.contains("\"version\": 1"), "{}", json.stdout);
+    assert!(
+        json.stdout.contains("\"kind\": \"impact-serve-stats\""),
+        "{}",
+        json.stdout
+    );
+    assert!(json.stdout.contains("\"buckets_us\": ["), "{}", json.stdout);
+
+    // Stats snapshots take no files, like --ping.
+    let bad = impactc(&["request", sock.to_str().unwrap(), "x.c", "--stats"]);
+    assert_eq!(bad.code, Some(2));
+    assert!(bad.stderr.contains("--stats"), "{}", bad.stderr);
+
+    let (code, stdout) = stop_and_collect(daemon);
+    assert_eq!(code, Some(0), "drain after stats must exit 0: {stdout}");
+    assert!(
+        stdout.contains("3 stats"),
+        "stats ops missing from the drain summary: {stdout}"
+    );
+}
+
+/// Minimal parse of one Chrome trace event object: (name, ts, dur,
+/// trace-arg), enough to check nesting without a JSON dependency.
+fn parse_trace_events(trace_json: &str) -> Vec<(String, u64, u64, String)> {
+    let mut events = Vec::new();
+    for chunk in trace_json.split("{\"name\":\"").skip(1) {
+        let name = chunk.split('"').next().unwrap().to_string();
+        let field = |key: &str| {
+            chunk
+                .split(key)
+                .nth(1)
+                .and_then(|r| r.split(|c: char| !c.is_ascii_digit()).next())
+                .and_then(|v| v.parse::<u64>().ok())
+        };
+        let (Some(ts), Some(dur)) = (field("\"ts\":"), field("\"dur\":")) else {
+            continue;
+        };
+        let trace = chunk
+            .split("\"trace\":\"")
+            .nth(1)
+            .and_then(|r| r.split('"').next())
+            .unwrap_or("")
+            .to_string();
+        events.push((name, ts, dur, trace));
+    }
+    events
+}
+
+#[test]
+fn trace_out_stitches_daemon_spans_under_the_client_span() {
+    let dir = tmp_dir("stitch");
+    let hot = write_hot_c(&dir);
+    let sock = dir.join("d.sock");
+    let trace_path = dir.join("trace.json");
+    let daemon = spawn_daemon(&sock, &["--jobs", "1"]);
+
+    let r = request_with(&sock, &hot, &["--trace-out", trace_path.to_str().unwrap()]);
+    assert_eq!(r.code, Some(0), "traced request: {}", r.stderr);
+    let (code, _) = stop_and_collect(daemon);
+    assert_eq!(code, Some(0));
+
+    let trace_json = std::fs::read_to_string(&trace_path).expect("trace written");
+    let events = parse_trace_events(&trace_json);
+    let client = events
+        .iter()
+        .find(|(name, ..)| name == "client:request")
+        .expect("client:request span missing from the stitched trace");
+    let trace_id = &client.3;
+    assert_eq!(trace_id.len(), 16, "client span untagged: {trace_json}");
+
+    // Every daemon-side span with this trace id nests inside the client
+    // span's [ts, ts+dur] window — that is what "stitched" means.
+    let daemon_spans: Vec<_> = events
+        .iter()
+        .filter(|(name, _, _, trace)| trace == trace_id && name != "client:request")
+        .collect();
+    assert!(
+        daemon_spans
+            .iter()
+            .any(|(name, ..)| name == "serve:request"),
+        "daemon spans missing from the stitched trace: {trace_json}"
+    );
+    assert!(
+        daemon_spans
+            .iter()
+            .any(|(name, ..)| name == "serve:queue-wait"),
+        "queue-wait span missing: {trace_json}"
+    );
+    let (cts, cdur) = (client.1, client.2);
+    for (name, ts, dur, _) in &daemon_spans {
+        assert!(
+            *ts >= cts && ts + dur <= cts + cdur,
+            "daemon span `{name}` [{ts}, {}] escapes the client span [{cts}, {}]: {trace_json}",
+            ts + dur,
+            cts + cdur
+        );
+    }
+}
+
+#[test]
+fn flight_recorder_final_ring_is_written_at_drain() {
+    let dir = tmp_dir("flight");
+    let hot = write_hot_c(&dir);
+    let sock = dir.join("d.sock");
+    let reports = dir.join("reports");
+    let daemon = spawn_daemon(
+        &sock,
+        &[
+            "--jobs",
+            "1",
+            "--flight-recorder",
+            "8",
+            "--report-dir",
+            reports.to_str().unwrap(),
+        ],
+    );
+
+    assert_eq!(request(&sock, &hot).code, Some(0));
+    let (code, _) = stop_and_collect(daemon);
+    assert_eq!(code, Some(0));
+
+    let final_ring = reports.join("flight-final.json");
+    let text = std::fs::read_to_string(&final_ring).expect("flight-final.json written at drain");
+    assert!(text.contains("\"kind\": \"serve-flight-final\""), "{text}");
+    assert!(text.contains("\"reason\": \"drain\""), "{text}");
+    assert!(
+        text.contains("\"kind\": \"accept\""),
+        "ring lost the accept event: {text}"
+    );
+    assert!(
+        text.contains("\"kind\": \"request\""),
+        "ring lost the request event: {text}"
+    );
+}

@@ -4,7 +4,10 @@
 //!
 //! 1. **Round-trip fidelity** — any request or response the writers can
 //!    produce parses back to exactly the same value, so a retried
-//!    exchange can never be *mis*parsed into a different job.
+//!    exchange can never be *mis*parsed into a different job. Since v4
+//!    that includes the trace id on every frame and the span/counter
+//!    summary riding on responses (arbitrary span names exercise the
+//!    length-prefixed record framing).
 //! 2. **Torn prefixes are retryable** — cutting the wire at *any* byte
 //!    boundary must surface as an error the client classifies as
 //!    retryable (it mentions `truncated`), never as a panic, a hang, or
@@ -17,7 +20,8 @@ use std::io::Cursor;
 
 use impact_cfront::Source;
 use impact_driver::serve::{
-    read_request, read_response, write_ping, write_request, write_response, Request, Response,
+    read_request, read_response, write_ping, write_request, write_response, write_stats, Request,
+    Response, StatsFormat,
 };
 use proptest::prelude::*;
 
@@ -32,6 +36,24 @@ fn arb_sources() -> impl Strategy<Value = Vec<Source>> {
     proptest::collection::vec(arb_source(), 1..5)
 }
 
+fn arb_spans() -> impl Strategy<Value = Vec<impact_obs::SpanEvent>> {
+    proptest::collection::vec(
+        (any::<String>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(name, start_us, dur_us, trace)| impact_obs::SpanEvent {
+                name,
+                start_us,
+                dur_us,
+                trace,
+            },
+        ),
+        0..4,
+    )
+}
+
+fn arb_counters() -> impl Strategy<Value = Vec<(String, u64)>> {
+    proptest::collection::vec((any::<String>(), any::<u64>()), 0..4)
+}
+
 fn arb_response() -> impl Strategy<Value = Response> {
     (
         prop_oneof![Just("ok"), Just("error"), Just("busy")],
@@ -39,23 +61,29 @@ fn arb_response() -> impl Strategy<Value = Response> {
         any::<bool>(),
         any::<u64>(),
         any::<String>(),
+        arb_spans(),
+        arb_counters(),
     )
-        .prop_map(|(status, exit, cached, retry_after_ms, payload)| Response {
-            status: status.to_string(),
-            exit,
-            cached,
-            retry_after_ms,
-            payload,
-        })
+        .prop_map(
+            |(status, exit, cached, retry_after_ms, payload, spans, counters)| Response {
+                status: status.to_string(),
+                exit,
+                cached,
+                retry_after_ms,
+                payload,
+                spans,
+                counters,
+            },
+        )
 }
 
 proptest! {
     #[test]
-    fn requests_round_trip(sources in arb_sources(), id in any::<u64>()) {
+    fn requests_round_trip(sources in arb_sources(), id in any::<u64>(), trace in any::<u64>()) {
         let mut wire = Vec::new();
-        write_request(&mut wire, &sources, id).unwrap();
+        write_request(&mut wire, &sources, id, trace).unwrap();
         let back = read_request(&mut Cursor::new(wire)).unwrap();
-        prop_assert_eq!(back, Request::Compile { sources, id });
+        prop_assert_eq!(back, Request::Compile { sources, id, trace });
     }
 
     #[test]
@@ -70,10 +98,11 @@ proptest! {
     fn every_torn_request_prefix_is_a_retryable_truncation(
         sources in arb_sources(),
         id in any::<u64>(),
+        trace in any::<u64>(),
         cut in any::<usize>(),
     ) {
         let mut wire = Vec::new();
-        write_request(&mut wire, &sources, id).unwrap();
+        write_request(&mut wire, &sources, id, trace).unwrap();
         let cut = cut % wire.len(); // strict prefix: 0..len
         let err = read_request(&mut Cursor::new(&wire[..cut])).unwrap_err();
         prop_assert!(
@@ -109,9 +138,23 @@ proptest! {
 #[test]
 fn torn_ping_prefixes_are_retryable_truncations() {
     let mut wire = Vec::new();
-    write_ping(&mut wire).unwrap();
+    write_ping(&mut wire, 0xdead_beef).unwrap();
     for cut in 0..wire.len() {
         let err = read_request(&mut Cursor::new(&wire[..cut])).unwrap_err();
         assert!(err.contains("truncated"), "prefix {cut}: {err}");
+    }
+}
+
+#[test]
+fn stats_requests_round_trip_every_format() {
+    for format in [StatsFormat::Table, StatsFormat::Prom, StatsFormat::Json] {
+        let mut wire = Vec::new();
+        write_stats(&mut wire, format).unwrap();
+        let back = read_request(&mut Cursor::new(wire.clone())).unwrap();
+        assert_eq!(back, Request::Stats { format });
+        for cut in 0..wire.len() {
+            let err = read_request(&mut Cursor::new(&wire[..cut])).unwrap_err();
+            assert!(err.contains("truncated"), "prefix {cut}: {err}");
+        }
     }
 }
